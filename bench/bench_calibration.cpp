@@ -1,0 +1,50 @@
+// Calibration ablation (methodology extension): the paper sizes each
+// layer's integer bits from the *maximum* absolute activation seen during
+// profiling. Max-abs calibration is famously sensitive to single outlier
+// spikes — one hot frame can cost every layer a fraction bit. This bench
+// sweeps the coverage quantile (1.0 = paper's rule) across total widths and
+// reports the accuracy / outlier / overflow trade.
+//
+//   ./bench_calibration [--frames=200] [--seed=42]
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reads;
+  util::Cli cli(argc, argv);
+  core::PretrainedOptions opts;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto frames = static_cast<std::size_t>(cli.get_int("frames", 200));
+  cli.check_unknown();
+
+  bench::print_header(
+      "Calibration ablation: max-abs vs coverage-quantile integer bits",
+      "the paper's max-abs rule 'favors larger values and sacrifices the "
+      "accuracy for smaller values' — sub-max coverage trades rare "
+      "saturations for fraction precision");
+
+  bench::DeployedUnet unet(opts);
+  const auto inputs = unet.eval_inputs(frames, opts.seed + 13);
+
+  util::Table t({"total bits", "coverage", "acc MI", "acc RR", "mean diff MI",
+                 "mean diff RR", "outliers", "overflows"});
+  for (int bits : {12, 14, 16}) {
+    for (double coverage : {1.0, 0.9999, 0.999, 0.99}) {
+      const hls::QuantizedModel qm(unet.firmware(hls::layer_based_config(
+          unet.bundle.model, unet.profile, bits, 0, coverage)));
+      const auto acc =
+          hls::evaluate_quantization(unet.bundle.model, qm, inputs);
+      t.add_row({std::to_string(bits), util::Table::fmt(coverage, 4),
+                 util::Table::pct(acc.accuracy_mi),
+                 util::Table::pct(acc.accuracy_rr),
+                 util::Table::fmt(acc.mean_diff_mi, 4),
+                 util::Table::fmt(acc.mean_diff_rr, 4),
+                 std::to_string(acc.outliers_total()),
+                 std::to_string(acc.overflow_events)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n(" << frames << " eval frames; calibration on "
+            << unet.calibration.size() << " frames; coverage applies to "
+            << "activation integer bits only)\n";
+  return 0;
+}

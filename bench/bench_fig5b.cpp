@@ -1,0 +1,57 @@
+// Fig. 5b — the number of outliers ("abnormal points", |quant - float| >
+// 0.20) decreases as total bits increase; the paper observed that half of
+// the outliers are mitigated by one extra integer bit, because they stem
+// from inner-layer accumulator overflows. Both claims are regenerated here:
+// the outlier-vs-bits series, the same series with +1 integer guard bit,
+// and the measured accumulator overflow counts.
+//
+//   ./bench_fig5b [--frames=250] [--min-bits=10] [--max-bits=18] [--seed=42]
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reads;
+  util::Cli cli(argc, argv);
+  core::PretrainedOptions opts;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto frames = static_cast<std::size_t>(cli.get_int("frames", 250));
+  const int min_bits = static_cast<int>(cli.get_int("min-bits", 10));
+  const int max_bits = static_cast<int>(cli.get_int("max-bits", 18));
+  cli.check_unknown();
+
+  bench::print_header(
+      "Fig. 5b: outliers vs total bits (and the +1 integer bit mitigation)",
+      "outliers shrink with width; ~half of the remaining outliers vanish "
+      "with one extra integer bit (inner-layer overflows)");
+
+  bench::DeployedUnet unet(opts);
+  const auto inputs = unet.eval_inputs(frames, opts.seed + 7);
+
+  util::Table t({"total bits", "outliers MI", "outliers RR", "outliers total",
+                 "overflows", "outliers w/ +1 guard bit", "overflows w/ +1"});
+  for (int bits = min_bits; bits <= max_bits; ++bits) {
+    hls::AccuracyReport base;
+    hls::AccuracyReport guarded;
+    {
+      const hls::QuantizedModel qm(unet.firmware(
+          hls::layer_based_config(unet.bundle.model, unet.profile, bits)));
+      base = hls::evaluate_quantization(unet.bundle.model, qm, inputs);
+    }
+    {
+      // "Adding one extra bit to the integer part": a pure guard bit —
+      // integer range doubles, fraction resolution unchanged (width + 1).
+      const hls::QuantizedModel qm(unet.firmware(hls::layer_based_config(
+          unet.bundle.model, unet.profile, bits + 1, /*extra_int_bits=*/1)));
+      guarded = hls::evaluate_quantization(unet.bundle.model, qm, inputs);
+    }
+    t.add_row({std::to_string(bits), std::to_string(base.outliers_mi),
+               std::to_string(base.outliers_rr),
+               std::to_string(base.outliers_total()),
+               std::to_string(base.overflow_events),
+               std::to_string(guarded.outliers_total()),
+               std::to_string(guarded.overflow_events)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(" << frames << " input arrays per point; outlier = "
+            << "|quant - float| > 0.20 on one output)\n";
+  return 0;
+}

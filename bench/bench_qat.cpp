@@ -1,0 +1,98 @@
+// QAT extension bench: post-training quantization (the paper's flow) vs
+// quantization-aware training at narrow widths. PTQ's accuracy falls off a
+// cliff as weights lose fraction bits; projecting weights during training
+// lets the optimizer absorb that error, buying 2-4 bits of width — a
+// natural "future work" extension of the paper's co-design methodology.
+//
+//   ./bench_qat [--frames=80] [--seed=42]
+#include "common.hpp"
+
+#include "nn/init.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+#include "train/qat.hpp"
+
+namespace {
+
+using namespace reads;
+
+struct Scenario {
+  nn::Model model;
+  blm::MachineConfig machine;
+  train::Dataset data;
+  train::Standardizer standardizer;
+
+  explicit Scenario(std::uint64_t seed)
+      : model(nn::build_unet({.monitors = 64, .c1 = 6, .c2 = 9, .c3 = 12})) {
+    machine = blm::MachineConfig::fermilab_like();
+    machine.monitors = 64;
+    machine.mi.source_positions = {4, 14, 25, 37, 49, 58};
+    machine.rr.source_positions = {2, 9, 20, 30, 41, 52, 61};
+    auto built =
+        blm::build_data(96, seed, blm::InputScaling::kStandardized, machine);
+    data = std::move(built.dataset);
+    standardizer = std::move(built.standardizer);
+    nn::init_he_uniform(model, seed + 1);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reads;
+  util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto frames = static_cast<std::size_t>(cli.get_int("frames", 80));
+  cli.check_unknown();
+
+  bench::print_header(
+      "Extension: post-training quantization vs quantization-aware training",
+      "the paper uses PTQ; QAT is the natural co-design extension");
+
+  util::Table t({"weight bits", "PTQ acc MI", "PTQ acc RR", "QAT acc MI",
+                 "QAT acc RR"});
+
+  for (int bits : {4, 5, 6, 8}) {
+    double acc[2][2] = {};
+    for (int mode = 0; mode < 2; ++mode) {
+      Scenario s(seed);  // identical data + init per mode
+      train::MseLoss loss;
+      train::Adam adam(2e-3);
+      train::QatConfig qcfg;
+      qcfg.weight_bits = bits;
+      qcfg.train.epochs = 8;
+      qcfg.train.batch_size = 8;
+      if (mode == 0) {
+        train::Trainer trainer(s.model, loss, adam);
+        trainer.fit(s.data, qcfg.train);  // plain float training (PTQ)
+      } else {
+        train::qat_fit(s.model, loss, adam, s.data, qcfg);
+      }
+      const auto calib =
+          blm::build_eval_inputs(frames, seed + 5, s.standardizer, s.machine);
+      const auto profile = hls::profile_model(s.model, calib);
+      // Quantize weights at `bits` but keep 16-bit activations so the
+      // comparison isolates the weight-width effect.
+      auto quant = hls::layer_based_config(s.model, profile, 16);
+      for (auto& [name, lq] : quant.per_layer) {
+        lq.weight.width = bits;
+        lq.weight.int_bits = std::min(lq.weight.int_bits, bits);
+        lq.bias.width = bits;
+        lq.bias.int_bits = std::min(lq.bias.int_bits, bits);
+      }
+      hls::HlsConfig cfg;
+      cfg.quant = std::move(quant);
+      const hls::QuantizedModel qm(hls::compile(s.model, cfg));
+      const auto report = hls::evaluate_quantization(s.model, qm, calib);
+      acc[mode][0] = report.accuracy_mi;
+      acc[mode][1] = report.accuracy_rr;
+    }
+    t.add_row({std::to_string(bits), util::Table::pct(acc[0][0]),
+               util::Table::pct(acc[0][1]), util::Table::pct(acc[1][0]),
+               util::Table::pct(acc[1][1])});
+  }
+  t.print(std::cout);
+  std::cout << "\n(64-monitor U-Net; activations fixed at layer-based 16 "
+               "bits; weight width swept; " << frames << " eval frames)\n";
+  return 0;
+}

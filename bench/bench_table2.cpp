@@ -1,0 +1,47 @@
+// Table II — effect of precision customization on the U-Net model:
+// accuracy (fraction of outputs within 0.20 of the float reference, per
+// channel) and ALUT utilization for the three precision strategies.
+//
+//   ./bench_table2 [--frames=1000] [--seed=42]
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reads;
+  util::Cli cli(argc, argv);
+  core::PretrainedOptions opts;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto frames = static_cast<std::size_t>(cli.get_int("frames", 1000));
+  cli.check_unknown();
+
+  bench::print_header(
+      "Table II: precision customization on the U-Net",
+      "uniform<18,10>: 98.8%/99.3%/115% | uniform<16,7>: 16.7%/36.5%/22% | "
+      "layer-based<16,x>: 99.1%/99.9%/31%");
+
+  bench::DeployedUnet unet(opts);
+  const auto inputs = unet.eval_inputs(frames, opts.seed + 2);
+
+  util::Table t({"Strategy", "Accuracy MI", "Accuracy RR", "Resource ALUTs",
+                 "fits?", "overflow events"});
+  const auto row = [&](const std::string& label, hls::QuantConfig quant) {
+    const auto fw = unet.firmware(std::move(quant));
+    const auto res = hls::ResourceModel().estimate(fw);
+    const hls::QuantizedModel qm(fw);
+    const auto acc = hls::evaluate_quantization(unet.bundle.model, qm, inputs);
+    t.add_row({label, util::Table::pct(acc.accuracy_mi),
+               util::Table::pct(acc.accuracy_rr),
+               util::Table::pct(res.alut_utilization(), 0),
+               res.fits() ? "yes" : "NO",
+               std::to_string(acc.overflow_events)});
+  };
+
+  row("Uniform Precision ac_fixed<18, 10>", hls::QuantConfig::uniform({18, 10}));
+  row("Uniform Precision ac_fixed<16, 7>", hls::QuantConfig::uniform({16, 7}));
+  row("Layer-based Precision ac_fixed<16, x>",
+      hls::layer_based_config(unet.bundle.model, unet.profile, 16));
+
+  t.print(std::cout);
+  std::cout << "\n(" << frames << " input arrays; tolerance 0.20 of the "
+            << "full [0,1] output range; device: Arria 10 SX 660)\n";
+  return 0;
+}

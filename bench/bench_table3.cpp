@@ -1,0 +1,80 @@
+// Table III — model/system summary for the deployed U-Net: parameters,
+// precision strategy, reuse factors, latency, and FPGA resources.
+//
+//   ./bench_table3 [--frames=50] [--seed=42]
+#include "common.hpp"
+
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reads;
+  util::Cli cli(argc, argv);
+  core::PretrainedOptions opts;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto frames = static_cast<std::size_t>(cli.get_int("frames", 50));
+  cli.check_unknown();
+
+  bench::print_header(
+      "Table III: model summary (deployed U-Net)",
+      "134,434 params | <16,7>/layer-based | reuse 32 & 260 | 1.74 ms system "
+      "| 1.57 ms IP | 223,674 ALMs (89%) | 406k regs | 25.3M BRAM bits (58%) "
+      "| 1,818 RAM blocks (85%) | 273 DSP (16%)");
+
+  bench::DeployedUnet unet(opts);
+  const auto fw = unet.deployed_firmware();
+  const auto res = hls::ResourceModel().estimate(fw);
+  const auto lat = hls::LatencyModel().estimate(fw);
+  const hls::QuantizedModel qm(fw);
+  soc::ArriaSocSystem system(qm, soc::SocParams{}, opts.seed);
+  util::RunningStats sys_lat;
+  for (const auto& in : unet.eval_inputs(frames, opts.seed + 3)) {
+    sys_lat.add(system.process(in).timing.total_ms);
+  }
+
+  const auto pct = [](double frac) { return util::Table::pct(frac, 0); };
+  util::Table t({"System Properties", "U-Net Model (this repo)", "Paper"});
+  t.add_row({"Trainable Parameters",
+             std::to_string(unet.bundle.model.param_count()), "134434"});
+  t.add_row({"Default Precision", "ac_fixed<16, 7>", "ac_fixed<16, 7>"});
+  t.add_row({"Precision Strategy", "Layer-based", "Layer-based"});
+  t.add_row({"Default Reuse Factor", "32", "32"});
+  t.add_row({"Dense/Sigmoid Reuse Factor",
+             std::to_string(fw.config.reuse.requested("head")) +
+                 " (effective " + std::to_string(fw.layer("head").reuse) + ")",
+             "260"});
+  t.add_row({"Average System Latency",
+             util::Table::fmt(sys_lat.mean(), 2) + " ms", "1.74 ms"});
+  t.add_row({"FPGA U-Net Latency", util::Table::fmt(lat.total_ms(), 2) + " ms",
+             "1.57 ms"});
+  t.add_row({"Logic Utilization",
+             std::to_string(res.total_alms) + " (" +
+                 pct(res.alm_utilization()) + ")",
+             "223674 (89%)"});
+  t.add_row({"Total Registers", std::to_string(res.total_registers), "406123"});
+  t.add_row({"Total Block Memory Bits",
+             std::to_string(res.total_bram_bits) + " (" +
+                 pct(res.bram_bit_utilization()) + ")",
+             "25275808 (58%)"});
+  t.add_row({"Total RAM Blocks",
+             std::to_string(res.total_ram_blocks) + " (" +
+                 pct(res.ram_utilization()) + ")",
+             "1818 (85%)"});
+  t.add_row({"Total DSP Blocks",
+             std::to_string(res.total_dsps) + " (" +
+                 pct(res.dsp_utilization()) + ")",
+             "273 (16%)"});
+  t.print(std::cout);
+
+  std::cout << "\nper-layer breakdown (precision / reuse / mults / cycles):\n";
+  util::Table pl({"layer", "activation", "reuse", "mults", "cycles"});
+  const auto lat_layers = lat.layers;
+  for (std::size_t i = 1; i < fw.layers.size(); ++i) {
+    const auto& l = fw.layers[i];
+    pl.add_row({l.name, l.quant.activation.to_string(),
+                l.mults_per_output ? std::to_string(l.reuse) : "-",
+                std::to_string(l.instantiated_mults),
+                std::to_string(lat_layers[i - 1].cycles)});
+  }
+  pl.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Microbenchmarks (google-benchmark) of the building blocks, plus the
+// paper's headline throughput claims verified on the streaming harness:
+// 575 fps back-to-back capability and the deployed 320 fps / 3 ms
+// requirement (paper §I, §VI).
+//
+//   ./bench_throughput [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace reads;
+
+const bench::DeployedUnet& deployed() {
+  static bench::DeployedUnet unet;
+  return unet;
+}
+
+void BM_FloatForwardUNet(benchmark::State& state) {
+  const auto& d = deployed();
+  const auto in = d.eval_inputs(1, 1001).front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.bundle.model.forward(in));
+  }
+}
+BENCHMARK(BM_FloatForwardUNet)->Unit(benchmark::kMillisecond);
+
+void BM_QuantizedForwardUNet(benchmark::State& state) {
+  const auto& d = deployed();
+  const hls::QuantizedModel qm(d.deployed_firmware());
+  const auto in = d.eval_inputs(1, 1002).front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qm.forward(in));
+  }
+}
+BENCHMARK(BM_QuantizedForwardUNet)->Unit(benchmark::kMillisecond);
+
+void BM_SocFrameFunctional(benchmark::State& state) {
+  const auto& d = deployed();
+  const hls::QuantizedModel qm(d.deployed_firmware());
+  soc::ArriaSocSystem system(qm, soc::SocParams{}, 7);
+  const auto in = d.eval_inputs(1, 1003).front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.process(in).timing.total_ms);
+  }
+}
+BENCHMARK(BM_SocFrameFunctional)->Unit(benchmark::kMillisecond);
+
+void BM_SocFrameTimingOnly(benchmark::State& state) {
+  const auto& d = deployed();
+  const hls::QuantizedModel qm(d.deployed_firmware());
+  soc::SocParams params;
+  params.functional_ip = false;
+  soc::ArriaSocSystem system(qm, params, 7);
+  const tensor::Tensor zero({260, 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.process(zero).timing.total_ms);
+  }
+}
+BENCHMARK(BM_SocFrameTimingOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_EventSimScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    soc::EventSim sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(static_cast<soc::SimTime>((i * 7919) % 10000), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+}
+BENCHMARK(BM_EventSimScheduling);
+
+void BM_FrameGeneration(benchmark::State& state) {
+  blm::FrameGenerator gen(blm::MachineConfig::fermilab_like(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+}
+BENCHMARK(BM_FrameGeneration)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Headline throughput check first (plain output), then the micro table.
+  {
+    const auto& d = deployed();
+    const hls::QuantizedModel qm(d.deployed_firmware());
+    soc::SocParams params;
+    params.functional_ip = false;
+    soc::ArriaSocSystem system(qm, params, 11);
+    const std::vector<tensor::Tensor> frames(64, tensor::Tensor({260, 1}));
+    const auto at_rate = system.run_stream(frames, 320.0);
+    std::cout << "=== throughput / deadline checks (paper: 575 fps capable, "
+                 "320 fps @ 3 ms deployed) ===\n";
+    std::cout << "back-to-back capability: "
+              << reads::util::Table::fmt(at_rate.achieved_fps, 0)
+              << " fps (paper: 575 fps)\n";
+    std::cout << "at 320 fps: deadline misses " << at_rate.deadline_misses
+              << "/" << at_rate.frames << ", worst latency "
+              << reads::util::Table::fmt(at_rate.max_latency_ms, 2)
+              << " ms (requirement: 3 ms)\n\n";
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

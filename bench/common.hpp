@@ -1,0 +1,96 @@
+// Shared plumbing for the benchmark binaries: the deployed U-Net / MLP
+// configurations (trained via the model cache), their firmware, and the
+// evaluation inputs. Every bench accepts --seed/--frames style flags and
+// prints paper-style tables.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blm/data.hpp"
+#include "core/pretrained.hpp"
+#include "hls/accuracy.hpp"
+#include "hls/firmware.hpp"
+#include "hls/latency.hpp"
+#include "hls/profiler.hpp"
+#include "hls/qmodel.hpp"
+#include "hls/resource.hpp"
+#include "soc/system.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace reads::bench {
+
+struct DeployedUnet {
+  core::TrainedBundle bundle;
+  std::vector<tensor::Tensor> calibration;
+  hls::Profile profile;
+
+  explicit DeployedUnet(const core::PretrainedOptions& opts = {},
+                        std::size_t calibration_frames = 64)
+      : bundle(core::pretrained_unet(opts)) {
+    calibration =
+        blm::build_eval_inputs(calibration_frames, opts.seed + 1,
+                               bundle.standardizer, bundle.machine);
+    profile = hls::profile_model(bundle.model, calibration);
+  }
+
+  hls::FirmwareModel firmware(hls::QuantConfig quant) const {
+    hls::HlsConfig cfg;
+    cfg.quant = std::move(quant);
+    cfg.reuse = hls::ReusePolicy::deployed_unet();
+    return hls::compile(bundle.model, cfg);
+  }
+
+  hls::FirmwareModel deployed_firmware(int total_bits = 16) const {
+    return firmware(hls::layer_based_config(bundle.model, profile, total_bits));
+  }
+
+  std::vector<tensor::Tensor> eval_inputs(std::size_t n,
+                                          std::uint64_t seed) const {
+    return blm::build_eval_inputs(n, seed, bundle.standardizer, bundle.machine);
+  }
+};
+
+struct DeployedMlp {
+  core::TrainedBundle bundle;
+  std::vector<tensor::Tensor> calibration;
+  hls::Profile profile;
+
+  explicit DeployedMlp(const core::PretrainedOptions& opts = {},
+                       std::size_t calibration_frames = 64)
+      : bundle(core::pretrained_mlp(opts)) {
+    auto frames = blm::build_eval_inputs(calibration_frames, opts.seed + 1,
+                                         bundle.standardizer, bundle.machine);
+    for (auto& f : frames) {
+      calibration.push_back(f.reshaped({1, f.numel()}));
+    }
+    profile = hls::profile_model(bundle.model, calibration);
+  }
+
+  hls::FirmwareModel deployed_firmware(int total_bits = 16) const {
+    hls::HlsConfig cfg;
+    cfg.quant = hls::layer_based_config(bundle.model, profile, total_bits);
+    cfg.reuse = hls::ReusePolicy::deployed_mlp();
+    return hls::compile(bundle.model, cfg);
+  }
+
+  std::vector<tensor::Tensor> eval_inputs(std::size_t n,
+                                          std::uint64_t seed) const {
+    std::vector<tensor::Tensor> out;
+    for (auto& f :
+         blm::build_eval_inputs(n, seed, bundle.standardizer, bundle.machine)) {
+      out.push_back(f.reshaped({1, f.numel()}));
+    }
+    return out;
+  }
+};
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "paper reference: " << paper << "\n\n";
+}
+
+}  // namespace reads::bench

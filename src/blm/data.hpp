@@ -1,0 +1,53 @@
+// Dataset assembly for training and evaluation, including the
+// standardization policy the paper converged on.
+#pragma once
+
+#include <cstdint>
+
+#include "blm/generator.hpp"
+#include "train/dataset.hpp"
+#include "train/standardize.hpp"
+
+namespace reads::blm {
+
+enum class InputScaling {
+  kRaw,           ///< raw 105k–120k magnitudes (the failed configuration)
+  kStandardized,  ///< per-monitor standardization before training (the fix)
+};
+
+struct BuiltData {
+  train::Dataset dataset;          ///< inputs scaled per `scaling`
+  train::Standardizer standardizer;  ///< fitted on the raw frames
+  InputScaling scaling = InputScaling::kStandardized;
+};
+
+/// Generate `count` frames from a fermilab-like machine and package them.
+/// For kStandardized the standardizer is fitted on these frames and applied;
+/// for kRaw the standardizer is still fitted (so callers can compare) but
+/// inputs stay raw.
+BuiltData build_data(std::size_t count, std::uint64_t seed,
+                     InputScaling scaling = InputScaling::kStandardized,
+                     const MachineConfig& config = MachineConfig::fermilab_like());
+
+/// Sample `count` frames and report mean target magnitudes per channel plus
+/// the largest standardized input value (standardizer fitted on the same
+/// frames). Validates the machine model against the paper's observed output
+/// asymmetry (mean 0.17 MI vs 0.42 RR) and wide input dynamic range.
+TargetStats compute_target_stats(
+    std::size_t count, std::uint64_t seed,
+    const MachineConfig& config = MachineConfig::fermilab_like());
+
+/// Fit the facility-style global standardizer on the long-run monitoring
+/// stream (config.background()) using the same machine seed (identical
+/// pedestals/gains).
+train::Standardizer fit_background_standardizer(std::uint64_t seed,
+                                                const MachineConfig& config,
+                                                std::size_t frames = 256);
+
+/// Generate frames only (no targets needed), scaled with a fitted
+/// standardizer; used by the quantization accuracy sweeps.
+std::vector<tensor::Tensor> build_eval_inputs(
+    std::size_t count, std::uint64_t seed, const train::Standardizer& standardizer,
+    const MachineConfig& config = MachineConfig::fermilab_like());
+
+}  // namespace reads::blm

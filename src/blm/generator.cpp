@@ -1,0 +1,23 @@
+#include "blm/generator.hpp"
+
+namespace reads::blm {
+
+FrameGenerator::FrameGenerator(MachineConfig config, std::uint64_t seed)
+    : machine_(std::move(config), seed),
+      rng_(util::derive_seed(seed, /*purpose=*/0xF2)) {}
+
+BlmFrame FrameGenerator::next() {
+  const auto truth = machine_.sample_truth(rng_);
+  const auto readings = machine_.readings(truth, rng_);
+  const auto targets = machine_.targets(truth);
+  const std::size_t n = machine_.config().monitors;
+  BlmFrame frame{Tensor({n, 1}), Tensor({n, 2})};
+  for (std::size_t m = 0; m < n; ++m) {
+    frame.raw[m] = static_cast<float>(readings[m]);
+    frame.target[m * 2 + 0] = static_cast<float>(targets[m].first);
+    frame.target[m * 2 + 1] = static_cast<float>(targets[m].second);
+  }
+  return frame;
+}
+
+}  // namespace reads::blm

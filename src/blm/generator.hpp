@@ -1,0 +1,32 @@
+// Frame generator: turns the machine model into a stream of (raw frame,
+// target) pairs shaped for the U-Net ((monitors, 1) in, (monitors, 2) out).
+#pragma once
+
+#include <cstdint>
+
+#include "blm/machine.hpp"
+#include "tensor/tensor.hpp"
+
+namespace reads::blm {
+
+using tensor::Tensor;
+
+struct BlmFrame {
+  Tensor raw;      ///< (monitors, 1) raw readings, ~105k–120k magnitudes
+  Tensor target;   ///< (monitors, 2) ground-truth (MI, RR) probabilities
+};
+
+class FrameGenerator {
+ public:
+  FrameGenerator(MachineConfig config, std::uint64_t seed);
+
+  const MachineModel& machine() const noexcept { return machine_; }
+
+  BlmFrame next();
+
+ private:
+  MachineModel machine_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace reads::blm

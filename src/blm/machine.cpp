@@ -1,0 +1,148 @@
+#include "blm/machine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace reads::blm {
+
+MachineConfig MachineConfig::fermilab_like() {
+  MachineConfig cfg;
+  cfg.monitors = 260;
+  // Interleave source regions around the ring. MI: 8 sources, moderate
+  // activity. RR: 10 sources, busier and hotter, so that the mean regressed
+  // probability is markedly higher for RR (paper: 0.17 MI vs 0.42 RR).
+  cfg.mi.source_positions = {12, 45, 78, 104, 139, 171, 204, 238};
+  cfg.mi.event_probability = 0.40;
+  cfg.mi.intensity_mu = -0.3;
+  cfg.mi.intensity_sigma = 1.0;
+  cfg.mi.response_lambda = 6.0;
+  cfg.rr.source_positions = {5, 30, 58, 86, 115, 147, 160, 188, 216, 247};
+  cfg.rr.event_probability = 0.55;
+  cfg.rr.intensity_mu = 0.1;
+  cfg.rr.intensity_sigma = 1.0;
+  cfg.rr.response_lambda = 7.0;
+  cfg.significance_threshold = 0.25;
+  cfg.pedestal_spread = 500.0;
+  cfg.background_event_scale = 0.01;
+  return cfg;
+}
+
+MachineConfig MachineConfig::background() const {
+  MachineConfig bg = *this;
+  bg.mi.event_probability *= background_event_scale;
+  bg.rr.event_probability *= background_event_scale;
+  return bg;
+}
+
+std::uint64_t MachineConfig::fingerprint() const noexcept {
+  util::SplitMix64 h(0x5EED);
+  std::uint64_t acc = monitors;
+  const auto mix = [&acc](std::uint64_t v) {
+    util::SplitMix64 s(acc ^ v);
+    acc = s.next();
+  };
+  const auto mixd = [&mix](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  for (const auto* spec : {&mi, &rr}) {
+    for (auto p : spec->source_positions) mix(p);
+    mixd(spec->event_probability);
+    mixd(spec->intensity_mu);
+    mixd(spec->intensity_sigma);
+    mixd(spec->response_lambda);
+  }
+  mixd(baseline);
+  mixd(full_scale);
+  mixd(pedestal_spread);
+  mixd(gain_jitter);
+  mixd(noise_sigma);
+  mixd(significance_threshold);
+  mixd(background_event_scale);
+  mix(h.next());
+  return acc;
+}
+
+MachineModel::MachineModel(MachineConfig config, std::uint64_t seed)
+    : config_(std::move(config)) {
+  if (config_.monitors == 0) {
+    throw std::invalid_argument("MachineModel: zero monitors");
+  }
+  for (const auto* spec : {&config_.mi, &config_.rr}) {
+    for (auto pos : spec->source_positions) {
+      if (pos >= config_.monitors) {
+        throw std::invalid_argument("MachineModel: source beyond ring");
+      }
+    }
+  }
+  // Per-monitor gain spread is a property of the installed hardware: draw it
+  // once from a dedicated stream so frames are i.i.d. given the geometry.
+  util::Xoshiro256 rng(util::derive_seed(seed, /*purpose=*/0xB1));
+  gain_.resize(config_.monitors);
+  pedestal_.resize(config_.monitors);
+  for (std::size_t m = 0; m < config_.monitors; ++m) {
+    gain_[m] = 1.0 + config_.gain_jitter * rng.normal();
+    if (gain_[m] < 0.1) gain_[m] = 0.1;
+    pedestal_[m] = config_.pedestal_spread * rng.uniform(-1.0, 1.0);
+  }
+}
+
+std::vector<double> MachineModel::machine_loss(const MachineSpec& spec,
+                                               util::Xoshiro256& rng) const {
+  std::vector<double> loss(config_.monitors, 0.0);
+  const auto ring = static_cast<double>(config_.monitors);
+  for (auto pos : spec.source_positions) {
+    if (!rng.bernoulli(spec.event_probability)) continue;
+    const double intensity =
+        rng.lognormal(spec.intensity_mu, spec.intensity_sigma);
+    for (std::size_t m = 0; m < config_.monitors; ++m) {
+      // Circular distance: the tunnel is a ring.
+      double d = std::fabs(static_cast<double>(m) - static_cast<double>(pos));
+      d = std::min(d, ring - d);
+      loss[m] += intensity * std::exp(-d / spec.response_lambda);
+    }
+  }
+  return loss;
+}
+
+LossTruth MachineModel::sample_truth(util::Xoshiro256& rng) const {
+  LossTruth truth;
+  truth.mi = machine_loss(config_.mi, rng);
+  truth.rr = machine_loss(config_.rr, rng);
+  return truth;
+}
+
+std::vector<double> MachineModel::readings(const LossTruth& truth,
+                                           util::Xoshiro256& rng) const {
+  std::vector<double> r(config_.monitors);
+  const double span = config_.full_scale - config_.baseline;
+  for (std::size_t m = 0; m < config_.monitors; ++m) {
+    const double blended = truth.mi[m] + truth.rr[m];
+    r[m] = config_.baseline + pedestal_[m] + gain_[m] * span * blended +
+           config_.noise_sigma * rng.normal();
+  }
+  return r;
+}
+
+std::vector<std::pair<double, double>> MachineModel::targets(
+    const LossTruth& truth) const {
+  std::vector<std::pair<double, double>> t(config_.monitors);
+  const double threshold = config_.significance_threshold;
+  for (std::size_t m = 0; m < config_.monitors; ++m) {
+    const double total = truth.mi[m] + truth.rr[m];
+    // Significance gates attribution: a quiet monitor should output ~0 for
+    // both machines rather than a confident 50/50 split of noise.
+    const double significance = total / (total + threshold);
+    if (total <= 0.0) {
+      t[m] = {0.0, 0.0};
+      continue;
+    }
+    t[m] = {significance * truth.mi[m] / total,
+            significance * truth.rr[m] / total};
+  }
+  return t;
+}
+
+}  // namespace reads::blm

@@ -1,0 +1,110 @@
+// Synthetic model of the Fermilab Main Injector (MI) / Recycler Ring (RR)
+// beam-loss environment.
+//
+// The real facility has 260 Beam Loss Monitors (BLMs) along a shared tunnel;
+// the RR sits above the MI, so every monitor sees an additive blend of both
+// machines' losses, and the de-blending task is to attribute each monitor's
+// reading to its primary source. This model substitutes for the proprietary
+// BLM data: each machine has a set of loss-source locations (aperture
+// restrictions, injection/extraction regions); a loss event at a source
+// deposits ionizing radiation into nearby monitors with an exponentially
+// decaying spatial response; monitor readings are baseline + gain * blended
+// loss + noise, with raw magnitudes in the paper's 105k–120k range.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace reads::blm {
+
+/// One machine's loss geometry and event statistics.
+struct MachineSpec {
+  std::vector<std::size_t> source_positions;  ///< monitor indices of sources
+  double event_probability = 0.5;   ///< P(source active in a frame)
+  double intensity_mu = 0.0;        ///< lognormal intensity (underlying mu)
+  double intensity_sigma = 0.7;
+  double response_lambda = 3.0;     ///< spatial decay length (monitors)
+};
+
+struct MachineConfig {
+  std::size_t monitors = 260;
+  MachineSpec mi;
+  MachineSpec rr;
+  double baseline = 105'000.0;      ///< quiescent monitor reading
+  double full_scale = 120'000.0;    ///< reading at nominal max loss
+  /// Per-monitor pedestal offset spread (raw units): installed BLMs sit at
+  /// visibly different quiescent levels.
+  double pedestal_spread = 3'000.0;
+  double gain_jitter = 0.05;        ///< per-monitor gain spread (fraction)
+  double noise_sigma = 60.0;        ///< additive readout noise (raw units)
+  /// Loss level at which a monitor's source attribution reaches 50%
+  /// significance (fraction of nominal full-scale loss).
+  double significance_threshold = 0.05;
+  /// Event-rate multiplier of the long-run monitoring stream relative to
+  /// the curated loss-event datasets. The facility's normalization
+  /// constants come from this mostly-quiet stream, so standardized values
+  /// during actual loss events routinely reach tens to hundreds of units —
+  /// the wide dynamic range that drove the paper's precision choices.
+  double background_event_scale = 0.04;
+
+  /// Copy of this config with event probabilities scaled down to the
+  /// long-run monitoring stream.
+  MachineConfig background() const;
+
+  /// The paper's deployment: MI and RR sources interleaved around the ring,
+  /// with RR events more frequent/intense so that mean target magnitudes
+  /// land near the paper's 0.17 (MI) / 0.42 (RR). Loss intensities are
+  /// heavy-tailed (large lognormal sigma): routine losses sit near the
+  /// noise floor while rare large events reach tens of standard deviations,
+  /// giving the standardized data the wide dynamic range that forced the
+  /// paper to 18 uniform bits.
+  static MachineConfig fermilab_like();
+
+  /// Stable digest of every field, used to key trained-model caches.
+  std::uint64_t fingerprint() const noexcept;
+};
+
+/// Per-channel mean of the generated targets (used to validate the
+/// MI/RR asymmetry against the paper's 0.17 / 0.42 output magnitudes).
+struct TargetStats {
+  double mean_mi = 0.0;
+  double mean_rr = 0.0;
+  double max_standardized_input = 0.0;
+};
+
+/// Ground truth for one 3 ms frame.
+struct LossTruth {
+  std::vector<double> mi;      ///< per-monitor MI loss (nominal units)
+  std::vector<double> rr;      ///< per-monitor RR loss
+};
+
+/// The blended, noisy readings a frame of monitors reports.
+class MachineModel {
+ public:
+  explicit MachineModel(MachineConfig config, std::uint64_t seed);
+
+  const MachineConfig& config() const noexcept { return config_; }
+
+  /// Sample one frame of machine activity (which sources fired, how hard).
+  LossTruth sample_truth(util::Xoshiro256& rng) const;
+
+  /// Convert truth to the 260 raw monitor readings (baseline+gain+noise).
+  std::vector<double> readings(const LossTruth& truth,
+                               util::Xoshiro256& rng) const;
+
+  /// Convert truth to the per-monitor (MI, RR) target probabilities the
+  /// model is trained to regress: significance-weighted source fractions.
+  std::vector<std::pair<double, double>> targets(const LossTruth& truth) const;
+
+ private:
+  std::vector<double> machine_loss(const MachineSpec& spec,
+                                   util::Xoshiro256& rng) const;
+
+  MachineConfig config_;
+  std::vector<double> gain_;      ///< fixed per-monitor gain (seeded once)
+  std::vector<double> pedestal_;  ///< fixed per-monitor pedestal offset
+};
+
+}  // namespace reads::blm

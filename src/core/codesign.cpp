@@ -1,0 +1,77 @@
+#include "core/codesign.hpp"
+
+#include <stdexcept>
+
+#include "hls/qmodel.hpp"
+
+namespace reads::core {
+
+CodesignOptimizer::CodesignOptimizer(
+    const nn::Model& model, std::vector<tensor::Tensor> calibration_inputs,
+    CodesignConstraints constraints)
+    : model_(model),
+      calibration_(std::move(calibration_inputs)),
+      profile_(hls::profile_model(model, calibration_)),
+      constraints_(constraints) {}
+
+CandidateResult CodesignOptimizer::evaluate(const Candidate& c) const {
+  hls::HlsConfig cfg;
+  cfg.reuse = c.reuse;
+  if (c.strategy == hls::PrecisionStrategy::kUniform) {
+    cfg.quant = hls::QuantConfig::uniform({c.total_bits, c.int_bits});
+  } else {
+    cfg.quant = hls::layer_based_config(model_, profile_, c.total_bits);
+  }
+  auto fw = hls::compile(model_, cfg);
+
+  CandidateResult result;
+  result.candidate = c;
+  const auto resources = hls::ResourceModel(constraints_.device).estimate(fw);
+  result.alut_utilization = resources.alut_utilization();
+  result.dsp_utilization = resources.dsp_utilization();
+  result.fits = resources.fits();
+  const auto latency = hls::LatencyModel().estimate(fw);
+  result.ip_latency_ms = latency.total_ms();
+  result.meets_latency = result.ip_latency_ms <= constraints_.max_latency_ms;
+
+  const hls::QuantizedModel qm(std::move(fw));
+  result.accuracy = hls::evaluate_quantization(model_, qm, calibration_);
+  result.meets_accuracy =
+      result.accuracy.accuracy_mi >= constraints_.min_accuracy &&
+      result.accuracy.accuracy_rr >= constraints_.min_accuracy;
+  return result;
+}
+
+CodesignOutcome CodesignOptimizer::run(
+    const std::vector<Candidate>& candidates) const {
+  if (candidates.empty()) {
+    throw std::invalid_argument("CodesignOptimizer: no candidates");
+  }
+  CodesignOutcome outcome;
+  double best_aluts = 1e30;
+  for (const auto& c : candidates) {
+    auto result = evaluate(c);
+    if (result.feasible() && result.alut_utilization < best_aluts) {
+      best_aluts = result.alut_utilization;
+      outcome.selected = outcome.results.size();
+    }
+    outcome.results.push_back(std::move(result));
+  }
+  return outcome;
+}
+
+std::vector<Candidate> CodesignOptimizer::default_candidates() const {
+  const auto reuse = hls::ReusePolicy::deployed_unet();
+  std::vector<Candidate> cs;
+  cs.push_back({hls::PrecisionStrategy::kUniform, 18, 10, reuse,
+                "uniform ac_fixed<18,10>"});
+  cs.push_back({hls::PrecisionStrategy::kUniform, 16, 7, reuse,
+                "uniform ac_fixed<16,7>"});
+  for (int bits : {12, 14, 16, 18}) {
+    cs.push_back({hls::PrecisionStrategy::kLayerBased, bits, 0, reuse,
+                  "layer-based <" + std::to_string(bits) + ",x>"});
+  }
+  return cs;
+}
+
+}  // namespace reads::core

@@ -1,0 +1,80 @@
+// CodesignOptimizer — the paper's §IV-D methodology as an automated tool.
+//
+// Given a trained model, a calibration set, and the device/latency/accuracy
+// constraints, sweep (precision strategy, total bits, reuse factor)
+// candidates; evaluate each candidate's resource fit, IP latency, and
+// quantization accuracy; and select the cheapest configuration meeting all
+// constraints. This is exactly the loop the authors ran by hand: uniform 18
+// bits met accuracy but not resources, uniform 16 met resources but not
+// accuracy, layer-based 16 met both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/accuracy.hpp"
+#include "hls/firmware.hpp"
+#include "hls/latency.hpp"
+#include "hls/profiler.hpp"
+#include "hls/resource.hpp"
+#include "nn/model.hpp"
+
+namespace reads::core {
+
+struct Candidate {
+  hls::PrecisionStrategy strategy;
+  int total_bits = 16;
+  int int_bits = 7;  ///< uniform only; ignored for layer-based
+  hls::ReusePolicy reuse;
+  std::string label;
+};
+
+struct CandidateResult {
+  Candidate candidate;
+  hls::AccuracyReport accuracy;
+  double alut_utilization = 0.0;
+  double dsp_utilization = 0.0;
+  double ip_latency_ms = 0.0;
+  bool fits = false;
+  bool meets_accuracy = false;
+  bool meets_latency = false;
+  bool feasible() const { return fits && meets_accuracy && meets_latency; }
+};
+
+struct CodesignConstraints {
+  double min_accuracy = 0.95;     ///< per channel (MI and RR)
+  double max_latency_ms = 3.0;    ///< the BLM digitizer poll period
+  hls::DeviceSpec device = hls::DeviceSpec::arria10_sx660();
+};
+
+struct CodesignOutcome {
+  std::vector<CandidateResult> results;
+  /// Index of the selected configuration (lowest ALUT use among feasible),
+  /// or npos when nothing is feasible.
+  std::size_t selected = static_cast<std::size_t>(-1);
+  bool found() const { return selected != static_cast<std::size_t>(-1); }
+};
+
+class CodesignOptimizer {
+ public:
+  CodesignOptimizer(const nn::Model& model,
+                    std::vector<tensor::Tensor> calibration_inputs,
+                    CodesignConstraints constraints = {});
+
+  /// Evaluate one candidate end to end.
+  CandidateResult evaluate(const Candidate& candidate) const;
+
+  /// Run the paper's three headline candidates plus a bit-width ladder.
+  CodesignOutcome run(const std::vector<Candidate>& candidates) const;
+
+  /// The default candidate set (Table II rows + 12/14/16/18-bit ladder).
+  std::vector<Candidate> default_candidates() const;
+
+ private:
+  const nn::Model& model_;
+  std::vector<tensor::Tensor> calibration_;
+  hls::Profile profile_;
+  CodesignConstraints constraints_;
+};
+
+}  // namespace reads::core

@@ -1,0 +1,72 @@
+#include "core/deblender.hpp"
+
+#include <stdexcept>
+
+#include "hls/profiler.hpp"
+
+namespace reads::core {
+
+std::string_view to_string(MitigationTarget target) noexcept {
+  switch (target) {
+    case MitigationTarget::kNone: return "none";
+    case MitigationTarget::kMainInjector: return "MI";
+    case MitigationTarget::kRecyclerRing: return "RR";
+  }
+  return "?";
+}
+
+DeblendingSystem::DeblendingSystem(DeblendConfig config, TrainedBundle bundle)
+    : config_(std::move(config)), bundle_(std::move(bundle)) {
+  // Profile on freshly generated calibration frames (standardized like the
+  // training data) and derive the layer-based precision plan.
+  const auto calib = blm::build_eval_inputs(
+      config_.calibration_frames, util::derive_seed(config_.seed, 0xCA),
+      bundle_.standardizer, bundle_.machine);
+  const auto profile = hls::profile_model(bundle_.model, calib);
+
+  hls::HlsConfig hls_cfg;
+  hls_cfg.quant =
+      hls::layer_based_config(bundle_.model, profile, config_.total_bits);
+  hls_cfg.reuse = hls::ReusePolicy::deployed_unet();
+  hls_cfg.clock_mhz = config_.soc.fpga.clock_mhz;
+
+  auto firmware = hls::compile(bundle_.model, hls_cfg);
+  resources_ = hls::ResourceModel().estimate(firmware);
+  ip_latency_ = hls::LatencyModel(config_.latency).estimate(firmware);
+  qmodel_ = std::make_unique<hls::QuantizedModel>(std::move(firmware));
+  soc_ = std::make_unique<soc::ArriaSocSystem>(
+      *qmodel_, config_.soc, util::derive_seed(config_.seed, 0x50),
+      config_.latency);
+}
+
+DeblendingSystem DeblendingSystem::build(const DeblendConfig& config) {
+  return DeblendingSystem(config, pretrained_unet(config.model));
+}
+
+Decision DeblendingSystem::process(const tensor::Tensor& raw_frame) {
+  // The HPS pre-processing step: standardize the raw readings exactly as
+  // the training data was standardized.
+  const auto frame = bundle_.standardizer.transform(raw_frame);
+  auto result = soc_->process(frame);
+
+  Decision decision;
+  decision.timing = result.timing;
+  const auto& probs = result.output;
+  const std::size_t monitors = probs.dim(0);
+  for (std::size_t m = 0; m < monitors; ++m) {
+    decision.mi_score += probs.at(m, 0);
+    decision.rr_score += probs.at(m, 1);
+  }
+  if (decision.mi_score < config_.trip_threshold &&
+      decision.rr_score < config_.trip_threshold) {
+    decision.target = MitigationTarget::kNone;
+  } else if (decision.mi_score >= decision.rr_score) {
+    decision.target = MitigationTarget::kMainInjector;
+  } else {
+    decision.target = MitigationTarget::kRecyclerRing;
+  }
+  decision.probabilities = std::move(result.output);
+  return decision;
+}
+
+}  // namespace reads::core

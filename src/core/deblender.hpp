@@ -1,0 +1,74 @@
+// DeblendingSystem — the library's top-level public API.
+//
+// Wraps the full deployment of the paper: a trained U-Net, profiled and
+// lowered to layer-based 16-bit firmware with the deployed reuse plan,
+// running on the simulated Arria 10 SoC. Callers feed raw BLM frames (the
+// 260 monitor readings as they arrive over Ethernet) and receive the
+// per-frame mitigation decision with its latency accounting.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/pretrained.hpp"
+#include "hls/accuracy.hpp"
+#include "hls/firmware.hpp"
+#include "hls/latency.hpp"
+#include "hls/resource.hpp"
+#include "soc/system.hpp"
+
+namespace reads::core {
+
+enum class MitigationTarget { kNone, kMainInjector, kRecyclerRing };
+
+std::string_view to_string(MitigationTarget target) noexcept;
+
+struct Decision {
+  tensor::Tensor probabilities;  ///< (monitors, 2) — MI, RR per monitor
+  MitigationTarget target = MitigationTarget::kNone;
+  double mi_score = 0.0;  ///< summed MI probability over monitors
+  double rr_score = 0.0;
+  soc::FrameTiming timing;
+};
+
+struct DeblendConfig {
+  PretrainedOptions model;
+  int total_bits = 16;
+  /// Monitors whose summed probability must exceed this for a trip.
+  double trip_threshold = 2.0;
+  std::size_t calibration_frames = 64;
+  soc::SocParams soc;
+  hls::LatencyModelParams latency;
+  std::uint64_t seed = 7;
+};
+
+class DeblendingSystem {
+ public:
+  /// Train-or-load the model, profile it, lower it, and stand up the SoC.
+  static DeblendingSystem build(const DeblendConfig& config = {});
+
+  /// One 3 ms frame: raw readings in, mitigation decision out.
+  Decision process(const tensor::Tensor& raw_frame);
+
+  const nn::Model& float_model() const noexcept { return bundle_.model; }
+  const hls::QuantizedModel& quantized() const noexcept { return *qmodel_; }
+  const train::Standardizer& standardizer() const noexcept {
+    return bundle_.standardizer;
+  }
+  soc::ArriaSocSystem& soc() noexcept { return *soc_; }
+  const hls::ResourceReport& resources() const noexcept { return resources_; }
+  const hls::LatencyReport& ip_latency() const noexcept { return ip_latency_; }
+  const DeblendConfig& config() const noexcept { return config_; }
+
+ private:
+  DeblendingSystem(DeblendConfig config, TrainedBundle bundle);
+
+  DeblendConfig config_;
+  TrainedBundle bundle_;
+  std::unique_ptr<hls::QuantizedModel> qmodel_;
+  std::unique_ptr<soc::ArriaSocSystem> soc_;
+  hls::ResourceReport resources_;
+  hls::LatencyReport ip_latency_;
+};
+
+}  // namespace reads::core

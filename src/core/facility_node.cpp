@@ -1,0 +1,39 @@
+#include "core/facility_node.hpp"
+
+namespace reads::core {
+
+FacilityNode::FacilityNode(const FacilityNodeConfig& config,
+                           DeblendingSystem deblender)
+    : config_(config),
+      deblender_(std::make_unique<DeblendingSystem>(std::move(deblender))),
+      facility_(std::make_unique<net::FacilityLink>(
+          config.facility, util::derive_seed(config.seed, 0xFE))),
+      acnet_(config.acnet) {}
+
+FacilityNode FacilityNode::build(const FacilityNodeConfig& config) {
+  return FacilityNode(config, DeblendingSystem::build(config.deblend));
+}
+
+TickReport FacilityNode::tick() {
+  TickReport report;
+  auto frame = facility_->tick();
+  report.sequence = frame.sequence;
+  report.network_us = frame.assembly_us;
+  report.frame_complete = frame.complete();
+
+  report.decision = deblender_->process(frame.raw);
+  report.soc_ms = report.decision.timing.total_ms;
+
+  const auto& msg = acnet_.publish(
+      frame.sequence, std::string(to_string(report.decision.target)),
+      report.decision.mi_score, report.decision.rr_score);
+  report.publish_us = msg.publish_latency_us;
+
+  report.end_to_end_ms =
+      report.network_us / 1e3 + report.soc_ms + report.publish_us / 1e3;
+  report.deadline_met =
+      report.end_to_end_ms <= deblender_->config().soc.deadline_ms;
+  return report;
+}
+
+}  // namespace reads::core

@@ -1,0 +1,55 @@
+// FacilityNode — the complete central node including the communication
+// fabric: BLM hubs over Ethernet (step 0), the SoC processing pipeline
+// (steps 1-8), and ACNET status publishing (step 9). This is the composition
+// a facility operator would actually deploy; DeblendingSystem alone covers
+// only the SoC portion the paper's latency figures measure.
+#pragma once
+
+#include <memory>
+
+#include "core/deblender.hpp"
+#include "net/acnet.hpp"
+#include "net/facility.hpp"
+
+namespace reads::core {
+
+struct FacilityNodeConfig {
+  DeblendConfig deblend;
+  net::FacilityParams facility;
+  net::AcnetParams acnet;
+  std::uint64_t seed = 7;
+};
+
+/// End-to-end accounting for one 3 ms tick.
+struct TickReport {
+  std::uint32_t sequence = 0;
+  Decision decision;
+  double network_us = 0.0;     ///< hub transit + assembly hold-off
+  double soc_ms = 0.0;         ///< steps 1-8
+  double publish_us = 0.0;     ///< ACNET uplink
+  double end_to_end_ms = 0.0;
+  bool frame_complete = true;  ///< all hub packets arrived in time
+  bool deadline_met = false;
+};
+
+class FacilityNode {
+ public:
+  static FacilityNode build(const FacilityNodeConfig& config = {});
+
+  /// Run one 3 ms tick: sample machine -> hubs -> assemble -> SoC -> ACNET.
+  TickReport tick();
+
+  DeblendingSystem& deblender() noexcept { return *deblender_; }
+  const net::FacilityLink& facility() const noexcept { return *facility_; }
+  const net::AcnetPublisher& acnet() const noexcept { return acnet_; }
+
+ private:
+  FacilityNode(const FacilityNodeConfig& config, DeblendingSystem deblender);
+
+  FacilityNodeConfig config_;
+  std::unique_ptr<DeblendingSystem> deblender_;
+  std::unique_ptr<net::FacilityLink> facility_;
+  net::AcnetPublisher acnet_;
+};
+
+}  // namespace reads::core

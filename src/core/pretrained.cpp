@@ -1,0 +1,113 @@
+#include "core/pretrained.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "nn/init.hpp"
+#include "nn/serialize.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+
+namespace reads::core {
+
+namespace {
+
+std::string cache_key(const char* arch, const PretrainedOptions& o) {
+  std::ostringstream key;
+  key << arch << "_n" << o.train_frames << "_e" << o.epochs << "_b"
+      << o.batch_size << "_lr" << o.learning_rate << "_s" << o.seed
+      << (o.scaling == blm::InputScaling::kStandardized ? "_std" : "_raw")
+      << "_m" << std::hex
+      << (blm::MachineConfig::fermilab_like().fingerprint() & 0xFFFFFFFF)
+      << ".weights";
+  return key.str();
+}
+
+/// Reshape a U-Net-shaped dataset ((260,1) in / (260,2) out) for the MLP
+/// ((1,260) in / (1,518) out; the paper's MLP has 518 outputs).
+train::Dataset reshape_for_mlp(const train::Dataset& src,
+                               std::size_t mlp_outputs) {
+  train::Dataset dst;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    auto in = src.inputs[i].reshaped({1, src.inputs[i].numel()});
+    const auto& t = src.targets[i];
+    tensor::Tensor out({1, mlp_outputs});
+    for (std::size_t j = 0; j < mlp_outputs && j < t.numel(); ++j) {
+      out[j] = t[j];
+    }
+    dst.add(std::move(in), std::move(out));
+  }
+  return dst;
+}
+
+TrainedBundle train_or_load(const char* arch, nn::Model model,
+                            const PretrainedOptions& o) {
+  const auto dir = model_cache_dir(o);
+  const auto path = (std::filesystem::path(dir) / cache_key(arch, o)).string();
+
+  // Data generation is cheap and deterministic; regenerate to recover the
+  // standardizer even on a cache hit.
+  auto built = blm::build_data(o.train_frames, o.seed, o.scaling);
+  TrainedBundle bundle{std::move(model), std::move(built.standardizer)};
+
+  if (std::filesystem::exists(path)) {
+    nn::load_weights(bundle.model, path);
+    bundle.loaded_from_cache = true;
+    return bundle;
+  }
+
+  auto data = std::move(built.dataset);
+  const bool is_mlp = std::string(arch) == "mlp";
+  if (is_mlp) {
+    data = reshape_for_mlp(data, bundle.model.output_shape()[1]);
+  }
+
+  nn::init_he_uniform(bundle.model, util::derive_seed(o.seed, /*purpose=*/0x11));
+  train::MseLoss loss;
+  train::Adam adam(o.learning_rate);
+  train::Trainer trainer(bundle.model, loss, adam);
+  train::TrainConfig cfg;
+  cfg.epochs = o.epochs;
+  cfg.batch_size = o.batch_size;
+  cfg.shuffle_seed = util::derive_seed(o.seed, /*purpose=*/0x12);
+  if (o.verbose) {
+    cfg.on_epoch = [arch](std::size_t e, double l) {
+      std::cerr << "[pretrained " << arch << "] epoch " << e << " loss " << l
+                << "\n";
+    };
+  }
+  const auto result = trainer.fit(std::move(data), cfg);
+  bundle.final_loss = result.final_loss();
+  nn::save_weights(bundle.model, path);
+  return bundle;
+}
+
+}  // namespace
+
+std::string model_cache_dir(const PretrainedOptions& options) {
+  std::string dir = options.cache_dir;
+  if (dir.empty()) {
+    if (const char* env = std::getenv("READS_MODEL_CACHE")) {
+      dir = env;
+    } else {
+      dir = "models";
+    }
+  }
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TrainedBundle pretrained_unet(const PretrainedOptions& options) {
+  nn::UNetConfig cfg;
+  cfg.input_batchnorm = options.scaling == blm::InputScaling::kRaw;
+  return train_or_load("unet", nn::build_unet(cfg), options);
+}
+
+TrainedBundle pretrained_mlp(const PretrainedOptions& options) {
+  return train_or_load("mlp", nn::build_mlp(), options);
+}
+
+}  // namespace reads::core

@@ -1,0 +1,50 @@
+// Deterministic train-and-cache for the paper's two models.
+//
+// Every bench and example needs "the pre-trained U-Net"; training it takes
+// a minute or two of CPU, so the first caller trains and caches the weights
+// under a cache directory (default ./models, override with the
+// READS_MODEL_CACHE environment variable) keyed by the full training
+// configuration. Subsequent callers load the weights. Data generation and
+// training are seeded, so the cached artifact is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "blm/data.hpp"
+#include "nn/builders.hpp"
+#include "nn/model.hpp"
+#include "train/standardize.hpp"
+
+namespace reads::core {
+
+struct PretrainedOptions {
+  std::size_t train_frames = 256;
+  std::size_t epochs = 14;
+  std::size_t batch_size = 16;
+  double learning_rate = 1.5e-3;
+  std::uint64_t seed = 42;
+  blm::InputScaling scaling = blm::InputScaling::kStandardized;
+  /// Empty = resolve from READS_MODEL_CACHE or "./models".
+  std::string cache_dir;
+  bool verbose = false;
+};
+
+struct TrainedBundle {
+  nn::Model model;
+  train::Standardizer standardizer;  ///< fitted on the raw training frames
+  blm::MachineConfig machine = blm::MachineConfig::fermilab_like();
+  double final_loss = 0.0;
+  bool loaded_from_cache = false;
+};
+
+/// The 134,434-parameter U-Net of Table III.
+TrainedBundle pretrained_unet(const PretrainedOptions& options = {});
+
+/// The 100k-parameter MLP exploration model.
+TrainedBundle pretrained_mlp(const PretrainedOptions& options = {});
+
+/// Resolved cache directory (created if missing).
+std::string model_cache_dir(const PretrainedOptions& options);
+
+}  // namespace reads::core

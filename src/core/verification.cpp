@@ -1,0 +1,211 @@
+#include "core/verification.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "blm/data.hpp"
+#include "hls/accuracy.hpp"
+#include "hls/profiler.hpp"
+#include "hls/qmodel.hpp"
+#include "hls/resource.hpp"
+#include "nn/builders.hpp"
+#include "nn/init.hpp"
+#include "soc/control_ip.hpp"
+#include "soc/event_sim.hpp"
+#include "soc/ocram.hpp"
+#include "soc/system.hpp"
+#include "util/rng.hpp"
+
+namespace reads::core {
+
+namespace {
+
+/// The paper's board-bring-up component: a single adder behind the bridge.
+class AdderIp {
+ public:
+  AdderIp(soc::EventSim& sim, soc::OnChipRam& ram, soc::ControlIp& control)
+      : sim_(sim), ram_(ram), control_(control) {}
+
+  void trigger() {
+    sim_.schedule_in(30, [this] {  // three fabric cycles
+      const auto sum = static_cast<std::int16_t>(ram_.read16(0) + ram_.read16(1));
+      ram_.write16(2, sum);
+      control_.ip_done();
+    });
+  }
+
+ private:
+  soc::EventSim& sim_;
+  soc::OnChipRam& ram_;
+  soc::ControlIp& control_;
+};
+
+StageResult stage1_control_fsm() {
+  StageResult r{1, "IP core control FSM", false, ""};
+  soc::EventSim sim;
+  soc::ControlIp control(sim, soc::FpgaParams{});
+  int starts = 0;
+  int irqs = 0;
+  control.connect([&] { ++starts; control.ip_done(); }, [&] { ++irqs; });
+  if (control.state() != soc::ControlIp::State::kIdle) {
+    r.detail = "not idle after reset";
+    return r;
+  }
+  control.write_reg(soc::ControlIp::kCtrl, 0x1);
+  sim.run();
+  const bool done = control.state() == soc::ControlIp::State::kDone;
+  control.write_reg(soc::ControlIp::kCtrl, 0x2);
+  const bool idle = control.state() == soc::ControlIp::State::kIdle;
+  r.passed = starts == 1 && irqs == 1 && done && idle;
+  std::ostringstream d;
+  d << "starts=" << starts << " irqs=" << irqs << " done=" << done
+    << " cleared=" << idle;
+  r.detail = d.str();
+  return r;
+}
+
+StageResult stage2_mlp_flow(std::uint64_t seed) {
+  StageResult r{2, "hls4ml flow on the baseline MLP", false, ""};
+  auto model = nn::build_mlp();
+  nn::init_he_uniform(model, seed);
+  // Random standardized-looking stimuli.
+  util::Xoshiro256 rng(util::derive_seed(seed, 2));
+  std::vector<tensor::Tensor> inputs;
+  for (int i = 0; i < 16; ++i) {
+    tensor::Tensor t({1, 260});
+    for (auto& v : t.flat()) v = static_cast<float>(rng.normal());
+    inputs.push_back(std::move(t));
+  }
+  const auto profile = hls::profile_model(model, inputs);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::layer_based_config(model, profile, 16);
+  cfg.reuse = hls::ReusePolicy::deployed_mlp();
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  double max_diff = 0.0;
+  for (const auto& in : inputs) {
+    const auto ref = model.forward(in);
+    const auto quant = qm.forward(in);
+    max_diff = std::max<double>(max_diff, tensor::max_abs_diff(ref, quant));
+  }
+  r.passed = max_diff < 0.05;
+  r.detail = "max |quant - keras| = " + std::to_string(max_diff);
+  return r;
+}
+
+StageResult stage3_cyclone_subsystem(std::uint64_t seed) {
+  StageResult r{3, "FPGA-side subsystem on Cyclone V", false, ""};
+  // A deliberately small IP (the paper tested the subsystem with a smaller
+  // IP on the smaller board first).
+  nn::MlpConfig small;
+  small.inputs = 64;
+  small.hidden = 16;
+  small.outputs = 8;
+  auto model = nn::build_mlp(small);
+  nn::init_he_uniform(model, seed);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 7});
+  cfg.reuse.default_reuse = 64;
+  const auto fw = hls::compile(model, cfg);
+  const auto report =
+      hls::ResourceModel(hls::DeviceSpec::cyclone5()).estimate(fw);
+  r.passed = report.fits();
+  std::ostringstream d;
+  d << "Cyclone V ALUT utilization "
+    << static_cast<int>(report.alut_utilization() * 100.0) << "%";
+  r.detail = d.str();
+  return r;
+}
+
+StageResult stage4_bridge_adder(std::uint64_t seed) {
+  StageResult r{4, "Avalon MM bridge with single-adder IP", false, ""};
+  soc::EventSim sim;
+  soc::OnChipRam ram(8);
+  soc::ControlIp control(sim, soc::FpgaParams{});
+  AdderIp adder(sim, ram, control);
+  bool irq = false;
+  control.connect([&] { adder.trigger(); }, [&] { irq = true; });
+  util::Xoshiro256 rng(util::derive_seed(seed, 4));
+  const auto a = static_cast<std::int16_t>(rng.uniform_int(1000));
+  const auto b = static_cast<std::int16_t>(rng.uniform_int(1000));
+  // User-space application path: 32-bit writes through the bridge.
+  ram.write32(0, static_cast<std::uint16_t>(a) |
+                     (static_cast<std::uint32_t>(static_cast<std::uint16_t>(b))
+                      << 16));
+  control.write_reg(soc::ControlIp::kCtrl, 0x1);
+  sim.run();
+  const auto sum = ram.read16(2);
+  r.passed = irq && sum == static_cast<std::int16_t>(a + b);
+  std::ostringstream d;
+  d << a << " + " << b << " = " << sum << " (irq=" << irq << ")";
+  r.detail = d.str();
+  return r;
+}
+
+/// Shared fixture for stages 5 and 6: a small U-Net deployment.
+struct SystemFixture {
+  nn::Model model;
+  std::unique_ptr<hls::QuantizedModel> qm;
+  std::unique_ptr<soc::ArriaSocSystem> soc;
+  std::vector<tensor::Tensor> frames;
+
+  explicit SystemFixture(std::uint64_t seed)
+      : model(nn::build_unet({.monitors = 260,
+                              .c1 = 8,
+                              .c2 = 12,
+                              .c3 = 16})) {
+    nn::init_he_uniform(model, seed);
+    util::Xoshiro256 rng(util::derive_seed(seed, 6));
+    for (int i = 0; i < 6; ++i) {
+      tensor::Tensor t({260, 1});
+      for (auto& v : t.flat()) v = static_cast<float>(rng.normal());
+      frames.push_back(std::move(t));
+    }
+    const auto profile = hls::profile_model(model, frames);
+    hls::HlsConfig cfg;
+    cfg.quant = hls::layer_based_config(model, profile, 16);
+    qm = std::make_unique<hls::QuantizedModel>(hls::compile(model, cfg));
+    soc = std::make_unique<soc::ArriaSocSystem>(*qm, soc::SocParams{}, seed);
+  }
+};
+
+StageResult stage5_interrupt(SystemFixture& fix) {
+  StageResult r{5, "interrupt path", false, ""};
+  const auto before = fix.soc->control().runs();
+  const auto result = fix.soc->process(fix.frames[0]);
+  const auto after = fix.soc->control().runs();
+  r.passed = after == before + 1 && result.timing.irq_os_us > 0.0;
+  std::ostringstream d;
+  d << "runs " << before << " -> " << after << ", irq+OS "
+    << result.timing.irq_os_us << " us";
+  r.detail = d.str();
+  return r;
+}
+
+StageResult stage6_combined(SystemFixture& fix) {
+  StageResult r{6, "combined system vs direct quantized inference", false, ""};
+  double max_diff = 0.0;
+  for (const auto& f : fix.frames) {
+    const auto via_soc = fix.soc->process(f).output;
+    const auto direct = fix.qm->forward(f);
+    max_diff = std::max<double>(max_diff, tensor::max_abs_diff(via_soc, direct));
+  }
+  r.passed = max_diff == 0.0;  // the SoC path must be bit-identical
+  r.detail = "max |soc - direct| = " + std::to_string(max_diff);
+  return r;
+}
+
+}  // namespace
+
+VerificationReport run_verification_flow(std::uint64_t seed) {
+  VerificationReport report;
+  report.stages.push_back(stage1_control_fsm());
+  report.stages.push_back(stage2_mlp_flow(seed));
+  report.stages.push_back(stage3_cyclone_subsystem(seed));
+  report.stages.push_back(stage4_bridge_adder(seed));
+  SystemFixture fix(seed);
+  report.stages.push_back(stage5_interrupt(fix));
+  report.stages.push_back(stage6_combined(fix));
+  return report;
+}
+
+}  // namespace reads::core

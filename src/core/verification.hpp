@@ -1,0 +1,45 @@
+// VerificationFlow — the staged bring-up of paper §IV-C, reproduced as an
+// executable checklist. Each stage mirrors one of the paper's verification
+// steps and returns pass/fail plus a human-readable detail line:
+//
+//   1. control IP FSM on its own (the paper verified it on a Cyclone V
+//      with a VHDL testbench in ModelSim);
+//   2. the hls4ml flow on the small MLP: quantized output vs Keras output;
+//   3. the FPGA-side subsystem (IP + OCRAM + control) sized for the small
+//      Cyclone V bring-up board;
+//   4. the Avalon bridge path using a trivial single-adder IP;
+//   5. the interrupt path;
+//   6. the combined system: end-to-end frames vs direct quantized
+//      inference (must be bit-identical).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "train/standardize.hpp"
+
+namespace reads::core {
+
+struct StageResult {
+  int stage = 0;
+  std::string name;
+  bool passed = false;
+  std::string detail;
+};
+
+struct VerificationReport {
+  std::vector<StageResult> stages;
+  bool all_passed() const {
+    for (const auto& s : stages) {
+      if (!s.passed) return false;
+    }
+    return !stages.empty();
+  }
+};
+
+/// Run all six stages. `seed` controls the generated test stimuli.
+VerificationReport run_verification_flow(std::uint64_t seed = 99);
+
+}  // namespace reads::core

@@ -1,0 +1,83 @@
+// Compile-time fixed-point value type, a thin typed wrapper over FixedFormat
+// semantics. Mirrors `ac_fixed<W, I, true, Q, O>` closely enough to port HLS
+// kernels verbatim. Arithmetic widens exactly as HLS does (full-precision
+// products and sums) and conversion back to a narrower type applies the
+// destination's quantization/overflow modes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "fixed/format.hpp"
+
+namespace reads::fixed {
+
+template <int W, int I, QuantMode Q = QuantMode::kTruncate,
+          OverflowMode O = OverflowMode::kSaturate>
+class Fixed {
+  static_assert(W >= 1 && W <= 48, "width out of supported range");
+
+ public:
+  static constexpr int kWidth = W;
+  static constexpr int kIntBits = I;
+  static constexpr int kFracBits = W - I;
+
+  constexpr Fixed() noexcept = default;
+
+  /// Quantizing constructor from a real value.
+  explicit Fixed(double v) noexcept : raw_(format().quantize(v)) {}
+
+  /// Bit-exact constructor from raw scaled integer.
+  static Fixed from_raw(std::int64_t raw) noexcept {
+    Fixed f;
+    f.raw_ = format().requantize_raw(raw, kFracBits);
+    return f;
+  }
+
+  /// Convert from another fixed format, applying this type's Q/O modes.
+  template <int W2, int I2, QuantMode Q2, OverflowMode O2>
+  static Fixed from(const Fixed<W2, I2, Q2, O2>& other) noexcept {
+    Fixed f;
+    f.raw_ = format().requantize_raw(other.raw(), W2 - I2);
+    return f;
+  }
+
+  std::int64_t raw() const noexcept { return raw_; }
+  double to_double() const noexcept { return format().to_double(raw_); }
+
+  static const FixedFormat& format() noexcept {
+    static const FixedFormat fmt(W, I, true, Q, O);
+    return fmt;
+  }
+
+  /// Same-type arithmetic: compute exactly, re-quantize into this type.
+  friend Fixed operator+(Fixed a, Fixed b) noexcept {
+    return from_raw(a.raw_ + b.raw_);
+  }
+  friend Fixed operator-(Fixed a, Fixed b) noexcept {
+    return from_raw(a.raw_ - b.raw_);
+  }
+  friend Fixed operator*(Fixed a, Fixed b) noexcept {
+    // Product has 2F fraction bits; shift back with this type's rounding.
+    Fixed f;
+    f.raw_ = format().requantize_raw(a.raw_ * b.raw_, 2 * kFracBits);
+    return f;
+  }
+  Fixed operator-() const noexcept { return from_raw(-raw_); }
+
+  Fixed& operator+=(Fixed b) noexcept { return *this = *this + b; }
+  Fixed& operator-=(Fixed b) noexcept { return *this = *this - b; }
+  Fixed& operator*=(Fixed b) noexcept { return *this = *this * b; }
+
+  friend auto operator<=>(const Fixed&, const Fixed&) = default;
+
+ private:
+  std::int64_t raw_ = 0;
+};
+
+/// The paper's default IP-core data type.
+using Ap16_7 = Fixed<16, 7>;
+/// The wide uniform precision that exceeded the Arria 10 ALUT budget.
+using Ap18_10 = Fixed<18, 10>;
+
+}  // namespace reads::fixed

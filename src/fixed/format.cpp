@@ -1,0 +1,136 @@
+#include "fixed/format.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace reads::fixed {
+
+namespace {
+
+constexpr int kMaxWidth = 48;
+
+/// 2^e as double for |e| well within double range.
+double pow2(int e) noexcept { return std::ldexp(1.0, e); }
+
+}  // namespace
+
+FixedFormat::FixedFormat(int width, int int_bits, bool is_signed,
+                         QuantMode quant, OverflowMode overflow)
+    : width_(width),
+      int_bits_(int_bits),
+      is_signed_(is_signed),
+      quant_(quant),
+      overflow_(overflow) {
+  if (width < 1 || width > kMaxWidth) {
+    throw std::invalid_argument("FixedFormat: width must be in [1, 48]");
+  }
+  if (is_signed && width < 2 && int_bits >= width) {
+    // A 1-bit signed format holds only the sign; allow it (ac_fixed does)
+    // but nothing else needs guarding here.
+  }
+}
+
+std::int64_t FixedFormat::raw_max() const noexcept {
+  return is_signed_ ? (std::int64_t{1} << (width_ - 1)) - 1
+                    : (std::int64_t{1} << width_) - 1;
+}
+
+std::int64_t FixedFormat::raw_min() const noexcept {
+  return is_signed_ ? -(std::int64_t{1} << (width_ - 1)) : 0;
+}
+
+double FixedFormat::max_value() const noexcept {
+  return static_cast<double>(raw_max()) * pow2(-frac_bits());
+}
+
+double FixedFormat::min_value() const noexcept {
+  return static_cast<double>(raw_min()) * pow2(-frac_bits());
+}
+
+double FixedFormat::epsilon() const noexcept { return pow2(-frac_bits()); }
+
+std::int64_t FixedFormat::clamp_or_wrap(std::int64_t scaled) const noexcept {
+  const std::int64_t lo = raw_min();
+  const std::int64_t hi = raw_max();
+  if (scaled >= lo && scaled <= hi) return scaled;
+  if (overflow_ == OverflowMode::kSaturate) {
+    return scaled < lo ? lo : hi;
+  }
+  // Wrap: keep the low `width_` bits, then sign-extend if signed.
+  const auto u = static_cast<std::uint64_t>(scaled);
+  const std::uint64_t mask =
+      width_ == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width_) - 1;
+  std::uint64_t low = u & mask;
+  if (is_signed_ && (low & (std::uint64_t{1} << (width_ - 1)))) {
+    low |= ~mask;  // sign-extend
+  }
+  return static_cast<std::int64_t>(low);
+}
+
+std::int64_t FixedFormat::quantize(double value) const noexcept {
+  if (std::isnan(value)) return 0;
+  const double scaled = value * pow2(frac_bits());
+  // Guard doubles beyond int64 range before converting.
+  constexpr double kInt64Lim = 9.0e18;
+  if (scaled >= kInt64Lim) return clamp_or_wrap(raw_max());
+  if (scaled <= -kInt64Lim) return clamp_or_wrap(raw_min());
+  double q = 0.0;
+  switch (quant_) {
+    case QuantMode::kTruncate:
+      q = std::floor(scaled);
+      break;
+    case QuantMode::kRound:
+      // Nearest, ties away from zero (ac_fixed AC_RND rounds half up toward
+      // +inf; ties-away matches it for positive values and differs only on
+      // exact negative half-quanta — documented deviation, irrelevant at the
+      // noise floor of trained weights).
+      q = std::round(scaled);
+      break;
+  }
+  return clamp_or_wrap(static_cast<std::int64_t>(q));
+}
+
+double FixedFormat::to_double(std::int64_t raw) const noexcept {
+  return static_cast<double>(raw) * pow2(-frac_bits());
+}
+
+std::int64_t FixedFormat::requantize_raw(std::int64_t raw,
+                                         int from_frac_bits) const noexcept {
+  const int shift = from_frac_bits - frac_bits();
+  std::int64_t scaled = 0;
+  if (shift > 0) {
+    // Dropping `shift` low bits: arithmetic right shift is floor division by
+    // 2^shift, which is exactly AC_TRN; AC_RND adds half an output quantum
+    // before the shift.
+    if (shift >= 63) {
+      scaled = raw < 0 ? -1 : 0;
+      if (quant_ == QuantMode::kRound) scaled = 0;
+    } else if (quant_ == QuantMode::kRound) {
+      const std::int64_t half = std::int64_t{1} << (shift - 1);
+      // Ties away from zero, consistent with quantize().
+      scaled = raw >= 0 ? (raw + half) >> shift : -((-raw + half) >> shift);
+    } else {
+      scaled = raw >> shift;
+    }
+  } else if (shift < 0) {
+    const int up = -shift;
+    // Widening: detect shift overflow before it happens.
+    if (up >= 63 || std::llabs(raw) > (std::int64_t{1} << (62 - up))) {
+      return clamp_or_wrap(raw < 0 ? raw_min() : raw_max());
+    }
+    scaled = raw << up;
+  } else {
+    scaled = raw;
+  }
+  return clamp_or_wrap(scaled);
+}
+
+std::string FixedFormat::to_string() const {
+  std::string s = "ac_fixed<" + std::to_string(width_) + ", " +
+                  std::to_string(int_bits_);
+  if (!is_signed_) s += ", false";
+  return s + ">";
+}
+
+}  // namespace reads::fixed

@@ -1,0 +1,87 @@
+// Runtime-parameterized fixed-point formats mirroring Intel HLS `ac_fixed`.
+//
+// An `ac_fixed<W, I, S>` value has W total bits of which I are integer bits
+// (the sign bit counts toward I when S = true). The remaining F = W - I bits
+// are fraction bits. READS-Edge sweeps W and I at runtime (Fig. 5a/5b of the
+// paper), so the workhorse representation is a runtime FixedFormat plus raw
+// two's-complement values held in int64_t, scaled by 2^F.
+//
+// Quantization (rounding) and overflow handling match the ac_fixed modes the
+// paper's flow uses: AC_TRN (truncate toward negative infinity, the HLS
+// default), AC_RND (round to nearest, ties away from zero), AC_SAT
+// (saturate), and AC_WRAP (drop carry bits, the HLS default).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace reads::fixed {
+
+enum class QuantMode : std::uint8_t {
+  kTruncate,  ///< AC_TRN: floor of the scaled value.
+  kRound,     ///< AC_RND: nearest, ties away from zero.
+};
+
+enum class OverflowMode : std::uint8_t {
+  kSaturate,  ///< AC_SAT: clamp to representable range.
+  kWrap,      ///< AC_WRAP: keep low-order bits (two's-complement wrap).
+};
+
+/// Description of one fixed-point format. Immutable value type.
+class FixedFormat {
+ public:
+  /// width in [1, 48]; int_bits may be negative (all-fraction formats with
+  /// leading implied zeros) or exceed width (trailing implied zeros), exactly
+  /// as ac_fixed allows, but must leave at least one significant bit.
+  FixedFormat(int width, int int_bits, bool is_signed = true,
+              QuantMode quant = QuantMode::kTruncate,
+              OverflowMode overflow = OverflowMode::kSaturate);
+
+  int width() const noexcept { return width_; }
+  int int_bits() const noexcept { return int_bits_; }
+  int frac_bits() const noexcept { return width_ - int_bits_; }
+  bool is_signed() const noexcept { return is_signed_; }
+  QuantMode quant() const noexcept { return quant_; }
+  OverflowMode overflow() const noexcept { return overflow_; }
+
+  /// Largest / smallest representable value, and the quantum (2^-F).
+  double max_value() const noexcept;
+  double min_value() const noexcept;
+  double epsilon() const noexcept;
+
+  /// Raw two's-complement bounds of the W-bit container.
+  std::int64_t raw_max() const noexcept;
+  std::int64_t raw_min() const noexcept;
+
+  /// Convert a real value to raw representation (scaled by 2^F) applying the
+  /// quantization and overflow modes of this format.
+  std::int64_t quantize(double value) const noexcept;
+
+  /// Interpret a raw representation as a real value.
+  double to_double(std::int64_t raw) const noexcept;
+
+  /// Re-quantize a raw value expressed with `from_frac_bits` fraction bits
+  /// into this format. This is the bit-accurate post-accumulation step of the
+  /// quantized inference engine: HLS accumulators are wider than the layer
+  /// output type and are cast down on write-out.
+  std::int64_t requantize_raw(std::int64_t raw, int from_frac_bits) const noexcept;
+
+  /// Round-trip through the format: quantize then convert back.
+  double apply(double value) const noexcept { return to_double(quantize(value)); }
+
+  /// ac_fixed-style spelling, e.g. "ac_fixed<16, 7>".
+  std::string to_string() const;
+
+  friend bool operator==(const FixedFormat&, const FixedFormat&) = default;
+
+ private:
+  std::int64_t clamp_or_wrap(std::int64_t scaled) const noexcept;
+
+  int width_;
+  int int_bits_;
+  bool is_signed_;
+  QuantMode quant_;
+  OverflowMode overflow_;
+};
+
+}  // namespace reads::fixed

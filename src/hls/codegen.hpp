@@ -1,0 +1,38 @@
+// HLS C++ code generation — the artifact hls4ml actually produces.
+//
+// Given a FirmwareModel, emit an Intel-HLS-compiler-style C++ project:
+//   parameters.h  per-layer ac_fixed typedefs and geometry constants
+//   weights.h     quantized weight/bias ROMs as raw two's-complement words
+//   firmware.cpp  the component function: memory-mapped host interface,
+//                 per-layer loop nests with reuse-factor unroll pragmas,
+//                 wrap-mode accumulators, and the sigmoid LUT
+//
+// The emitted source mirrors this repository's bit-accurate executor
+// one-to-one (same specs, same accumulator semantics, same LUT), so a build
+// of the generated project under the Intel HLS compiler would reproduce the
+// QuantizedModel outputs. Synthesis itself needs the vendor toolchain, which
+// is exactly the hardware gate this repository simulates around.
+#pragma once
+
+#include <string>
+
+#include "hls/firmware.hpp"
+
+namespace reads::hls {
+
+struct GeneratedProject {
+  std::string parameters_h;
+  std::string weights_h;
+  std::string nnet_layers_h;  ///< the layer loop-nest template library
+  std::string firmware_cpp;
+  std::string readme;
+};
+
+GeneratedProject generate_project(const FirmwareModel& fw,
+                                  const std::string& component_name = "nn_ip");
+
+/// Write the four files into `directory` (created if missing).
+void write_project(const FirmwareModel& fw, const std::string& directory,
+                   const std::string& component_name = "nn_ip");
+
+}  // namespace reads::hls

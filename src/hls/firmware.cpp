@@ -1,0 +1,204 @@
+#include "hls/firmware.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/layers/activations.hpp"
+#include "nn/layers/batchnorm.hpp"
+#include "nn/layers/concat.hpp"
+#include "nn/layers/conv1d.hpp"
+#include "nn/layers/dense.hpp"
+#include "nn/layers/flatten.hpp"
+#include "nn/layers/pool.hpp"
+#include "nn/layers/upsample.hpp"
+
+namespace reads::hls {
+
+std::string_view to_string(LayerKind kind) noexcept {
+  switch (kind) {
+    case LayerKind::kInput: return "Input";
+    case LayerKind::kDense: return "Dense";
+    case LayerKind::kConv1D: return "Conv1D";
+    case LayerKind::kMaxPool: return "MaxPool1D";
+    case LayerKind::kUpSample: return "UpSampling1D";
+    case LayerKind::kConcat: return "Concatenate";
+    case LayerKind::kBatchNorm: return "BatchNorm";
+    case LayerKind::kRelu: return "ReLU";
+    case LayerKind::kSigmoid: return "Sigmoid";
+    case LayerKind::kFlatten: return "Flatten";
+  }
+  return "?";
+}
+
+ReusePolicy ReusePolicy::deployed_unet() {
+  ReusePolicy p;
+  p.default_reuse = 32;
+  p.overrides = {{"bot_a", 260}, {"bot_b", 260}, {"dec2a", 260}, {"head", 260}};
+  return p;
+}
+
+ReusePolicy ReusePolicy::deployed_mlp() {
+  ReusePolicy p;
+  p.default_reuse = 128;
+  return p;
+}
+
+const FirmwareLayer& FirmwareModel::layer(const std::string& name) const {
+  for (const auto& l : layers) {
+    if (l.name == name) return l;
+  }
+  throw std::invalid_argument("FirmwareModel: no layer named '" + name + "'");
+}
+
+std::size_t FirmwareModel::weight_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.weights_raw.size() + l.bias_raw.size();
+  return n;
+}
+
+namespace {
+
+std::vector<std::int64_t> quantize_all(std::span<const float> values,
+                                       const fixed::FixedFormat& fmt) {
+  std::vector<std::int64_t> raw;
+  raw.reserve(values.size());
+  for (float v : values) raw.push_back(fmt.quantize(v));
+  return raw;
+}
+
+/// Quantize bias values directly at accumulator alignment (frac bits =
+/// weight frac + input frac) so additions need no runtime shifts. Saturation
+/// bounds come from the bias spec's width re-expressed at that alignment.
+std::vector<std::int64_t> quantize_bias(std::span<const float> values,
+                                        const FixedSpec& bias_spec,
+                                        int acc_frac_bits) {
+  // A bias_spec of <W, I> has W - I frac bits; widen/narrow to the
+  // accumulator alignment while keeping the spec's value range.
+  const fixed::FixedFormat value_fmt = bias_spec.format();
+  std::vector<std::int64_t> raw;
+  raw.reserve(values.size());
+  const int shift = acc_frac_bits - value_fmt.frac_bits();
+  for (float v : values) {
+    std::int64_t q = value_fmt.quantize(v);
+    if (shift >= 0) {
+      q <<= shift;
+    } else {
+      q >>= -shift;
+    }
+    raw.push_back(q);
+  }
+  return raw;
+}
+
+}  // namespace
+
+FirmwareModel compile(const nn::Model& model, const HlsConfig& config) {
+  FirmwareModel fw;
+  fw.config = config;
+
+  const auto& nodes = model.nodes();
+  fw.layers.reserve(nodes.size());
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& node = nodes[i];
+    FirmwareLayer fl;
+    fl.name = node.name;
+    fl.inputs = node.inputs;
+    fl.positions = node.shape.at(0);
+    fl.out_channels = node.shape.at(1);
+    fl.quant = config.quant.layer(node.name);
+
+    if (i == 0) {
+      fl.kind = LayerKind::kInput;
+      fl.in_channels = fl.out_channels;
+      fw.input_spec = fl.quant.activation;
+      fw.input_values = fl.positions * fl.out_channels;
+      fw.layers.push_back(std::move(fl));
+      continue;
+    }
+
+    const nn::Layer* layer = node.layer.get();
+    const FixedSpec in_act_spec =
+        fw.layers[node.inputs[0]].quant.activation;
+    const int in_frac = in_act_spec.width - in_act_spec.int_bits;
+
+    if (const auto* dense = dynamic_cast<const nn::Dense*>(layer)) {
+      fl.kind = LayerKind::kDense;
+      fl.in_channels = dense->in_features();
+      fl.mults_per_output = dense->in_features() * dense->out_features();
+      const auto w_fmt = fl.quant.weight.format();
+      fl.weights_raw = quantize_all(dense->weight().flat(), w_fmt);
+      fl.bias_frac_bits = w_fmt.frac_bits() + in_frac;
+      fl.bias_raw =
+          quantize_bias(dense->bias().flat(), fl.quant.bias, fl.bias_frac_bits);
+    } else if (const auto* conv = dynamic_cast<const nn::Conv1D*>(layer)) {
+      fl.kind = LayerKind::kConv1D;
+      fl.in_channels = conv->in_channels();
+      fl.kernel = conv->kernel_size();
+      fl.mults_per_output =
+          conv->kernel_size() * conv->in_channels() * conv->out_channels();
+      const auto w_fmt = fl.quant.weight.format();
+      fl.weights_raw = quantize_all(conv->weight().flat(), w_fmt);
+      fl.bias_frac_bits = w_fmt.frac_bits() + in_frac;
+      fl.bias_raw =
+          quantize_bias(conv->bias().flat(), fl.quant.bias, fl.bias_frac_bits);
+    } else if (const auto* bn = dynamic_cast<const nn::BatchNorm1D*>(layer)) {
+      // Fold inference-mode BN into y = scale * x + shift.
+      fl.kind = LayerKind::kBatchNorm;
+      fl.in_channels = bn->channels();
+      fl.mults_per_output = bn->channels();
+      std::vector<float> scale(bn->channels());
+      std::vector<float> shift(bn->channels());
+      for (std::size_t c = 0; c < bn->channels(); ++c) {
+        const double inv = 1.0 / std::sqrt(static_cast<double>(bn->running_var()[c]) +
+                                           bn->epsilon());
+        scale[c] = static_cast<float>(bn->gamma()[c] * inv);
+        shift[c] = static_cast<float>(bn->beta()[c] -
+                                      bn->running_mean()[c] * bn->gamma()[c] * inv);
+      }
+      const auto w_fmt = fl.quant.weight.format();
+      fl.weights_raw = quantize_all(scale, w_fmt);
+      fl.bias_frac_bits = w_fmt.frac_bits() + in_frac;
+      fl.bias_raw = quantize_bias(shift, fl.quant.bias, fl.bias_frac_bits);
+    } else if (const auto* pool = dynamic_cast<const nn::MaxPool1D*>(layer)) {
+      fl.kind = LayerKind::kMaxPool;
+      fl.in_channels = fl.out_channels;
+      fl.factor = pool->pool_size();
+    } else if (const auto* up = dynamic_cast<const nn::UpSampling1D*>(layer)) {
+      fl.kind = LayerKind::kUpSample;
+      fl.in_channels = fl.out_channels;
+      fl.factor = up->factor();
+    } else if (dynamic_cast<const nn::Concatenate*>(layer)) {
+      fl.kind = LayerKind::kConcat;
+      fl.in_channels = fl.out_channels;
+    } else if (dynamic_cast<const nn::ReLU*>(layer)) {
+      fl.kind = LayerKind::kRelu;
+      fl.in_channels = fl.out_channels;
+    } else if (dynamic_cast<const nn::Sigmoid*>(layer)) {
+      fl.kind = LayerKind::kSigmoid;
+      fl.in_channels = fl.out_channels;
+    } else if (dynamic_cast<const nn::Flatten*>(layer)) {
+      fl.kind = LayerKind::kFlatten;
+      fl.in_channels = fl.out_channels;
+    } else {
+      throw std::invalid_argument("hls::compile: unsupported layer type " +
+                                  std::string(layer->type()));
+    }
+
+    if (fl.mults_per_output > 0) {
+      const std::size_t requested = config.reuse.requested(fl.name);
+      fl.reuse = std::clamp<std::size_t>(requested, 1, fl.mults_per_output);
+      fl.instantiated_mults =
+          (fl.mults_per_output + fl.reuse - 1) / fl.reuse;
+    }
+    fw.layers.push_back(std::move(fl));
+  }
+
+  const auto& out = fw.layers.back();
+  fw.output_spec = out.quant.activation;
+  fw.output_values = out.positions * out.out_channels;
+  return fw;
+}
+
+}  // namespace reads::hls

@@ -1,0 +1,118 @@
+// The hls4ml-equivalent converter: lowers a trained nn::Model into a
+// FirmwareModel — the bit-exact, reuse-annotated description of the IP core
+// that the quantized executor, the resource model, and the latency model all
+// consume. BatchNorm layers are folded to per-channel scale/shift, weights
+// are pre-quantized to raw fixed-point words, and every layer carries its
+// FixedSpec precisions and reuse factor.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hls/precision.hpp"
+#include "nn/model.hpp"
+
+namespace reads::hls {
+
+enum class LayerKind {
+  kInput,
+  kDense,       ///< position-wise dense (channel transform)
+  kConv1D,
+  kMaxPool,
+  kUpSample,
+  kConcat,
+  kBatchNorm,   ///< folded to scale/shift
+  kRelu,
+  kSigmoid,     ///< fixed-point LUT, hls4ml style
+  kFlatten,
+};
+
+std::string_view to_string(LayerKind kind) noexcept;
+
+/// Reuse-factor policy. In hls4ml the reuse factor R is the number of times
+/// one physical multiplier is used per output computation; higher R means
+/// fewer multipliers (less area) and proportionally more cycles.
+struct ReusePolicy {
+  std::size_t default_reuse = 32;
+  /// Per-layer overrides by node name. The requested value is clamped to
+  /// the layer's per-position multiply count (a multiplier cannot be reused
+  /// more times than there are multiplies to do); Table III's "Dense/Sigmoid
+  /// reuse factor 260" corresponds to the head running fully serialized.
+  std::map<std::string, std::size_t> overrides;
+
+  std::size_t requested(const std::string& name) const {
+    if (auto it = overrides.find(name); it != overrides.end()) {
+      return it->second;
+    }
+    return default_reuse;
+  }
+
+  /// The paper's deployed U-Net plan (Table III): default reuse 32, with the
+  /// fat inner layers and the Dense/Sigmoid head serialized at 260 so the
+  /// design fits the Arria 10 ("we need to increase the reuse factor of
+  /// dense layers").
+  static ReusePolicy deployed_unet();
+  /// The MLP exploration model: uniform reuse 64.
+  static ReusePolicy deployed_mlp();
+};
+
+struct HlsConfig {
+  QuantConfig quant;
+  ReusePolicy reuse;
+  double clock_mhz = 100.0;  ///< paper's IP clock
+};
+
+struct FirmwareLayer {
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+  std::vector<std::size_t> inputs;  ///< indices into FirmwareModel::layers
+
+  // Geometry (positions = output positions of this layer).
+  std::size_t positions = 0;
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 0;   ///< Conv1D only
+  std::size_t factor = 0;   ///< pool/upsample only
+
+  LayerQuant quant;
+  std::size_t reuse = 1;          ///< effective (clamped) reuse factor
+  std::size_t mults_per_output = 0;  ///< multiplies per output position
+  std::size_t instantiated_mults = 0;
+
+  // Pre-quantized parameters, raw two's-complement at the specs in `quant`.
+  // Dense: weights (out, in); Conv1D: (out, k, in); BatchNorm: scale/shift
+  // per channel (scale in weights_raw, shift in bias_raw).
+  std::vector<std::int64_t> weights_raw;
+  std::vector<std::int64_t> bias_raw;
+  /// Bias raw values are stored at the accumulator alignment
+  /// (weight.frac + input activation frac bits) so the executor can add
+  /// them straight into the accumulator.
+  int bias_frac_bits = 0;
+
+  bool has_weights() const noexcept { return !weights_raw.empty(); }
+  /// Total MACs to produce one frame through this layer.
+  std::size_t total_macs() const noexcept {
+    return positions * mults_per_output;
+  }
+};
+
+struct FirmwareModel {
+  std::vector<FirmwareLayer> layers;  ///< layers[0] is the input pseudo-layer
+  HlsConfig config;
+  std::size_t input_values = 0;   ///< frame length (monitors)
+  std::size_t output_values = 0;  ///< output words per frame
+  FixedSpec input_spec;
+  FixedSpec output_spec;
+
+  const FirmwareLayer& layer(const std::string& name) const;
+  std::size_t weight_count() const noexcept;
+};
+
+/// Lower a float model to firmware under the given configuration.
+/// `calibration_input_frac` — activation spec of the input node comes from
+/// config.quant.layer(input node name).
+FirmwareModel compile(const nn::Model& model, const HlsConfig& config);
+
+}  // namespace reads::hls

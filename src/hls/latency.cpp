@@ -1,0 +1,43 @@
+#include "hls/latency.hpp"
+
+#include <cmath>
+
+namespace reads::hls {
+
+LatencyModel::LatencyModel(LatencyModelParams params) : params_(params) {}
+
+LatencyReport LatencyModel::estimate(const FirmwareModel& fw) const {
+  LatencyReport report;
+  report.clock_mhz = fw.config.clock_mhz;
+
+  for (std::size_t i = 1; i < fw.layers.size(); ++i) {
+    const auto& l = fw.layers[i];
+    double cycles = 0.0;
+    if (l.instantiated_mults > 0) {
+      cycles += std::ceil(static_cast<double>(l.total_macs()) /
+                          static_cast<double>(l.instantiated_mults));
+      cycles += params_.per_position_overhead * static_cast<double>(l.positions);
+      const double fan_in = std::max<double>(
+          1.0, static_cast<double>(l.kind == LayerKind::kConv1D
+                                       ? l.kernel * l.in_channels
+                                       : l.in_channels));
+      cycles += params_.base_depth + std::ceil(std::log2(fan_in + 1.0));
+    } else {
+      cycles += static_cast<double>(l.positions);
+      cycles += params_.base_depth * 0.25;
+    }
+    LayerLatency ll;
+    ll.name = l.name;
+    ll.cycles = static_cast<std::size_t>(std::llround(cycles));
+    report.compute_cycles += ll.cycles;
+    report.layers.push_back(std::move(ll));
+  }
+
+  report.io_cycles = static_cast<std::size_t>(std::llround(
+      params_.io_cycles_per_word *
+      static_cast<double>(fw.input_values + fw.output_values)));
+  report.total_cycles = report.compute_cycles + report.io_cycles;
+  return report;
+}
+
+}  // namespace reads::hls

@@ -1,0 +1,16 @@
+#include "hls/precision.hpp"
+
+#include <cmath>
+
+namespace reads::hls {
+
+int int_bits_for(double max_abs) noexcept {
+  // Need ceil(log2(max_abs + quantum)) magnitude bits plus the sign bit.
+  // For max_abs < 1 a single sign+unit bit still leaves the value
+  // representable in the fraction field, so the floor is 1.
+  if (!(max_abs > 0.0)) return 1;
+  const int magnitude = static_cast<int>(std::ceil(std::log2(max_abs * (1.0 + 1e-9))));
+  return std::max(1, magnitude + 1);
+}
+
+}  // namespace reads::hls

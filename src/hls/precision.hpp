@@ -1,0 +1,79 @@
+// Precision specifications for the ML/HLS co-design flow.
+//
+// The paper's central optimization is *layer-based* post-training
+// quantization: every layer keeps the same total width (16 bits) but gets an
+// integer-bit allocation sized to the maximum absolute value observed in
+// that layer during profiling — "ac_fixed<16, x>" with x per layer.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fixed/format.hpp"
+
+namespace reads::hls {
+
+/// Width/integer-bit pair, the "<W, I>" of an ac_fixed.
+struct FixedSpec {
+  int width = 16;
+  int int_bits = 7;
+
+  fixed::FixedFormat format(
+      fixed::QuantMode quant = fixed::QuantMode::kRound,
+      fixed::OverflowMode overflow = fixed::OverflowMode::kSaturate) const {
+    return fixed::FixedFormat(width, int_bits, /*is_signed=*/true, quant,
+                              overflow);
+  }
+
+  std::string to_string() const {
+    return "ac_fixed<" + std::to_string(width) + ", " +
+           std::to_string(int_bits) + ">";
+  }
+
+  friend bool operator==(const FixedSpec&, const FixedSpec&) = default;
+};
+
+/// Precision assignment for one layer.
+struct LayerQuant {
+  FixedSpec weight;      ///< weights and folded BN scale
+  FixedSpec bias;        ///< biases and folded BN shift
+  FixedSpec activation;  ///< the layer's output (result) type
+};
+
+enum class PrecisionStrategy {
+  kUniform,     ///< one spec everywhere (Table II rows 1-2)
+  kLayerBased,  ///< per-layer integer bits from profiling (Table II row 3)
+};
+
+/// Complete quantization plan for a model.
+struct QuantConfig {
+  PrecisionStrategy strategy = PrecisionStrategy::kLayerBased;
+  FixedSpec default_spec{16, 7};
+  /// Per-layer overrides keyed by node name; consulted before default_spec.
+  std::map<std::string, LayerQuant> per_layer;
+  /// Extra fraction bits carried by MAC accumulators beyond the layer's
+  /// activation type. The accumulator's *integer* range stays that of the
+  /// activation type and wraps on overflow (the HLS AC_WRAP default) — the
+  /// paper's "inner layer overflows" come from exactly this register.
+  int accum_guard_bits = 8;
+
+  LayerQuant layer(const std::string& name) const {
+    if (auto it = per_layer.find(name); it != per_layer.end()) {
+      return it->second;
+    }
+    return LayerQuant{default_spec, default_spec, default_spec};
+  }
+
+  static QuantConfig uniform(FixedSpec spec) {
+    QuantConfig cfg;
+    cfg.strategy = PrecisionStrategy::kUniform;
+    cfg.default_spec = spec;
+    return cfg;
+  }
+};
+
+/// Integer bits (including sign) needed to represent |v| without overflow:
+/// the paper's rule for layer-based precision assignment.
+int int_bits_for(double max_abs) noexcept;
+
+}  // namespace reads::hls

@@ -1,0 +1,106 @@
+#include "hls/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reads::hls {
+
+int Profile::int_bits_for_coverage(const std::string& node,
+                                   double coverage) const {
+  const auto it = act_int_bits_histogram.find(node);
+  if (it == act_int_bits_histogram.end()) {
+    throw std::invalid_argument("Profile: no histogram for node '" + node +
+                                "'");
+  }
+  const auto& hist = it->second;
+  std::uint64_t total = 0;
+  for (auto c : hist) total += c;
+  if (total == 0) return 1;
+  const auto needed = static_cast<std::uint64_t>(
+      std::ceil(coverage * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 1; b < hist.size(); ++b) {
+    seen += hist[b];
+    if (seen >= needed) return static_cast<int>(b);
+  }
+  return static_cast<int>(hist.size() - 1);
+}
+
+Profile profile_model(const nn::Model& model,
+                      const std::vector<tensor::Tensor>& calibration_inputs) {
+  if (calibration_inputs.empty()) {
+    throw std::invalid_argument("profile_model: no calibration inputs");
+  }
+  Profile prof;
+  prof.calibration_frames = calibration_inputs.size();
+  for (const auto& node : model.nodes()) {
+    prof.max_activation[node.name] = 0.0;
+    prof.act_int_bits_histogram[node.name].fill(0);
+    if (node.layer) {
+      const auto params = node.layer->params();
+      if (!params.empty()) {
+        prof.max_weight[node.name] = params[0]->max_abs();
+        prof.max_bias[node.name] =
+            params.size() > 1 ? params[1]->max_abs() : 0.0;
+      }
+    }
+  }
+  for (const auto& input : calibration_inputs) {
+    const auto acts = model.forward_all(input);
+    for (std::size_t i = 0; i < model.nodes().size(); ++i) {
+      const auto& name = model.nodes()[i].name;
+      auto& slot = prof.max_activation[name];
+      auto& hist = prof.act_int_bits_histogram[name];
+      for (const float v : acts.values[i].flat()) {
+        const double a = std::fabs(v);
+        slot = std::max(slot, a);
+        const auto bits = static_cast<std::size_t>(
+            std::clamp(int_bits_for(a), 1, static_cast<int>(hist.size()) - 1));
+        ++hist[bits];
+      }
+    }
+  }
+  return prof;
+}
+
+QuantConfig layer_based_config(const nn::Model& model, const Profile& profile,
+                               int total_bits, int extra_int_bits,
+                               double coverage) {
+  if (coverage <= 0.0 || coverage > 1.0) {
+    throw std::invalid_argument("layer_based_config: coverage out of (0, 1]");
+  }
+  QuantConfig cfg;
+  cfg.strategy = PrecisionStrategy::kLayerBased;
+  cfg.default_spec = FixedSpec{total_bits, std::min(total_bits, 7)};
+  for (const auto& node : model.nodes()) {
+    LayerQuant lq;
+    const auto clamp_bits = [total_bits](int bits) {
+      return std::clamp(bits, 1, total_bits);
+    };
+    int act_bits = 0;
+    if (coverage >= 1.0) {
+      const auto act_it = profile.max_activation.find(node.name);
+      const double max_act =
+          act_it != profile.max_activation.end() ? act_it->second : 1.0;
+      act_bits = int_bits_for(max_act);
+    } else {
+      act_bits = profile.int_bits_for_coverage(node.name, coverage);
+    }
+    lq.activation = FixedSpec{total_bits, clamp_bits(act_bits + extra_int_bits)};
+    const auto w_it = profile.max_weight.find(node.name);
+    if (w_it != profile.max_weight.end()) {
+      lq.weight = FixedSpec{total_bits, clamp_bits(int_bits_for(w_it->second))};
+      const auto b_it = profile.max_bias.find(node.name);
+      const double max_b = b_it != profile.max_bias.end() ? b_it->second : 0.0;
+      lq.bias = FixedSpec{total_bits, clamp_bits(int_bits_for(max_b))};
+    } else {
+      lq.weight = lq.activation;
+      lq.bias = lq.activation;
+    }
+    cfg.per_layer[node.name] = lq;
+  }
+  return cfg;
+}
+
+}  // namespace reads::hls

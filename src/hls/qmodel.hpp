@@ -1,0 +1,83 @@
+// Bit-accurate executor for a FirmwareModel.
+//
+// All arithmetic is integer: activations and weights are raw two's-
+// complement words at their layer's FixedSpec scaling; multiply-accumulate
+// happens in a wide (int64) accumulator exactly like an HLS accumulator
+// sized to avoid overflow; the write-out re-quantizes into the layer's
+// activation spec (round-to-nearest, saturating), which is where the
+// paper's quantization error and overflow outliers come from.
+//
+// Sigmoid is evaluated through a 1024-entry lookup table over [-8, 8),
+// matching the hls4ml implementation of activation tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hls/firmware.hpp"
+#include "tensor/tensor.hpp"
+
+namespace reads::hls {
+
+using tensor::Tensor;
+
+/// Per-forward instrumentation (overflow analysis for Fig. 5b).
+struct ForwardStats {
+  /// Saturation events at layer write-out, per firmware layer.
+  std::vector<std::size_t> saturations;
+  /// Accumulator wrap-arounds ("inner layer overflows"), per layer.
+  std::vector<std::size_t> overflows;
+  std::size_t total_saturations() const noexcept {
+    std::size_t n = 0;
+    for (auto s : saturations) n += s;
+    return n;
+  }
+  std::size_t total_overflows() const noexcept {
+    std::size_t n = 0;
+    for (auto s : overflows) n += s;
+    return n;
+  }
+};
+
+class QuantizedModel {
+ public:
+  explicit QuantizedModel(FirmwareModel firmware);
+
+  const FirmwareModel& firmware() const noexcept { return fw_; }
+
+  /// Quantize the float frame to the input spec, run the integer pipeline,
+  /// and return the dequantized float output (positions, channels).
+  Tensor forward(const Tensor& input, ForwardStats* stats = nullptr) const;
+
+  /// Raw 16-bit-style interface used by the SoC simulation: input words are
+  /// already quantized at the input spec; outputs come back raw at the
+  /// output spec.
+  std::vector<std::int64_t> forward_raw(
+      const std::vector<std::int64_t>& input_raw,
+      ForwardStats* stats = nullptr) const;
+
+  /// Quantize a float frame into raw input words (what the HPS does before
+  /// writing the input buffer).
+  std::vector<std::int64_t> quantize_input(const Tensor& input) const;
+  /// Dequantize raw output words (what the HPS does after reading back).
+  Tensor dequantize_output(const std::vector<std::int64_t>& raw) const;
+
+ private:
+  struct LayerIo {
+    std::size_t positions;
+    std::size_t channels;
+  };
+
+  void run_layer(std::size_t idx,
+                 const std::vector<std::vector<std::int64_t>>& acts,
+                 std::vector<std::int64_t>& out, ForwardStats* stats) const;
+
+  FirmwareModel fw_;
+  std::vector<LayerIo> io_;
+  /// Sigmoid table: raw output-spec words, one per bucket over [-8, 8).
+  std::vector<std::vector<std::int64_t>> sigmoid_tables_;  // per layer
+  static constexpr std::size_t kSigmoidTableSize = 1024;
+  static constexpr double kSigmoidRange = 8.0;
+};
+
+}  // namespace reads::hls

@@ -1,0 +1,134 @@
+#include "hls/resource.hpp"
+
+#include <cmath>
+
+namespace reads::hls {
+
+DeviceSpec DeviceSpec::arria10_sx660() {
+  DeviceSpec d;
+  d.name = "Intel Arria 10 SX 660 (Achilles SoM)";
+  d.alms = 251'160;
+  d.aluts = 502'320;
+  d.dsp_blocks = 1'687;
+  d.m20k_blocks = 2'131;
+  d.bram_bits = d.m20k_blocks * 20'480;
+  d.pins = 597;
+  d.plls = 64;
+  return d;
+}
+
+DeviceSpec DeviceSpec::cyclone5() {
+  DeviceSpec d;
+  d.name = "Intel Cyclone V SE A6";
+  d.alms = 41'910;
+  d.aluts = 83'820;
+  d.dsp_blocks = 112;
+  d.m20k_blocks = 553;  // M10K blocks, treated uniformly
+  d.bram_bits = d.m20k_blocks * 10'240;
+  d.pins = 288;
+  d.plls = 6;
+  return d;
+}
+
+ResourceModel::ResourceModel(DeviceSpec device, ResourceModelParams params)
+    : device_(std::move(device)), params_(params) {}
+
+ResourceReport ResourceModel::estimate(const FirmwareModel& fw) const {
+  ResourceReport report;
+  report.device = device_;
+
+  std::size_t dsp_remaining = device_.dsp_blocks;
+
+  for (std::size_t i = 1; i < fw.layers.size(); ++i) {
+    const auto& l = fw.layers[i];
+    LayerResources lr;
+    lr.name = l.name;
+
+    const int ww = l.quant.weight.width;
+    const auto& src = fw.layers[l.inputs[0]];
+    const int wa = src.quant.activation.width;
+
+    if (l.instantiated_mults > 0) {
+      const bool eligible =
+          ww <= params_.dsp_width_limit && wa <= params_.dsp_width_limit;
+      std::size_t on_dsp = 0;
+      if (eligible) {
+        on_dsp = static_cast<std::size_t>(
+            std::llround(params_.dsp_map_fraction *
+                         static_cast<double>(l.instantiated_mults)));
+        const std::size_t dsp_blocks_needed =
+            (on_dsp + params_.mults_per_dsp - 1) / params_.mults_per_dsp;
+        const std::size_t dsp_blocks_granted =
+            std::min(dsp_blocks_needed, dsp_remaining);
+        on_dsp = std::min(on_dsp, dsp_blocks_granted * params_.mults_per_dsp);
+        lr.dsps = dsp_blocks_granted;
+        dsp_remaining -= dsp_blocks_granted;
+      }
+      lr.mults_dsp = on_dsp;
+      lr.mults_soft = l.instantiated_mults - on_dsp;
+
+      const double mult_coeff =
+          eligible ? params_.lut_mult_coeff : params_.lut_mult_wide_coeff;
+      lr.aluts += static_cast<std::size_t>(
+          std::llround(static_cast<double>(lr.mults_soft) * mult_coeff *
+                       static_cast<double>(ww) * static_cast<double>(wa)));
+
+      // Accumulator slices: one per instantiated multiplier, wide enough
+      // for the full dot product.
+      const double fan_in = std::max<double>(1.0, static_cast<double>(
+          l.kind == LayerKind::kConv1D ? l.kernel * l.in_channels
+                                       : l.in_channels));
+      const double acc_width = ww + wa + std::ceil(std::log2(fan_in + 1.0));
+      lr.aluts += static_cast<std::size_t>(
+          std::llround(static_cast<double>(l.instantiated_mults) * acc_width *
+                       params_.acc_coeff));
+
+      // Weight ROM partitions: one per instantiated multiplier.
+      lr.ram_blocks = l.instantiated_mults;
+    }
+
+    // Streaming/control overhead for every layer in the dataflow region,
+    // plus inter-layer FIFOs.
+    lr.aluts += params_.layer_overhead_aluts;
+    lr.ram_blocks += 1;
+
+    // Alignment shifters when the producer/consumer activation formats
+    // differ (the layer-based strategy's small overhead vs. uniform).
+    for (auto in : l.inputs) {
+      const auto& p = fw.layers[in].quant.activation;
+      const auto& a = l.quant.activation;
+      const int delta = std::abs((p.width - p.int_bits) - (a.width - a.int_bits)) +
+                        std::abs(p.int_bits - a.int_bits);
+      if (delta > 0) {
+        lr.aluts += static_cast<std::size_t>(std::llround(
+            params_.align_coeff * delta *
+            static_cast<double>(std::max<std::size_t>(1, l.out_channels))));
+      }
+    }
+
+    lr.bram_bits = static_cast<std::size_t>(
+        std::llround(static_cast<double>(lr.ram_blocks) * params_.m20k_fill_bits));
+    lr.registers = static_cast<std::size_t>(
+        std::llround(static_cast<double>(lr.aluts) * params_.regs_per_alut));
+
+    report.kernel_aluts += lr.aluts;
+    report.total_dsps += lr.dsps;
+    report.total_ram_blocks += lr.ram_blocks;
+    report.total_bram_bits += lr.bram_bits;
+    report.total_registers += lr.registers;
+    report.layers.push_back(std::move(lr));
+  }
+
+  report.platform_aluts = params_.platform_aluts;
+  report.total_aluts = report.kernel_aluts + report.platform_aluts;
+  report.total_ram_blocks += params_.platform_ram_blocks;
+  report.total_bram_bits += static_cast<std::size_t>(std::llround(
+      static_cast<double>(params_.platform_ram_blocks) * params_.m20k_fill_bits));
+  report.total_registers += static_cast<std::size_t>(
+      std::llround(static_cast<double>(params_.platform_aluts) * params_.regs_per_alut));
+  report.total_alms = static_cast<std::size_t>(std::llround(
+      static_cast<double>(report.total_aluts) / params_.aluts_per_alm));
+  return report;
+}
+
+}  // namespace reads::hls

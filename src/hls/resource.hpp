@@ -1,0 +1,140 @@
+// Analytical FPGA resource model, calibrated against the paper's Arria 10
+// SX 660 reports (Tables II and III).
+//
+// Cost rules (documented in DESIGN.md §5):
+//  * A layer with reuse factor R instantiates ceil(mults_per_output / R)
+//    physical multipliers; their weights are compile-time ROM constants.
+//  * Multipliers whose operand widths both fit the native 18x19 DSP path
+//    (<= 16 significant bits after sign/guard allowances) are eligible for
+//    DSP packing; Intel HLS maps a calibrated fraction of the eligible
+//    multipliers into DSP dot-product pairs (two per block) and implements
+//    the rest as LUT shift-add structures. Wider products decompose fully
+//    into soft logic at a steeper per-bit cost — this is the cliff that
+//    pushes uniform ac_fixed<18,10> past 100% ALUT utilization.
+//  * Each instantiated multiplier carries an accumulator slice of width
+//    w_a + w_w + ceil(log2(fan-in)).
+//  * Layer-based precision inserts alignment shifters between layers whose
+//    activation formats differ.
+//  * Weight ROM partitions dominate M20K usage (one partition per
+//    instantiated multiplier), matching the paper's 1,818 RAM blocks at a
+//    modest bit fill.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hls/firmware.hpp"
+
+namespace reads::hls {
+
+struct DeviceSpec {
+  std::string name;
+  std::size_t alms;
+  std::size_t aluts;      ///< 2 per ALM
+  std::size_t dsp_blocks;
+  std::size_t m20k_blocks;
+  std::size_t bram_bits;  ///< m20k_blocks * 20480
+  std::size_t pins;
+  std::size_t plls;
+
+  /// The Achilles SoM's Arria 10 SX 660 (the paper's board).
+  static DeviceSpec arria10_sx660();
+  /// A smaller Cyclone V used in the paper's staged verification flow.
+  static DeviceSpec cyclone5();
+};
+
+struct LayerResources {
+  std::string name;
+  std::size_t aluts = 0;
+  std::size_t dsps = 0;
+  std::size_t ram_blocks = 0;
+  std::size_t bram_bits = 0;
+  std::size_t registers = 0;
+  std::size_t mults_soft = 0;
+  std::size_t mults_dsp = 0;
+};
+
+struct ResourceReport {
+  std::vector<LayerResources> layers;
+  std::size_t kernel_aluts = 0;     ///< NN IP only
+  std::size_t platform_aluts = 0;   ///< bridges, control IP, buffers, debug
+  std::size_t total_aluts = 0;
+  std::size_t total_alms = 0;
+  std::size_t total_registers = 0;
+  std::size_t total_dsps = 0;
+  std::size_t total_ram_blocks = 0;
+  std::size_t total_bram_bits = 0;
+  DeviceSpec device;
+
+  double alut_utilization() const {
+    return static_cast<double>(total_aluts) / static_cast<double>(device.aluts);
+  }
+  double alm_utilization() const {
+    return static_cast<double>(total_alms) / static_cast<double>(device.alms);
+  }
+  double dsp_utilization() const {
+    return static_cast<double>(total_dsps) /
+           static_cast<double>(device.dsp_blocks);
+  }
+  double ram_utilization() const {
+    return static_cast<double>(total_ram_blocks) /
+           static_cast<double>(device.m20k_blocks);
+  }
+  double bram_bit_utilization() const {
+    return static_cast<double>(total_bram_bits) /
+           static_cast<double>(device.bram_bits);
+  }
+  bool fits() const { return alut_utilization() <= 1.0 && dsp_utilization() <= 1.0; }
+};
+
+struct ResourceModelParams {
+  /// ALUT cost per product bit (wa*wb) for DSP-eligible-width soft mults
+  /// (weights are ROM constants, so these are CSD shift-add multipliers).
+  double lut_mult_coeff = 0.38;
+  /// ALUT cost per product bit for wide (DSP-ineligible) mults, which
+  /// decompose fully into partial-product rows in soft logic.
+  double lut_mult_wide_coeff = 1.20;
+  /// Operand width limit for DSP eligibility (native 18x19 minus guard).
+  int dsp_width_limit = 16;
+  /// Fraction of eligible multipliers Intel HLS maps onto DSPs.
+  double dsp_map_fraction = 0.41;
+  /// Multipliers packed per DSP block (two-per-block dot-product mode).
+  std::size_t mults_per_dsp = 2;
+  /// ALUTs per accumulator bit.
+  double acc_coeff = 0.75;
+  /// Fixed per-layer stream/control ALUTs.
+  std::size_t layer_overhead_aluts = 900;
+  /// ALUTs per bit of inter-layer alignment shifter (layer-based precision).
+  double align_coeff = 1.5;
+  /// Registers per ALUT (pipeline depth proxy; paper: ~406k/161k).
+  double regs_per_alut = 2.5;
+  /// Platform (non-kernel) ALUTs: bridges, control IP, counters, SignalTap.
+  std::size_t platform_aluts = 14'000;
+  /// Platform RAM blocks (I/O OCRAMs, trace buffers).
+  std::size_t platform_ram_blocks = 256;
+  /// Effective ALUTs per ALM achieved by the fitter. Below 1.0 because
+  /// carry chains, control-set constraints, and routing replication leave
+  /// many ALMs partially used; calibrated to the paper's Quartus report
+  /// (223,674 ALMs for ~161k estimated ALUTs).
+  double aluts_per_alm = 0.72;
+  /// Average bit fill per occupied M20K (paper: 25.28 Mb / 1818 blocks).
+  double m20k_fill_bits = 13'900.0;
+};
+
+class ResourceModel {
+ public:
+  explicit ResourceModel(DeviceSpec device = DeviceSpec::arria10_sx660(),
+                         ResourceModelParams params = {});
+
+  ResourceReport estimate(const FirmwareModel& fw) const;
+
+  const ResourceModelParams& params() const noexcept { return params_; }
+  const DeviceSpec& device() const noexcept { return device_; }
+
+ private:
+  DeviceSpec device_;
+  ResourceModelParams params_;
+};
+
+}  // namespace reads::hls

@@ -1,0 +1,25 @@
+#include "net/acnet.hpp"
+
+namespace reads::net {
+
+AcnetPublisher::AcnetPublisher(AcnetParams params) : params_(params) {}
+
+const StatusMessage& AcnetPublisher::publish(std::uint32_t sequence,
+                                             const std::string& verdict,
+                                             double mi_score,
+                                             double rr_score) {
+  StatusMessage msg;
+  msg.sequence = sequence;
+  msg.verdict = verdict;
+  msg.mi_score = mi_score;
+  msg.rr_score = rr_score;
+  msg.publish_latency_us = params_.uplink_latency_us;
+  journal_.push_back(std::move(msg));
+  while (journal_.size() > params_.journal_depth) journal_.pop_front();
+  ++published_;
+  if (verdict == "MI") ++trips_mi_;
+  if (verdict == "RR") ++trips_rr_;
+  return journal_.back();
+}
+
+}  // namespace reads::net

@@ -1,0 +1,48 @@
+// ACNET-facing status publishing (step 9 of Fig. 2): the central node sends
+// the per-frame mitigation verdict back to the facility control system.
+// Modelled as a bounded status journal plus an uplink latency estimate, with
+// trip-rate accounting a machine-protection reviewer would ask about.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace reads::net {
+
+struct StatusMessage {
+  std::uint32_t sequence = 0;
+  std::string verdict;       ///< "MI", "RR", or "none"
+  double mi_score = 0.0;
+  double rr_score = 0.0;
+  double publish_latency_us = 0.0;
+};
+
+struct AcnetParams {
+  double uplink_latency_us = 45.0;  ///< to the ACNET front-end
+  std::size_t journal_depth = 4096;
+};
+
+class AcnetPublisher {
+ public:
+  explicit AcnetPublisher(AcnetParams params = {});
+
+  /// Publish a verdict; returns the message as journaled.
+  const StatusMessage& publish(std::uint32_t sequence,
+                               const std::string& verdict, double mi_score,
+                               double rr_score);
+
+  const std::deque<StatusMessage>& journal() const noexcept { return journal_; }
+  std::uint64_t published() const noexcept { return published_; }
+  std::uint64_t trips_mi() const noexcept { return trips_mi_; }
+  std::uint64_t trips_rr() const noexcept { return trips_rr_; }
+
+ private:
+  AcnetParams params_;
+  std::deque<StatusMessage> journal_;
+  std::uint64_t published_ = 0;
+  std::uint64_t trips_mi_ = 0;
+  std::uint64_t trips_rr_ = 0;
+};
+
+}  // namespace reads::net

@@ -1,0 +1,59 @@
+#include "net/assembler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace reads::net {
+
+FrameAssembler::FrameAssembler(AssemblerParams params)
+    : params_(params), last_known_(params.monitors, 0.0) {
+  if (params_.monitors == 0) {
+    throw std::invalid_argument("FrameAssembler: zero monitors");
+  }
+}
+
+AssembledFrame FrameAssembler::assemble(
+    std::uint32_t sequence, const std::vector<Delivery>& deliveries) {
+  AssembledFrame out;
+  out.sequence = sequence;
+  out.raw = tensor::Tensor({params_.monitors, 1});
+  // Start from last-known values; accepted packets overwrite their span.
+  for (std::size_t m = 0; m < params_.monitors; ++m) {
+    out.raw[m] = static_cast<float>(last_known_[m]);
+  }
+
+  std::size_t expected = 0;
+  for (const auto& d : deliveries) {
+    ++expected;
+    if (d.packet.sequence != sequence) {
+      throw std::invalid_argument("FrameAssembler: stale packet sequence");
+    }
+    if (d.dropped || d.arrival_us > params_.deadline_us) {
+      ++out.packets_missing;
+      ++lost_;
+      continue;
+    }
+    const std::size_t first = d.packet.first_monitor;
+    if (first + d.packet.readings.size() > params_.monitors) {
+      throw std::invalid_argument("FrameAssembler: packet beyond ring");
+    }
+    for (std::size_t i = 0; i < d.packet.readings.size(); ++i) {
+      const double v = decode_reading(d.packet.readings[i]);
+      out.raw[first + i] = static_cast<float>(v);
+      last_known_[first + i] = v;
+    }
+    ++out.packets_used;
+    out.assembly_us = std::max(out.assembly_us, d.arrival_us);
+  }
+  if (expected != params_.hubs) {
+    throw std::invalid_argument("FrameAssembler: wrong delivery count");
+  }
+  if (out.packets_missing > 0) {
+    // We waited until the deadline before giving up on stragglers.
+    out.assembly_us = params_.deadline_us;
+  }
+  ++frames_;
+  return out;
+}
+
+}  // namespace reads::net

@@ -1,0 +1,54 @@
+// Frame assembly on the central node's HPS: collect the seven hub packets
+// of a tick into one 260-value frame, with a hold-off deadline for stragglers
+// and per-monitor last-known-value substitution for lost packets (a trip
+// decision must go out every 3 ms regardless).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/hub.hpp"
+#include "tensor/tensor.hpp"
+
+namespace reads::net {
+
+struct AssemblerParams {
+  std::size_t monitors = 260;
+  std::size_t hubs = 7;
+  /// Packets arriving later than this after the tick count as lost.
+  double deadline_us = 400.0;
+};
+
+struct AssembledFrame {
+  tensor::Tensor raw;            ///< (monitors, 1) raw readings
+  std::uint32_t sequence = 0;
+  double assembly_us = 0.0;      ///< last accepted packet arrival (or deadline)
+  std::size_t packets_used = 0;
+  std::size_t packets_missing = 0;
+  bool complete() const noexcept { return packets_missing == 0; }
+};
+
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(AssemblerParams params = {});
+
+  const AssemblerParams& params() const noexcept { return params_; }
+
+  /// Assemble one tick from the hub deliveries. Deliveries whose arrival is
+  /// beyond the deadline, or that were dropped, fall back to the previous
+  /// frame's values for their monitors (zero on the very first frame).
+  AssembledFrame assemble(std::uint32_t sequence,
+                          const std::vector<Delivery>& deliveries);
+
+  std::uint64_t frames_assembled() const noexcept { return frames_; }
+  std::uint64_t packets_lost() const noexcept { return lost_; }
+
+ private:
+  AssemblerParams params_;
+  std::vector<double> last_known_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace reads::net

@@ -1,0 +1,35 @@
+#include "net/facility.hpp"
+
+namespace reads::net {
+
+FacilityLink::FacilityLink(FacilityParams params, std::uint64_t seed)
+    : params_(std::move(params)),
+      machine_(params_.machine, seed),
+      rng_(util::derive_seed(seed, 0xFAC1)),
+      assembler_([&] {
+        AssemblerParams ap = params_.assembler;
+        ap.monitors = params_.machine.monitors;
+        ap.hubs = params_.hubs;
+        return ap;
+      }()) {
+  const auto layout = hub_layout(params_.machine.monitors, params_.hubs);
+  for (std::size_t h = 0; h < layout.size(); ++h) {
+    hubs_.emplace_back(static_cast<std::uint8_t>(h), layout[h].first,
+                       layout[h].second, params_.link, seed);
+  }
+}
+
+AssembledFrame FacilityLink::tick() {
+  const auto truth = machine_.sample_truth(rng_);
+  const auto readings = machine_.readings(truth, rng_);
+  std::vector<Delivery> deliveries;
+  deliveries.reserve(hubs_.size());
+  for (auto& hub : hubs_) {
+    deliveries.push_back(hub.transmit(sequence_, readings));
+  }
+  auto frame = assembler_.assemble(sequence_, deliveries);
+  ++sequence_;
+  return frame;
+}
+
+}  // namespace reads::net

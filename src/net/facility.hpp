@@ -1,0 +1,43 @@
+// FacilityLink: the sensing side of the deployment — a machine model, its
+// seven hub crates, and the frame assembler, producing the stream of
+// assembled raw frames the central node consumes (step 0 of Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blm/machine.hpp"
+#include "net/assembler.hpp"
+#include "net/hub.hpp"
+
+namespace reads::net {
+
+struct FacilityParams {
+  blm::MachineConfig machine = blm::MachineConfig::fermilab_like();
+  LinkParams link;
+  AssemblerParams assembler;
+  std::size_t hubs = 7;
+};
+
+class FacilityLink {
+ public:
+  FacilityLink(FacilityParams params, std::uint64_t seed);
+
+  /// One 3 ms tick: sample the machine, transmit all hubs, assemble.
+  AssembledFrame tick();
+
+  std::uint32_t sequence() const noexcept { return sequence_; }
+  const std::vector<BlmHub>& hubs() const noexcept { return hubs_; }
+  const FrameAssembler& assembler() const noexcept { return assembler_; }
+  const blm::MachineModel& machine() const noexcept { return machine_; }
+
+ private:
+  FacilityParams params_;
+  blm::MachineModel machine_;
+  util::Xoshiro256 rng_;
+  std::vector<BlmHub> hubs_;
+  FrameAssembler assembler_;
+  std::uint32_t sequence_ = 0;
+};
+
+}  // namespace reads::net

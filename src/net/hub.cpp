@@ -1,0 +1,62 @@
+#include "net/hub.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace reads::net {
+
+BlmHub::BlmHub(std::uint8_t id, std::uint16_t first_monitor,
+               std::uint16_t count, LinkParams link, std::uint64_t seed)
+    : id_(id),
+      first_(first_monitor),
+      count_(count),
+      link_(link),
+      rng_(util::derive_seed(seed, 0x4200u + id)) {
+  if (count_ == 0) throw std::invalid_argument("BlmHub: empty monitor span");
+}
+
+Delivery BlmHub::transmit(std::uint32_t sequence,
+                          std::span<const double> frame_readings) {
+  if (first_ + count_ > frame_readings.size()) {
+    throw std::invalid_argument("BlmHub: span beyond frame");
+  }
+  Delivery d;
+  d.packet.hub_id = id_;
+  d.packet.sequence = sequence;
+  d.packet.first_monitor = first_;
+  d.packet.readings.reserve(count_);
+  for (std::uint16_t m = 0; m < count_; ++m) {
+    d.packet.readings.push_back(
+        encode_reading(frame_readings[static_cast<std::size_t>(first_) + m]));
+  }
+  ++sent_;
+  if (rng_.bernoulli(link_.drop_probability)) {
+    d.dropped = true;
+    ++dropped_;
+    return d;
+  }
+  const double wire_us = static_cast<double>(d.packet.wire_bytes()) * 8.0 /
+                         (link_.bandwidth_gbps * 1e3);
+  const double jitter = std::fabs(rng_.normal(0.0, link_.jitter_sigma_us));
+  d.arrival_us = link_.base_latency_us + wire_us + jitter;
+  return d;
+}
+
+std::vector<std::pair<std::uint16_t, std::uint16_t>> hub_layout(
+    std::size_t monitors, std::size_t hubs) {
+  if (hubs == 0 || monitors < hubs) {
+    throw std::invalid_argument("hub_layout: need at least one monitor/hub");
+  }
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> spans;
+  const std::size_t base = monitors / hubs;
+  const std::size_t extra = monitors % hubs;
+  std::uint16_t cursor = 0;
+  for (std::size_t h = 0; h < hubs; ++h) {
+    const auto count = static_cast<std::uint16_t>(base + (h < extra ? 1 : 0));
+    spans.emplace_back(cursor, count);
+    cursor = static_cast<std::uint16_t>(cursor + count);
+  }
+  return spans;
+}
+
+}  // namespace reads::net

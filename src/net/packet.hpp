@@ -1,0 +1,43 @@
+// Wire format of the hub-to-central-node link.
+//
+// The facility distributes the 260 BLMs across seven hub crates around the
+// tunnel; every 3 ms each hub digitizes its monitors and ships one UDP
+// datagram to the central node (paper §III-A: "It receives inputs from
+// seven BLM hubs distributed around the accelerator complex"). Readings
+// travel as raw 32-bit fixed-point counts exactly as the digitizers emit
+// them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace reads::net {
+
+struct BlmPacket {
+  std::uint8_t hub_id = 0;        ///< 0..6
+  std::uint32_t sequence = 0;     ///< frame tick this packet belongs to
+  std::uint16_t first_monitor = 0;  ///< ring index of the first reading
+  std::vector<std::uint32_t> readings;  ///< raw digitizer counts
+
+  std::size_t wire_bytes() const noexcept {
+    // 8-byte header + 4 bytes per reading (+ UDP/IP/Ethernet framing).
+    return 8 + readings.size() * 4 + 42;
+  }
+};
+
+/// Digitizer counts are unsigned fixed-point with 4 fraction bits; the
+/// 105k-120k readings fit comfortably in 32 bits.
+constexpr double kCountScale = 16.0;
+
+inline std::uint32_t encode_reading(double value) noexcept {
+  if (value < 0.0) return 0;
+  const double scaled = value * kCountScale;
+  if (scaled >= 4294967295.0) return 4294967295u;
+  return static_cast<std::uint32_t>(scaled);
+}
+
+inline double decode_reading(std::uint32_t count) noexcept {
+  return static_cast<double>(count) / kCountScale;
+}
+
+}  // namespace reads::net

@@ -1,0 +1,88 @@
+#include "nn/builders.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "nn/layers/activations.hpp"
+#include "nn/layers/batchnorm.hpp"
+#include "nn/layers/concat.hpp"
+#include "nn/layers/conv1d.hpp"
+#include "nn/layers/dense.hpp"
+#include "nn/layers/pool.hpp"
+#include "nn/layers/upsample.hpp"
+
+namespace reads::nn {
+
+Model build_unet(const UNetConfig& cfg) {
+  if (cfg.monitors % 4 != 0) {
+    throw std::invalid_argument("build_unet: monitors must be divisible by 4");
+  }
+  Model m("blm_frame", {cfg.monitors, 1});
+  std::string prev = "blm_frame";
+  const auto conv_relu = [&](const std::string& name, std::size_t in_ch,
+                             std::size_t out_ch) {
+    m.add(name, std::make_unique<Conv1D>(in_ch, out_ch, cfg.kernel), {prev});
+    m.add(name + "_relu", std::make_unique<ReLU>());
+    prev = name + "_relu";
+  };
+
+  if (cfg.input_batchnorm) {
+    m.add("bn_in", std::make_unique<BatchNorm1D>(1), {prev});
+    prev = "bn_in";
+  }
+
+  conv_relu("enc1a", 1, cfg.c1);
+  conv_relu("enc1b", cfg.c1, cfg.c1);  // skip source 1
+  m.add("pool1", std::make_unique<MaxPool1D>(2), {prev});
+  prev = "pool1";
+  conv_relu("enc2a", cfg.c1, cfg.c2);
+  conv_relu("enc2b", cfg.c2, cfg.c2);  // skip source 2
+  m.add("pool2", std::make_unique<MaxPool1D>(2), {prev});
+  prev = "pool2";
+  conv_relu("bot_a", cfg.c2, cfg.c3);
+  conv_relu("bot_b", cfg.c3, cfg.c3);
+  m.add("up2", std::make_unique<UpSampling1D>(2), {prev});
+  m.add("cat2", std::make_unique<Concatenate>(), {"up2", "enc2b_relu"});
+  prev = "cat2";
+  conv_relu("dec2a", cfg.c3 + cfg.c2, cfg.c2);
+  conv_relu("dec2b", cfg.c2, cfg.c2);
+  m.add("up1", std::make_unique<UpSampling1D>(2), {prev});
+  m.add("cat1", std::make_unique<Concatenate>(), {"up1", "enc1b_relu"});
+  prev = "cat1";
+  conv_relu("dec1a", cfg.c2 + cfg.c1, cfg.c1);
+  conv_relu("dec1b", cfg.c1, cfg.c1);
+  m.add("head", std::make_unique<Dense>(cfg.c1, cfg.outputs_per_monitor),
+        {prev});
+  m.add("head_sigmoid", std::make_unique<Sigmoid>());
+  return m;
+}
+
+Model build_mlp(const MlpConfig& cfg) {
+  Model m("blm_frame", {1, cfg.inputs});
+  m.add("dense1", std::make_unique<Dense>(cfg.inputs, cfg.hidden),
+        {"blm_frame"});
+  m.add("dense1_relu", std::make_unique<ReLU>());
+  m.add("dense2", std::make_unique<Dense>(cfg.hidden, cfg.outputs));
+  m.add("out_sigmoid", std::make_unique<Sigmoid>());
+  return m;
+}
+
+std::size_t unet_param_count(const UNetConfig& c) {
+  const std::size_t k = c.kernel;
+  std::size_t p = 0;
+  p += k * 1 * c.c1 + c.c1;
+  p += k * c.c1 * c.c1 + c.c1;
+  p += k * c.c1 * c.c2 + c.c2;
+  p += k * c.c2 * c.c2 + c.c2;
+  p += k * c.c2 * c.c3 + c.c3;
+  p += k * c.c3 * c.c3 + c.c3;
+  p += k * (c.c3 + c.c2) * c.c2 + c.c2;
+  p += k * c.c2 * c.c2 + c.c2;
+  p += k * (c.c2 + c.c1) * c.c1 + c.c1;
+  p += k * c.c1 * c.c1 + c.c1;
+  p += c.c1 * c.outputs_per_monitor + c.outputs_per_monitor;
+  if (c.input_batchnorm) p += 2;
+  return p;
+}
+
+}  // namespace reads::nn

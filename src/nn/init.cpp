@@ -1,0 +1,43 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "nn/layers/batchnorm.hpp"
+#include "nn/layers/conv1d.hpp"
+#include "nn/layers/dense.hpp"
+#include "util/rng.hpp"
+
+namespace reads::nn {
+
+void init_he_uniform(Model& model, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  for (auto& node : const_cast<std::vector<Node>&>(model.nodes())) {
+    if (!node.layer) continue;
+    if (auto* dense = dynamic_cast<Dense*>(node.layer.get())) {
+      const double limit =
+          std::sqrt(6.0 / static_cast<double>(dense->in_features()));
+      for (auto& w : dense->weight().flat()) {
+        w = static_cast<float>(rng.uniform(-limit, limit));
+      }
+      dense->bias().zero();
+    } else if (auto* conv = dynamic_cast<Conv1D*>(node.layer.get())) {
+      const double fan_in =
+          static_cast<double>(conv->in_channels() * conv->kernel_size());
+      const double limit = std::sqrt(6.0 / fan_in);
+      for (auto& w : conv->weight().flat()) {
+        w = static_cast<float>(rng.uniform(-limit, limit));
+      }
+      conv->bias().zero();
+    }
+    // BatchNorm keeps its gamma=1 / beta=0 construction defaults.
+  }
+}
+
+void init_uniform01(Model& model, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  for (auto* p : model.parameters()) {
+    for (auto& w : p->flat()) w = static_cast<float>(rng.uniform());
+  }
+}
+
+}  // namespace reads::nn

@@ -1,0 +1,18 @@
+// Weight initialization (seeded, deterministic).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/model.hpp"
+
+namespace reads::nn {
+
+/// He-uniform for Dense/Conv1D weights (fan-in based, matching Keras'
+/// default-ish behaviour for ReLU nets), zero biases, identity BatchNorm.
+void init_he_uniform(Model& model, std::uint64_t seed);
+
+/// Uniform [0, 1) for every parameter: the paper's "randomized U-Net"
+/// pre-test configuration ("all the parameters are between 0 and 1").
+void init_uniform01(Model& model, std::uint64_t seed);
+
+}  // namespace reads::nn

@@ -1,0 +1,70 @@
+// Layer abstraction for the float (Keras-equivalent) network.
+//
+// Activations are rank-2 tensors shaped (positions, channels): the U-Net
+// input is (260, 1) and the MLP input is (1, 260). Layers are stateless
+// during forward/backward except for their parameters; gradient accumulation
+// goes to caller-owned storage so that mini-batches can be processed by
+// several workers concurrently (each worker reduces into its own GradStore).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace reads::nn {
+
+using tensor::Tensor;
+
+using Shape = std::vector<std::size_t>;
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Stable type tag, e.g. "Dense", "Conv1D". Used by the HLS converter and
+  /// by serialization sanity checks.
+  virtual std::string_view type() const noexcept = 0;
+
+  /// Number of inputs this layer consumes (1 for everything except Concat).
+  virtual std::size_t arity() const noexcept { return 1; }
+
+  /// Shape of the output given input shapes; throws on invalid shapes.
+  virtual Shape output_shape(std::span<const Shape> inputs) const = 0;
+
+  /// Compute the layer output. `training` selects training-time behaviour
+  /// (only BatchNorm cares). Must be safe to call concurrently.
+  virtual Tensor forward(std::span<const Tensor* const> inputs,
+                         bool training) const = 0;
+
+  /// Backward pass. `grad_inputs[i]` are pre-allocated tensors (shaped like
+  /// the corresponding inputs) into which the layer must *accumulate* (+=)
+  /// its input gradients — accumulation supports fan-out in the graph.
+  /// `param_grads` are tensors parallel to params(); accumulate there too.
+  virtual void backward(std::span<const Tensor* const> inputs,
+                        const Tensor& output, const Tensor& grad_output,
+                        std::span<Tensor* const> grad_inputs,
+                        std::span<Tensor* const> param_grads) const = 0;
+
+  /// Trainable parameters, in a stable order. Empty for stateless layers.
+  virtual std::vector<Tensor*> params() { return {}; }
+  std::vector<const Tensor*> params() const {
+    auto ps = const_cast<Layer*>(this)->params();
+    return {ps.begin(), ps.end()};
+  }
+
+  std::size_t param_count() const {
+    std::size_t n = 0;
+    for (const auto* p : params()) n += p->numel();
+    return n;
+  }
+
+  /// Post-training hook: fold any statistics updates the layer gathered.
+  /// Only BatchNorm implements this; the trainer calls it sequentially.
+  virtual void update_running_stats(std::span<const Tensor* const> /*inputs*/) {}
+};
+
+}  // namespace reads::nn

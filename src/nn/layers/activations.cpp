@@ -1,0 +1,60 @@
+#include "nn/layers/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace reads::nn {
+
+namespace {
+Shape passthrough_shape(std::span<const Shape> inputs, const char* who) {
+  if (inputs.size() != 1) {
+    throw std::invalid_argument(std::string(who) + ": expected one input");
+  }
+  return inputs[0];
+}
+}  // namespace
+
+Shape ReLU::output_shape(std::span<const Shape> inputs) const {
+  return passthrough_shape(inputs, "ReLU");
+}
+
+Tensor ReLU::forward(std::span<const Tensor* const> inputs,
+                     bool /*training*/) const {
+  Tensor y = *inputs[0];
+  for (auto& v : y.flat()) v = v > 0.0f ? v : 0.0f;
+  return y;
+}
+
+void ReLU::backward(std::span<const Tensor* const> inputs,
+                    const Tensor& /*output*/, const Tensor& grad_output,
+                    std::span<Tensor* const> grad_inputs,
+                    std::span<Tensor* const> /*param_grads*/) const {
+  const Tensor& x = *inputs[0];
+  Tensor& gx = *grad_inputs[0];
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    if (x[i] > 0.0f) gx[i] += grad_output[i];
+  }
+}
+
+Shape Sigmoid::output_shape(std::span<const Shape> inputs) const {
+  return passthrough_shape(inputs, "Sigmoid");
+}
+
+Tensor Sigmoid::forward(std::span<const Tensor* const> inputs,
+                        bool /*training*/) const {
+  Tensor y = *inputs[0];
+  for (auto& v : y.flat()) v = 1.0f / (1.0f + std::exp(-v));
+  return y;
+}
+
+void Sigmoid::backward(std::span<const Tensor* const> /*inputs*/,
+                       const Tensor& output, const Tensor& grad_output,
+                       std::span<Tensor* const> grad_inputs,
+                       std::span<Tensor* const> /*param_grads*/) const {
+  Tensor& gx = *grad_inputs[0];
+  for (std::size_t i = 0; i < output.numel(); ++i) {
+    gx[i] += grad_output[i] * output[i] * (1.0f - output[i]);
+  }
+}
+
+}  // namespace reads::nn

@@ -1,0 +1,34 @@
+// Elementwise activation layers. Sigmoid is the model head activation (the
+// outputs are per-monitor MI/RR probabilities); ReLU follows every hidden
+// convolution and dense layer.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace reads::nn {
+
+class ReLU final : public Layer {
+ public:
+  std::string_view type() const noexcept override { return "ReLU"; }
+  Shape output_shape(std::span<const Shape> inputs) const override;
+  Tensor forward(std::span<const Tensor* const> inputs,
+                 bool training) const override;
+  void backward(std::span<const Tensor* const> inputs, const Tensor& output,
+                const Tensor& grad_output,
+                std::span<Tensor* const> grad_inputs,
+                std::span<Tensor* const> param_grads) const override;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  std::string_view type() const noexcept override { return "Sigmoid"; }
+  Shape output_shape(std::span<const Shape> inputs) const override;
+  Tensor forward(std::span<const Tensor* const> inputs,
+                 bool training) const override;
+  void backward(std::span<const Tensor* const> inputs, const Tensor& output,
+                const Tensor& grad_output,
+                std::span<Tensor* const> grad_inputs,
+                std::span<Tensor* const> param_grads) const override;
+};
+
+}  // namespace reads::nn

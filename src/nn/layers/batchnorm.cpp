@@ -1,0 +1,159 @@
+#include "nn/layers/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace reads::nn {
+
+BatchNorm1D::BatchNorm1D(std::size_t channels, double momentum, double epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_({channels}),
+      beta_({channels}),
+      running_mean_({channels}),
+      running_var_({channels}) {
+  if (channels_ == 0) throw std::invalid_argument("BatchNorm1D: zero channels");
+  gamma_.fill(1.0f);
+  running_var_.fill(1.0f);
+}
+
+Shape BatchNorm1D::output_shape(std::span<const Shape> inputs) const {
+  if (inputs.size() != 1 || inputs[0].size() != 2 ||
+      inputs[0][1] != channels_) {
+    throw std::invalid_argument("BatchNorm1D: expected (positions, " +
+                                std::to_string(channels_) + ") input");
+  }
+  return inputs[0];
+}
+
+void BatchNorm1D::sample_stats(const Tensor& x, std::vector<double>& mean,
+                               std::vector<double>& var) const {
+  const std::size_t positions = x.dim(0);
+  mean.assign(channels_, 0.0);
+  var.assign(channels_, 0.0);
+  for (std::size_t p = 0; p < positions; ++p) {
+    const float* xp = x.data() + p * channels_;
+    for (std::size_t c = 0; c < channels_; ++c) mean[c] += xp[c];
+  }
+  for (auto& m : mean) m /= static_cast<double>(positions);
+  for (std::size_t p = 0; p < positions; ++p) {
+    const float* xp = x.data() + p * channels_;
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const double d = xp[c] - mean[c];
+      var[c] += d * d;
+    }
+  }
+  for (auto& v : var) v /= static_cast<double>(positions);
+}
+
+Tensor BatchNorm1D::forward(std::span<const Tensor* const> inputs,
+                            bool training) const {
+  const Tensor& x = *inputs[0];
+  const std::size_t positions = x.dim(0);
+  Tensor y({positions, channels_});
+  std::vector<double> mean(channels_);
+  std::vector<double> var(channels_);
+  if (training && positions > 1) {
+    sample_stats(x, mean, var);
+  } else {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      mean[c] = running_mean_[c];
+      var[c] = running_var_[c];
+    }
+  }
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const double inv = 1.0 / std::sqrt(var[c] + epsilon_);
+    for (std::size_t p = 0; p < positions; ++p) {
+      const double xn = (x[p * channels_ + c] - mean[c]) * inv;
+      y[p * channels_ + c] =
+          static_cast<float>(gamma_[c] * xn + beta_[c]);
+    }
+  }
+  return y;
+}
+
+void BatchNorm1D::backward(std::span<const Tensor* const> inputs,
+                           const Tensor& /*output*/, const Tensor& grad_output,
+                           std::span<Tensor* const> grad_inputs,
+                           std::span<Tensor* const> param_grads) const {
+  const Tensor& x = *inputs[0];
+  Tensor& gx = *grad_inputs[0];
+  Tensor& ggamma = *param_grads[0];
+  Tensor& gbeta = *param_grads[1];
+  const std::size_t positions = x.dim(0);
+  const auto n = static_cast<double>(positions);
+
+  std::vector<double> mean(channels_);
+  std::vector<double> var(channels_);
+  const bool batch_stats = positions > 1;
+  if (batch_stats) {
+    sample_stats(x, mean, var);
+  } else {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      mean[c] = running_mean_[c];
+      var[c] = running_var_[c];
+    }
+  }
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const double inv = 1.0 / std::sqrt(var[c] + epsilon_);
+    double sum_gy = 0.0;
+    double sum_gy_xn = 0.0;
+    for (std::size_t p = 0; p < positions; ++p) {
+      const double xn = (x[p * channels_ + c] - mean[c]) * inv;
+      const double gy = grad_output[p * channels_ + c];
+      sum_gy += gy;
+      sum_gy_xn += gy * xn;
+    }
+    ggamma[c] += static_cast<float>(sum_gy_xn);
+    gbeta[c] += static_cast<float>(sum_gy);
+    const double g = gamma_[c];
+    for (std::size_t p = 0; p < positions; ++p) {
+      const double xn = (x[p * channels_ + c] - mean[c]) * inv;
+      const double gy = grad_output[p * channels_ + c];
+      double gxv = 0.0;
+      if (batch_stats) {
+        // Full normalization backward: statistics depend on x.
+        gxv = g * inv * (gy - sum_gy / n - xn * sum_gy_xn / n);
+      } else {
+        // Running stats are constants w.r.t. x.
+        gxv = g * inv * gy;
+      }
+      gx[p * channels_ + c] += static_cast<float>(gxv);
+    }
+  }
+}
+
+void BatchNorm1D::update_running_stats(std::span<const Tensor* const> inputs) {
+  const Tensor& x = *inputs[0];
+  if (x.dim(0) < 2) return;  // degenerate sample; nothing trustworthy to fold
+  std::vector<double> mean(channels_);
+  std::vector<double> var(channels_);
+  sample_stats(x, mean, var);
+  if (!stats_initialized_) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      running_mean_[c] = static_cast<float>(mean[c]);
+      running_var_[c] = static_cast<float>(var[c]);
+    }
+    stats_initialized_ = true;
+    return;
+  }
+  for (std::size_t c = 0; c < channels_; ++c) {
+    running_mean_[c] = static_cast<float>(momentum_ * running_mean_[c] +
+                                          (1.0 - momentum_) * mean[c]);
+    running_var_[c] = static_cast<float>(momentum_ * running_var_[c] +
+                                         (1.0 - momentum_) * var[c]);
+  }
+}
+
+void BatchNorm1D::set_running_stats(const Tensor& mean, const Tensor& var) {
+  if (mean.numel() != channels_ || var.numel() != channels_) {
+    throw std::invalid_argument("BatchNorm1D::set_running_stats: size mismatch");
+  }
+  running_mean_ = mean;
+  running_var_ = var;
+  stats_initialized_ = true;
+}
+
+}  // namespace reads::nn

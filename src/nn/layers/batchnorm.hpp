@@ -1,0 +1,61 @@
+// BatchNorm1D (per-channel affine normalization).
+//
+// The paper first trained the U-Net on raw BLM magnitudes (105k–120k) with a
+// BatchNorm layer doing the standardization inside the model, and found the
+// resulting dynamic ranges hostile to 16-bit quantization; standardizing the
+// data *before* training fixed it. This layer exists to reproduce that
+// ablation (`bench_standardization`).
+//
+// Training-time statistics are computed over the position axis of each
+// sample (the trainer feeds samples individually; for (positions, channels)
+// activations this is instance-style normalization, which plays the same
+// "standardize inside the model" role). Running statistics for inference are
+// folded in sequentially via update_running_stats().
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace reads::nn {
+
+class BatchNorm1D final : public Layer {
+ public:
+  explicit BatchNorm1D(std::size_t channels, double momentum = 0.99,
+                       double epsilon = 1e-3);
+
+  std::string_view type() const noexcept override { return "BatchNorm1D"; }
+  Shape output_shape(std::span<const Shape> inputs) const override;
+  Tensor forward(std::span<const Tensor* const> inputs,
+                 bool training) const override;
+  void backward(std::span<const Tensor* const> inputs, const Tensor& output,
+                const Tensor& grad_output,
+                std::span<Tensor* const> grad_inputs,
+                std::span<Tensor* const> param_grads) const override;
+  std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
+  void update_running_stats(std::span<const Tensor* const> inputs) override;
+
+  std::size_t channels() const noexcept { return channels_; }
+  const Tensor& running_mean() const noexcept { return running_mean_; }
+  const Tensor& running_var() const noexcept { return running_var_; }
+  const Tensor& gamma() const noexcept { return gamma_; }
+  const Tensor& beta() const noexcept { return beta_; }
+  double epsilon() const noexcept { return epsilon_; }
+
+  /// Directly seed the running statistics (used when folding an external
+  /// Standardizer into the model for deployment).
+  void set_running_stats(const Tensor& mean, const Tensor& var);
+
+ private:
+  void sample_stats(const Tensor& x, std::vector<double>& mean,
+                    std::vector<double>& var) const;
+
+  std::size_t channels_;
+  double momentum_;
+  double epsilon_;
+  Tensor gamma_;
+  Tensor beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  bool stats_initialized_ = false;
+};
+
+}  // namespace reads::nn

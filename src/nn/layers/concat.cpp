@@ -1,0 +1,53 @@
+#include "nn/layers/concat.hpp"
+
+#include <stdexcept>
+
+namespace reads::nn {
+
+Shape Concatenate::output_shape(std::span<const Shape> inputs) const {
+  if (inputs.size() != 2 || inputs[0].size() != 2 || inputs[1].size() != 2) {
+    throw std::invalid_argument("Concatenate: expected two rank-2 inputs");
+  }
+  if (inputs[0][0] != inputs[1][0]) {
+    throw std::invalid_argument("Concatenate: position counts differ");
+  }
+  return {inputs[0][0], inputs[0][1] + inputs[1][1]};
+}
+
+Tensor Concatenate::forward(std::span<const Tensor* const> inputs,
+                            bool /*training*/) const {
+  const Tensor& a = *inputs[0];
+  const Tensor& b = *inputs[1];
+  const std::size_t positions = a.dim(0);
+  const std::size_t ca = a.dim(1);
+  const std::size_t cb = b.dim(1);
+  Tensor y({positions, ca + cb});
+  for (std::size_t p = 0; p < positions; ++p) {
+    float* yp = y.data() + p * (ca + cb);
+    const float* ap = a.data() + p * ca;
+    const float* bp = b.data() + p * cb;
+    for (std::size_t c = 0; c < ca; ++c) yp[c] = ap[c];
+    for (std::size_t c = 0; c < cb; ++c) yp[ca + c] = bp[c];
+  }
+  return y;
+}
+
+void Concatenate::backward(std::span<const Tensor* const> inputs,
+                           const Tensor& /*output*/, const Tensor& grad_output,
+                           std::span<Tensor* const> grad_inputs,
+                           std::span<Tensor* const> /*param_grads*/) const {
+  const std::size_t positions = inputs[0]->dim(0);
+  const std::size_t ca = inputs[0]->dim(1);
+  const std::size_t cb = inputs[1]->dim(1);
+  Tensor& ga = *grad_inputs[0];
+  Tensor& gb = *grad_inputs[1];
+  for (std::size_t p = 0; p < positions; ++p) {
+    const float* gyp = grad_output.data() + p * (ca + cb);
+    float* gap = ga.data() + p * ca;
+    float* gbp = gb.data() + p * cb;
+    for (std::size_t c = 0; c < ca; ++c) gap[c] += gyp[c];
+    for (std::size_t c = 0; c < cb; ++c) gbp[c] += gyp[ca + c];
+  }
+}
+
+}  // namespace reads::nn

@@ -1,0 +1,23 @@
+// Concatenate along the channel axis — the U-Net skip connection.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace reads::nn {
+
+class Concatenate final : public Layer {
+ public:
+  Concatenate() = default;
+
+  std::string_view type() const noexcept override { return "Concatenate"; }
+  std::size_t arity() const noexcept override { return 2; }
+  Shape output_shape(std::span<const Shape> inputs) const override;
+  Tensor forward(std::span<const Tensor* const> inputs,
+                 bool training) const override;
+  void backward(std::span<const Tensor* const> inputs, const Tensor& output,
+                const Tensor& grad_output,
+                std::span<Tensor* const> grad_inputs,
+                std::span<Tensor* const> param_grads) const override;
+};
+
+}  // namespace reads::nn

@@ -1,0 +1,89 @@
+#include "nn/layers/conv1d.hpp"
+
+#include <stdexcept>
+
+namespace reads::nn {
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_size)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      k_(kernel_size),
+      weight_({out_channels, kernel_size, in_channels}),
+      bias_({out_channels}) {
+  if (in_ch_ == 0 || out_ch_ == 0 || k_ == 0) {
+    throw std::invalid_argument("Conv1D: zero size");
+  }
+  if (k_ % 2 == 0) {
+    throw std::invalid_argument("Conv1D: 'same' padding requires odd kernel");
+  }
+}
+
+Shape Conv1D::output_shape(std::span<const Shape> inputs) const {
+  if (inputs.size() != 1 || inputs[0].size() != 2 || inputs[0][1] != in_ch_) {
+    throw std::invalid_argument("Conv1D: expected (positions, " +
+                                std::to_string(in_ch_) + ") input");
+  }
+  return {inputs[0][0], out_ch_};
+}
+
+Tensor Conv1D::forward(std::span<const Tensor* const> inputs,
+                       bool /*training*/) const {
+  const Tensor& x = *inputs[0];
+  const std::size_t positions = x.dim(0);
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
+  Tensor y({positions, out_ch_});
+  const float* w = weight_.data();
+  for (std::size_t p = 0; p < positions; ++p) {
+    float* yp = y.data() + p * out_ch_;
+    for (std::size_t o = 0; o < out_ch_; ++o) yp[o] = bias_[o];
+    for (std::size_t dk = 0; dk < k_; ++dk) {
+      const std::ptrdiff_t q =
+          static_cast<std::ptrdiff_t>(p + dk) - pad;  // input position
+      if (q < 0 || q >= static_cast<std::ptrdiff_t>(positions)) continue;
+      const float* xq = x.data() + static_cast<std::size_t>(q) * in_ch_;
+      for (std::size_t o = 0; o < out_ch_; ++o) {
+        const float* wk = w + (o * k_ + dk) * in_ch_;
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < in_ch_; ++i) acc += wk[i] * xq[i];
+        yp[o] += acc;
+      }
+    }
+  }
+  return y;
+}
+
+void Conv1D::backward(std::span<const Tensor* const> inputs,
+                      const Tensor& /*output*/, const Tensor& grad_output,
+                      std::span<Tensor* const> grad_inputs,
+                      std::span<Tensor* const> param_grads) const {
+  const Tensor& x = *inputs[0];
+  Tensor& gx = *grad_inputs[0];
+  Tensor& gw = *param_grads[0];
+  Tensor& gb = *param_grads[1];
+  const std::size_t positions = x.dim(0);
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
+  const float* w = weight_.data();
+  for (std::size_t p = 0; p < positions; ++p) {
+    const float* gyp = grad_output.data() + p * out_ch_;
+    for (std::size_t o = 0; o < out_ch_; ++o) gb[o] += gyp[o];
+    for (std::size_t dk = 0; dk < k_; ++dk) {
+      const std::ptrdiff_t q = static_cast<std::ptrdiff_t>(p + dk) - pad;
+      if (q < 0 || q >= static_cast<std::ptrdiff_t>(positions)) continue;
+      const float* xq = x.data() + static_cast<std::size_t>(q) * in_ch_;
+      float* gxq = gx.data() + static_cast<std::size_t>(q) * in_ch_;
+      for (std::size_t o = 0; o < out_ch_; ++o) {
+        const float gy = gyp[o];
+        if (gy == 0.0f) continue;
+        const float* wk = w + (o * k_ + dk) * in_ch_;
+        float* gwk = gw.data() + (o * k_ + dk) * in_ch_;
+        for (std::size_t i = 0; i < in_ch_; ++i) {
+          gxq[i] += gy * wk[i];
+          gwk[i] += gy * xq[i];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace reads::nn

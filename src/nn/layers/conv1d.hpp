@@ -1,0 +1,43 @@
+// 1-D convolution with 'same' zero padding and stride 1, the building block
+// of the paper's U-Net encoder/decoder. Weight layout is (out_ch, k, in_ch)
+// so the innermost loop runs over the contiguous channel axis of both the
+// activation and the kernel.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace reads::nn {
+
+class Conv1D final : public Layer {
+ public:
+  Conv1D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel_size);
+
+  std::string_view type() const noexcept override { return "Conv1D"; }
+  Shape output_shape(std::span<const Shape> inputs) const override;
+  Tensor forward(std::span<const Tensor* const> inputs,
+                 bool training) const override;
+  void backward(std::span<const Tensor* const> inputs, const Tensor& output,
+                const Tensor& grad_output,
+                std::span<Tensor* const> grad_inputs,
+                std::span<Tensor* const> param_grads) const override;
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+
+  std::size_t in_channels() const noexcept { return in_ch_; }
+  std::size_t out_channels() const noexcept { return out_ch_; }
+  std::size_t kernel_size() const noexcept { return k_; }
+  /// weight is (out_ch, k, in_ch); bias is (out_ch).
+  const Tensor& weight() const noexcept { return weight_; }
+  const Tensor& bias() const noexcept { return bias_; }
+  Tensor& weight() noexcept { return weight_; }
+  Tensor& bias() noexcept { return bias_; }
+
+ private:
+  std::size_t in_ch_;
+  std::size_t out_ch_;
+  std::size_t k_;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+}  // namespace reads::nn

@@ -1,0 +1,70 @@
+#include "nn/layers/dense.hpp"
+
+#include <stdexcept>
+
+namespace reads::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}) {
+  if (in_ == 0 || out_ == 0) throw std::invalid_argument("Dense: zero size");
+}
+
+Shape Dense::output_shape(std::span<const Shape> inputs) const {
+  if (inputs.size() != 1 || inputs[0].size() != 2 || inputs[0][1] != in_) {
+    throw std::invalid_argument("Dense: expected (positions, " +
+                                std::to_string(in_) + ") input");
+  }
+  return {inputs[0][0], out_};
+}
+
+Tensor Dense::forward(std::span<const Tensor* const> inputs,
+                      bool /*training*/) const {
+  const Tensor& x = *inputs[0];
+  const std::size_t positions = x.dim(0);
+  Tensor y({positions, out_});
+  const float* w = weight_.data();
+  for (std::size_t p = 0; p < positions; ++p) {
+    const float* xp = x.data() + p * in_;
+    float* yp = y.data() + p * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* wo = w + o * in_;
+      float acc = bias_[o];
+      for (std::size_t i = 0; i < in_; ++i) acc += wo[i] * xp[i];
+      yp[o] = acc;
+    }
+  }
+  return y;
+}
+
+void Dense::backward(std::span<const Tensor* const> inputs,
+                     const Tensor& /*output*/, const Tensor& grad_output,
+                     std::span<Tensor* const> grad_inputs,
+                     std::span<Tensor* const> param_grads) const {
+  const Tensor& x = *inputs[0];
+  Tensor& gx = *grad_inputs[0];
+  Tensor& gw = *param_grads[0];
+  Tensor& gb = *param_grads[1];
+  const std::size_t positions = x.dim(0);
+  const float* w = weight_.data();
+  for (std::size_t p = 0; p < positions; ++p) {
+    const float* xp = x.data() + p * in_;
+    const float* gyp = grad_output.data() + p * out_;
+    float* gxp = gx.data() + p * in_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float gy = gyp[o];
+      if (gy == 0.0f) continue;
+      const float* wo = w + o * in_;
+      float* gwo = gw.data() + o * in_;
+      for (std::size_t i = 0; i < in_; ++i) {
+        gxp[i] += gy * wo[i];
+        gwo[i] += gy * xp[i];
+      }
+      gb[o] += gy;
+    }
+  }
+}
+
+}  // namespace reads::nn

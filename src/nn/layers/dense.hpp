@@ -1,0 +1,41 @@
+// Dense (fully connected) layer with Keras semantics: it transforms the
+// channel (last) axis and is applied independently at every position. The
+// U-Net's classification head is exactly this — a Dense(2) applied at each
+// of the 260 monitor positions, which is why the paper quotes a
+// "Dense/Sigmoid reuse factor" of 260.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace reads::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features);
+
+  std::string_view type() const noexcept override { return "Dense"; }
+  Shape output_shape(std::span<const Shape> inputs) const override;
+  Tensor forward(std::span<const Tensor* const> inputs,
+                 bool training) const override;
+  void backward(std::span<const Tensor* const> inputs, const Tensor& output,
+                const Tensor& grad_output,
+                std::span<Tensor* const> grad_inputs,
+                std::span<Tensor* const> param_grads) const override;
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+
+  std::size_t in_features() const noexcept { return in_; }
+  std::size_t out_features() const noexcept { return out_; }
+  /// weight is (out, in); bias is (out).
+  const Tensor& weight() const noexcept { return weight_; }
+  const Tensor& bias() const noexcept { return bias_; }
+  Tensor& weight() noexcept { return weight_; }
+  Tensor& bias() noexcept { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+}  // namespace reads::nn

@@ -1,0 +1,28 @@
+#include "nn/layers/flatten.hpp"
+
+#include <stdexcept>
+
+namespace reads::nn {
+
+Shape Flatten::output_shape(std::span<const Shape> inputs) const {
+  if (inputs.size() != 1 || inputs[0].size() != 2) {
+    throw std::invalid_argument("Flatten: expected one rank-2 input");
+  }
+  return {1, inputs[0][0] * inputs[0][1]};
+}
+
+Tensor Flatten::forward(std::span<const Tensor* const> inputs,
+                        bool /*training*/) const {
+  const Tensor& x = *inputs[0];
+  return x.reshaped({1, x.numel()});
+}
+
+void Flatten::backward(std::span<const Tensor* const> /*inputs*/,
+                       const Tensor& /*output*/, const Tensor& grad_output,
+                       std::span<Tensor* const> grad_inputs,
+                       std::span<Tensor* const> /*param_grads*/) const {
+  Tensor& gx = *grad_inputs[0];
+  for (std::size_t i = 0; i < gx.numel(); ++i) gx[i] += grad_output[i];
+}
+
+}  // namespace reads::nn

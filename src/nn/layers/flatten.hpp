@@ -1,0 +1,21 @@
+// Flatten: (positions, channels) -> (1, positions * channels). Provided for
+// MLP-style heads over convolutional features.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace reads::nn {
+
+class Flatten final : public Layer {
+ public:
+  std::string_view type() const noexcept override { return "Flatten"; }
+  Shape output_shape(std::span<const Shape> inputs) const override;
+  Tensor forward(std::span<const Tensor* const> inputs,
+                 bool training) const override;
+  void backward(std::span<const Tensor* const> inputs, const Tensor& output,
+                const Tensor& grad_output,
+                std::span<Tensor* const> grad_inputs,
+                std::span<Tensor* const> param_grads) const override;
+};
+
+}  // namespace reads::nn

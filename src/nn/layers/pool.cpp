@@ -1,0 +1,67 @@
+#include "nn/layers/pool.hpp"
+
+#include <stdexcept>
+
+namespace reads::nn {
+
+MaxPool1D::MaxPool1D(std::size_t pool_size) : pool_(pool_size) {
+  if (pool_ < 1) throw std::invalid_argument("MaxPool1D: pool size < 1");
+}
+
+Shape MaxPool1D::output_shape(std::span<const Shape> inputs) const {
+  if (inputs.size() != 1 || inputs[0].size() != 2) {
+    throw std::invalid_argument("MaxPool1D: expected one rank-2 input");
+  }
+  if (inputs[0][0] % pool_ != 0) {
+    throw std::invalid_argument("MaxPool1D: positions not divisible by pool");
+  }
+  return {inputs[0][0] / pool_, inputs[0][1]};
+}
+
+Tensor MaxPool1D::forward(std::span<const Tensor* const> inputs,
+                          bool /*training*/) const {
+  const Tensor& x = *inputs[0];
+  const std::size_t out_pos = x.dim(0) / pool_;
+  const std::size_t ch = x.dim(1);
+  Tensor y({out_pos, ch});
+  for (std::size_t p = 0; p < out_pos; ++p) {
+    float* yp = y.data() + p * ch;
+    const float* x0 = x.data() + p * pool_ * ch;
+    for (std::size_t c = 0; c < ch; ++c) yp[c] = x0[c];
+    for (std::size_t d = 1; d < pool_; ++d) {
+      const float* xd = x0 + d * ch;
+      for (std::size_t c = 0; c < ch; ++c) {
+        if (xd[c] > yp[c]) yp[c] = xd[c];
+      }
+    }
+  }
+  return y;
+}
+
+void MaxPool1D::backward(std::span<const Tensor* const> inputs,
+                         const Tensor& output, const Tensor& grad_output,
+                         std::span<Tensor* const> grad_inputs,
+                         std::span<Tensor* const> /*param_grads*/) const {
+  const Tensor& x = *inputs[0];
+  Tensor& gx = *grad_inputs[0];
+  const std::size_t out_pos = output.dim(0);
+  const std::size_t ch = output.dim(1);
+  for (std::size_t p = 0; p < out_pos; ++p) {
+    const float* yp = output.data() + p * ch;
+    const float* gyp = grad_output.data() + p * ch;
+    for (std::size_t c = 0; c < ch; ++c) {
+      // Route the gradient to the first element of the window that attained
+      // the max (ties broken toward the earliest position, matching the
+      // forward scan order).
+      for (std::size_t d = 0; d < pool_; ++d) {
+        const std::size_t q = p * pool_ + d;
+        if (x[q * ch + c] == yp[c]) {
+          gx[q * ch + c] += gyp[c];
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace reads::nn

@@ -1,0 +1,28 @@
+// MaxPool1D with non-overlapping windows (stride == pool size), as used
+// between U-Net encoder levels (260 -> 130 -> 65).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace reads::nn {
+
+class MaxPool1D final : public Layer {
+ public:
+  explicit MaxPool1D(std::size_t pool_size = 2);
+
+  std::string_view type() const noexcept override { return "MaxPool1D"; }
+  Shape output_shape(std::span<const Shape> inputs) const override;
+  Tensor forward(std::span<const Tensor* const> inputs,
+                 bool training) const override;
+  void backward(std::span<const Tensor* const> inputs, const Tensor& output,
+                const Tensor& grad_output,
+                std::span<Tensor* const> grad_inputs,
+                std::span<Tensor* const> param_grads) const override;
+
+  std::size_t pool_size() const noexcept { return pool_; }
+
+ private:
+  std::size_t pool_;
+};
+
+}  // namespace reads::nn

@@ -1,0 +1,52 @@
+#include "nn/layers/upsample.hpp"
+
+#include <stdexcept>
+
+namespace reads::nn {
+
+UpSampling1D::UpSampling1D(std::size_t factor) : factor_(factor) {
+  if (factor_ < 1) throw std::invalid_argument("UpSampling1D: factor < 1");
+}
+
+Shape UpSampling1D::output_shape(std::span<const Shape> inputs) const {
+  if (inputs.size() != 1 || inputs[0].size() != 2) {
+    throw std::invalid_argument("UpSampling1D: expected one rank-2 input");
+  }
+  return {inputs[0][0] * factor_, inputs[0][1]};
+}
+
+Tensor UpSampling1D::forward(std::span<const Tensor* const> inputs,
+                             bool /*training*/) const {
+  const Tensor& x = *inputs[0];
+  const std::size_t in_pos = x.dim(0);
+  const std::size_t ch = x.dim(1);
+  Tensor y({in_pos * factor_, ch});
+  for (std::size_t p = 0; p < in_pos; ++p) {
+    const float* xp = x.data() + p * ch;
+    for (std::size_t d = 0; d < factor_; ++d) {
+      float* yp = y.data() + (p * factor_ + d) * ch;
+      for (std::size_t c = 0; c < ch; ++c) yp[c] = xp[c];
+    }
+  }
+  return y;
+}
+
+void UpSampling1D::backward(std::span<const Tensor* const> inputs,
+                            const Tensor& /*output*/,
+                            const Tensor& grad_output,
+                            std::span<Tensor* const> grad_inputs,
+                            std::span<Tensor* const> /*param_grads*/) const {
+  const Tensor& x = *inputs[0];
+  Tensor& gx = *grad_inputs[0];
+  const std::size_t in_pos = x.dim(0);
+  const std::size_t ch = x.dim(1);
+  for (std::size_t p = 0; p < in_pos; ++p) {
+    float* gxp = gx.data() + p * ch;
+    for (std::size_t d = 0; d < factor_; ++d) {
+      const float* gyp = grad_output.data() + (p * factor_ + d) * ch;
+      for (std::size_t c = 0; c < ch; ++c) gxp[c] += gyp[c];
+    }
+  }
+}
+
+}  // namespace reads::nn

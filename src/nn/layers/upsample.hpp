@@ -1,0 +1,28 @@
+// UpSampling1D: nearest-neighbour repetition along the position axis, the
+// decoder-side counterpart of MaxPool1D (65 -> 130 -> 260).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace reads::nn {
+
+class UpSampling1D final : public Layer {
+ public:
+  explicit UpSampling1D(std::size_t factor = 2);
+
+  std::string_view type() const noexcept override { return "UpSampling1D"; }
+  Shape output_shape(std::span<const Shape> inputs) const override;
+  Tensor forward(std::span<const Tensor* const> inputs,
+                 bool training) const override;
+  void backward(std::span<const Tensor* const> inputs, const Tensor& output,
+                const Tensor& grad_output,
+                std::span<Tensor* const> grad_inputs,
+                std::span<Tensor* const> param_grads) const override;
+
+  std::size_t factor() const noexcept { return factor_; }
+
+ private:
+  std::size_t factor_;
+};
+
+}  // namespace reads::nn

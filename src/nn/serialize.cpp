@@ -1,0 +1,89 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/layers/batchnorm.hpp"
+
+namespace reads::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52445357;  // "RDSW"
+constexpr std::uint32_t kVersion = 1;
+
+/// Every tensor the file covers: trainable params, then BN buffers.
+std::vector<Tensor*> serializable_tensors(Model& model) {
+  auto tensors = model.parameters();
+  for (auto& node : const_cast<std::vector<Node>&>(model.nodes())) {
+    if (auto* bn = dynamic_cast<BatchNorm1D*>(node.layer.get())) {
+      tensors.push_back(const_cast<Tensor*>(&bn->running_mean()));
+      tensors.push_back(const_cast<Tensor*>(&bn->running_var()));
+    }
+  }
+  return tensors;
+}
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("weights file truncated");
+  return v;
+}
+
+}  // namespace
+
+void save_weights(const Model& model, const std::string& path) {
+  auto tensors = serializable_tensors(const_cast<Model&>(model));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto* t : tensors) {
+    write_pod(out, static_cast<std::uint32_t>(t->rank()));
+    for (auto d : t->shape()) write_pod(out, static_cast<std::uint64_t>(d));
+    out.write(reinterpret_cast<const char*>(t->data()),
+              static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void load_weights(Model& model, const std::string& path) {
+  auto tensors = serializable_tensors(model);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  if (read_pod<std::uint32_t>(in) != kMagic) {
+    throw std::runtime_error("bad magic in weights file: " + path);
+  }
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("unsupported weights version in: " + path);
+  }
+  const auto count = read_pod<std::uint32_t>(in);
+  if (count != tensors.size()) {
+    throw std::runtime_error("weights file tensor count mismatch: " + path);
+  }
+  for (auto* t : tensors) {
+    const auto rank = read_pod<std::uint32_t>(in);
+    if (rank != t->rank()) {
+      throw std::runtime_error("weights file rank mismatch: " + path);
+    }
+    for (auto d : t->shape()) {
+      if (read_pod<std::uint64_t>(in) != d) {
+        throw std::runtime_error("weights file shape mismatch: " + path);
+      }
+    }
+    in.read(reinterpret_cast<char*>(t->data()),
+            static_cast<std::streamsize>(t->numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("weights file truncated: " + path);
+  }
+}
+
+}  // namespace reads::nn

@@ -1,0 +1,18 @@
+// Weight (de)serialization. Topology is code (the builders in builders.hpp),
+// so the file stores only tensors: every trainable parameter in node order,
+// followed by BatchNorm running statistics. Shapes are stored and checked on
+// load so a file cannot be silently applied to a mismatched architecture.
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace reads::nn {
+
+void save_weights(const Model& model, const std::string& path);
+
+/// Throws std::runtime_error on I/O failure or shape mismatch.
+void load_weights(Model& model, const std::string& path);
+
+}  // namespace reads::nn

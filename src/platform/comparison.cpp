@@ -1,0 +1,40 @@
+#include "platform/comparison.hpp"
+
+#include "platform/cpu.hpp"
+#include "platform/gpu.hpp"
+#include "util/stats.hpp"
+
+namespace reads::platform {
+
+std::vector<ComparisonRow> host_platform_rows(
+    const std::string& model_name, const nn::Model& model,
+    const tensor::Tensor& representative_input,
+    const std::vector<std::size_t>& batches, std::size_t cpu_reps) {
+  std::vector<ComparisonRow> rows;
+  for (auto batch : batches) {
+    const auto cpu = measure_cpu(model, representative_input, cpu_reps, batch);
+    rows.push_back({model_name, "CPU (measured)", batch,
+                    cpu.mean_ms_per_frame,
+                    "host float inference, sequential frames"});
+  }
+  for (auto batch : batches) {
+    const auto gpu = estimate_gpu(model, batch);
+    rows.push_back({model_name, "GPU (modelled)", batch,
+                    gpu.mean_ms_per_frame,
+                    "launch+PCIe+roofline model"});
+  }
+  return rows;
+}
+
+ComparisonRow fpga_row(const std::string& model_name,
+                       soc::ArriaSocSystem& system,
+                       std::span<const tensor::Tensor> frames) {
+  util::RunningStats stats;
+  for (const auto& f : frames) {
+    stats.add(system.process(f).timing.total_ms);
+  }
+  return {model_name, "FPGA SoC (simulated)", 1, stats.mean(),
+          "steps 1-8 incl. bridge + OS"};
+}
+
+}  // namespace reads::platform

@@ -1,0 +1,31 @@
+// The Fig. 3 harness: one row per (model, platform, batch).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "soc/system.hpp"
+
+namespace reads::platform {
+
+struct ComparisonRow {
+  std::string model;
+  std::string platform;
+  std::size_t batch = 1;
+  double latency_ms = 0.0;   ///< per-frame
+  std::string note;
+};
+
+/// CPU (measured) + GPU (modelled) rows for the given batch sizes.
+std::vector<ComparisonRow> host_platform_rows(
+    const std::string& model_name, const nn::Model& model,
+    const tensor::Tensor& representative_input,
+    const std::vector<std::size_t>& batches, std::size_t cpu_reps = 10);
+
+/// FPGA row: mean end-to-end latency over `frames` simulated frames.
+ComparisonRow fpga_row(const std::string& model_name,
+                       soc::ArriaSocSystem& system,
+                       std::span<const tensor::Tensor> frames);
+
+}  // namespace reads::platform

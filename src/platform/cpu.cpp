@@ -1,0 +1,41 @@
+#include "platform/cpu.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace reads::platform {
+
+CpuLatency measure_cpu(const nn::Model& model, const tensor::Tensor& input,
+                       std::size_t reps, std::size_t batch) {
+  if (reps == 0 || batch == 0) {
+    throw std::invalid_argument("measure_cpu: reps/batch must be positive");
+  }
+  using Clock = std::chrono::steady_clock;
+  // Warm-up to populate caches / fault in pages.
+  volatile float sink = model.forward(input)[0];
+
+  CpuLatency result;
+  result.batch = batch;
+  result.reps = reps;
+  result.min_ms = 1e30;
+  double total = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    for (std::size_t b = 0; b < batch; ++b) {
+      sink = model.forward(input)[0];
+    }
+    const auto t1 = Clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count() /
+        static_cast<double>(batch);
+    total += ms;
+    result.min_ms = std::min(result.min_ms, ms);
+    result.max_ms = std::max(result.max_ms, ms);
+  }
+  (void)sink;
+  result.mean_ms_per_frame = total / static_cast<double>(reps);
+  return result;
+}
+
+}  // namespace reads::platform

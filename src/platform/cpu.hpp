@@ -1,0 +1,26 @@
+// Host-CPU baseline: wall-clock measurement of the float (Keras-equivalent)
+// model, the "CPU" series of Fig. 3. Unlike the other platforms this is a
+// real measurement, not a model — the repository's float inference engine
+// plays the role of the paper's Keras-on-CPU run.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/model.hpp"
+
+namespace reads::platform {
+
+struct CpuLatency {
+  double mean_ms_per_frame = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  std::size_t batch = 1;
+  std::size_t reps = 0;
+};
+
+/// Time `reps` repetitions of a batch of `batch` sequential forwards.
+/// The input is a representative frame (contents are irrelevant to timing).
+CpuLatency measure_cpu(const nn::Model& model, const tensor::Tensor& input,
+                       std::size_t reps = 20, std::size_t batch = 1);
+
+}  // namespace reads::platform

@@ -1,0 +1,59 @@
+#include "platform/gpu.hpp"
+
+#include "nn/layers/conv1d.hpp"
+#include "nn/layers/dense.hpp"
+
+namespace reads::platform {
+
+std::size_t model_macs(const nn::Model& model) {
+  std::size_t macs = 0;
+  for (const auto& node : model.nodes()) {
+    if (!node.layer) continue;
+    const std::size_t positions = node.shape.at(0);
+    if (const auto* d = dynamic_cast<const nn::Dense*>(node.layer.get())) {
+      macs += positions * d->in_features() * d->out_features();
+    } else if (const auto* c =
+                   dynamic_cast<const nn::Conv1D*>(node.layer.get())) {
+      macs += positions * c->kernel_size() * c->in_channels() * c->out_channels();
+    }
+  }
+  return macs;
+}
+
+GpuLatency estimate_gpu(const nn::Model& model, std::size_t batch,
+                        const GpuModelParams& p) {
+  GpuLatency lat;
+  lat.batch = batch;
+
+  const auto layers = static_cast<double>(model.nodes().size() - 1);
+  const auto b = static_cast<double>(batch);
+
+  // One framework dispatch + launch sequence per batch (kernels operate on
+  // the whole batch).
+  lat.launch_ms =
+      (p.framework_overhead_us + layers * p.launch_us_per_layer) / 1e3 / b;
+
+  // Host<->device transfer of inputs and outputs for the batch.
+  const double in_bytes =
+      static_cast<double>(model.input_shape()[0] * model.input_shape()[1]) * 4.0;
+  const double out_bytes =
+      static_cast<double>(model.output_shape()[0] * model.output_shape()[1]) * 4.0;
+  const double bytes = (in_bytes + out_bytes) * b;
+  lat.transfer_ms =
+      (p.pcie_base_us / 1e3 + bytes / (p.pcie_gbps * 1e9) * 1e3) / b;
+
+  // Kernel time: compute-bound vs bandwidth-bound, whichever dominates.
+  const double flops = 2.0 * static_cast<double>(model_macs(model)) * b;
+  const double weight_bytes = static_cast<double>(model.param_count()) * 4.0;
+  const double act_bytes = bytes * 8.0;  // intermediate traffic proxy
+  const double compute_ms =
+      flops / (p.peak_tflops * 1e12 * p.efficiency) * 1e3;
+  const double mem_ms =
+      (weight_bytes + act_bytes) / (p.mem_gbps * 1e9) * 1e3;
+  lat.kernel_ms = std::max(compute_ms, mem_ms) / b;
+
+  lat.mean_ms_per_frame = lat.launch_ms + lat.transfer_ms + lat.kernel_ms;
+  return lat;
+}
+
+}  // namespace reads::platform

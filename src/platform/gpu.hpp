@@ -1,0 +1,46 @@
+// Analytical GPU latency model, the "GPU" series of Fig. 3.
+//
+// No GPU is available offline, so this substitutes a documented roofline-
+// plus-overhead model: per-inference latency is kernel-launch overhead (one
+// launch per layer, amortized over the batch) plus host<->device transfer
+// plus the max of compute-bound and bandwidth-bound kernel time. The model
+// captures exactly the behaviour the paper reports: at batch 1 the GPU is
+// launch/transfer-bound and lands near the CPU; at large batch it amortizes
+// to microseconds per frame.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/model.hpp"
+
+namespace reads::platform {
+
+struct GpuModelParams {
+  /// Framework (Keras/TF session) overhead per predict() call; dominates at
+  /// batch 1 and is what makes the paper's GPU "perform similarly to the
+  /// CPU" for single frames.
+  double framework_overhead_us = 2'000.0;
+  double launch_us_per_layer = 6.5;  ///< CUDA kernel launch + sync overhead
+  double pcie_base_us = 28.0;        ///< fixed transfer round-trip cost
+  double pcie_gbps = 12.0;           ///< effective H2D+D2H bandwidth
+  double peak_tflops = 9.0;          ///< FP32 throughput
+  double mem_gbps = 450.0;           ///< device memory bandwidth
+  /// Fraction of peak achievable on these small kernels.
+  double efficiency = 0.25;
+};
+
+struct GpuLatency {
+  double mean_ms_per_frame = 0.0;
+  std::size_t batch = 1;
+  double launch_ms = 0.0;
+  double transfer_ms = 0.0;
+  double kernel_ms = 0.0;
+};
+
+/// MACs for one forward pass of the model (counted from layer geometry).
+std::size_t model_macs(const nn::Model& model);
+
+GpuLatency estimate_gpu(const nn::Model& model, std::size_t batch,
+                        const GpuModelParams& params = {});
+
+}  // namespace reads::platform

@@ -1,0 +1,68 @@
+#include "soc/control_ip.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace reads::soc {
+
+ControlIp::ControlIp(EventSim& sim, FpgaParams fpga) : sim_(sim), fpga_(fpga) {}
+
+void ControlIp::connect(std::function<void()> start_ip,
+                        std::function<void()> raise_irq) {
+  start_ip_ = std::move(start_ip);
+  raise_irq_ = std::move(raise_irq);
+}
+
+void ControlIp::write_reg(std::size_t reg, std::uint32_t value) {
+  if (reg != kCtrl) {
+    throw std::invalid_argument("ControlIp: only CTRL is writable");
+  }
+  if (value & 0x1u) {
+    if (state_ == State::kRunning) {
+      throw std::logic_error("ControlIp: trigger while busy");
+    }
+    state_ = State::kRunning;
+    run_start_ = sim_.now();
+    ++runs_;
+    // Trigger crosses a synchronizer and the FSM before the IP sees it.
+    const auto delay = static_cast<SimTime>(
+        std::llround(static_cast<double>(fpga_.control_latency_cycles) *
+                     fpga_.cycle_ns()));
+    sim_.schedule_in(delay, [this] {
+      if (start_ip_) start_ip_();
+    });
+  }
+  if (value & 0x2u) {
+    if (state_ == State::kDone) state_ = State::kIdle;
+  }
+}
+
+std::uint32_t ControlIp::read_reg(std::size_t reg) const {
+  switch (reg) {
+    case kCtrl:
+      return 0;
+    case kStatus:
+      return (state_ == State::kRunning ? 0x1u : 0x0u) |
+             (state_ == State::kDone ? 0x2u : 0x0u);
+    case kPerfCounter:
+      return perf_counter_;
+    default:
+      throw std::invalid_argument("ControlIp: bad register");
+  }
+}
+
+void ControlIp::ip_done() {
+  if (state_ != State::kRunning) {
+    throw std::logic_error("ControlIp: done pulse while not running");
+  }
+  state_ = State::kDone;
+  perf_counter_ = static_cast<std::uint32_t>(
+      static_cast<double>(sim_.now() - run_start_) / fpga_.cycle_ns());
+  // Interrupt line asserts one cycle later.
+  sim_.schedule_in(static_cast<SimTime>(std::llround(fpga_.cycle_ns())),
+                   [this] {
+                     if (raise_irq_) raise_irq_();
+                   });
+}
+
+}  // namespace reads::soc

@@ -1,0 +1,50 @@
+// The dedicated HDL control IP of Fig. 2: a small register-mapped FSM that
+// arms the NN IP on a trigger write, tracks busy/done, counts run cycles
+// with a performance counter, and raises the interrupt line toward the HPS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "soc/event_sim.hpp"
+#include "soc/params.hpp"
+
+namespace reads::soc {
+
+class ControlIp {
+ public:
+  enum Reg : std::size_t {
+    kCtrl = 0,    ///< write 1 to start; write 2 to clear done
+    kStatus = 1,  ///< bit0 busy, bit1 done
+    kPerfCounter = 2,  ///< FPGA cycles of the last IP run
+  };
+
+  enum class State { kIdle, kRunning, kDone };
+
+  ControlIp(EventSim& sim, FpgaParams fpga);
+
+  /// Wire the outputs: start pulse to the NN IP, interrupt to the HPS.
+  void connect(std::function<void()> start_ip, std::function<void()> raise_irq);
+
+  /// Register interface (HPS side, via the bridge).
+  void write_reg(std::size_t reg, std::uint32_t value);
+  std::uint32_t read_reg(std::size_t reg) const;
+
+  /// Signal from the NN IP that it finished writing the output buffer.
+  void ip_done();
+
+  State state() const noexcept { return state_; }
+  std::uint64_t runs() const noexcept { return runs_; }
+
+ private:
+  EventSim& sim_;
+  FpgaParams fpga_;
+  std::function<void()> start_ip_;
+  std::function<void()> raise_irq_;
+  State state_ = State::kIdle;
+  SimTime run_start_ = 0;
+  std::uint32_t perf_counter_ = 0;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace reads::soc

@@ -1,0 +1,35 @@
+#include "soc/event_sim.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace reads::soc {
+
+void EventSim::schedule_at(SimTime t, Callback cb) {
+  if (t < now_) throw std::logic_error("EventSim: scheduling into the past");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool EventSim::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move via const_cast is well-defined here
+  // because we pop immediately after.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.cb();
+  return true;
+}
+
+void EventSim::run() {
+  while (step()) {
+  }
+}
+
+void EventSim::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace reads::soc

@@ -1,0 +1,53 @@
+// Minimal discrete-event simulation core. Time is in nanoseconds; events at
+// equal timestamps execute in scheduling order (deterministic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace reads::soc {
+
+using SimTime = std::uint64_t;  ///< nanoseconds
+
+class EventSim {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+
+  void schedule_at(SimTime t, Callback cb);
+  void schedule_in(SimTime delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Execute the earliest event; returns false when the queue is empty.
+  bool step();
+  /// Run until no events remain.
+  void run();
+  /// Run until the given time (events at exactly `t` are executed).
+  void run_until(SimTime t);
+
+  std::size_t events_processed() const noexcept { return processed_; }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace reads::soc

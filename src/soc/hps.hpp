@@ -1,0 +1,94 @@
+// The Hard Processor System model: a Linux user-space control application
+// on the ARM side that stages input frames into the FPGA input buffer over
+// the HPS-to-FPGA bridge (uncached MMIO), triggers the control IP, sleeps
+// until the completion interrupt, and reads results back — steps 1–8 of
+// Fig. 2. Interrupt delivery and process wake-up go through the OS, whose
+// scheduling noise is modelled by OsJitterModel (the source of the paper's
+// latency tail in Fig. 5c).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "soc/control_ip.hpp"
+#include "soc/event_sim.hpp"
+#include "soc/ocram.hpp"
+#include "soc/params.hpp"
+#include "util/rng.hpp"
+
+namespace reads::soc {
+
+/// Samples the per-frame OS overhead (interrupt + wakeup + stray preemption).
+class OsJitterModel {
+ public:
+  OsJitterModel(OsParams params, std::uint64_t seed);
+
+  /// Nanoseconds of OS-side delay between IRQ assertion and the user-space
+  /// application resuming with the data available.
+  SimTime sample();
+
+ private:
+  OsParams params_;
+  util::Xoshiro256 rng_;
+};
+
+struct TransferCounters {
+  std::size_t bridge_writes = 0;  ///< 32-bit MMIO writes issued
+  std::size_t bridge_reads = 0;   ///< 32-bit MMIO reads issued
+};
+
+/// Per-frame latency breakdown, all in microseconds (total also in ms).
+struct FrameTiming {
+  double write_us = 0.0;     ///< step 1: stage inputs over the bridge
+  double trigger_us = 0.0;   ///< step 2: CTRL write
+  double ip_us = 0.0;        ///< steps 3–6: IP read + compute + write
+  double irq_os_us = 0.0;    ///< step 7: IRQ delivery + OS wakeup
+  double read_us = 0.0;      ///< step 8: read outputs over the bridge
+  double total_ms = 0.0;
+  bool deadline_met = false;
+};
+
+class Hps {
+ public:
+  Hps(EventSim& sim, OnChipRam& input, OnChipRam& output, ControlIp& control,
+      BridgeParams bridge, OsParams os, std::uint64_t seed);
+
+  /// Launch the steps 1..8 sequence for one frame of input words (16-bit
+  /// raw fixed-point). `on_complete` fires when the outputs have landed
+  /// back in "SDRAM" (the provided vector).
+  void process_frame(std::vector<std::int16_t> input_words,
+                     std::size_t output_words,
+                     std::function<void(std::vector<std::int16_t>, FrameTiming)>
+                         on_complete);
+
+  /// IRQ line from the control IP.
+  void irq();
+
+  const TransferCounters& counters() const noexcept { return counters_; }
+
+ private:
+  void schedule_poll();
+  void poll_status();
+  void begin_readback();
+
+  EventSim& sim_;
+  OnChipRam& input_;
+  OnChipRam& output_;
+  ControlIp& control_;
+  BridgeParams bridge_;
+  OsParams os_;
+  OsJitterModel jitter_;
+  TransferCounters counters_;
+
+  // in-flight frame state
+  bool busy_ = false;
+  std::vector<std::int16_t> pending_input_;
+  std::size_t pending_output_words_ = 0;
+  std::function<void(std::vector<std::int16_t>, FrameTiming)> on_complete_;
+  FrameTiming timing_;
+  SimTime frame_start_ = 0;
+  SimTime ip_start_ = 0;
+};
+
+}  // namespace reads::soc

@@ -1,0 +1,50 @@
+// The NN IP core as deployed on the FPGA fabric: on a start pulse it
+// actively reads the input buffer through its 16-bit memory-mapped host
+// port, runs the quantized network, writes the output buffer, and pulses
+// done. Functionally it executes the bit-accurate QuantizedModel; its
+// timing comes from the hls::LatencyModel estimate.
+#pragma once
+
+#include <cstdint>
+
+#include "hls/latency.hpp"
+#include "hls/qmodel.hpp"
+#include "soc/control_ip.hpp"
+#include "soc/event_sim.hpp"
+#include "soc/ocram.hpp"
+#include "soc/params.hpp"
+
+namespace reads::soc {
+
+class NnIpCore {
+ public:
+  NnIpCore(EventSim& sim, const hls::QuantizedModel& model, OnChipRam& input,
+           OnChipRam& output, ControlIp& control, FpgaParams fpga,
+           hls::LatencyModelParams latency_params = {},
+           bool functional = true);
+
+  /// Start pulse from the control IP.
+  void trigger();
+
+  /// Cycle budget of one run (read + compute + write), at the FPGA clock.
+  std::size_t run_cycles() const noexcept { return run_cycles_; }
+  const hls::LatencyReport& latency_report() const noexcept { return latency_; }
+  std::uint64_t runs() const noexcept { return runs_; }
+
+ private:
+  void finish();
+
+  EventSim& sim_;
+  const hls::QuantizedModel& model_;
+  OnChipRam& input_;
+  OnChipRam& output_;
+  ControlIp& control_;
+  FpgaParams fpga_;
+  hls::LatencyReport latency_;
+  std::size_t run_cycles_ = 0;
+  std::uint64_t runs_ = 0;
+  bool busy_ = false;
+  bool functional_ = true;
+};
+
+}  // namespace reads::soc

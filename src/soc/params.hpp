@@ -1,0 +1,75 @@
+// Timing parameters of the Arria 10 SoC platform model. Values are typical
+// of an ARM Cortex-A9 HPS doing uncached MMIO through the HPS-to-FPGA
+// bridge under Linux, chosen so the end-to-end numbers land in the paper's
+// measured ranges (1.74 ms U-Net / 0.31 ms MLP system latency).
+#pragma once
+
+#include <cstdint>
+
+namespace reads::soc {
+
+struct BridgeParams {
+  /// Posted 32-bit MMIO write, HPS -> FPGA (ns).
+  double write_ns = 150.0;
+  /// Non-posted 32-bit MMIO read, FPGA -> HPS (ns).
+  double read_ns = 400.0;
+  /// 16-bit values packed per 32-bit bridge word.
+  std::size_t values_per_word = 2;
+};
+
+/// Scatter-gather DMA engine used only by the interface ablation: great for
+/// bulk transfers, poor for 260-word control frames because of the fixed
+/// setup and completion-interrupt costs (Table I discussion).
+struct DmaParams {
+  double setup_us = 18.0;       ///< descriptor build + doorbell + driver
+  double per_word_ns = 10.0;    ///< streaming burst throughput
+  double completion_irq_us = 55.0;
+};
+
+/// How the HPS learns that the IP finished: a completion interrupt through
+/// the kernel (the paper's deployment; pays IRQ delivery + scheduler wakeup
+/// ~100 us with OS-jitter tails), or user-space busy-polling of the control
+/// IP's status register over the bridge (bounded, jitter-free, but burns a
+/// CPU and bridge bandwidth — the classic embedded trade-off).
+enum class NotifyMode : std::uint8_t { kInterrupt, kPolling };
+
+struct OsParams {
+  NotifyMode notify = NotifyMode::kInterrupt;
+  /// Status-register poll period in polling mode (one bridge read each).
+  double poll_interval_us = 2.0;
+  /// Interrupt delivery + handler + wakeup of the user-space process (us);
+  /// jittered per frame with a lognormal factor.
+  double irq_base_us = 110.0;
+  double irq_sigma = 0.05;
+  /// Minor scheduler disturbances (timer ticks, softirqs).
+  double minor_jitter_p = 0.02;
+  double minor_jitter_mean_us = 30.0;
+  /// Rare preemption by another task — the paper's >2 ms stragglers
+  /// ("fluctuations above 2 ms may originate from task scheduling in the
+  /// operating system").
+  double major_jitter_p = 0.0004;
+  double major_jitter_min_us = 150.0;
+  double major_jitter_max_us = 520.0;
+};
+
+struct FpgaParams {
+  double clock_mhz = 100.0;  ///< IP/OCRAM/control clock
+  double cycle_ns() const { return 1e3 / clock_mhz; }
+  /// Control IP handshake: trigger synchronizer + FSM transitions (cycles).
+  std::size_t control_latency_cycles = 4;
+};
+
+struct SocParams {
+  BridgeParams bridge;
+  DmaParams dma;
+  OsParams os;
+  FpgaParams fpga;
+  /// Hard real-time requirement: the BLM digitizer poll rate (ms).
+  double deadline_ms = 3.0;
+  /// When false, the NN IP skips the functional (bit-accurate) execution
+  /// and emits zeros — timing is data-independent, so long latency-
+  /// distribution runs (Fig. 5c) use this to avoid redundant compute.
+  bool functional_ip = true;
+};
+
+}  // namespace reads::soc

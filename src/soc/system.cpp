@@ -1,0 +1,95 @@
+#include "soc/system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace reads::soc {
+
+ArriaSocSystem::ArriaSocSystem(const hls::QuantizedModel& model,
+                               SocParams params, std::uint64_t seed,
+                               hls::LatencyModelParams latency_params)
+    : model_(model),
+      params_(params),
+      input_ram_(model.firmware().input_values),
+      output_ram_(model.firmware().output_values),
+      control_(sim_, params.fpga),
+      ip_(sim_, model, input_ram_, output_ram_, control_, params.fpga,
+          latency_params, params.functional_ip),
+      hps_(sim_, input_ram_, output_ram_, control_, params.bridge, params.os,
+           seed) {
+  control_.connect([this] { ip_.trigger(); }, [this] { hps_.irq(); });
+}
+
+FrameResult ArriaSocSystem::process(const Tensor& frame) {
+  const auto raw = model_.quantize_input(frame);
+  std::vector<std::int16_t> words;
+  words.reserve(raw.size());
+  for (auto v : raw) words.push_back(static_cast<std::int16_t>(v));
+
+  FrameResult result;
+  bool done = false;
+  hps_.process_frame(std::move(words), model_.firmware().output_values,
+                     [&](std::vector<std::int16_t> out, FrameTiming timing) {
+                       std::vector<std::int64_t> out_raw(out.begin(), out.end());
+                       result.output = model_.dequantize_output(out_raw);
+                       result.timing = timing;
+                       done = true;
+                     });
+  sim_.run();
+  if (!done) throw std::logic_error("ArriaSocSystem: frame did not complete");
+  result.timing.deadline_met = result.timing.total_ms <= params_.deadline_ms;
+  return result;
+}
+
+StreamReport ArriaSocSystem::run_stream(std::span<const Tensor> frames,
+                                        double fps) {
+  if (fps <= 0.0) throw std::invalid_argument("run_stream: fps must be > 0");
+  StreamReport report;
+  report.frames = frames.size();
+  if (frames.empty()) return report;
+
+  const double period_ms = 1e3 / fps;
+  double prev_done_ms = 0.0;
+  double sum = 0.0;
+  double busy_sum = 0.0;
+  report.min_latency_ms = 1e30;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const double arrival_ms = static_cast<double>(i) * period_ms;
+    const auto res = process(frames[i]);
+    const double start_ms = std::max(arrival_ms, prev_done_ms);
+    const double done_ms = start_ms + res.timing.total_ms;
+    const double latency = done_ms - arrival_ms;
+    prev_done_ms = done_ms;
+    sum += latency;
+    busy_sum += res.timing.total_ms;
+    report.min_latency_ms = std::min(report.min_latency_ms, latency);
+    report.max_latency_ms = std::max(report.max_latency_ms, latency);
+    if (latency > params_.deadline_ms) ++report.deadline_misses;
+  }
+  report.mean_latency_ms = sum / static_cast<double>(frames.size());
+  report.achieved_fps =
+      1e3 / (busy_sum / static_cast<double>(frames.size()));
+  return report;
+}
+
+TransferEstimate compare_transfer(std::size_t input_values,
+                                  std::size_t output_values,
+                                  const SocParams& params) {
+  TransferEstimate est;
+  const auto& b = params.bridge;
+  const std::size_t in32 =
+      (input_values + b.values_per_word - 1) / b.values_per_word;
+  const std::size_t out32 =
+      (output_values + b.values_per_word - 1) / b.values_per_word;
+  est.mmio_us = (static_cast<double>(in32) * b.write_ns +
+                 static_cast<double>(out32) * b.read_ns) /
+                1e3;
+  const auto& d = params.dma;
+  // Two DMA descriptors (in and out), each paying setup + completion IRQ;
+  // payload streams at burst rate.
+  est.dma_us = 2.0 * (d.setup_us + d.completion_irq_us) +
+               (static_cast<double>(in32 + out32) * d.per_word_ns) / 1e3;
+  return est;
+}
+
+}  // namespace reads::soc

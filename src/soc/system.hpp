@@ -1,0 +1,84 @@
+// ArriaSocSystem: the complete central node of Fig. 2 — input/output
+// on-chip RAMs, control IP, NN IP core, and the HPS application — wired on
+// one event simulation. This is the object the benches drive to reproduce
+// the paper's end-to-end latency numbers (Table I, Fig. 3, Fig. 5c) and the
+// 320 fps / 3 ms deployment requirement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hls/qmodel.hpp"
+#include "soc/control_ip.hpp"
+#include "soc/event_sim.hpp"
+#include "soc/hps.hpp"
+#include "soc/nn_ip.hpp"
+#include "soc/ocram.hpp"
+#include "soc/params.hpp"
+#include "tensor/tensor.hpp"
+
+namespace reads::soc {
+
+using tensor::Tensor;
+
+struct FrameResult {
+  Tensor output;       ///< dequantized (monitors, 2) probabilities
+  FrameTiming timing;
+};
+
+struct StreamReport {
+  std::size_t frames = 0;
+  double mean_latency_ms = 0.0;
+  double min_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  std::size_t deadline_misses = 0;  ///< completion > deadline after arrival
+  double achieved_fps = 0.0;        ///< sustainable back-to-back rate
+};
+
+class ArriaSocSystem {
+ public:
+  ArriaSocSystem(const hls::QuantizedModel& model, SocParams params,
+                 std::uint64_t seed,
+                 hls::LatencyModelParams latency_params = {});
+
+  /// Process one standardized frame end-to-end (steps 1–8); blocking.
+  FrameResult process(const Tensor& frame);
+
+  /// Stream frames arriving at `fps`; a frame whose predecessor is still in
+  /// flight queues (the HPS application is single-threaded). Latency is
+  /// measured from arrival to output-in-SDRAM.
+  StreamReport run_stream(std::span<const Tensor> frames, double fps);
+
+  const SocParams& params() const noexcept { return params_; }
+  const NnIpCore& ip() const noexcept { return ip_; }
+  const ControlIp& control() const noexcept { return control_; }
+  const TransferCounters& transfer_counters() const noexcept {
+    return hps_.counters();
+  }
+  const OnChipRam& input_ram() const noexcept { return input_ram_; }
+  const OnChipRam& output_ram() const noexcept { return output_ram_; }
+
+ private:
+  const hls::QuantizedModel& model_;
+  SocParams params_;
+  EventSim sim_;
+  OnChipRam input_ram_;
+  OnChipRam output_ram_;
+  ControlIp control_;
+  NnIpCore ip_;
+  Hps hps_;
+};
+
+/// Transfer-interface ablation (Table I discussion): time to move a frame's
+/// input+output words by per-word MMIO through the bridge vs. a DMA engine
+/// with setup and completion-interrupt costs.
+struct TransferEstimate {
+  double mmio_us = 0.0;
+  double dma_us = 0.0;
+};
+TransferEstimate compare_transfer(std::size_t input_values,
+                                  std::size_t output_values,
+                                  const SocParams& params);
+
+}  // namespace reads::soc

@@ -1,0 +1,102 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace reads::tensor {
+
+namespace {
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (auto d : shape) {
+    if (d == 0) throw std::invalid_argument("Tensor: zero dimension");
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor Tensor::from(std::vector<std::size_t> shape, std::vector<float> data) {
+  if (shape_numel(shape) != data.size()) {
+    throw std::invalid_argument("Tensor::from: shape/data size mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  if (rank() != 2) throw std::logic_error("Tensor::at(i,j) requires rank 2");
+  if (i >= shape_[0] || j >= shape_[1]) throw std::out_of_range("Tensor::at");
+  return data_[i * shape_[1] + j];
+}
+
+float Tensor::at(std::size_t i, std::size_t j) const {
+  return const_cast<Tensor&>(*this).at(i, j);
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+  if (shape_numel(shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor& Tensor::add_scaled(const Tensor& other, float scale) {
+  if (other.numel() != numel()) {
+    throw std::invalid_argument("Tensor::add_scaled: size mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale(float s) noexcept {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+float Tensor::max_abs() const noexcept {
+  float m = 0.0f;
+  for (auto v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Tensor::sum() const noexcept {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+std::string Tensor::shape_string() const {
+  std::string s = "(";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    s += std::to_string(shape_[i]);
+    if (i + 1 < shape_.size()) s += ", ";
+  }
+  return s + ")";
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace reads::tensor

@@ -1,0 +1,66 @@
+// A small dense row-major float tensor. This is deliberately minimal: the
+// network layers own their loop nests, so the tensor only provides storage,
+// shape bookkeeping, and a few whole-tensor operations.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace reads::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Construct zero-filled with the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape);
+
+  static Tensor from(std::vector<std::size_t> shape, std::vector<float> data);
+
+  const std::vector<std::size_t>& shape() const noexcept { return shape_; }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t numel() const noexcept { return data_.size(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  std::span<float> flat() noexcept { return data_; }
+  std::span<const float> flat() const noexcept { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D accessors (the layers work on (positions, channels) activations).
+  float& at(std::size_t i, std::size_t j);
+  float at(std::size_t i, std::size_t j) const;
+
+  /// Reinterpret with a new shape of identical element count.
+  Tensor reshaped(std::vector<std::size_t> shape) const;
+
+  void fill(float v) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// Elementwise in-place helpers used by the optimizer.
+  Tensor& add_scaled(const Tensor& other, float scale);  // this += scale*other
+  Tensor& scale(float s) noexcept;
+
+  float max_abs() const noexcept;
+  double sum() const noexcept;
+
+  std::string shape_string() const;
+
+  friend bool operator==(const Tensor&, const Tensor&) = default;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Max elementwise |a - b|; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace reads::tensor

@@ -1,0 +1,45 @@
+#include "train/dataset.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace reads::train {
+
+void Dataset::add(Tensor input, Tensor target) {
+  inputs.push_back(std::move(input));
+  targets.push_back(std::move(target));
+}
+
+void Dataset::shuffle(std::uint64_t seed) {
+  if (inputs.size() != targets.size()) {
+    throw std::logic_error("Dataset: inputs/targets out of sync");
+  }
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = inputs.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(i));
+    std::swap(inputs[i - 1], inputs[j]);
+    std::swap(targets[i - 1], targets[j]);
+  }
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction) const {
+  if (train_fraction <= 0.0 || train_fraction > 1.0) {
+    throw std::invalid_argument("Dataset::split: fraction out of (0, 1]");
+  }
+  const auto cut = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(inputs.size()));
+  Dataset train;
+  Dataset held;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (i < cut) {
+      train.add(inputs[i], targets[i]);
+    } else {
+      held.add(inputs[i], targets[i]);
+    }
+  }
+  return {std::move(train), std::move(held)};
+}
+
+}  // namespace reads::train

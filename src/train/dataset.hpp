@@ -1,0 +1,29 @@
+// In-memory supervised dataset: parallel vectors of input and target frames.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace reads::train {
+
+using tensor::Tensor;
+
+struct Dataset {
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> targets;
+
+  std::size_t size() const noexcept { return inputs.size(); }
+  bool empty() const noexcept { return inputs.empty(); }
+
+  void add(Tensor input, Tensor target);
+
+  /// Deterministic Fisher-Yates shuffle of (input, target) pairs.
+  void shuffle(std::uint64_t seed);
+
+  /// Split off the last `fraction` of samples as a held-out set.
+  std::pair<Dataset, Dataset> split(double train_fraction) const;
+};
+
+}  // namespace reads::train

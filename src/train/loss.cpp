@@ -1,0 +1,47 @@
+#include "train/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reads::train {
+
+namespace {
+void check_shapes(const Tensor& pred, const Tensor& target) {
+  if (pred.shape() != target.shape()) {
+    throw std::invalid_argument("loss: pred/target shape mismatch");
+  }
+}
+}  // namespace
+
+double MseLoss::compute(const Tensor& pred, const Tensor& target,
+                        Tensor& grad) const {
+  check_shapes(pred, target);
+  grad = Tensor(pred.shape());
+  const auto n = static_cast<double>(pred.numel());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    loss += d * d;
+    grad[i] = static_cast<float>(2.0 * d / n);
+  }
+  return loss / n;
+}
+
+double BceLoss::compute(const Tensor& pred, const Tensor& target,
+                        Tensor& grad) const {
+  check_shapes(pred, target);
+  grad = Tensor(pred.shape());
+  const auto n = static_cast<double>(pred.numel());
+  constexpr double kEps = 1e-7;
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double p = std::clamp(static_cast<double>(pred[i]), kEps, 1.0 - kEps);
+    const double t = target[i];
+    loss += -(t * std::log(p) + (1.0 - t) * std::log(1.0 - p));
+    grad[i] = static_cast<float>((p - t) / (p * (1.0 - p)) / n);
+  }
+  return loss / n;
+}
+
+}  // namespace reads::train

@@ -1,0 +1,38 @@
+// Training losses. Each returns the scalar loss and fills dLoss/dPred.
+#pragma once
+
+#include <string_view>
+
+#include "tensor/tensor.hpp"
+
+namespace reads::train {
+
+using tensor::Tensor;
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  virtual std::string_view name() const noexcept = 0;
+  /// Mean loss over all elements; grad is resized/overwritten.
+  virtual double compute(const Tensor& pred, const Tensor& target,
+                         Tensor& grad) const = 0;
+};
+
+/// Mean squared error. The de-blending task is "semantic regression" of
+/// per-monitor source fractions, so MSE is the primary loss.
+class MseLoss final : public Loss {
+ public:
+  std::string_view name() const noexcept override { return "mse"; }
+  double compute(const Tensor& pred, const Tensor& target,
+                 Tensor& grad) const override;
+};
+
+/// Binary cross-entropy over sigmoid outputs (clamped for stability).
+class BceLoss final : public Loss {
+ public:
+  std::string_view name() const noexcept override { return "bce"; }
+  double compute(const Tensor& pred, const Tensor& target,
+                 Tensor& grad) const override;
+};
+
+}  // namespace reads::train

@@ -1,0 +1,82 @@
+#include "train/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace reads::train {
+
+namespace {
+void check_layout(const std::vector<Tensor*>& params, const GradStore& grads) {
+  if (params.size() != grads.tensors().size()) {
+    throw std::invalid_argument("optimizer: param/grad layout mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->shape() != grads.tensors()[i].shape()) {
+      throw std::invalid_argument("optimizer: param/grad shape mismatch");
+    }
+  }
+}
+
+std::vector<Tensor> zeros_like(const std::vector<Tensor*>& params) {
+  std::vector<Tensor> zs;
+  zs.reserve(params.size());
+  for (const auto* p : params) zs.emplace_back(p->shape());
+  return zs;
+}
+}  // namespace
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {
+  if (lr <= 0.0) throw std::invalid_argument("Sgd: lr must be positive");
+}
+
+void Sgd::step(const std::vector<Tensor*>& params, const GradStore& grads) {
+  check_layout(params, grads);
+  if (velocity_.empty() && momentum_ != 0.0) velocity_ = zeros_like(params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = grads.tensors()[i];
+    if (momentum_ != 0.0) {
+      Tensor& vel = velocity_[i];
+      for (std::size_t j = 0; j < p.numel(); ++j) {
+        vel[j] = static_cast<float>(momentum_ * vel[j] - lr_ * g[j]);
+        p[j] += vel[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < p.numel(); ++j) {
+        p[j] -= static_cast<float>(lr_ * g[j]);
+      }
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double epsilon)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  if (lr <= 0.0) throw std::invalid_argument("Adam: lr must be positive");
+}
+
+void Adam::step(const std::vector<Tensor*>& params, const GradStore& grads) {
+  check_layout(params, grads);
+  if (m_.empty()) {
+    m_ = zeros_like(params);
+    v_ = zeros_like(params);
+  }
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, t_);
+  const double bias2 = 1.0 - std::pow(beta2_, t_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = grads.tensors()[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < p.numel(); ++j) {
+      const double gj = g[j];
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * gj);
+      v[j] = static_cast<float>(beta2_ * v[j] + (1.0 - beta2_) * gj * gj);
+      const double mhat = m[j] / bias1;
+      const double vhat = v[j] / bias2;
+      p[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + epsilon_));
+    }
+  }
+}
+
+}  // namespace reads::train

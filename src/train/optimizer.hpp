@@ -1,0 +1,57 @@
+// Gradient-descent optimizers operating on a model's parameter list and a
+// reduced GradStore. State (momentum/Adam moments) is laid out parallel to
+// the parameter tensors and allocated on first step.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace reads::train {
+
+using nn::GradStore;
+using tensor::Tensor;
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual std::string_view name() const noexcept = 0;
+  /// Apply one update. `params` and `grads` must stay structurally identical
+  /// across calls (same tensors in the same order).
+  virtual void step(const std::vector<Tensor*>& params,
+                    const GradStore& grads) = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+  std::string_view name() const noexcept override { return "sgd"; }
+  void step(const std::vector<Tensor*>& params,
+            const GradStore& grads) override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+  std::string_view name() const noexcept override { return "adam"; }
+  void step(const std::vector<Tensor*>& params,
+            const GradStore& grads) override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  long t_ = 0;
+};
+
+}  // namespace reads::train

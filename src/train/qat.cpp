@@ -1,0 +1,53 @@
+#include "train/qat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fixed/format.hpp"
+
+namespace reads::train {
+
+namespace {
+// Sign bit + magnitude bits for |v| — the same sizing rule as
+// hls::int_bits_for, duplicated here so the training layer does not depend
+// on the hls layer.
+int int_bits_for_abs(double max_abs) {
+  if (!(max_abs > 0.0)) return 1;
+  return std::max(
+      1, static_cast<int>(std::ceil(std::log2(max_abs * (1.0 + 1e-9)))) + 1);
+}
+}  // namespace
+
+double project_weights(nn::Model& model, int weight_bits) {
+  double max_move = 0.0;
+  for (auto* p : model.parameters()) {
+    const double max_abs = p->max_abs();
+    const int int_bits =
+        std::clamp(int_bits_for_abs(max_abs), 1, weight_bits);
+    const fixed::FixedFormat fmt(weight_bits, int_bits, true,
+                                 fixed::QuantMode::kRound);
+    for (std::size_t i = 0; i < p->numel(); ++i) {
+      const double before = (*p)[i];
+      const double after = fmt.apply(before);
+      max_move = std::max(max_move, std::fabs(after - before));
+      (*p)[i] = static_cast<float>(after);
+    }
+  }
+  return max_move;
+}
+
+TrainResult qat_fit(nn::Model& model, Loss& loss, Optimizer& optimizer,
+                    Dataset dataset, const QatConfig& config) {
+  Trainer trainer(model, loss, optimizer);
+  TrainConfig tc = config.train;
+  const auto chained = tc.after_batch;
+  tc.after_batch = [&model, &config, chained] {
+    project_weights(model, config.weight_bits);
+    if (chained) chained();
+  };
+  auto result = trainer.fit(std::move(dataset), tc);
+  project_weights(model, config.weight_bits);  // leave weights on-grid
+  return result;
+}
+
+}  // namespace reads::train

@@ -1,0 +1,34 @@
+// Quantization-aware training (extension beyond the paper's post-training
+// quantization): after every optimizer step the weights are projected onto
+// the fixed-point grid they will occupy in firmware, so the optimizer learns
+// around the quantization error instead of meeting it after the fact. This
+// is the weight-projection ("rounding-aware") form of QAT; activations keep
+// their float path during training and are ranged by the profiler as usual.
+#pragma once
+
+#include "nn/model.hpp"
+#include "train/dataset.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+
+namespace reads::train {
+
+struct QatConfig {
+  int weight_bits = 16;
+  /// Integer bits are sized per parameter tensor from its max |w| (the same
+  /// rule the layer-based profiler applies), re-evaluated at each
+  /// projection.
+  TrainConfig train;
+};
+
+/// Round every trainable parameter of `model` onto the `weight_bits`-wide
+/// fixed-point grid (per-tensor integer bits from max |w|). Returns the
+/// largest projection distance (how far the weights were from the grid).
+double project_weights(nn::Model& model, int weight_bits);
+
+/// Trainer::fit with weight projection after every batch.
+TrainResult qat_fit(nn::Model& model, Loss& loss, Optimizer& optimizer,
+                    Dataset dataset, const QatConfig& config);
+
+}  // namespace reads::train

@@ -1,0 +1,96 @@
+#include "train/standardize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace reads::train {
+
+namespace {
+constexpr double kStdFloor = 1e-6;
+}
+
+void Standardizer::fit(const std::vector<Tensor>& frames) {
+  if (frames.empty()) throw std::invalid_argument("Standardizer: no frames");
+  const auto& shape = frames.front().shape();
+  const std::size_t n = frames.front().numel();
+  std::vector<double> mean(n, 0.0);
+  std::vector<double> m2(n, 0.0);
+  std::size_t count = 0;
+  for (const auto& f : frames) {
+    if (f.shape() != shape) {
+      throw std::invalid_argument("Standardizer: frame shape mismatch");
+    }
+    ++count;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = f[i] - mean[i];
+      mean[i] += delta / static_cast<double>(count);
+      m2[i] += delta * (f[i] - mean[i]);
+    }
+  }
+  mean_ = Tensor(shape);
+  std_ = Tensor(shape);
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_[i] = static_cast<float>(mean[i]);
+    const double var =
+        count > 1 ? m2[i] / static_cast<double>(count - 1) : 0.0;
+    std_[i] = static_cast<float>(std::max(std::sqrt(var), kStdFloor));
+  }
+  fitted_ = true;
+}
+
+void Standardizer::fit_global(const std::vector<Tensor>& frames) {
+  if (frames.empty()) throw std::invalid_argument("Standardizer: no frames");
+  const auto& shape = frames.front().shape();
+  double mean = 0.0;
+  double m2 = 0.0;
+  std::size_t count = 0;
+  for (const auto& f : frames) {
+    if (f.shape() != shape) {
+      throw std::invalid_argument("Standardizer: frame shape mismatch");
+    }
+    for (std::size_t i = 0; i < f.numel(); ++i) {
+      ++count;
+      const double delta = f[i] - mean;
+      mean += delta / static_cast<double>(count);
+      m2 += delta * (f[i] - mean);
+    }
+  }
+  const double var = count > 1 ? m2 / static_cast<double>(count - 1) : 0.0;
+  const double sd = std::max(std::sqrt(var), kStdFloor);
+  mean_ = Tensor(shape);
+  std_ = Tensor(shape);
+  mean_.fill(static_cast<float>(mean));
+  std_.fill(static_cast<float>(sd));
+  fitted_ = true;
+}
+
+Tensor Standardizer::transform(const Tensor& frame) const {
+  if (!fitted_) throw std::logic_error("Standardizer: not fitted");
+  if (frame.shape() != mean_.shape()) {
+    throw std::invalid_argument("Standardizer: frame shape mismatch");
+  }
+  Tensor out = frame;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] = (out[i] - mean_[i]) / std_[i];
+  }
+  return out;
+}
+
+std::vector<Tensor> Standardizer::transform(
+    const std::vector<Tensor>& frames) const {
+  std::vector<Tensor> out;
+  out.reserve(frames.size());
+  for (const auto& f : frames) out.push_back(transform(f));
+  return out;
+}
+
+Tensor Standardizer::inverse(const Tensor& frame) const {
+  if (!fitted_) throw std::logic_error("Standardizer: not fitted");
+  Tensor out = frame;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] = out[i] * std_[i] + mean_[i];
+  }
+  return out;
+}
+
+}  // namespace reads::train

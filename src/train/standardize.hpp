@@ -1,0 +1,49 @@
+// Feature-wise standardization of BLM frames.
+//
+// This is the paper's key algorithm-level fix: raw BLM magnitudes sit at
+// 105k–120k, and a model trained on raw data (with a BatchNorm layer doing
+// in-model standardization) quantizes poorly at 16 bits. Standardizing the
+// data *before* training keeps every layer's dynamic range quantizable.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace reads::train {
+
+using tensor::Tensor;
+
+class Standardizer {
+ public:
+  Standardizer() = default;
+
+  /// Fit per-feature mean/std over a dataset of same-shaped frames.
+  /// Features are the flattened elements of each frame.
+  void fit(const std::vector<Tensor>& frames);
+
+  /// Fit one scalar mean/std over every element of every frame — the
+  /// facility-style single scale for the whole BLM array. Monitors whose
+  /// pedestal or activity deviates from the array average then sit tens of
+  /// units from zero after transform, which is what gives the deployed
+  /// model its wide per-layer dynamic ranges (and the paper its need for
+  /// ~10 integer bits).
+  void fit_global(const std::vector<Tensor>& frames);
+
+  bool fitted() const noexcept { return fitted_; }
+  const Tensor& mean() const noexcept { return mean_; }
+  const Tensor& stddev() const noexcept { return std_; }
+
+  /// (x - mean) / std, elementwise; std floors at a small epsilon.
+  Tensor transform(const Tensor& frame) const;
+  std::vector<Tensor> transform(const std::vector<Tensor>& frames) const;
+  /// Inverse of transform().
+  Tensor inverse(const Tensor& frame) const;
+
+ private:
+  Tensor mean_;
+  Tensor std_;
+  bool fitted_ = false;
+};
+
+}  // namespace reads::train

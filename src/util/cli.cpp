@@ -1,0 +1,61 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace reads::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag[=value], got: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";  // bare flag => boolean true
+      seen_[arg] = false;
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      seen_[arg.substr(0, eq)] = false;
+    }
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) {
+  auto it = values_.find(name);
+  seen_[name] = true;
+  if (it == values_.end()) return def;
+  return std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& name, double def) {
+  auto it = values_.find(name);
+  seen_[name] = true;
+  if (it == values_.end()) return def;
+  return std::stod(it->second);
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& def) {
+  auto it = values_.find(name);
+  seen_[name] = true;
+  if (it == values_.end()) return def;
+  return it->second;
+}
+
+bool Cli::get_bool(const std::string& name, bool def) {
+  auto it = values_.find(name);
+  seen_[name] = true;
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void Cli::check_unknown() const {
+  for (const auto& [name, used] : seen_) {
+    if (!used && name.rfind("benchmark_", 0) != 0) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+  }
+}
+
+}  // namespace reads::util

@@ -1,0 +1,32 @@
+// Minimal --flag=value command-line parsing for the benches and examples.
+// Every experiment binary accepts the same style: `--frames=10000 --seed=7`.
+// Unknown flags are rejected so typos don't silently fall back to defaults,
+// except flags with a `benchmark_` prefix, which are passed through to
+// google-benchmark binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace reads::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Declare and fetch flags (declaration registers the flag as known).
+  std::int64_t get_int(const std::string& name, std::int64_t def);
+  double get_double(const std::string& name, double def);
+  std::string get_string(const std::string& name, const std::string& def);
+  bool get_bool(const std::string& name, bool def);
+
+  /// Throws std::invalid_argument if any provided flag was never declared.
+  void check_unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> seen_;
+};
+
+}  // namespace reads::util

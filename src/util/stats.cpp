@@ -1,0 +1,96 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace reads::util {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Percentiles::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Percentiles::percentile(double p) {
+  if (values_.empty()) throw std::logic_error("percentile of empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  ensure_sorted();
+  if (p == 0.0) return values_.front();
+  const auto n = static_cast<double>(values_.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return values_[std::min(values_.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    ++bins_.front();
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    ++bins_.back();
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(bins_.size()));
+  if (idx >= bins_.size()) idx = bins_.size() - 1;  // guard fp edge
+  ++bins_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(bins_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) / static_cast<double>(bins_.size());
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 0;
+  for (auto c : bins_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    const auto bar = peak == 0 ? std::size_t{0} : bins_[i] * width / peak;
+    out.setf(std::ios::fixed);
+    out.precision(4);
+    out << '[' << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(std::max<std::size_t>(bar, 1), '#') << ' ' << bins_[i]
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace reads::util

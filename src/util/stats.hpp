@@ -1,0 +1,84 @@
+// Streaming statistics and histograms used by the latency/accuracy harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reads::util {
+
+/// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile over a retained sample vector. Retention is fine at the
+/// scales we run (<= a few million doubles); nearest-rank definition.
+class Percentiles {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { values_.reserve(n); }
+  std::size_t count() const noexcept { return values_.size(); }
+
+  /// p in [0, 100]. Sorts lazily on first query after the last insertion.
+  double percentile(double p);
+  double median() { return percentile(50.0); }
+
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  void ensure_sorted();
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples land in
+/// saturating edge bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const { return bins_.at(i); }
+  std::size_t bins() const noexcept { return bins_.size(); }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+
+  /// Render an ASCII bar chart (one line per non-empty bin).
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> bins_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace reads::util

@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace reads::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+void Table::print(std::ostream& out) const { out << to_string(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto rule = [&] {
+    std::string s = "+";
+    for (auto w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  }();
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = rule + render_row(header_) + rule;
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule;
+  return out;
+}
+
+std::string Table::to_csv() const {
+  const auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    return q + "\"";
+  };
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += quote(header_[c]);
+    out += c + 1 < header_.size() ? "," : "\n";
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += quote(row[c]);
+      out += c + 1 < row.size() ? "," : "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace reads::util

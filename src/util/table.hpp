@@ -1,0 +1,34 @@
+// ASCII table / CSV rendering for the benchmark harnesses, so every bench
+// prints rows in the same layout as the paper's tables.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace reads::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for cells.
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render with column-aligned ASCII borders.
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+  std::string to_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace reads::util

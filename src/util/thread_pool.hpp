@@ -1,0 +1,55 @@
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// Training and the accuracy sweeps are embarrassingly parallel over samples;
+// on multi-core hosts the pool gives near-linear speedup, and on single-core
+// hosts parallel_for degrades to a plain loop with no thread overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace reads::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency() - 1 (the calling thread
+  /// participates in parallel_for, so one fewer worker is spawned).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Run fn(i) for i in [begin, end), partitioned into contiguous chunks.
+  /// Blocks until every index has been processed. fn must be safe to call
+  /// concurrently for distinct indices. Exceptions from fn terminate (the
+  /// workloads here are noexcept in practice; keep it simple and honest).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized from the hardware. Lazily constructed.
+  static ThreadPool& global();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace reads::util

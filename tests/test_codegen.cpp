@@ -1,0 +1,133 @@
+// Code-generator tests: the emitted HLS project must be structurally
+// complete and consistent with the firmware it was generated from.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "hls/codegen.hpp"
+#include "hls/profiler.hpp"
+#include "nn/builders.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace reads;
+
+hls::FirmwareModel tiny_firmware() {
+  static auto fw = [] {
+    auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+    nn::init_he_uniform(model, 7);
+    util::Xoshiro256 rng(8);
+    std::vector<tensor::Tensor> calib;
+    for (int i = 0; i < 4; ++i) {
+      tensor::Tensor t({16, 1});
+      for (auto& v : t.flat()) v = static_cast<float>(rng.normal());
+      calib.push_back(std::move(t));
+    }
+    hls::HlsConfig cfg;
+    cfg.quant = hls::layer_based_config(model, hls::profile_model(model, calib), 16);
+    return hls::compile(model, cfg);
+  }();
+  return fw;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (auto pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Codegen, ParametersDeclareEveryLayerType) {
+  const auto fw = tiny_firmware();
+  const auto project = hls::generate_project(fw, "unet_ip");
+  for (const auto& l : fw.layers) {
+    EXPECT_NE(project.parameters_h.find(l.name + "_act_t"), std::string::npos)
+        << l.name;
+    if (l.has_weights()) {
+      EXPECT_NE(project.parameters_h.find(l.name + "_weight_t"),
+                std::string::npos)
+          << l.name;
+    }
+  }
+  EXPECT_NE(project.parameters_h.find("kInputValues = 16"), std::string::npos);
+  EXPECT_NE(project.parameters_h.find("kOutputValues = 32"), std::string::npos);
+}
+
+TEST(Codegen, ParameterTypesCarryTheQuantPlan) {
+  const auto fw = tiny_firmware();
+  const auto project = hls::generate_project(fw);
+  const auto& head = fw.layer("head");
+  std::ostringstream expected;
+  expected << "typedef ac_fixed<" << head.quant.activation.width << ", "
+           << head.quant.activation.int_bits << ", true, AC_RND, AC_SAT> "
+           << "head_act_t;";
+  EXPECT_NE(project.parameters_h.find(expected.str()), std::string::npos);
+}
+
+TEST(Codegen, WeightsMatchFirmwareWordForWord) {
+  const auto fw = tiny_firmware();
+  const auto project = hls::generate_project(fw);
+  const auto& enc1a = fw.layer("enc1a");
+  std::ostringstream decl;
+  decl << "static const int32_t w_enc1a[" << enc1a.weights_raw.size() << "]";
+  EXPECT_NE(project.weights_h.find(decl.str()), std::string::npos);
+  // Spot-check the first weight value appears right after the declaration.
+  const auto pos = project.weights_h.find(decl.str());
+  const auto first = std::to_string(enc1a.weights_raw.front());
+  EXPECT_NE(project.weights_h.find(first, pos), std::string::npos);
+}
+
+TEST(Codegen, FirmwareCallsEveryLayerOnce) {
+  const auto fw = tiny_firmware();
+  const auto project = hls::generate_project(fw, "unet_ip");
+  EXPECT_EQ(count_occurrences(project.firmware_cpp, "conv_1d_same<"), 10u);
+  EXPECT_EQ(count_occurrences(project.firmware_cpp, "dense_pointwise<"), 1u);
+  EXPECT_EQ(count_occurrences(project.firmware_cpp, "maxpool_1d<"), 2u);
+  EXPECT_EQ(count_occurrences(project.firmware_cpp, "upsample_1d<"), 2u);
+  EXPECT_EQ(count_occurrences(project.firmware_cpp, "concat_channels<"), 2u);
+  EXPECT_EQ(count_occurrences(project.firmware_cpp, "relu<"), 10u);
+  EXPECT_EQ(count_occurrences(project.firmware_cpp, "sigmoid_lut<"), 1u);
+  EXPECT_NE(project.firmware_cpp.find("component void unet_ip("),
+            std::string::npos);
+}
+
+TEST(Codegen, LayerLibraryHasEveryTemplate) {
+  const auto project = hls::generate_project(tiny_firmware());
+  for (const char* fn :
+       {"read_input", "write_output", "dense_pointwise", "conv_1d_same",
+        "batchnorm_scale_shift", "maxpool_1d", "upsample_1d",
+        "concat_channels", "relu", "sigmoid_lut", "flatten"}) {
+    EXPECT_NE(project.nnet_layers_h.find(fn), std::string::npos) << fn;
+  }
+  EXPECT_NE(project.nnet_layers_h.find("#pragma unroll"), std::string::npos);
+}
+
+TEST(Codegen, WriteProjectEmitsAllFiles) {
+  const auto dir = ::testing::TempDir() + "/hls-project";
+  std::filesystem::remove_all(dir);
+  hls::write_project(tiny_firmware(), dir, "unet_ip");
+  for (const char* f : {"parameters.h", "weights.h", "nnet_layers.h",
+                        "firmware.cpp", "README.txt"}) {
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / f)) << f;
+  }
+  std::ifstream in(std::filesystem::path(dir) / "firmware.cpp");
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("unet_ip"), std::string::npos);
+}
+
+TEST(Codegen, DeterministicOutput) {
+  const auto a = hls::generate_project(tiny_firmware());
+  const auto b = hls::generate_project(tiny_firmware());
+  EXPECT_EQ(a.firmware_cpp, b.firmware_cpp);
+  EXPECT_EQ(a.weights_h, b.weights_h);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Core API tests: staged verification flow, pretrained cache, deblending
+// system decisions, and the co-design optimizer.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "blm/data.hpp"
+#include "core/codesign.hpp"
+#include "core/deblender.hpp"
+#include "core/pretrained.hpp"
+#include "core/verification.hpp"
+#include "nn/init.hpp"
+
+namespace {
+
+using namespace reads;
+
+core::PretrainedOptions tiny_options(const std::string& tag) {
+  core::PretrainedOptions o;
+  o.train_frames = 24;
+  o.epochs = 2;
+  o.batch_size = 8;
+  o.seed = 1234;
+  o.cache_dir = ::testing::TempDir() + "/reads-cache-" + tag;
+  // TempDir persists across runs; each fixture starts from a clean cache.
+  std::filesystem::remove_all(o.cache_dir);
+  return o;
+}
+
+TEST(VerificationFlow, AllSixStagesPass) {
+  const auto report = core::run_verification_flow(99);
+  ASSERT_EQ(report.stages.size(), 6u);
+  for (const auto& s : report.stages) {
+    EXPECT_TRUE(s.passed) << "stage " << s.stage << " (" << s.name
+                          << "): " << s.detail;
+  }
+  EXPECT_TRUE(report.all_passed());
+}
+
+TEST(VerificationFlow, DeterministicForSeed) {
+  const auto a = core::run_verification_flow(7);
+  const auto b = core::run_verification_flow(7);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_EQ(a.stages[i].detail, b.stages[i].detail);
+  }
+}
+
+TEST(Pretrained, TrainsThenLoadsFromCache) {
+  const auto opts = tiny_options("mlp");
+  const auto first = core::pretrained_mlp(opts);
+  EXPECT_FALSE(first.loaded_from_cache);
+  EXPECT_GT(first.final_loss, 0.0);
+  const auto second = core::pretrained_mlp(opts);
+  EXPECT_TRUE(second.loaded_from_cache);
+  // Identical weights after reload.
+  const auto p1 = first.model.parameters();
+  const auto p2 = second.model.parameters();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) EXPECT_EQ(*p1[i], *p2[i]);
+}
+
+TEST(Pretrained, CacheKeyDependsOnSeed) {
+  auto a = tiny_options("seed");
+  const auto dir = core::model_cache_dir(a);
+  core::pretrained_mlp(a);
+  auto b = a;
+  b.seed = 4321;
+  core::pretrained_mlp(b);
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    files += e.is_regular_file();
+  }
+  EXPECT_EQ(files, 2u);
+}
+
+TEST(Pretrained, StandardizerAlwaysFitted) {
+  const auto bundle = core::pretrained_mlp(tiny_options("std"));
+  EXPECT_TRUE(bundle.standardizer.fitted());
+}
+
+TEST(MitigationTarget, ToString) {
+  EXPECT_EQ(core::to_string(core::MitigationTarget::kMainInjector), "MI");
+  EXPECT_EQ(core::to_string(core::MitigationTarget::kRecyclerRing), "RR");
+  EXPECT_EQ(core::to_string(core::MitigationTarget::kNone), "none");
+}
+
+TEST(DeblendingSystem, ProcessesRawFramesWithinDeadline) {
+  core::DeblendConfig cfg;
+  cfg.model = tiny_options("deblend");
+  cfg.calibration_frames = 8;
+  auto system = core::DeblendingSystem::build(cfg);
+
+  blm::FrameGenerator gen(blm::MachineConfig::fermilab_like(), 777);
+  for (int i = 0; i < 3; ++i) {
+    const auto frame = gen.next();
+    const auto decision = system.process(frame.raw);
+    EXPECT_EQ(decision.probabilities.shape(),
+              (std::vector<std::size_t>{260, 2}));
+    EXPECT_GE(decision.mi_score, 0.0);
+    EXPECT_GE(decision.rr_score, 0.0);
+    EXPECT_TRUE(decision.timing.deadline_met);
+    EXPECT_LT(decision.timing.total_ms, 3.0);
+  }
+  EXPECT_EQ(system.float_model().param_count(), 134'434u);
+  EXPECT_GT(system.ip_latency().total_cycles, 0u);
+}
+
+TEST(Codesign, SelectsFeasibleLowestCost) {
+  auto model = nn::build_unet({.monitors = 32, .c1 = 4, .c2 = 6, .c3 = 8});
+  nn::init_he_uniform(model, 3);
+  const auto built = blm::build_data(12, 5);
+  std::vector<tensor::Tensor> calib;
+  // Down-sample the 260-monitor frames to 32 positions for the tiny model.
+  for (const auto& in : built.dataset.inputs) {
+    tensor::Tensor t({32, 1});
+    for (std::size_t m = 0; m < 32; ++m) t[m] = in[m * 8];
+    calib.push_back(std::move(t));
+  }
+
+  core::CodesignConstraints constraints;
+  constraints.min_accuracy = 0.9;
+  core::CodesignOptimizer opt(model, calib, constraints);
+
+  const auto reuse = hls::ReusePolicy{};
+  std::vector<core::Candidate> candidates = {
+      {hls::PrecisionStrategy::kLayerBased, 16, 0, reuse, "layer16"},
+      {hls::PrecisionStrategy::kLayerBased, 20, 0, reuse, "layer20"},
+  };
+  const auto outcome = opt.run(candidates);
+  ASSERT_EQ(outcome.results.size(), 2u);
+  ASSERT_TRUE(outcome.found());
+  EXPECT_TRUE(outcome.results[outcome.selected].feasible());
+}
+
+TEST(Codesign, ReportsInfeasibilityHonestly) {
+  auto model = nn::build_unet({.monitors = 32, .c1 = 4, .c2 = 6, .c3 = 8});
+  nn::init_he_uniform(model, 3);
+  std::vector<tensor::Tensor> calib = {tensor::Tensor({32, 1})};
+  core::CodesignConstraints constraints;
+  constraints.min_accuracy = 1.01;  // impossible by construction
+  core::CodesignOptimizer opt(model, calib, constraints);
+  const auto outcome =
+      opt.run({{hls::PrecisionStrategy::kLayerBased, 16, 0, {}, "x"}});
+  EXPECT_FALSE(outcome.found());
+}
+
+TEST(Codesign, DefaultCandidatesIncludePaperRows) {
+  auto model = nn::build_unet({.monitors = 32, .c1 = 4, .c2 = 6, .c3 = 8});
+  nn::init_he_uniform(model, 3);
+  std::vector<tensor::Tensor> calib = {tensor::Tensor({32, 1})};
+  core::CodesignOptimizer opt(model, calib);
+  const auto cs = opt.default_candidates();
+  ASSERT_GE(cs.size(), 3u);
+  EXPECT_EQ(cs[0].total_bits, 18);
+  EXPECT_EQ(cs[0].int_bits, 10);
+  EXPECT_EQ(cs[1].total_bits, 16);
+  EXPECT_EQ(cs[1].int_bits, 7);
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Fixed-point semantics tests: round/truncate, saturate/wrap, requantize,
+// and parameterized sweeps over widths/integer bits (property-style).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "fixed/fixed.hpp"
+#include "fixed/format.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace reads::fixed;
+
+TEST(FixedFormat, RangeAndEpsilon) {
+  const FixedFormat f(16, 7);  // paper default
+  EXPECT_EQ(f.frac_bits(), 9);
+  EXPECT_DOUBLE_EQ(f.epsilon(), std::ldexp(1.0, -9));
+  EXPECT_DOUBLE_EQ(f.max_value(), (std::ldexp(1.0, 15) - 1) / 512.0);
+  EXPECT_DOUBLE_EQ(f.min_value(), -64.0);
+}
+
+TEST(FixedFormat, TruncateRoundsTowardNegativeInfinity) {
+  const FixedFormat f(8, 4, true, QuantMode::kTruncate);
+  EXPECT_DOUBLE_EQ(f.to_double(f.quantize(1.30)), 1.25);
+  EXPECT_DOUBLE_EQ(f.to_double(f.quantize(-1.30)), -1.3125);
+}
+
+TEST(FixedFormat, RoundToNearest) {
+  const FixedFormat f(8, 4, true, QuantMode::kRound);
+  EXPECT_DOUBLE_EQ(f.to_double(f.quantize(1.30)), 1.3125);
+  EXPECT_DOUBLE_EQ(f.to_double(f.quantize(-1.30)), -1.3125);
+}
+
+TEST(FixedFormat, SaturatesAtBounds) {
+  const FixedFormat f(8, 4);
+  EXPECT_DOUBLE_EQ(f.to_double(f.quantize(100.0)), f.max_value());
+  EXPECT_DOUBLE_EQ(f.to_double(f.quantize(-100.0)), f.min_value());
+}
+
+TEST(FixedFormat, WrapIsModular) {
+  const FixedFormat f(8, 8, true, QuantMode::kTruncate, OverflowMode::kWrap);
+  // 8-bit all-integer: 130 wraps to 130 - 256 = -126.
+  EXPECT_DOUBLE_EQ(f.to_double(f.quantize(130.0)), -126.0);
+  EXPECT_DOUBLE_EQ(f.to_double(f.quantize(-130.0)), 126.0);
+}
+
+TEST(FixedFormat, NanQuantizesToZero) {
+  const FixedFormat f(16, 7);
+  EXPECT_EQ(f.quantize(std::nan("")), 0);
+}
+
+TEST(FixedFormat, InfinitySaturates) {
+  const FixedFormat f(16, 7);
+  EXPECT_EQ(f.quantize(1e300), f.raw_max());
+  EXPECT_EQ(f.quantize(-1e300), f.raw_min());
+}
+
+TEST(FixedFormat, UnsignedRange) {
+  const FixedFormat f(8, 4, /*is_signed=*/false);
+  EXPECT_EQ(f.raw_min(), 0);
+  EXPECT_EQ(f.raw_max(), 255);
+  EXPECT_DOUBLE_EQ(f.to_double(f.quantize(-3.0)), 0.0);
+}
+
+TEST(FixedFormat, RequantizeDownShiftTruncates) {
+  const FixedFormat to(8, 4, true, QuantMode::kTruncate);
+  // raw 0b...0111 at 6 frac bits = 7/64; to 4 frac bits (floor) = 1/16.
+  EXPECT_EQ(to.requantize_raw(7, 6), 1);
+  EXPECT_EQ(to.requantize_raw(-7, 6), -2);  // floor(-7/4) = -2
+}
+
+TEST(FixedFormat, RequantizeDownShiftRounds) {
+  const FixedFormat to(8, 4, true, QuantMode::kRound);
+  EXPECT_EQ(to.requantize_raw(7, 6), 2);   // 7/4 = 1.75 -> 2
+  EXPECT_EQ(to.requantize_raw(-7, 6), -2);  // ties-away from zero
+}
+
+TEST(FixedFormat, RequantizeUpShiftWidens) {
+  const FixedFormat to(16, 8);
+  EXPECT_EQ(to.requantize_raw(3, 2), 3 << 6);
+}
+
+TEST(FixedFormat, RequantizeSaturatesOnOverflow) {
+  const FixedFormat to(8, 4);
+  EXPECT_EQ(to.requantize_raw(std::int64_t{1} << 40, 4), to.raw_max());
+}
+
+TEST(FixedFormat, ToStringMatchesAcFixedSpelling) {
+  EXPECT_EQ(FixedFormat(16, 7).to_string(), "ac_fixed<16, 7>");
+  EXPECT_EQ(FixedFormat(8, 3, false).to_string(), "ac_fixed<8, 3, false>");
+}
+
+TEST(FixedFormat, RejectsBadWidth) {
+  EXPECT_THROW(FixedFormat(0, 0), std::invalid_argument);
+  EXPECT_THROW(FixedFormat(49, 10), std::invalid_argument);
+}
+
+TEST(FixedTyped, ArithmeticMatchesDoubleWithinEpsilon) {
+  using F = Fixed<16, 7>;
+  const F a(1.5);
+  const F b(2.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), -0.75);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), 3.375);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -1.5);
+}
+
+TEST(FixedTyped, AdditionSaturates) {
+  using F = Fixed<8, 8>;  // integer range [-128, 127]
+  const F a(100.0);
+  const F b(100.0);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 127.0);
+}
+
+TEST(FixedTyped, CrossFormatConversion) {
+  const Fixed<18, 10> wide(3.140625);
+  using Narrow = Fixed<16, 7>;
+  const auto narrow = Narrow::from(wide);
+  EXPECT_NEAR(narrow.to_double(), 3.140625, Narrow::format().epsilon());
+}
+
+TEST(FixedTyped, ComparisonOperators) {
+  using F = Fixed<16, 7>;
+  EXPECT_LT(F(1.0), F(2.0));
+  EXPECT_EQ(F(1.5), F(1.5));
+}
+
+// Property sweep: quantize->dequantize error is bounded by the quantum, for
+// every (width, int_bits) combination used anywhere in the paper's sweeps.
+class FormatSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FormatSweep, RoundTripErrorBounded) {
+  const auto [width, int_bits] = GetParam();
+  const FixedFormat f(width, int_bits, true, QuantMode::kRound);
+  reads::util::Xoshiro256 rng(314);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(f.min_value(), f.max_value());
+    EXPECT_LE(std::fabs(f.apply(v) - v), f.epsilon() * 0.5 + 1e-15)
+        << f.to_string() << " v=" << v;
+  }
+}
+
+TEST_P(FormatSweep, RawStaysInContainerBounds) {
+  const auto [width, int_bits] = GetParam();
+  const FixedFormat f(width, int_bits);
+  reads::util::Xoshiro256 rng(159);
+  for (int i = 0; i < 500; ++i) {
+    const auto raw = f.quantize(rng.normal(0.0, f.max_value()));
+    EXPECT_GE(raw, f.raw_min());
+    EXPECT_LE(raw, f.raw_max());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndIntBits, FormatSweep,
+    ::testing::Combine(::testing::Values(8, 10, 12, 14, 16, 18, 20),
+                       ::testing::Values(2, 4, 7, 10)),
+    [](const auto& param_info) {
+      return "w" + std::to_string(std::get<0>(param_info.param)) + "i" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// Requantization between formats preserves value when the destination can
+// represent it exactly.
+class RequantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RequantSweep, LosslessWhenRepresentable) {
+  const int from_frac = GetParam();
+  const FixedFormat to(20, 8, true, QuantMode::kRound);
+  for (std::int64_t v : {-5, -1, 0, 1, 3, 7}) {
+    // value v at `from_frac` frac bits == v * 2^-from_frac
+    const double value = std::ldexp(static_cast<double>(v), -from_frac);
+    if (std::fabs(value) > to.max_value()) continue;
+    const auto raw = to.requantize_raw(v, from_frac);
+    EXPECT_DOUBLE_EQ(to.to_double(raw), value) << "from_frac=" << from_frac;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FracBits, RequantSweep, ::testing::Range(0, 12));
+
+}  // namespace

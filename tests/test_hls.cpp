@@ -1,0 +1,494 @@
+// hls module tests: precision math, profiling, firmware lowering, the
+// bit-accurate quantized executor (including the wrap-accumulator overflow
+// semantics behind the paper's Table II / Fig. 5b), and the resource /
+// latency models with their paper-shaped properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "hls/accuracy.hpp"
+#include "hls/firmware.hpp"
+#include "hls/latency.hpp"
+#include "hls/precision.hpp"
+#include "hls/profiler.hpp"
+#include "hls/qmodel.hpp"
+#include "hls/resource.hpp"
+#include "nn/builders.hpp"
+#include "nn/init.hpp"
+#include "nn/layers/activations.hpp"
+#include "nn/layers/batchnorm.hpp"
+#include "nn/layers/dense.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace reads;
+using tensor::Tensor;
+
+Tensor random_frame(const std::vector<std::size_t>& shape, std::uint64_t seed,
+                    double scale = 1.0) {
+  util::Xoshiro256 rng(seed);
+  Tensor t(shape);
+  for (auto& v : t.flat()) v = static_cast<float>(scale * rng.normal());
+  return t;
+}
+
+// ------------------------------------------------------------- precision
+
+TEST(Precision, IntBitsForCoversPowerBoundaries) {
+  EXPECT_EQ(hls::int_bits_for(0.0), 1);
+  EXPECT_EQ(hls::int_bits_for(0.5), 1);
+  EXPECT_EQ(hls::int_bits_for(1.5), 2);
+  EXPECT_EQ(hls::int_bits_for(63.9), 7);
+  EXPECT_EQ(hls::int_bits_for(64.1), 8);
+  EXPECT_EQ(hls::int_bits_for(500.0), 10);
+}
+
+TEST(Precision, IntBitsAreSufficient) {
+  // Property: a spec with int_bits_for(v) integer bits represents v without
+  // saturation (the paper's layer-based sizing rule).
+  for (double v : {0.3, 1.0, 2.5, 17.0, 63.0, 100.0, 450.0, 1200.0}) {
+    const hls::FixedSpec spec{16, std::min(16, hls::int_bits_for(v))};
+    if (spec.int_bits == 16 && v > spec.format().max_value()) continue;
+    EXPECT_LE(v, spec.format().max_value() + 1e-9) << v;
+  }
+}
+
+TEST(Precision, QuantConfigUniformAndOverride) {
+  auto cfg = hls::QuantConfig::uniform({18, 10});
+  EXPECT_EQ(cfg.layer("anything").weight, (hls::FixedSpec{18, 10}));
+  cfg.per_layer["special"] = {{16, 2}, {16, 2}, {16, 9}};
+  EXPECT_EQ(cfg.layer("special").activation, (hls::FixedSpec{16, 9}));
+}
+
+// -------------------------------------------------------------- profiler
+
+TEST(Profiler, CapturesMaxRanges) {
+  auto model = nn::build_mlp({.inputs = 4, .hidden = 3, .outputs = 2});
+  nn::init_he_uniform(model, 1);
+  std::vector<Tensor> inputs = {random_frame({1, 4}, 2, 10.0),
+                                random_frame({1, 4}, 3, 0.1)};
+  const auto prof = hls::profile_model(model, inputs);
+  EXPECT_EQ(prof.calibration_frames, 2u);
+  EXPECT_GT(prof.max_activation.at("blm_frame"), 1.0);
+  EXPECT_GT(prof.max_weight.at("dense1"), 0.0);
+  EXPECT_THROW(hls::profile_model(model, {}), std::invalid_argument);
+}
+
+TEST(Profiler, LayerBasedConfigSizesIntBitsFromProfile) {
+  auto model = nn::build_mlp({.inputs = 4, .hidden = 3, .outputs = 2});
+  nn::init_he_uniform(model, 5);
+  std::vector<Tensor> inputs = {random_frame({1, 4}, 6, 40.0)};
+  const auto prof = hls::profile_model(model, inputs);
+  const auto cfg = hls::layer_based_config(model, prof, 16);
+  const auto in_spec = cfg.layer("blm_frame").activation;
+  EXPECT_EQ(in_spec.width, 16);
+  EXPECT_EQ(in_spec.int_bits,
+            hls::int_bits_for(prof.max_activation.at("blm_frame")));
+  // extra_int_bits adds guard bits.
+  const auto cfg1 = hls::layer_based_config(model, prof, 16, 1);
+  EXPECT_EQ(cfg1.layer("blm_frame").activation.int_bits,
+            std::min(16, in_spec.int_bits + 1));
+}
+
+TEST(Profiler, CoverageHistogramConsistentWithMax) {
+  auto model = nn::build_mlp({.inputs = 4, .hidden = 3, .outputs = 2});
+  nn::init_he_uniform(model, 9);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 8; ++i) inputs.push_back(random_frame({1, 4}, 700u + static_cast<unsigned>(i), 5.0));
+  const auto prof = hls::profile_model(model, inputs);
+  for (const auto& node : model.nodes()) {
+    // Full coverage must reproduce the max-abs integer-bit count.
+    EXPECT_EQ(prof.int_bits_for_coverage(node.name, 1.0),
+              hls::int_bits_for(prof.max_activation.at(node.name)))
+        << node.name;
+    // Lower coverage can only shrink (or keep) the requirement.
+    EXPECT_LE(prof.int_bits_for_coverage(node.name, 0.9),
+              prof.int_bits_for_coverage(node.name, 1.0));
+  }
+}
+
+TEST(Profiler, CoverageConfigMatchesMaxRuleAtFullCoverage) {
+  auto model = nn::build_mlp({.inputs = 4, .hidden = 3, .outputs = 2});
+  nn::init_he_uniform(model, 11);
+  std::vector<Tensor> inputs = {random_frame({1, 4}, 800, 3.0)};
+  const auto prof = hls::profile_model(model, inputs);
+  const auto a = hls::layer_based_config(model, prof, 16);
+  const auto b = hls::layer_based_config(model, prof, 16, 0, 1.0);
+  for (const auto& [name, lq] : a.per_layer) {
+    EXPECT_EQ(lq.activation, b.layer(name).activation) << name;
+  }
+  EXPECT_THROW(hls::layer_based_config(model, prof, 16, 0, 0.0),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- firmware
+
+TEST(Firmware, CompileMapsEveryNodeAndQuantizesWeights) {
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, 7);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 7});
+  const auto fw = hls::compile(model, cfg);
+  EXPECT_EQ(fw.layers.size(), model.nodes().size());
+  EXPECT_EQ(fw.input_values, 16u);
+  EXPECT_EQ(fw.output_values, 32u);
+  const auto& enc1a = fw.layer("enc1a");
+  EXPECT_EQ(enc1a.kind, hls::LayerKind::kConv1D);
+  EXPECT_EQ(enc1a.weights_raw.size(), 3u * 3u * 1u);
+  EXPECT_EQ(enc1a.bias_raw.size(), 3u);
+  for (auto w : enc1a.weights_raw) {
+    EXPECT_GE(w, -(std::int64_t{1} << 15));
+    EXPECT_LT(w, std::int64_t{1} << 15);
+  }
+}
+
+TEST(Firmware, ReuseClampsToPerPositionMults) {
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, 7);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 7});
+  cfg.reuse.default_reuse = 10'000;  // absurdly serial
+  const auto fw = hls::compile(model, cfg);
+  const auto& head = fw.layer("head");
+  EXPECT_EQ(head.mults_per_output, 3u * 2u);
+  EXPECT_EQ(head.reuse, 6u);               // clamped
+  EXPECT_EQ(head.instantiated_mults, 1u);  // fully serial
+}
+
+TEST(Firmware, DeployedPoliciesMatchPaper) {
+  const auto unet = hls::ReusePolicy::deployed_unet();
+  EXPECT_EQ(unet.default_reuse, 32u);
+  EXPECT_EQ(unet.requested("bot_b"), 260u);
+  EXPECT_EQ(unet.requested("head"), 260u);
+  EXPECT_EQ(unet.requested("enc1a"), 32u);
+  EXPECT_EQ(hls::ReusePolicy::deployed_mlp().default_reuse, 128u);
+}
+
+TEST(Firmware, BatchNormFoldsToScaleShift) {
+  nn::Model model("in", {4, 2});
+  auto bn = std::make_unique<nn::BatchNorm1D>(2);
+  bn->set_running_stats(Tensor::from({2}, {1.0f, 2.0f}),
+                        Tensor::from({2}, {4.0f, 9.0f}));
+  model.add("bn", std::move(bn), {"in"});
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 4});
+  const auto fw = hls::compile(model, cfg);
+  const auto& l = fw.layer("bn");
+  EXPECT_EQ(l.kind, hls::LayerKind::kBatchNorm);
+  ASSERT_EQ(l.weights_raw.size(), 2u);
+  const auto fmt = l.quant.weight.format();
+  EXPECT_NEAR(fmt.to_double(l.weights_raw[0]), 1.0 / std::sqrt(4.001), 1e-2);
+}
+
+// ---------------------------------------------------------------- qmodel
+
+TEST(QuantizedModel, MatchesFloatModelOnBenignRanges) {
+  auto model = nn::build_mlp({.inputs = 8, .hidden = 6, .outputs = 4});
+  nn::init_he_uniform(model, 11);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 8; ++i) inputs.push_back(random_frame({1, 8}, 100u + static_cast<unsigned>(i)));
+  const auto prof = hls::profile_model(model, inputs);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::layer_based_config(model, prof, 16);
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  for (const auto& in : inputs) {
+    EXPECT_LT(tensor::max_abs_diff(model.forward(in), qm.forward(in)), 0.02);
+  }
+}
+
+TEST(QuantizedModel, WiderBitsReduceError) {
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, 13);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 4; ++i) inputs.push_back(random_frame({16, 1}, 200u + static_cast<unsigned>(i)));
+  const auto prof = hls::profile_model(model, inputs);
+  double prev_err = 1e9;
+  for (int bits : {8, 12, 16, 20}) {
+    hls::HlsConfig cfg;
+    cfg.quant = hls::layer_based_config(model, prof, bits);
+    const hls::QuantizedModel qm(hls::compile(model, cfg));
+    double err = 0.0;
+    for (const auto& in : inputs) {
+      err = std::max<double>(err,
+                             tensor::max_abs_diff(model.forward(in), qm.forward(in)));
+    }
+    EXPECT_LE(err, prev_err + 1e-6) << bits << " bits";
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.01);
+}
+
+TEST(QuantizedModel, AccumulatorWrapsOnOverflow) {
+  // One dense layer whose true output (200) exceeds the <16,7> ring (+-64):
+  // the wrap accumulator must NOT saturate to 63.998 but wrap to garbage —
+  // the paper's "inner layer overflow".
+  nn::Model model("in", {1, 2});
+  auto dense = std::make_unique<nn::Dense>(2, 1);
+  dense->weight() = Tensor::from({1, 2}, {10.0f, 10.0f});
+  dense->bias() = Tensor::from({1}, {0.0f});
+  model.add("d", std::move(dense), {"in"});
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 7});
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  const auto in = Tensor::from({1, 2}, {10.0f, 10.0f});
+  hls::ForwardStats stats;
+  const auto out = qm.forward(in, &stats);
+  EXPECT_EQ(stats.total_overflows(), 1u);
+  EXPECT_LT(out[0], 64.0f);       // not the true 200
+  EXPECT_NE(out[0], 63.998047f);  // and not a clean saturation either
+}
+
+TEST(QuantizedModel, NoOverflowWithEnoughIntBits) {
+  nn::Model model("in", {1, 2});
+  auto dense = std::make_unique<nn::Dense>(2, 1);
+  dense->weight() = Tensor::from({1, 2}, {10.0f, 10.0f});
+  dense->bias() = Tensor::from({1}, {0.0f});
+  model.add("d", std::move(dense), {"in"});
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 9});  // range +-256 covers 200
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  hls::ForwardStats stats;
+  const auto out = qm.forward(Tensor::from({1, 2}, {10.0f, 10.0f}), &stats);
+  EXPECT_EQ(stats.total_overflows(), 0u);
+  EXPECT_NEAR(out[0], 200.0f, 0.5f);
+}
+
+TEST(QuantizedModel, ExtraIntBitReducesOverflows) {
+  // Fig. 5b's claim, as a property: +1 integer bit never increases and
+  // typically halves the overflow count.
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, 17);
+  std::vector<Tensor> calib;
+  for (int i = 0; i < 4; ++i) calib.push_back(random_frame({16, 1}, 300u + static_cast<unsigned>(i), 3.0));
+  const auto prof = hls::profile_model(model, calib);
+  std::vector<Tensor> hot;
+  for (int i = 0; i < 16; ++i) hot.push_back(random_frame({16, 1}, 400u + static_cast<unsigned>(i), 9.0));
+  std::size_t counts[2] = {0, 0};
+  for (int extra = 0; extra < 2; ++extra) {
+    hls::HlsConfig cfg;
+    cfg.quant = hls::layer_based_config(model, prof, 12, extra);
+    const hls::QuantizedModel qm(hls::compile(model, cfg));
+    hls::ForwardStats stats;
+    for (const auto& in : hot) qm.forward(in, &stats);
+    counts[extra] = stats.total_overflows();
+  }
+  EXPECT_LE(counts[1], counts[0]);
+}
+
+TEST(QuantizedModel, SigmoidLutAccuracy) {
+  nn::Model model("in", {1, 4});
+  model.add("s", std::make_unique<nn::Sigmoid>(), {"in"});
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 6});
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  const auto in = Tensor::from({1, 4}, {-6.0f, -0.5f, 0.5f, 6.0f});
+  const auto out = qm.forward(in);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(out[i], 1.0f / (1.0f + std::exp(-in[i])), 0.02f) << i;
+  }
+}
+
+TEST(QuantizedModel, RawPathMatchesFloatPath) {
+  auto model = nn::build_mlp({.inputs = 6, .hidden = 4, .outputs = 3});
+  nn::init_he_uniform(model, 19);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 7});
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  const auto in = random_frame({1, 6}, 500);
+  const auto via_float = qm.forward(in);
+  const auto via_raw = qm.dequantize_output(qm.forward_raw(qm.quantize_input(in)));
+  EXPECT_EQ(tensor::max_abs_diff(via_float, via_raw), 0.0f);
+}
+
+TEST(QuantizedModel, InputSizeValidated) {
+  auto model = nn::build_mlp({.inputs = 6, .hidden = 4, .outputs = 3});
+  nn::init_he_uniform(model, 19);
+  hls::HlsConfig cfg;
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  EXPECT_THROW(qm.forward(Tensor({1, 5})), std::invalid_argument);
+  EXPECT_THROW(qm.forward_raw(std::vector<std::int64_t>(5)),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- resource
+
+hls::FirmwareModel unet_firmware(hls::FixedSpec spec,
+                                 std::size_t default_reuse = 32) {
+  static auto model = [] {
+    auto m = nn::build_unet();
+    nn::init_he_uniform(m, 23);
+    return m;
+  }();
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform(spec);
+  cfg.reuse = hls::ReusePolicy::deployed_unet();
+  cfg.reuse.default_reuse = default_reuse;
+  return hls::compile(model, cfg);
+}
+
+TEST(ResourceModel, PaperCliff18BitsExceedsDevice) {
+  const hls::ResourceModel rm;
+  const auto r18 = rm.estimate(unet_firmware({18, 10}));
+  const auto r16 = rm.estimate(unet_firmware({16, 7}));
+  EXPECT_GT(r18.alut_utilization(), 1.0);   // paper: 115%
+  EXPECT_LT(r16.alut_utilization(), 0.45);  // paper: 22%
+  EXPECT_FALSE(r18.fits());
+  EXPECT_TRUE(r16.fits());
+}
+
+TEST(ResourceModel, DspCountNearPaper) {
+  const hls::ResourceModel rm;
+  const auto r = rm.estimate(unet_firmware({16, 7}));
+  EXPECT_NEAR(static_cast<double>(r.total_dsps), 273.0, 120.0);  // Table III
+  EXPECT_LT(r.dsp_utilization(), 0.5);
+}
+
+TEST(ResourceModel, MonotonicInReuse) {
+  const hls::ResourceModel rm;
+  double prev = 1e18;
+  for (std::size_t reuse : {8u, 16u, 32u, 64u, 128u}) {
+    const auto r = rm.estimate(unet_firmware({16, 7}, reuse));
+    EXPECT_LT(r.alut_utilization(), prev) << "reuse " << reuse;
+    prev = r.alut_utilization();
+  }
+}
+
+TEST(ResourceModel, RamBlocksTrackPartitions) {
+  const hls::ResourceModel rm;
+  const auto fw = unet_firmware({16, 7});
+  std::size_t mults = 0;
+  for (const auto& l : fw.layers) mults += l.instantiated_mults;
+  const auto r = rm.estimate(fw);
+  EXPECT_GE(r.total_ram_blocks, mults);  // one ROM partition per multiplier
+}
+
+TEST(ResourceModel, CycloneIsSmallerThanArria) {
+  const auto arria = hls::DeviceSpec::arria10_sx660();
+  const auto cyclone = hls::DeviceSpec::cyclone5();
+  EXPECT_GT(arria.aluts, cyclone.aluts);
+  EXPECT_GT(arria.dsp_blocks, cyclone.dsp_blocks);
+}
+
+// ---------------------------------------------------------------- latency
+
+TEST(LatencyModel, MonotonicInReuse) {
+  const hls::LatencyModel lm;
+  std::size_t prev = 0;
+  for (std::size_t reuse : {8u, 16u, 32u, 64u}) {
+    const auto rep = lm.estimate(unet_firmware({16, 7}, reuse));
+    EXPECT_GT(rep.total_cycles, prev) << "reuse " << reuse;
+    prev = rep.total_cycles;
+  }
+}
+
+TEST(LatencyModel, UNetIpLatencyNearPaper) {
+  const auto rep = hls::LatencyModel().estimate(unet_firmware({16, 7}));
+  // Paper: 1.57 ms FPGA IP latency at 100 MHz; accept the model within ~25%.
+  EXPECT_GT(rep.total_ms(), 1.1);
+  EXPECT_LT(rep.total_ms(), 2.0);
+}
+
+TEST(LatencyModel, IoCyclesMatchWordCounts) {
+  const auto fw = unet_firmware({16, 7});
+  const auto rep = hls::LatencyModel().estimate(fw);
+  EXPECT_EQ(rep.io_cycles, fw.input_values + fw.output_values);
+  EXPECT_EQ(rep.total_cycles, rep.compute_cycles + rep.io_cycles);
+}
+
+TEST(LatencyModel, ClockScalesTime) {
+  auto fw = unet_firmware({16, 7});
+  fw.config.clock_mhz = 200.0;
+  const auto rep = hls::LatencyModel().estimate(fw);
+  EXPECT_NEAR(rep.total_ms() * 2.0,
+              static_cast<double>(rep.total_cycles) / 1e5, 1e-9);
+}
+
+// ---------------------------------------------------------------- accuracy
+
+TEST(Accuracy, PerfectModelScoresOne) {
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, 29);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 4; ++i) inputs.push_back(random_frame({16, 1}, 600u + static_cast<unsigned>(i)));
+  const auto prof = hls::profile_model(model, inputs);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::layer_based_config(model, prof, 20);
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  const auto rep = hls::evaluate_quantization(model, qm, inputs);
+  EXPECT_EQ(rep.accuracy_mi, 1.0);
+  EXPECT_EQ(rep.accuracy_rr, 1.0);
+  EXPECT_EQ(rep.outliers_total(), 0u);
+  EXPECT_EQ(rep.frames, 4u);
+  EXPECT_EQ(rep.outputs_per_channel, 64u);
+}
+
+// Sigmoid LUT must be monotone non-decreasing for every activation width —
+// a property sweep in the spirit of the paper's bit-width scans.
+class SigmoidLutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SigmoidLutSweep, MonotoneAndBounded) {
+  const int bits = GetParam();
+  nn::Model model("in", {1, 1});
+  model.add("s", std::make_unique<nn::Sigmoid>(), {"in"});
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({bits, 6});
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  float prev = -1.0f;
+  for (double x = -10.0; x <= 10.0; x += 0.25) {
+    const auto out = qm.forward(Tensor::from({1, 1}, {static_cast<float>(x)}));
+    EXPECT_GE(out[0], prev - 1e-6) << "x=" << x << " bits=" << bits;
+    EXPECT_GE(out[0], 0.0f);
+    EXPECT_LE(out[0], 1.0f);
+    prev = out[0];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SigmoidLutSweep,
+                         ::testing::Values(10, 12, 14, 16, 18));
+
+TEST(QuantizedModel, ForwardIsDeterministic) {
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, 41);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 8});
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  const auto in = random_frame({16, 1}, 42);
+  EXPECT_EQ(tensor::max_abs_diff(qm.forward(in), qm.forward(in)), 0.0f);
+}
+
+TEST(ResourceModel, LayerBasedCostsSlightlyMoreThanUniformSameWidth) {
+  // Alignment shifters between differently-scaled layers are the only
+  // delta; they must exist but stay small (paper: 22% vs 31%).
+  static auto model = [] {
+    auto m = nn::build_unet();
+    nn::init_he_uniform(m, 43);
+    return m;
+  }();
+  std::vector<Tensor> calib = {random_frame({260, 1}, 44, 30.0)};
+  const auto profile = hls::profile_model(model, calib);
+  hls::HlsConfig uniform_cfg;
+  uniform_cfg.quant = hls::QuantConfig::uniform({16, 7});
+  uniform_cfg.reuse = hls::ReusePolicy::deployed_unet();
+  hls::HlsConfig layered_cfg = uniform_cfg;
+  layered_cfg.quant = hls::layer_based_config(model, profile, 16);
+  const hls::ResourceModel rm;
+  const auto u = rm.estimate(hls::compile(model, uniform_cfg));
+  const auto l = rm.estimate(hls::compile(model, layered_cfg));
+  EXPECT_GE(l.total_aluts, u.total_aluts);
+  EXPECT_LT(static_cast<double>(l.total_aluts),
+            static_cast<double>(u.total_aluts) * 1.6);
+}
+
+TEST(Accuracy, RequiresTwoChannelOutput) {
+  auto model = nn::build_mlp({.inputs = 4, .hidden = 3, .outputs = 3});
+  nn::init_he_uniform(model, 1);
+  hls::HlsConfig cfg;
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  std::vector<Tensor> inputs = {random_frame({1, 4}, 2)};
+  EXPECT_THROW(hls::evaluate_quantization(model, qm, inputs),
+               std::invalid_argument);
+}
+
+}  // namespace

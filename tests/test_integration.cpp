@@ -1,0 +1,162 @@
+// Cross-module integration tests: the full train -> profile -> quantize ->
+// deploy pipeline at reduced scale, asserting the paper's qualitative
+// findings (layer-based precision dominates uniform 16-bit; uniform 18-bit
+// busts the ALUT budget; the SoC path is bit-exact; the stream sustains the
+// deployment rate).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blm/data.hpp"
+#include "hls/accuracy.hpp"
+#include "hls/latency.hpp"
+#include "hls/profiler.hpp"
+#include "hls/qmodel.hpp"
+#include "hls/resource.hpp"
+#include "nn/builders.hpp"
+#include "nn/init.hpp"
+#include "soc/system.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace reads;
+using tensor::Tensor;
+
+/// Shared reduced-scale deployment: 64 monitors, trained on generated BLM
+/// events, quantized layer-based 16-bit. Built once for the whole suite.
+struct Deployment {
+  nn::Model model;
+  train::Standardizer standardizer;
+  std::vector<Tensor> eval_inputs;
+  hls::Profile profile;
+
+  Deployment()
+      : model(nn::build_unet({.monitors = 64, .c1 = 6, .c2 = 9, .c3 = 12})) {
+    auto machine = blm::MachineConfig::fermilab_like();
+    machine.monitors = 64;
+    machine.mi.source_positions = {4, 14, 25, 37, 49, 58};
+    machine.rr.source_positions = {2, 9, 20, 30, 41, 52, 61};
+    auto built = blm::build_data(64, 11, blm::InputScaling::kStandardized,
+                                 machine);
+    standardizer = built.standardizer;
+
+    nn::init_he_uniform(model, 12);
+    train::MseLoss loss;
+    train::Adam adam(2e-3);
+    train::Trainer trainer(model, loss, adam);
+    train::TrainConfig cfg;
+    cfg.epochs = 8;
+    cfg.batch_size = 8;
+    trainer.fit(built.dataset, cfg);
+
+    eval_inputs = blm::build_eval_inputs(24, 13, standardizer, machine);
+    profile = hls::profile_model(model, eval_inputs);
+  }
+
+  hls::FirmwareModel firmware(hls::QuantConfig quant) const {
+    hls::HlsConfig cfg;
+    cfg.quant = std::move(quant);
+    cfg.reuse.default_reuse = 32;
+    return hls::compile(model, cfg);
+  }
+
+  static const Deployment& instance() {
+    static Deployment d;
+    return d;
+  }
+};
+
+TEST(Integration, TrainingProducedWideDynamicRanges) {
+  const auto& d = Deployment::instance();
+  double max_act = 0.0;
+  for (const auto& [name, v] : d.profile.max_activation) {
+    max_act = std::max(max_act, v);
+  }
+  // The paper's central premise: trained-on-real-data models have inner
+  // ranges far beyond ac_fixed<16,7>'s +-64.
+  EXPECT_GT(max_act, 64.0);
+}
+
+TEST(Integration, LayerBasedBeatsUniform16) {
+  const auto& d = Deployment::instance();
+  const hls::QuantizedModel uniform16(
+      d.firmware(hls::QuantConfig::uniform({16, 7})));
+  const hls::QuantizedModel layered(
+      d.firmware(hls::layer_based_config(d.model, d.profile, 16)));
+  const auto acc_u = hls::evaluate_quantization(d.model, uniform16, d.eval_inputs);
+  const auto acc_l = hls::evaluate_quantization(d.model, layered, d.eval_inputs);
+  EXPECT_GT(acc_l.accuracy_mi, 0.97);
+  EXPECT_GT(acc_l.accuracy_rr, 0.97);
+  EXPECT_GT(acc_l.accuracy_mi, acc_u.accuracy_mi);
+  EXPECT_GT(acc_l.accuracy_rr, acc_u.accuracy_rr);
+  EXPECT_GT(acc_u.overflow_events, 0u);  // inner-layer overflows occurred
+}
+
+TEST(Integration, Uniform18AccurateButOverBudgetOnFullModel) {
+  // Resource budget is about the full 134k-parameter model, so use it here
+  // (weights random — resources don't depend on values).
+  auto full = nn::build_unet();
+  nn::init_he_uniform(full, 3);
+  hls::HlsConfig cfg18;
+  cfg18.quant = hls::QuantConfig::uniform({18, 10});
+  cfg18.reuse = hls::ReusePolicy::deployed_unet();
+  const auto r18 = hls::ResourceModel().estimate(hls::compile(full, cfg18));
+  hls::HlsConfig cfg16 = cfg18;
+  cfg16.quant = hls::QuantConfig::uniform({16, 7});
+  const auto r16 = hls::ResourceModel().estimate(hls::compile(full, cfg16));
+  EXPECT_GT(r18.alut_utilization(), 1.0);
+  EXPECT_LT(r16.alut_utilization(), 0.5);
+}
+
+TEST(Integration, SocPathBitExactAndSustains320Fps) {
+  const auto& d = Deployment::instance();
+  const hls::QuantizedModel qm(
+      d.firmware(hls::layer_based_config(d.model, d.profile, 16)));
+  soc::ArriaSocSystem system(qm, soc::SocParams{}, 21);
+  for (int i = 0; i < 4; ++i) {
+    const auto via_soc = system.process(d.eval_inputs[static_cast<std::size_t>(i)]);
+    const auto direct = qm.forward(d.eval_inputs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(tensor::max_abs_diff(via_soc.output, direct), 0.0f);
+    EXPECT_TRUE(via_soc.timing.deadline_met);
+  }
+  const auto stream = system.run_stream(
+      std::span(d.eval_inputs.data(), 12), 320.0);
+  EXPECT_EQ(stream.deadline_misses, 0u);
+  EXPECT_GT(stream.achieved_fps, 320.0);
+}
+
+TEST(Integration, ReuseTradeoffIsResourceLatencyMonotone) {
+  const auto& d = Deployment::instance();
+  double prev_alut = 1e9;
+  std::size_t prev_cycles = 0;
+  for (std::size_t reuse : {8u, 32u, 128u}) {
+    hls::HlsConfig cfg;
+    cfg.quant = hls::layer_based_config(d.model, d.profile, 16);
+    cfg.reuse.default_reuse = reuse;
+    const auto fw = hls::compile(d.model, cfg);
+    const auto res = hls::ResourceModel().estimate(fw);
+    const auto lat = hls::LatencyModel().estimate(fw);
+    EXPECT_LT(res.alut_utilization(), prev_alut);
+    EXPECT_GT(lat.total_cycles, prev_cycles);
+    prev_alut = res.alut_utilization();
+    prev_cycles = lat.total_cycles;
+  }
+}
+
+TEST(Integration, QuantizedOutputsStayInUnitInterval) {
+  const auto& d = Deployment::instance();
+  const hls::QuantizedModel qm(
+      d.firmware(hls::layer_based_config(d.model, d.profile, 16)));
+  for (const auto& in : d.eval_inputs) {
+    const auto out = qm.forward(in);
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      EXPECT_GE(out[i], 0.0f);
+      EXPECT_LE(out[i], 1.0f);
+    }
+  }
+}
+
+}  // namespace

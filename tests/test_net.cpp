@@ -1,0 +1,202 @@
+// Network substrate tests: packet encoding, hub layout/transmission, frame
+// assembly (including loss and straggler handling), ACNET journaling, and
+// the facility link end to end.
+#include <gtest/gtest.h>
+
+#include "net/acnet.hpp"
+#include "net/assembler.hpp"
+#include "net/facility.hpp"
+#include "net/hub.hpp"
+#include "net/packet.hpp"
+
+namespace {
+
+using namespace reads;
+
+TEST(Packet, ReadingCodecRoundTripsWithinQuantum) {
+  for (double v : {0.0, 1.5, 104'987.25, 119'999.9375}) {
+    EXPECT_NEAR(net::decode_reading(net::encode_reading(v)), v,
+                1.0 / net::kCountScale);
+  }
+}
+
+TEST(Packet, CodecClampsNegativeAndHuge) {
+  EXPECT_EQ(net::encode_reading(-5.0), 0u);
+  EXPECT_EQ(net::encode_reading(1e12), 4294967295u);
+}
+
+TEST(Packet, WireBytesIncludeFraming) {
+  net::BlmPacket p;
+  p.readings.resize(37);
+  EXPECT_EQ(p.wire_bytes(), 8u + 37u * 4u + 42u);
+}
+
+TEST(HubLayout, CoversRingExactlyOnce) {
+  const auto spans = net::hub_layout(260, 7);
+  ASSERT_EQ(spans.size(), 7u);
+  std::size_t covered = 0;
+  std::uint16_t cursor = 0;
+  for (const auto& [first, count] : spans) {
+    EXPECT_EQ(first, cursor);
+    covered += count;
+    cursor = static_cast<std::uint16_t>(cursor + count);
+  }
+  EXPECT_EQ(covered, 260u);
+  // 260 = 7*37 + 1: one hub gets an extra monitor.
+  EXPECT_EQ(spans[0].second, 38u);
+  EXPECT_EQ(spans[1].second, 37u);
+}
+
+TEST(HubLayout, RejectsDegenerateRequests) {
+  EXPECT_THROW(net::hub_layout(3, 7), std::invalid_argument);
+  EXPECT_THROW(net::hub_layout(10, 0), std::invalid_argument);
+}
+
+TEST(BlmHub, TransmitsItsSpan) {
+  net::BlmHub hub(2, 10, 5, net::LinkParams{}, 1);
+  std::vector<double> frame(260, 0.0);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = 100'000.0 + static_cast<double>(i);
+  }
+  const auto d = hub.transmit(7, frame);
+  EXPECT_FALSE(d.dropped);
+  EXPECT_EQ(d.packet.hub_id, 2);
+  EXPECT_EQ(d.packet.sequence, 7u);
+  EXPECT_EQ(d.packet.first_monitor, 10);
+  ASSERT_EQ(d.packet.readings.size(), 5u);
+  EXPECT_NEAR(net::decode_reading(d.packet.readings[0]), 100'010.0, 0.1);
+  EXPECT_GT(d.arrival_us, 0.0);
+  EXPECT_EQ(hub.packets_sent(), 1u);
+}
+
+TEST(BlmHub, DropProbabilityOneDropsEverything) {
+  net::LinkParams link;
+  link.drop_probability = 1.0;
+  net::BlmHub hub(0, 0, 4, link, 2);
+  const std::vector<double> frame(4, 1.0);
+  const auto d = hub.transmit(0, frame);
+  EXPECT_TRUE(d.dropped);
+  EXPECT_EQ(hub.packets_dropped(), 1u);
+}
+
+TEST(BlmHub, ArrivalIncludesSerializationTime) {
+  net::LinkParams slow;
+  slow.bandwidth_gbps = 0.001;  // make wire time dominate
+  slow.jitter_sigma_us = 0.0;
+  net::BlmHub hub(0, 0, 100, slow, 3);
+  const std::vector<double> frame(100, 1.0);
+  const auto d = hub.transmit(0, frame);
+  const double wire_us =
+      static_cast<double>(d.packet.wire_bytes()) * 8.0 / (0.001 * 1e3);
+  EXPECT_NEAR(d.arrival_us, slow.base_latency_us + wire_us, 1.0);
+}
+
+std::vector<net::Delivery> make_deliveries(std::uint32_t seq,
+                                           std::size_t monitors,
+                                           std::size_t hubs, double value) {
+  const auto layout = net::hub_layout(monitors, hubs);
+  std::vector<net::Delivery> ds;
+  for (std::size_t h = 0; h < hubs; ++h) {
+    net::Delivery d;
+    d.packet.hub_id = static_cast<std::uint8_t>(h);
+    d.packet.sequence = seq;
+    d.packet.first_monitor = layout[h].first;
+    for (std::uint16_t i = 0; i < layout[h].second; ++i) {
+      d.packet.readings.push_back(net::encode_reading(value));
+    }
+    d.arrival_us = 20.0 + static_cast<double>(h);
+    ds.push_back(std::move(d));
+  }
+  return ds;
+}
+
+TEST(FrameAssembler, CompleteFrameUsesLatestArrival) {
+  net::FrameAssembler asm_({.monitors = 21, .hubs = 7, .deadline_us = 400.0});
+  const auto frame = asm_.assemble(0, make_deliveries(0, 21, 7, 5.0));
+  EXPECT_TRUE(frame.complete());
+  EXPECT_EQ(frame.packets_used, 7u);
+  EXPECT_DOUBLE_EQ(frame.assembly_us, 26.0);  // slowest hub
+  for (std::size_t m = 0; m < 21; ++m) EXPECT_NEAR(frame.raw[m], 5.0f, 0.1f);
+}
+
+TEST(FrameAssembler, LostPacketFallsBackToLastKnown) {
+  net::FrameAssembler asm_({.monitors = 21, .hubs = 7, .deadline_us = 400.0});
+  asm_.assemble(0, make_deliveries(0, 21, 7, 9.0));  // prime last-known
+  auto ds = make_deliveries(1, 21, 7, 3.0);
+  ds[2].dropped = true;
+  const auto frame = asm_.assemble(1, ds);
+  EXPECT_FALSE(frame.complete());
+  EXPECT_EQ(frame.packets_missing, 1u);
+  // Hub 2's monitors (6..8) keep the previous value 9; others update to 3.
+  EXPECT_NEAR(frame.raw[6], 9.0f, 0.1f);
+  EXPECT_NEAR(frame.raw[0], 3.0f, 0.1f);
+  // We held the line until the deadline for the missing packet.
+  EXPECT_DOUBLE_EQ(frame.assembly_us, 400.0);
+}
+
+TEST(FrameAssembler, StragglerBeyondDeadlineCountsAsLost) {
+  net::FrameAssembler asm_({.monitors = 14, .hubs = 7, .deadline_us = 100.0});
+  auto ds = make_deliveries(0, 14, 7, 2.0);
+  ds[5].arrival_us = 250.0;
+  const auto frame = asm_.assemble(0, ds);
+  EXPECT_EQ(frame.packets_missing, 1u);
+  EXPECT_EQ(asm_.packets_lost(), 1u);
+}
+
+TEST(FrameAssembler, RejectsStaleSequence) {
+  net::FrameAssembler asm_({.monitors = 14, .hubs = 7, .deadline_us = 100.0});
+  auto ds = make_deliveries(3, 14, 7, 2.0);
+  EXPECT_THROW(asm_.assemble(4, ds), std::invalid_argument);
+}
+
+TEST(AcnetPublisher, JournalsAndCountsTrips) {
+  net::AcnetPublisher acnet({.uplink_latency_us = 45.0, .journal_depth = 2});
+  acnet.publish(0, "RR", 1.0, 9.0);
+  acnet.publish(1, "none", 0.1, 0.2);
+  const auto& msg = acnet.publish(2, "MI", 7.0, 1.0);
+  EXPECT_EQ(msg.publish_latency_us, 45.0);
+  EXPECT_EQ(acnet.published(), 3u);
+  EXPECT_EQ(acnet.trips_mi(), 1u);
+  EXPECT_EQ(acnet.trips_rr(), 1u);
+  EXPECT_EQ(acnet.journal().size(), 2u);  // bounded
+  EXPECT_EQ(acnet.journal().front().sequence, 1u);
+}
+
+TEST(FacilityLink, TicksProduceSequencedFrames) {
+  net::FacilityParams params;
+  net::FacilityLink link(params, 5);
+  ASSERT_EQ(link.hubs().size(), 7u);
+  const auto f0 = link.tick();
+  const auto f1 = link.tick();
+  EXPECT_EQ(f0.sequence, 0u);
+  EXPECT_EQ(f1.sequence, 1u);
+  EXPECT_EQ(f0.raw.shape(), (std::vector<std::size_t>{260, 1}));
+  EXPECT_TRUE(f0.complete());
+  EXPECT_GT(f0.assembly_us, 0.0);
+  EXPECT_LT(f0.assembly_us, params.assembler.deadline_us);
+  // Raw magnitudes in the facility regime.
+  EXPECT_GT(f0.raw.max_abs(), 100'000.0f);
+}
+
+TEST(FacilityLink, DeterministicPerSeed) {
+  net::FacilityParams params;
+  net::FacilityLink a(params, 9);
+  net::FacilityLink b(params, 9);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(a.tick().raw, b.tick().raw);
+  }
+}
+
+TEST(FacilityLink, LossyLinkStillDeliversFrames) {
+  net::FacilityParams params;
+  params.link.drop_probability = 0.5;
+  net::FacilityLink link(params, 11);
+  std::size_t incomplete = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (!link.tick().complete()) ++incomplete;
+  }
+  EXPECT_GT(incomplete, 0u);  // losses happened...
+  EXPECT_EQ(link.assembler().frames_assembled(), 20u);  // ...frames kept coming
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Platform comparison tests: MAC counting, the GPU model's batch-amortization
+// property (Fig. 3's message), and the measured-CPU harness contract.
+#include <gtest/gtest.h>
+
+#include "nn/builders.hpp"
+#include "nn/init.hpp"
+#include "platform/comparison.hpp"
+#include "platform/cpu.hpp"
+#include "platform/gpu.hpp"
+
+namespace {
+
+using namespace reads;
+using tensor::Tensor;
+
+TEST(ModelMacs, MlpCountsDensePositions) {
+  const auto m = nn::build_mlp({.inputs = 4, .hidden = 3, .outputs = 2});
+  // 4*3 + 3*2 = 18 MACs at one position.
+  EXPECT_EQ(platform::model_macs(m), 18u);
+}
+
+TEST(ModelMacs, UNetScalesWithPositions) {
+  const auto small = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  const auto big = nn::build_unet({.monitors = 32, .c1 = 3, .c2 = 4, .c3 = 5});
+  EXPECT_NEAR(static_cast<double>(platform::model_macs(big)),
+              2.0 * static_cast<double>(platform::model_macs(small)),
+              0.05 * static_cast<double>(platform::model_macs(big)));
+}
+
+TEST(GpuModel, LargeBatchAmortizesToMicroseconds) {
+  const auto m = nn::build_unet();
+  const auto b1 = platform::estimate_gpu(m, 1);
+  const auto b256 = platform::estimate_gpu(m, 256);
+  EXPECT_GT(b1.mean_ms_per_frame, 10.0 * b256.mean_ms_per_frame);
+  EXPECT_LT(b256.mean_ms_per_frame, 0.05);  // microseconds-class
+}
+
+TEST(GpuModel, Batch1IsLaunchAndTransferBound) {
+  const auto m = nn::build_unet();
+  const auto lat = platform::estimate_gpu(m, 1);
+  EXPECT_GT(lat.launch_ms + lat.transfer_ms, lat.kernel_ms);
+}
+
+TEST(GpuModel, MonotonicNonIncreasingInBatch) {
+  const auto m = nn::build_mlp();
+  double prev = 1e30;
+  for (std::size_t b : {1u, 2u, 8u, 32u, 128u, 512u}) {
+    const auto lat = platform::estimate_gpu(m, b);
+    EXPECT_LE(lat.mean_ms_per_frame, prev + 1e-12) << "batch " << b;
+    prev = lat.mean_ms_per_frame;
+  }
+}
+
+TEST(CpuMeasure, ReturnsPositiveOrderedStats) {
+  auto m = nn::build_mlp({.inputs = 16, .hidden = 8, .outputs = 4});
+  nn::init_he_uniform(m, 3);
+  const Tensor in({1, 16});
+  const auto lat = platform::measure_cpu(m, in, /*reps=*/3, /*batch=*/2);
+  EXPECT_GT(lat.mean_ms_per_frame, 0.0);
+  EXPECT_LE(lat.min_ms, lat.mean_ms_per_frame + 1e-9);
+  EXPECT_GE(lat.max_ms, lat.mean_ms_per_frame - 1e-9);
+  EXPECT_EQ(lat.batch, 2u);
+  EXPECT_THROW(platform::measure_cpu(m, in, 0, 1), std::invalid_argument);
+}
+
+TEST(Comparison, HostRowsCoverCpuAndGpu) {
+  auto m = nn::build_mlp({.inputs = 16, .hidden = 8, .outputs = 4});
+  nn::init_he_uniform(m, 3);
+  const Tensor in({1, 16});
+  const auto rows = platform::host_platform_rows("mlp", m, in, {1, 4}, 2);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].platform, "CPU (measured)");
+  EXPECT_EQ(rows[2].platform, "GPU (modelled)");
+  for (const auto& r : rows) EXPECT_GT(r.latency_ms, 0.0);
+}
+
+}  // namespace

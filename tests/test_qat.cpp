@@ -1,0 +1,116 @@
+// Quantization-aware training tests: weight projection semantics and the
+// end-to-end property that QAT leaves weights exactly representable while
+// still fitting the task.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "fixed/format.hpp"
+#include "nn/builders.hpp"
+#include "nn/init.hpp"
+#include "nn/layers/activations.hpp"
+#include "nn/layers/dense.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+#include "train/qat.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace reads;
+using tensor::Tensor;
+
+/// Every weight must sit exactly on some `bits`-wide fixed-point grid.
+bool weights_on_grid(nn::Model& model, int bits) {
+  for (auto* p : model.parameters()) {
+    const double max_abs = p->max_abs();
+    int int_bits = 1;
+    if (max_abs > 0.0) {
+      int_bits = std::max(
+          1, static_cast<int>(std::ceil(std::log2(max_abs * (1.0 + 1e-9)))) + 1);
+    }
+    int_bits = std::min(int_bits, bits);
+    const fixed::FixedFormat fmt(bits, int_bits, true,
+                                 fixed::QuantMode::kRound);
+    for (std::size_t i = 0; i < p->numel(); ++i) {
+      if (std::fabs(fmt.apply((*p)[i]) - (*p)[i]) > 1e-9) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Qat, ProjectionLandsWeightsOnGrid) {
+  auto model = nn::build_mlp({.inputs = 8, .hidden = 6, .outputs = 4});
+  nn::init_he_uniform(model, 3);
+  EXPECT_FALSE(weights_on_grid(model, 10));  // float init is off-grid
+  const double moved = train::project_weights(model, 10);
+  EXPECT_GT(moved, 0.0);
+  EXPECT_TRUE(weights_on_grid(model, 10));
+}
+
+TEST(Qat, ProjectionIsIdempotent) {
+  auto model = nn::build_mlp({.inputs = 8, .hidden = 6, .outputs = 4});
+  nn::init_he_uniform(model, 5);
+  train::project_weights(model, 12);
+  const double second = train::project_weights(model, 12);
+  EXPECT_EQ(second, 0.0);
+}
+
+TEST(Qat, ProjectionDistanceBoundedByQuantum) {
+  auto model = nn::build_mlp({.inputs = 8, .hidden = 6, .outputs = 4});
+  nn::init_he_uniform(model, 7);
+  // With int bits sized from max |w|, the rounding move is at most half of
+  // the largest tensor quantum: 2^-(bits - int_bits - 1).
+  const double moved = train::project_weights(model, 8);
+  EXPECT_LT(moved, 0.5);  // generous bound for 8-bit weights with |w| < 2
+}
+
+TEST(Qat, FitsTinyTaskAndStaysOnGrid) {
+  nn::Model model("in", {1, 4});
+  model.add("d", std::make_unique<nn::Dense>(4, 4), {"in"});
+  model.add("s", std::make_unique<nn::Sigmoid>());
+  nn::init_he_uniform(model, 9);
+
+  util::Xoshiro256 rng(10);
+  train::Dataset data;
+  for (int i = 0; i < 48; ++i) {
+    Tensor x({1, 4});
+    Tensor y({1, 4});
+    for (std::size_t j = 0; j < 4; ++j) {
+      x[j] = static_cast<float>(rng.normal());
+      y[j] = 1.0f / (1.0f + std::exp(-2.0f * x[j]));
+    }
+    data.add(std::move(x), std::move(y));
+  }
+
+  train::MseLoss loss;
+  train::Adam adam(3e-2);
+  train::QatConfig qat;
+  qat.weight_bits = 10;
+  qat.train.epochs = 40;
+  qat.train.batch_size = 8;
+  const auto result = train::qat_fit(model, loss, adam, data, qat);
+  EXPECT_LT(result.final_loss(), result.epoch_loss.front() * 0.5);
+  EXPECT_TRUE(weights_on_grid(model, 10));
+}
+
+TEST(Qat, AfterBatchHookChains) {
+  nn::Model model("in", {1, 2});
+  model.add("d", std::make_unique<nn::Dense>(2, 1), {"in"});
+  nn::init_he_uniform(model, 1);
+  train::Dataset data;
+  data.add(Tensor({1, 2}), Tensor({1, 1}));
+  train::MseLoss loss;
+  train::Sgd sgd(0.01);
+  train::QatConfig qat;
+  qat.weight_bits = 12;
+  qat.train.epochs = 2;
+  qat.train.batch_size = 1;
+  std::size_t hook_calls = 0;
+  qat.train.after_batch = [&] { ++hook_calls; };
+  train::qat_fit(model, loss, sgd, data, qat);
+  EXPECT_EQ(hook_calls, 2u);  // chained through the projection hook
+}
+
+}  // namespace

@@ -1,0 +1,362 @@
+// SoC simulator tests: event ordering, RAM port semantics, control FSM,
+// HPS frame sequencing, end-to-end functional equivalence, OS jitter
+// statistics, and the DMA-vs-MMIO transfer ablation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hls/firmware.hpp"
+#include "hls/profiler.hpp"
+#include "hls/qmodel.hpp"
+#include "nn/builders.hpp"
+#include "nn/init.hpp"
+#include "soc/control_ip.hpp"
+#include "soc/event_sim.hpp"
+#include "soc/hps.hpp"
+#include "soc/ocram.hpp"
+#include "soc/system.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace reads;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------- EventSim
+
+TEST(EventSim, ExecutesInTimeOrder) {
+  soc::EventSim sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(EventSim, StableOrderAtEqualTimestamps) {
+  soc::EventSim sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventSim, NestedScheduling) {
+  soc::EventSim sim;
+  int fired = 0;
+  sim.schedule_at(5, [&] {
+    sim.schedule_in(10, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15u);
+}
+
+TEST(EventSim, RejectsPastScheduling) {
+  soc::EventSim sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(EventSim, RunUntilAdvancesClock) {
+  soc::EventSim sim;
+  int fired = 0;
+  sim.schedule_at(50, [&] { ++fired; });
+  sim.run_until(40);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), 40u);
+  sim.run_until(60);
+  EXPECT_EQ(fired, 1);
+}
+
+// ----------------------------------------------------------------- OCRAM
+
+TEST(OnChipRam, SixteenBitPortRoundTrips) {
+  soc::OnChipRam ram(8);
+  ram.write16(3, -1234);
+  EXPECT_EQ(ram.read16(3), -1234);
+  EXPECT_EQ(ram.writes16(), 1u);
+  EXPECT_EQ(ram.reads16(), 1u);
+}
+
+TEST(OnChipRam, ThirtyTwoBitPortPacksTwoWords) {
+  soc::OnChipRam ram(4);
+  ram.write32(0, 0x0002'0001u);
+  EXPECT_EQ(ram.read16(0), 1);
+  EXPECT_EQ(ram.read16(1), 2);
+  ram.write16(2, 5);
+  ram.write16(3, 6);
+  EXPECT_EQ(ram.read32(1), 0x0006'0005u);
+}
+
+TEST(OnChipRam, NegativeValuesThrough32BitPort) {
+  soc::OnChipRam ram(2);
+  ram.write16(0, -1);
+  ram.write16(1, -2);
+  const auto w = ram.read32(0);
+  EXPECT_EQ(static_cast<std::int16_t>(w & 0xFFFF), -1);
+  EXPECT_EQ(static_cast<std::int16_t>(w >> 16), -2);
+}
+
+TEST(OnChipRam, BoundsChecked) {
+  soc::OnChipRam ram(4);
+  EXPECT_THROW(ram.read16(4), std::out_of_range);
+  EXPECT_THROW(ram.write16(4, 0), std::out_of_range);
+  EXPECT_THROW(ram.write32(2, 0), std::out_of_range);
+  EXPECT_THROW(soc::OnChipRam(0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- ControlIp
+
+TEST(ControlIp, FullHandshakeCycle) {
+  soc::EventSim sim;
+  soc::ControlIp ctl(sim, soc::FpgaParams{});
+  int started = 0;
+  int irqs = 0;
+  ctl.connect([&] { ++started; ctl.ip_done(); }, [&] { ++irqs; });
+  ctl.write_reg(soc::ControlIp::kCtrl, 0x1);
+  EXPECT_EQ(ctl.state(), soc::ControlIp::State::kRunning);
+  sim.run();
+  EXPECT_EQ(started, 1);
+  EXPECT_EQ(irqs, 1);
+  EXPECT_EQ(ctl.state(), soc::ControlIp::State::kDone);
+  EXPECT_EQ(ctl.read_reg(soc::ControlIp::kStatus), 0x2u);
+  ctl.write_reg(soc::ControlIp::kCtrl, 0x2);
+  EXPECT_EQ(ctl.state(), soc::ControlIp::State::kIdle);
+}
+
+TEST(ControlIp, PerfCounterMeasuresRunCycles) {
+  soc::EventSim sim;
+  soc::FpgaParams fpga;  // 100 MHz -> 10 ns cycles
+  soc::ControlIp ctl(sim, fpga);
+  ctl.connect([&] { sim.schedule_in(1000, [&] { ctl.ip_done(); }); }, [] {});
+  ctl.write_reg(soc::ControlIp::kCtrl, 0x1);
+  sim.run();
+  // 4 control cycles (40 ns) + 1000 ns run = 104 cycles.
+  EXPECT_EQ(ctl.read_reg(soc::ControlIp::kPerfCounter), 104u);
+}
+
+TEST(ControlIp, TriggerWhileBusyThrows) {
+  soc::EventSim sim;
+  soc::ControlIp ctl(sim, soc::FpgaParams{});
+  ctl.connect([] {}, [] {});
+  ctl.write_reg(soc::ControlIp::kCtrl, 0x1);
+  EXPECT_THROW(ctl.write_reg(soc::ControlIp::kCtrl, 0x1), std::logic_error);
+}
+
+TEST(ControlIp, SpuriousDoneThrows) {
+  soc::EventSim sim;
+  soc::ControlIp ctl(sim, soc::FpgaParams{});
+  EXPECT_THROW(ctl.ip_done(), std::logic_error);
+}
+
+// ------------------------------------------------------------- OS jitter
+
+TEST(OsJitter, BaseOverheadAndDeterminism) {
+  soc::OsParams os;
+  soc::OsJitterModel a(os, 5);
+  soc::OsJitterModel b(os, 5);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.sample();
+    EXPECT_EQ(va, b.sample());
+    EXPECT_GT(va, static_cast<soc::SimTime>(os.irq_base_us * 1e3 * 0.7));
+    EXPECT_LT(va, static_cast<soc::SimTime>(
+                      (os.irq_base_us + os.major_jitter_max_us + 500) * 1e3));
+  }
+}
+
+TEST(OsJitter, MajorSpikesAreRare) {
+  soc::OsParams os;
+  soc::OsJitterModel m(os, 7);
+  int spikes = 0;
+  const auto threshold =
+      static_cast<soc::SimTime>((os.irq_base_us + os.major_jitter_min_us) * 1e3);
+  for (int i = 0; i < 20000; ++i) {
+    if (m.sample() > threshold) ++spikes;
+  }
+  EXPECT_LT(spikes, 40);  // ~0.04% nominal
+}
+
+// --------------------------------------------------------- full system
+
+struct SmallSystem {
+  nn::Model model;
+  std::unique_ptr<hls::QuantizedModel> qm;
+  std::unique_ptr<soc::ArriaSocSystem> soc_sys;
+
+  explicit SmallSystem(std::uint64_t seed = 1)
+      : model(nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5})) {
+    nn::init_he_uniform(model, seed);
+    std::vector<Tensor> calib;
+    util::Xoshiro256 rng(seed + 1);
+    for (int i = 0; i < 4; ++i) {
+      Tensor t({16, 1});
+      for (auto& v : t.flat()) v = static_cast<float>(rng.normal());
+      calib.push_back(std::move(t));
+    }
+    const auto prof = hls::profile_model(model, calib);
+    hls::HlsConfig cfg;
+    cfg.quant = hls::layer_based_config(model, prof, 16);
+    qm = std::make_unique<hls::QuantizedModel>(hls::compile(model, cfg));
+    soc_sys = std::make_unique<soc::ArriaSocSystem>(*qm, soc::SocParams{}, seed);
+  }
+
+  Tensor frame(std::uint64_t seed) const {
+    util::Xoshiro256 rng(seed);
+    Tensor t({16, 1});
+    for (auto& v : t.flat()) v = static_cast<float>(rng.normal());
+    return t;
+  }
+};
+
+TEST(ArriaSocSystem, OutputMatchesDirectQuantizedInference) {
+  SmallSystem s;
+  for (int i = 0; i < 3; ++i) {
+    const auto f = s.frame(100u + static_cast<unsigned>(i));
+    const auto via_soc = s.soc_sys->process(f).output;
+    const auto direct = s.qm->forward(f);
+    EXPECT_EQ(tensor::max_abs_diff(via_soc, direct), 0.0f) << i;
+  }
+}
+
+TEST(ArriaSocSystem, TimingBreakdownIsConsistent) {
+  SmallSystem s;
+  const auto r = s.soc_sys->process(s.frame(7));
+  const auto& t = r.timing;
+  EXPECT_GT(t.write_us, 0.0);
+  EXPECT_GT(t.ip_us, 0.0);
+  EXPECT_GT(t.irq_os_us, 0.0);
+  EXPECT_GT(t.read_us, 0.0);
+  EXPECT_NEAR(t.total_ms,
+              (t.write_us + t.trigger_us + t.ip_us + t.irq_os_us + t.read_us) /
+                  1e3,
+              1e-6);
+  EXPECT_TRUE(t.deadline_met);
+}
+
+TEST(ArriaSocSystem, IpTimeMatchesLatencyModel) {
+  SmallSystem s;
+  const auto r = s.soc_sys->process(s.frame(8));
+  const double expected_us =
+      static_cast<double>(s.soc_sys->ip().run_cycles()) * 0.01;  // 100 MHz
+  // plus the control handshake cycles (trigger sync + done + irq edge)
+  EXPECT_NEAR(r.timing.ip_us, expected_us, 0.2);
+}
+
+TEST(ArriaSocSystem, TransferCountersMatchFrameSize) {
+  SmallSystem s;
+  s.soc_sys->process(s.frame(9));
+  const auto& c = s.soc_sys->transfer_counters();
+  // 16 inputs packed 2/word = 8 writes + trigger + done-clear = 10;
+  // 32 outputs packed 2/word = 16 reads.
+  EXPECT_EQ(c.bridge_writes, 10u);
+  EXPECT_EQ(c.bridge_reads, 16u);
+}
+
+TEST(ArriaSocSystem, StreamMeetsPaperRates) {
+  SmallSystem s;
+  std::vector<Tensor> frames;
+  for (int i = 0; i < 10; ++i) frames.push_back(s.frame(200u + static_cast<unsigned>(i)));
+  const auto rep = s.soc_sys->run_stream(frames, 320.0);
+  EXPECT_EQ(rep.frames, 10u);
+  EXPECT_EQ(rep.deadline_misses, 0u);
+  EXPECT_GT(rep.achieved_fps, 320.0);
+}
+
+TEST(ArriaSocSystem, LatencyVariesAcrossFramesViaOsJitter) {
+  SmallSystem s;
+  const auto a = s.soc_sys->process(s.frame(1)).timing.total_ms;
+  const auto b = s.soc_sys->process(s.frame(1)).timing.total_ms;
+  EXPECT_NE(a, b);  // same frame, different OS jitter draw
+}
+
+TEST(ArriaSocSystem, StreamCountsDeadlineMissesHonestly) {
+  SmallSystem s;
+  // An artificially tight deadline forces every frame to miss.
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, 51);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 9});
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  soc::SocParams params;
+  params.deadline_ms = 0.01;
+  soc::ArriaSocSystem tight(qm, params, 3);
+  std::vector<Tensor> frames(4, Tensor({16, 1}));
+  const auto rep = tight.run_stream(frames, 320.0);
+  EXPECT_EQ(rep.deadline_misses, 4u);
+  EXPECT_GT(rep.min_latency_ms, 0.01);
+}
+
+TEST(ArriaSocSystem, BacklogGrowsWhenArrivalRateExceedsService) {
+  SmallSystem s;
+  std::vector<Tensor> frames(6, Tensor({16, 1}));
+  // Arrival period far below the service time: later frames queue, so their
+  // arrival-to-completion latency must exceed a lone frame's.
+  const auto solo = s.soc_sys->process(frames[0]).timing.total_ms;
+  const auto rep = s.soc_sys->run_stream(frames, 1e5);
+  EXPECT_GT(rep.max_latency_ms, 3.0 * solo);
+}
+
+TEST(ArriaSocSystem, PollingModeIsDeterministicAndIrqFree) {
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, 31);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 9});
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  soc::SocParams params;
+  params.os.notify = soc::NotifyMode::kPolling;
+  soc::ArriaSocSystem system(qm, params, 5);
+  const tensor::Tensor frame({16, 1});
+  const auto a = system.process(frame).timing;
+  const auto b = system.process(frame).timing;
+  EXPECT_EQ(a.total_ms, b.total_ms);  // no OS jitter in the path
+  // The irq+OS slot now holds only the final status read.
+  EXPECT_LT(a.irq_os_us, 1.0);
+  // Polls show up as extra bridge reads beyond the output words.
+  EXPECT_GT(system.transfer_counters().bridge_reads, 2u * 16u);
+}
+
+TEST(ArriaSocSystem, PollingAndIrqProduceIdenticalOutputs) {
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, 33);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 9});
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  soc::SocParams polling;
+  polling.os.notify = soc::NotifyMode::kPolling;
+  soc::ArriaSocSystem sys_poll(qm, polling, 5);
+  soc::ArriaSocSystem sys_irq(qm, soc::SocParams{}, 5);
+  util::Xoshiro256 rng(34);
+  tensor::Tensor frame({16, 1});
+  for (auto& v : frame.flat()) v = static_cast<float>(rng.normal());
+  EXPECT_EQ(tensor::max_abs_diff(sys_poll.process(frame).output,
+                                 sys_irq.process(frame).output),
+            0.0f);
+}
+
+TEST(CompareTransfer, MmioWinsForControlSizedFrames) {
+  const soc::SocParams params;
+  const auto small = soc::compare_transfer(260, 520, params);
+  EXPECT_LT(small.mmio_us, small.dma_us);  // Table I discussion
+  // DMA must win eventually for bulk transfers.
+  const auto bulk = soc::compare_transfer(200'000, 200'000, params);
+  EXPECT_GT(bulk.mmio_us, bulk.dma_us);
+}
+
+TEST(NnIpCore, RejectsWideFirmwareOnSixteenBitInterface) {
+  auto model = nn::build_mlp({.inputs = 4, .hidden = 3, .outputs = 2});
+  nn::init_he_uniform(model, 3);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({18, 10});
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  EXPECT_THROW(soc::ArriaSocSystem(qm, soc::SocParams{}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using reads::tensor::Tensor;
+using reads::tensor::max_abs_diff;
+
+TEST(Tensor, ConstructZeroFilled) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.numel(), 12u);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 3u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor::from({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, RejectsZeroDimension) {
+  EXPECT_THROW(Tensor({3, 0}), std::invalid_argument);
+}
+
+TEST(Tensor, RowMajorAt) {
+  auto t = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  t.at(1, 2) = 9.0f;
+  EXPECT_EQ(t[5], 9.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 2), std::out_of_range);
+  Tensor r1({4});
+  EXPECT_THROW(r1.at(0, 0), std::logic_error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  auto t = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  const auto r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, AddScaledAndScale) {
+  auto a = Tensor::from({3}, {1, 2, 3});
+  const auto b = Tensor::from({3}, {10, 20, 30});
+  a.add_scaled(b, 0.5f);
+  EXPECT_EQ(a[0], 6.0f);
+  EXPECT_EQ(a[2], 18.0f);
+  a.scale(2.0f);
+  EXPECT_EQ(a[1], 24.0f);
+}
+
+TEST(Tensor, MaxAbsAndSum) {
+  const auto t = Tensor::from({4}, {1, -5, 3, -2});
+  EXPECT_EQ(t.max_abs(), 5.0f);
+  EXPECT_DOUBLE_EQ(t.sum(), -3.0);
+}
+
+TEST(Tensor, MaxAbsDiffRequiresSameShape) {
+  const auto a = Tensor::from({2}, {1, 2});
+  const auto b = Tensor::from({2}, {1, 5});
+  EXPECT_EQ(max_abs_diff(a, b), 3.0f);
+  const Tensor c({3});
+  EXPECT_THROW(max_abs_diff(a, c), std::invalid_argument);
+}
+
+TEST(Tensor, EqualityIsValueBased) {
+  const auto a = Tensor::from({2}, {1, 2});
+  auto b = Tensor::from({2}, {1, 2});
+  EXPECT_EQ(a, b);
+  b[0] = 9;
+  EXPECT_NE(a, b);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({260, 1}).shape_string(), "(260, 1)");
+}
+
+}  // namespace

@@ -1,0 +1,248 @@
+// Trainer stack tests: losses (values + gradients), optimizers (analytic
+// convergence on a quadratic), standardizer, dataset plumbing, and a small
+// end-to-end fit that must drive the loss down.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/builders.hpp"
+#include "nn/init.hpp"
+#include "nn/layers/activations.hpp"
+#include "nn/layers/dense.hpp"
+#include "nn/model.hpp"
+#include "train/dataset.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+#include "train/standardize.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace reads;
+using tensor::Tensor;
+
+TEST(MseLoss, ValueAndGradient) {
+  train::MseLoss mse;
+  const auto pred = Tensor::from({1, 2}, {1.0f, 3.0f});
+  const auto target = Tensor::from({1, 2}, {0.0f, 0.0f});
+  Tensor grad;
+  EXPECT_DOUBLE_EQ(mse.compute(pred, target, grad), 5.0);
+  EXPECT_FLOAT_EQ(grad[0], 1.0f);   // 2*(1-0)/2
+  EXPECT_FLOAT_EQ(grad[1], 3.0f);
+}
+
+TEST(BceLoss, PerfectPredictionNearZeroLoss) {
+  train::BceLoss bce;
+  const auto pred = Tensor::from({1, 2}, {0.9999f, 0.0001f});
+  const auto target = Tensor::from({1, 2}, {1.0f, 0.0f});
+  Tensor grad;
+  EXPECT_LT(bce.compute(pred, target, grad), 1e-3);
+}
+
+TEST(BceLoss, GradientMatchesFiniteDifference) {
+  train::BceLoss bce;
+  auto pred = Tensor::from({1, 2}, {0.3f, 0.7f});
+  const auto target = Tensor::from({1, 2}, {1.0f, 0.0f});
+  Tensor grad;
+  bce.compute(pred, target, grad);
+  const float eps = 1e-4f;
+  for (std::size_t i = 0; i < 2; ++i) {
+    Tensor g2;
+    pred[i] += eps;
+    const double lp = bce.compute(pred, target, g2);
+    pred[i] -= 2 * eps;
+    const double lm = bce.compute(pred, target, g2);
+    pred[i] += eps;
+    EXPECT_NEAR(grad[i], (lp - lm) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(Losses, ShapeMismatchThrows) {
+  train::MseLoss mse;
+  Tensor grad;
+  EXPECT_THROW(mse.compute(Tensor({1, 2}), Tensor({2, 1}), grad),
+               std::invalid_argument);
+}
+
+/// Minimize f(w) = (w - 3)^2 with each optimizer via a fake 1-param model.
+template <typename Opt>
+double minimize_quadratic(Opt&& opt, int steps) {
+  Tensor w({1});
+  std::vector<Tensor*> params{&w};
+  nn::GradStore grads(std::vector<nn::Shape>{{1}});
+  for (int i = 0; i < steps; ++i) {
+    grads.tensors()[0][0] = 2.0f * (w[0] - 3.0f);
+    opt.step(params, grads);
+  }
+  return w[0];
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  EXPECT_NEAR(minimize_quadratic(train::Sgd(0.1), 100), 3.0, 1e-4);
+}
+
+TEST(SgdMomentum, ConvergesOnQuadratic) {
+  EXPECT_NEAR(minimize_quadratic(train::Sgd(0.05, 0.9), 200), 3.0, 1e-3);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  EXPECT_NEAR(minimize_quadratic(train::Adam(0.1), 300), 3.0, 1e-3);
+}
+
+TEST(Optimizers, RejectBadLayout) {
+  train::Adam adam(0.1);
+  Tensor w({2});
+  std::vector<Tensor*> params{&w};
+  nn::GradStore grads(std::vector<nn::Shape>{{3}});
+  EXPECT_THROW(adam.step(params, grads), std::invalid_argument);
+}
+
+TEST(Optimizers, RejectNonPositiveLr) {
+  EXPECT_THROW(train::Sgd(0.0), std::invalid_argument);
+  EXPECT_THROW(train::Adam(-1.0), std::invalid_argument);
+}
+
+TEST(Standardizer, PerFeatureTransformIsZeroMeanUnitStd) {
+  util::Xoshiro256 rng(5);
+  std::vector<Tensor> frames;
+  for (int i = 0; i < 200; ++i) {
+    Tensor t({3});
+    t[0] = static_cast<float>(rng.normal(100.0, 5.0));
+    t[1] = static_cast<float>(rng.normal(-7.0, 0.5));
+    t[2] = static_cast<float>(rng.normal(0.0, 50.0));
+    frames.push_back(std::move(t));
+  }
+  train::Standardizer st;
+  st.fit(frames);
+  double mean0 = 0.0;
+  double var0 = 0.0;
+  for (const auto& f : frames) {
+    const auto z = st.transform(f);
+    mean0 += z[0];
+    var0 += z[0] * z[0];
+  }
+  mean0 /= 200.0;
+  EXPECT_NEAR(mean0, 0.0, 0.05);
+  EXPECT_NEAR(var0 / 200.0, 1.0, 0.1);
+}
+
+TEST(Standardizer, GlobalFitUsesOneScale) {
+  std::vector<Tensor> frames = {Tensor::from({2}, {0.0f, 10.0f}),
+                                Tensor::from({2}, {0.0f, 10.0f})};
+  train::Standardizer st;
+  st.fit_global(frames);
+  // Global mean 5, global sd ~5.77: feature 1 keeps a constant offset.
+  const auto z = st.transform(frames[0]);
+  EXPECT_LT(z[0], 0.0f);
+  EXPECT_GT(z[1], 0.0f);
+  EXPECT_FLOAT_EQ(st.mean()[0], st.mean()[1]);
+  EXPECT_FLOAT_EQ(st.stddev()[0], st.stddev()[1]);
+}
+
+TEST(Standardizer, InverseRoundTrips) {
+  std::vector<Tensor> frames = {Tensor::from({2}, {1.0f, 2.0f}),
+                                Tensor::from({2}, {3.0f, 8.0f})};
+  train::Standardizer st;
+  st.fit(frames);
+  const auto z = st.transform(frames[1]);
+  const auto back = st.inverse(z);
+  EXPECT_NEAR(back[0], 3.0f, 1e-5);
+  EXPECT_NEAR(back[1], 8.0f, 1e-5);
+}
+
+TEST(Standardizer, UnfittedThrows) {
+  train::Standardizer st;
+  EXPECT_THROW(st.transform(Tensor({2})), std::logic_error);
+}
+
+TEST(Dataset, ShuffleIsDeterministicPermutation) {
+  train::Dataset a;
+  for (int i = 0; i < 32; ++i) {
+    a.add(Tensor::from({1}, {static_cast<float>(i)}),
+          Tensor::from({1}, {static_cast<float>(i)}));
+  }
+  auto b = a;
+  a.shuffle(9);
+  b.shuffle(9);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.inputs[i][0], b.inputs[i][0]);       // same permutation
+    EXPECT_EQ(a.inputs[i][0], a.targets[i][0]);      // pairs stay together
+    sum += a.inputs[i][0];
+  }
+  EXPECT_DOUBLE_EQ(sum, 31.0 * 32.0 / 2.0);          // still a permutation
+}
+
+TEST(Dataset, SplitFractions) {
+  train::Dataset d;
+  for (int i = 0; i < 10; ++i) d.add(Tensor({1}), Tensor({1}));
+  const auto [tr, held] = d.split(0.8);
+  EXPECT_EQ(tr.size(), 8u);
+  EXPECT_EQ(held.size(), 2u);
+  EXPECT_THROW(d.split(0.0), std::invalid_argument);
+}
+
+TEST(Trainer, FitsTinyRegressionProblem) {
+  // y = sigmoid(2x) elementwise, learnable by a 1-layer net.
+  nn::Model model("in", {1, 4});
+  model.add("d", std::make_unique<nn::Dense>(4, 4), {"in"});
+  model.add("s", std::make_unique<nn::Sigmoid>());
+  nn::init_he_uniform(model, 3);
+
+  util::Xoshiro256 rng(4);
+  train::Dataset data;
+  for (int i = 0; i < 64; ++i) {
+    Tensor x({1, 4});
+    Tensor y({1, 4});
+    for (std::size_t j = 0; j < 4; ++j) {
+      x[j] = static_cast<float>(rng.normal());
+      y[j] = 1.0f / (1.0f + std::exp(-2.0f * x[j]));
+    }
+    data.add(std::move(x), std::move(y));
+  }
+
+  train::MseLoss loss;
+  train::Adam adam(5e-2);
+  train::Trainer trainer(model, loss, adam);
+  train::TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.batch_size = 8;
+  const auto result = trainer.fit(data, cfg);
+  EXPECT_LT(result.final_loss(), result.epoch_loss.front() * 0.2);
+  EXPECT_LT(trainer.evaluate(data), 0.01);
+}
+
+TEST(Trainer, EpochCallbackFires) {
+  nn::Model model("in", {1, 2});
+  model.add("d", std::make_unique<nn::Dense>(2, 1), {"in"});
+  nn::init_he_uniform(model, 1);
+  train::Dataset data;
+  data.add(Tensor({1, 2}), Tensor({1, 1}));
+  train::MseLoss loss;
+  train::Sgd sgd(0.01);
+  train::Trainer trainer(model, loss, sgd);
+  train::TrainConfig cfg;
+  cfg.epochs = 3;
+  std::size_t calls = 0;
+  cfg.on_epoch = [&](std::size_t, double) { ++calls; };
+  trainer.fit(data, cfg);
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(Trainer, RejectsEmptyDatasetAndZeroBatch) {
+  nn::Model model("in", {1, 2});
+  model.add("d", std::make_unique<nn::Dense>(2, 1), {"in"});
+  train::MseLoss loss;
+  train::Sgd sgd(0.01);
+  train::Trainer trainer(model, loss, sgd);
+  EXPECT_THROW(trainer.fit({}, {}), std::invalid_argument);
+  train::Dataset data;
+  data.add(Tensor({1, 2}), Tensor({1, 1}));
+  train::TrainConfig cfg;
+  cfg.batch_size = 0;
+  EXPECT_THROW(trainer.fit(data, cfg), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+// Unit tests for util: RNG determinism and distribution sanity, running
+// stats, percentiles, histograms, thread pool, tables, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace reads::util;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounded) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Xoshiro256 rng(11);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, DeriveSeedDecorrelatesPurposes) {
+  EXPECT_NE(derive_seed(42, 0), derive_seed(42, 1));
+  EXPECT_EQ(derive_seed(42, 3), derive_seed(42, 3));
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentiles, NearestRank) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_EQ(p.percentile(50), 50.0);
+  EXPECT_EQ(p.percentile(99), 99.0);
+  EXPECT_EQ(p.percentile(100), 100.0);
+  EXPECT_EQ(p.percentile(0), 1.0);
+}
+
+TEST(Percentiles, InsertAfterQueryResorts) {
+  Percentiles p;
+  p.add(10.0);
+  EXPECT_EQ(p.median(), 10.0);
+  p.add(1.0);
+  p.add(2.0);
+  EXPECT_EQ(p.median(), 2.0);
+}
+
+TEST(Percentiles, ThrowsOnEmpty) {
+  Percentiles p;
+  EXPECT_THROW(p.percentile(50), std::logic_error);
+}
+
+TEST(Histogram, BinningAndEdgeSaturation) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-1.0);   // underflow -> first bin
+  h.add(100.0);  // overflow -> last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  bool touched = false;
+  parallel_for(5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, LocalPoolIndependentOfGlobal) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.worker_count(), 2u);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(Table, RendersAlignedAndCsvEscapes) {
+  Table t({"a", "b"});
+  t.add_row({"x", "1,2"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(t.to_csv().find("\"1,2\""), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.315, 1), "31.5%");
+}
+
+TEST(Cli, ParsesTypesAndDefaults) {
+  const char* argv[] = {"prog", "--n=5", "--x=2.5", "--name=abc", "--flag"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 5);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 2.5);
+  EXPECT_EQ(cli.get_string("name", ""), "abc");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+  EXPECT_NO_THROW(cli.check_unknown());
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--oops=1"};
+  Cli cli(2, argv);
+  cli.get_int("n", 0);
+  EXPECT_THROW(cli.check_unknown(), std::invalid_argument);
+}
+
+TEST(Cli, RejectsNonFlagArgument) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(Cli(2, argv), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,40 @@
+// hlsgen — emit the generated HLS C++ project for the deployed U-Net (what
+// hls4ml + the paper's interface customization would hand to the Intel HLS
+// compiler).
+//
+//   ./hlsgen [--out=generated_hls] [--bits=16] [--seed=42]
+#include <iostream>
+
+#include "blm/data.hpp"
+#include "core/pretrained.hpp"
+#include "hls/codegen.hpp"
+#include "hls/profiler.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reads;
+  util::Cli cli(argc, argv);
+  const auto out_dir = cli.get_string("out", "generated_hls");
+  const int bits = static_cast<int>(cli.get_int("bits", 16));
+  core::PretrainedOptions opts;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  cli.check_unknown();
+
+  std::cout << "loading/training the deployed U-Net...\n";
+  const auto bundle = core::pretrained_unet(opts);
+  const auto calib = blm::build_eval_inputs(48, opts.seed + 1,
+                                            bundle.standardizer, bundle.machine);
+  const auto profile = hls::profile_model(bundle.model, calib);
+
+  hls::HlsConfig cfg;
+  cfg.quant = hls::layer_based_config(bundle.model, profile, bits);
+  cfg.reuse = hls::ReusePolicy::deployed_unet();
+  const auto fw = hls::compile(bundle.model, cfg);
+
+  hls::write_project(fw, out_dir, "unet_ip");
+  std::cout << "wrote parameters.h, weights.h, nnet_layers.h, firmware.cpp, "
+               "README.txt to "
+            << out_dir << "/ (" << fw.weight_count() << " weight words, "
+            << bits << "-bit layer-based precision)\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// train_models — warms the model cache used by the benches and examples and
+// prints diagnostic information: training losses, per-layer dynamic ranges,
+// the derived layer-based precision plan, and a quick Table II preview.
+//
+//   ./train_models [--seed=42] [--frames=256] [--epochs=14] [--eval=64]
+#include <iostream>
+
+#include "blm/data.hpp"
+#include "core/pretrained.hpp"
+#include "hls/accuracy.hpp"
+#include "hls/profiler.hpp"
+#include "hls/qmodel.hpp"
+#include "hls/resource.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reads;
+  util::Cli cli(argc, argv);
+  core::PretrainedOptions opts;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  opts.train_frames = static_cast<std::size_t>(cli.get_int("frames", 256));
+  opts.epochs = static_cast<std::size_t>(cli.get_int("epochs", 14));
+  opts.verbose = cli.get_bool("verbose", true);
+  const auto eval_n = static_cast<std::size_t>(cli.get_int("eval", 64));
+  cli.check_unknown();
+
+  const auto tstats = blm::compute_target_stats(256, opts.seed + 3);
+  std::cout << "machine model: mean target MI=" << tstats.mean_mi
+            << " RR=" << tstats.mean_rr
+            << " (paper: 0.17 / 0.42), max standardized input |z|="
+            << tstats.max_standardized_input << "\n";
+
+  std::cout << "=== training/loading MLP ===\n";
+  auto mlp = core::pretrained_mlp(opts);
+  std::cout << (mlp.loaded_from_cache ? "loaded from cache" : "trained")
+            << ", final loss " << mlp.final_loss << "\n";
+
+  std::cout << "=== training/loading U-Net ===\n";
+  auto unet = core::pretrained_unet(opts);
+  std::cout << (unet.loaded_from_cache ? "loaded from cache" : "trained")
+            << ", final loss " << unet.final_loss << "\n";
+  std::cout << unet.model.summary() << "\n";
+
+  const auto calib = blm::build_eval_inputs(eval_n, opts.seed + 1,
+                                            unet.standardizer, unet.machine);
+  const auto profile = hls::profile_model(unet.model, calib);
+
+  util::Table ranges({"layer", "max |activation|", "max |weight|", "int bits"});
+  for (const auto& node : unet.model.nodes()) {
+    const double act = profile.max_activation.at(node.name);
+    const auto wit = profile.max_weight.find(node.name);
+    ranges.add_row({node.name, util::Table::fmt(act, 3),
+                    wit != profile.max_weight.end()
+                        ? util::Table::fmt(wit->second, 3)
+                        : "-",
+                    std::to_string(hls::int_bits_for(act))});
+  }
+  std::cout << "\nprofiled dynamic ranges (" << eval_n << " frames):\n"
+            << ranges.to_string();
+
+  // Quick Table II preview.
+  util::Table t2({"strategy", "acc MI", "acc RR", "ALUT %"});
+  const auto reuse = hls::ReusePolicy::deployed_unet();
+  const auto preview = [&](const std::string& label, hls::QuantConfig quant) {
+    hls::HlsConfig cfg;
+    cfg.quant = std::move(quant);
+    cfg.reuse = reuse;
+    auto fw = hls::compile(unet.model, cfg);
+    const auto res = hls::ResourceModel().estimate(fw);
+    const hls::QuantizedModel qm(std::move(fw));
+    const auto acc = hls::evaluate_quantization(unet.model, qm, calib);
+    t2.add_row({label, util::Table::pct(acc.accuracy_mi),
+                util::Table::pct(acc.accuracy_rr),
+                util::Table::pct(res.alut_utilization(), 0)});
+  };
+  preview("uniform <18,10>", hls::QuantConfig::uniform({18, 10}));
+  preview("uniform <16,7>", hls::QuantConfig::uniform({16, 7}));
+  preview("layer-based <16,x>",
+          hls::layer_based_config(unet.model, profile, 16));
+  std::cout << "\nTable II preview (" << eval_n << " frames):\n"
+            << t2.to_string();
+  return 0;
+}
