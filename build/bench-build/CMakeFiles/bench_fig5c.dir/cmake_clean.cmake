@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5c"
+  "../bench/bench_fig5c.pdb"
+  "CMakeFiles/bench_fig5c.dir/bench_fig5c.cpp.o"
+  "CMakeFiles/bench_fig5c.dir/bench_fig5c.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

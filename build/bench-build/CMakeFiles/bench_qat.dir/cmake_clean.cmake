@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_qat"
+  "../bench/bench_qat.pdb"
+  "CMakeFiles/bench_qat.dir/bench_qat.cpp.o"
+  "CMakeFiles/bench_qat.dir/bench_qat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_standardization"
+  "../bench/bench_standardization.pdb"
+  "CMakeFiles/bench_standardization.dir/bench_standardization.cpp.o"
+  "CMakeFiles/bench_standardization.dir/bench_standardization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_standardization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

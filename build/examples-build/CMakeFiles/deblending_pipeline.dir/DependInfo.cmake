@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/deblending_pipeline.cpp" "examples-build/CMakeFiles/deblending_pipeline.dir/deblending_pipeline.cpp.o" "gcc" "examples-build/CMakeFiles/deblending_pipeline.dir/deblending_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/reads_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/reads_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/reads_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/reads_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/reads_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/blm/CMakeFiles/reads_blm.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/reads_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/reads_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reads_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reads_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/reads_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

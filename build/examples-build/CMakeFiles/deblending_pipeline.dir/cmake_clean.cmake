@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deblending_pipeline.dir/deblending_pipeline.cpp.o"
+  "CMakeFiles/deblending_pipeline.dir/deblending_pipeline.cpp.o.d"
+  "deblending_pipeline"
+  "deblending_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deblending_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

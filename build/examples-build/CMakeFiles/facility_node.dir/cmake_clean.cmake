@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_node.dir/facility_node.cpp.o"
+  "CMakeFiles/facility_node.dir/facility_node.cpp.o.d"
+  "facility_node"
+  "facility_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reads_blm.dir/data.cpp.o"
+  "CMakeFiles/reads_blm.dir/data.cpp.o.d"
+  "CMakeFiles/reads_blm.dir/generator.cpp.o"
+  "CMakeFiles/reads_blm.dir/generator.cpp.o.d"
+  "CMakeFiles/reads_blm.dir/machine.cpp.o"
+  "CMakeFiles/reads_blm.dir/machine.cpp.o.d"
+  "libreads_blm.a"
+  "libreads_blm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reads_blm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reads_core.dir/codesign.cpp.o"
+  "CMakeFiles/reads_core.dir/codesign.cpp.o.d"
+  "CMakeFiles/reads_core.dir/deblender.cpp.o"
+  "CMakeFiles/reads_core.dir/deblender.cpp.o.d"
+  "CMakeFiles/reads_core.dir/facility_node.cpp.o"
+  "CMakeFiles/reads_core.dir/facility_node.cpp.o.d"
+  "CMakeFiles/reads_core.dir/pretrained.cpp.o"
+  "CMakeFiles/reads_core.dir/pretrained.cpp.o.d"
+  "CMakeFiles/reads_core.dir/verification.cpp.o"
+  "CMakeFiles/reads_core.dir/verification.cpp.o.d"
+  "libreads_core.a"
+  "libreads_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reads_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

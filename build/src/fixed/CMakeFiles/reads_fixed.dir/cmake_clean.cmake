@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reads_fixed.dir/format.cpp.o"
+  "CMakeFiles/reads_fixed.dir/format.cpp.o.d"
+  "libreads_fixed.a"
+  "libreads_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reads_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/accuracy.cpp" "src/hls/CMakeFiles/reads_hls.dir/accuracy.cpp.o" "gcc" "src/hls/CMakeFiles/reads_hls.dir/accuracy.cpp.o.d"
+  "/root/repo/src/hls/codegen.cpp" "src/hls/CMakeFiles/reads_hls.dir/codegen.cpp.o" "gcc" "src/hls/CMakeFiles/reads_hls.dir/codegen.cpp.o.d"
+  "/root/repo/src/hls/firmware.cpp" "src/hls/CMakeFiles/reads_hls.dir/firmware.cpp.o" "gcc" "src/hls/CMakeFiles/reads_hls.dir/firmware.cpp.o.d"
+  "/root/repo/src/hls/latency.cpp" "src/hls/CMakeFiles/reads_hls.dir/latency.cpp.o" "gcc" "src/hls/CMakeFiles/reads_hls.dir/latency.cpp.o.d"
+  "/root/repo/src/hls/precision.cpp" "src/hls/CMakeFiles/reads_hls.dir/precision.cpp.o" "gcc" "src/hls/CMakeFiles/reads_hls.dir/precision.cpp.o.d"
+  "/root/repo/src/hls/profiler.cpp" "src/hls/CMakeFiles/reads_hls.dir/profiler.cpp.o" "gcc" "src/hls/CMakeFiles/reads_hls.dir/profiler.cpp.o.d"
+  "/root/repo/src/hls/qmodel.cpp" "src/hls/CMakeFiles/reads_hls.dir/qmodel.cpp.o" "gcc" "src/hls/CMakeFiles/reads_hls.dir/qmodel.cpp.o.d"
+  "/root/repo/src/hls/resource.cpp" "src/hls/CMakeFiles/reads_hls.dir/resource.cpp.o" "gcc" "src/hls/CMakeFiles/reads_hls.dir/resource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/reads_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/reads_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/reads_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reads_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reads_hls.dir/accuracy.cpp.o"
+  "CMakeFiles/reads_hls.dir/accuracy.cpp.o.d"
+  "CMakeFiles/reads_hls.dir/codegen.cpp.o"
+  "CMakeFiles/reads_hls.dir/codegen.cpp.o.d"
+  "CMakeFiles/reads_hls.dir/firmware.cpp.o"
+  "CMakeFiles/reads_hls.dir/firmware.cpp.o.d"
+  "CMakeFiles/reads_hls.dir/latency.cpp.o"
+  "CMakeFiles/reads_hls.dir/latency.cpp.o.d"
+  "CMakeFiles/reads_hls.dir/precision.cpp.o"
+  "CMakeFiles/reads_hls.dir/precision.cpp.o.d"
+  "CMakeFiles/reads_hls.dir/profiler.cpp.o"
+  "CMakeFiles/reads_hls.dir/profiler.cpp.o.d"
+  "CMakeFiles/reads_hls.dir/qmodel.cpp.o"
+  "CMakeFiles/reads_hls.dir/qmodel.cpp.o.d"
+  "CMakeFiles/reads_hls.dir/resource.cpp.o"
+  "CMakeFiles/reads_hls.dir/resource.cpp.o.d"
+  "libreads_hls.a"
+  "libreads_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reads_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

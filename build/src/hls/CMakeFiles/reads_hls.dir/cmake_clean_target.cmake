@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreads_hls.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/acnet.cpp" "src/net/CMakeFiles/reads_net.dir/acnet.cpp.o" "gcc" "src/net/CMakeFiles/reads_net.dir/acnet.cpp.o.d"
+  "/root/repo/src/net/assembler.cpp" "src/net/CMakeFiles/reads_net.dir/assembler.cpp.o" "gcc" "src/net/CMakeFiles/reads_net.dir/assembler.cpp.o.d"
+  "/root/repo/src/net/facility.cpp" "src/net/CMakeFiles/reads_net.dir/facility.cpp.o" "gcc" "src/net/CMakeFiles/reads_net.dir/facility.cpp.o.d"
+  "/root/repo/src/net/hub.cpp" "src/net/CMakeFiles/reads_net.dir/hub.cpp.o" "gcc" "src/net/CMakeFiles/reads_net.dir/hub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blm/CMakeFiles/reads_blm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/reads_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/reads_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reads_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/reads_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reads_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

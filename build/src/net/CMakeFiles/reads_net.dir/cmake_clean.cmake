@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reads_net.dir/acnet.cpp.o"
+  "CMakeFiles/reads_net.dir/acnet.cpp.o.d"
+  "CMakeFiles/reads_net.dir/assembler.cpp.o"
+  "CMakeFiles/reads_net.dir/assembler.cpp.o.d"
+  "CMakeFiles/reads_net.dir/facility.cpp.o"
+  "CMakeFiles/reads_net.dir/facility.cpp.o.d"
+  "CMakeFiles/reads_net.dir/hub.cpp.o"
+  "CMakeFiles/reads_net.dir/hub.cpp.o.d"
+  "libreads_net.a"
+  "libreads_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reads_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

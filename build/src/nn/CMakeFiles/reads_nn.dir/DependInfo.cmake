@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/builders.cpp" "src/nn/CMakeFiles/reads_nn.dir/builders.cpp.o" "gcc" "src/nn/CMakeFiles/reads_nn.dir/builders.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/reads_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/reads_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layers/activations.cpp" "src/nn/CMakeFiles/reads_nn.dir/layers/activations.cpp.o" "gcc" "src/nn/CMakeFiles/reads_nn.dir/layers/activations.cpp.o.d"
+  "/root/repo/src/nn/layers/batchnorm.cpp" "src/nn/CMakeFiles/reads_nn.dir/layers/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/reads_nn.dir/layers/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/layers/concat.cpp" "src/nn/CMakeFiles/reads_nn.dir/layers/concat.cpp.o" "gcc" "src/nn/CMakeFiles/reads_nn.dir/layers/concat.cpp.o.d"
+  "/root/repo/src/nn/layers/conv1d.cpp" "src/nn/CMakeFiles/reads_nn.dir/layers/conv1d.cpp.o" "gcc" "src/nn/CMakeFiles/reads_nn.dir/layers/conv1d.cpp.o.d"
+  "/root/repo/src/nn/layers/dense.cpp" "src/nn/CMakeFiles/reads_nn.dir/layers/dense.cpp.o" "gcc" "src/nn/CMakeFiles/reads_nn.dir/layers/dense.cpp.o.d"
+  "/root/repo/src/nn/layers/flatten.cpp" "src/nn/CMakeFiles/reads_nn.dir/layers/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/reads_nn.dir/layers/flatten.cpp.o.d"
+  "/root/repo/src/nn/layers/pool.cpp" "src/nn/CMakeFiles/reads_nn.dir/layers/pool.cpp.o" "gcc" "src/nn/CMakeFiles/reads_nn.dir/layers/pool.cpp.o.d"
+  "/root/repo/src/nn/layers/upsample.cpp" "src/nn/CMakeFiles/reads_nn.dir/layers/upsample.cpp.o" "gcc" "src/nn/CMakeFiles/reads_nn.dir/layers/upsample.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/reads_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/reads_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/reads_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/reads_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/reads_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/reads_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

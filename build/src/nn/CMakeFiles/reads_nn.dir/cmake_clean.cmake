@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reads_nn.dir/builders.cpp.o"
+  "CMakeFiles/reads_nn.dir/builders.cpp.o.d"
+  "CMakeFiles/reads_nn.dir/init.cpp.o"
+  "CMakeFiles/reads_nn.dir/init.cpp.o.d"
+  "CMakeFiles/reads_nn.dir/layers/activations.cpp.o"
+  "CMakeFiles/reads_nn.dir/layers/activations.cpp.o.d"
+  "CMakeFiles/reads_nn.dir/layers/batchnorm.cpp.o"
+  "CMakeFiles/reads_nn.dir/layers/batchnorm.cpp.o.d"
+  "CMakeFiles/reads_nn.dir/layers/concat.cpp.o"
+  "CMakeFiles/reads_nn.dir/layers/concat.cpp.o.d"
+  "CMakeFiles/reads_nn.dir/layers/conv1d.cpp.o"
+  "CMakeFiles/reads_nn.dir/layers/conv1d.cpp.o.d"
+  "CMakeFiles/reads_nn.dir/layers/dense.cpp.o"
+  "CMakeFiles/reads_nn.dir/layers/dense.cpp.o.d"
+  "CMakeFiles/reads_nn.dir/layers/flatten.cpp.o"
+  "CMakeFiles/reads_nn.dir/layers/flatten.cpp.o.d"
+  "CMakeFiles/reads_nn.dir/layers/pool.cpp.o"
+  "CMakeFiles/reads_nn.dir/layers/pool.cpp.o.d"
+  "CMakeFiles/reads_nn.dir/layers/upsample.cpp.o"
+  "CMakeFiles/reads_nn.dir/layers/upsample.cpp.o.d"
+  "CMakeFiles/reads_nn.dir/model.cpp.o"
+  "CMakeFiles/reads_nn.dir/model.cpp.o.d"
+  "CMakeFiles/reads_nn.dir/serialize.cpp.o"
+  "CMakeFiles/reads_nn.dir/serialize.cpp.o.d"
+  "libreads_nn.a"
+  "libreads_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reads_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/comparison.cpp" "src/platform/CMakeFiles/reads_platform.dir/comparison.cpp.o" "gcc" "src/platform/CMakeFiles/reads_platform.dir/comparison.cpp.o.d"
+  "/root/repo/src/platform/cpu.cpp" "src/platform/CMakeFiles/reads_platform.dir/cpu.cpp.o" "gcc" "src/platform/CMakeFiles/reads_platform.dir/cpu.cpp.o.d"
+  "/root/repo/src/platform/gpu.cpp" "src/platform/CMakeFiles/reads_platform.dir/gpu.cpp.o" "gcc" "src/platform/CMakeFiles/reads_platform.dir/gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/reads_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reads_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/reads_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/reads_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reads_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/reads_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

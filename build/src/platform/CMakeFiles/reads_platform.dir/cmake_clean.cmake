@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reads_platform.dir/comparison.cpp.o"
+  "CMakeFiles/reads_platform.dir/comparison.cpp.o.d"
+  "CMakeFiles/reads_platform.dir/cpu.cpp.o"
+  "CMakeFiles/reads_platform.dir/cpu.cpp.o.d"
+  "CMakeFiles/reads_platform.dir/gpu.cpp.o"
+  "CMakeFiles/reads_platform.dir/gpu.cpp.o.d"
+  "libreads_platform.a"
+  "libreads_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reads_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/control_ip.cpp" "src/soc/CMakeFiles/reads_soc.dir/control_ip.cpp.o" "gcc" "src/soc/CMakeFiles/reads_soc.dir/control_ip.cpp.o.d"
+  "/root/repo/src/soc/event_sim.cpp" "src/soc/CMakeFiles/reads_soc.dir/event_sim.cpp.o" "gcc" "src/soc/CMakeFiles/reads_soc.dir/event_sim.cpp.o.d"
+  "/root/repo/src/soc/hps.cpp" "src/soc/CMakeFiles/reads_soc.dir/hps.cpp.o" "gcc" "src/soc/CMakeFiles/reads_soc.dir/hps.cpp.o.d"
+  "/root/repo/src/soc/nn_ip.cpp" "src/soc/CMakeFiles/reads_soc.dir/nn_ip.cpp.o" "gcc" "src/soc/CMakeFiles/reads_soc.dir/nn_ip.cpp.o.d"
+  "/root/repo/src/soc/ocram.cpp" "src/soc/CMakeFiles/reads_soc.dir/ocram.cpp.o" "gcc" "src/soc/CMakeFiles/reads_soc.dir/ocram.cpp.o.d"
+  "/root/repo/src/soc/system.cpp" "src/soc/CMakeFiles/reads_soc.dir/system.cpp.o" "gcc" "src/soc/CMakeFiles/reads_soc.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/reads_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/reads_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reads_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reads_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/reads_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

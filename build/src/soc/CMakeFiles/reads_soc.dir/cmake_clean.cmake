@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reads_soc.dir/control_ip.cpp.o"
+  "CMakeFiles/reads_soc.dir/control_ip.cpp.o.d"
+  "CMakeFiles/reads_soc.dir/event_sim.cpp.o"
+  "CMakeFiles/reads_soc.dir/event_sim.cpp.o.d"
+  "CMakeFiles/reads_soc.dir/hps.cpp.o"
+  "CMakeFiles/reads_soc.dir/hps.cpp.o.d"
+  "CMakeFiles/reads_soc.dir/nn_ip.cpp.o"
+  "CMakeFiles/reads_soc.dir/nn_ip.cpp.o.d"
+  "CMakeFiles/reads_soc.dir/ocram.cpp.o"
+  "CMakeFiles/reads_soc.dir/ocram.cpp.o.d"
+  "CMakeFiles/reads_soc.dir/system.cpp.o"
+  "CMakeFiles/reads_soc.dir/system.cpp.o.d"
+  "libreads_soc.a"
+  "libreads_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reads_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

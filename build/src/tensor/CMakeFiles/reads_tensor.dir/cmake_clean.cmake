@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reads_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/reads_tensor.dir/tensor.cpp.o.d"
+  "libreads_tensor.a"
+  "libreads_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reads_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

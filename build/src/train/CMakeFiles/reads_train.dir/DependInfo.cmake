@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/dataset.cpp" "src/train/CMakeFiles/reads_train.dir/dataset.cpp.o" "gcc" "src/train/CMakeFiles/reads_train.dir/dataset.cpp.o.d"
+  "/root/repo/src/train/loss.cpp" "src/train/CMakeFiles/reads_train.dir/loss.cpp.o" "gcc" "src/train/CMakeFiles/reads_train.dir/loss.cpp.o.d"
+  "/root/repo/src/train/optimizer.cpp" "src/train/CMakeFiles/reads_train.dir/optimizer.cpp.o" "gcc" "src/train/CMakeFiles/reads_train.dir/optimizer.cpp.o.d"
+  "/root/repo/src/train/qat.cpp" "src/train/CMakeFiles/reads_train.dir/qat.cpp.o" "gcc" "src/train/CMakeFiles/reads_train.dir/qat.cpp.o.d"
+  "/root/repo/src/train/standardize.cpp" "src/train/CMakeFiles/reads_train.dir/standardize.cpp.o" "gcc" "src/train/CMakeFiles/reads_train.dir/standardize.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/train/CMakeFiles/reads_train.dir/trainer.cpp.o" "gcc" "src/train/CMakeFiles/reads_train.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/reads_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/reads_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/reads_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reads_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reads_train.dir/dataset.cpp.o"
+  "CMakeFiles/reads_train.dir/dataset.cpp.o.d"
+  "CMakeFiles/reads_train.dir/loss.cpp.o"
+  "CMakeFiles/reads_train.dir/loss.cpp.o.d"
+  "CMakeFiles/reads_train.dir/optimizer.cpp.o"
+  "CMakeFiles/reads_train.dir/optimizer.cpp.o.d"
+  "CMakeFiles/reads_train.dir/qat.cpp.o"
+  "CMakeFiles/reads_train.dir/qat.cpp.o.d"
+  "CMakeFiles/reads_train.dir/standardize.cpp.o"
+  "CMakeFiles/reads_train.dir/standardize.cpp.o.d"
+  "CMakeFiles/reads_train.dir/trainer.cpp.o"
+  "CMakeFiles/reads_train.dir/trainer.cpp.o.d"
+  "libreads_train.a"
+  "libreads_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reads_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reads_util.dir/cli.cpp.o"
+  "CMakeFiles/reads_util.dir/cli.cpp.o.d"
+  "CMakeFiles/reads_util.dir/stats.cpp.o"
+  "CMakeFiles/reads_util.dir/stats.cpp.o.d"
+  "CMakeFiles/reads_util.dir/table.cpp.o"
+  "CMakeFiles/reads_util.dir/table.cpp.o.d"
+  "CMakeFiles/reads_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/reads_util.dir/thread_pool.cpp.o.d"
+  "libreads_util.a"
+  "libreads_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reads_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_blm.cpp" "tests/CMakeFiles/test_blm.dir/test_blm.cpp.o" "gcc" "tests/CMakeFiles/test_blm.dir/test_blm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blm/CMakeFiles/reads_blm.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/reads_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reads_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/reads_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reads_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/reads_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blm.dir/test_blm.cpp.o"
+  "CMakeFiles/test_blm.dir/test_blm.cpp.o.d"
+  "test_blm"
+  "test_blm.pdb"
+  "test_blm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

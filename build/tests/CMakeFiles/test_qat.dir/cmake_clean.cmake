@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qat.dir/test_qat.cpp.o"
+  "CMakeFiles/test_qat.dir/test_qat.cpp.o.d"
+  "test_qat"
+  "test_qat.pdb"
+  "test_qat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsgen.dir/hlsgen.cpp.o"
+  "CMakeFiles/hlsgen.dir/hlsgen.cpp.o.d"
+  "hlsgen"
+  "hlsgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
