@@ -1,0 +1,134 @@
+// Hot-path kernel benchmark: quantized U-Net forward through the blocked
+// transposed-weight kernels (forward_raw) vs the seed per-output reference
+// executor (forward_raw_reference), plus the float path and the batched
+// API, with bit-identity of outputs and ForwardStats asserted while timing.
+//
+//   ./bench_kernels [--frames=8] [--reps=5] [--seed=17]
+//                   [--out=BENCH_kernels.json] [--min_speedup=1.5]
+//
+// Emits one JSON object (schema documented in DESIGN.md) to stdout and to
+// --out; exits non-zero if the fast path diverges from the reference or the
+// speedup falls below --min_speedup.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common.hpp"
+#include "hls/qkernels.hpp"
+
+namespace {
+
+using namespace reads;
+
+/// Best-of-`reps` wall-clock seconds for one invocation of `fn`.
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  fn();  // warm-up (page in weights, populate scratch arenas)
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+bool stats_equal(const hls::ForwardStats& a, const hls::ForwardStats& b) {
+  return a.saturations == b.saturations && a.overflows == b.overflows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto frames = static_cast<std::size_t>(cli.get_int("frames", 8));
+  const int reps = static_cast<int>(cli.get_int("reps", 5));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+  const std::string out_path = cli.get_string("out", "BENCH_kernels.json");
+  const double min_speedup = cli.get_double("min_speedup", 1.5);
+  cli.check_unknown();
+
+  bench::print_header("hot-path kernels: blocked vs reference executor",
+                      "enables the 575 fps / 3 ms deployment rates "
+                      "(paper §I, §VI)");
+
+  const bench::DeployedUnet d;
+  const hls::QuantizedModel qm(d.deployed_firmware());
+  const auto inputs = d.eval_inputs(frames, seed);
+  std::vector<std::vector<std::int64_t>> raw;
+  raw.reserve(frames);
+  for (const auto& in : inputs) raw.push_back(qm.quantize_input(in));
+
+  // Bit-identity gate: the blocked kernels must reproduce the reference
+  // executor exactly — raw output words AND per-layer stats counters.
+  bool bit_identical = true;
+  for (const auto& r : raw) {
+    hls::ForwardStats fast_stats;
+    hls::ForwardStats ref_stats;
+    const auto fast = qm.forward_raw(r, &fast_stats);
+    const auto ref = qm.forward_raw_reference(r, &ref_stats);
+    if (fast != ref || !stats_equal(fast_stats, ref_stats)) {
+      bit_identical = false;
+      break;
+    }
+  }
+
+  const double fast_s = time_best(reps, [&] {
+    for (const auto& r : raw) {
+      volatile std::int64_t sink = qm.forward_raw(r).back();
+      (void)sink;
+    }
+  });
+  const double ref_s = time_best(reps, [&] {
+    for (const auto& r : raw) {
+      volatile std::int64_t sink = qm.forward_raw_reference(r).back();
+      (void)sink;
+    }
+  });
+  const double float_s = time_best(reps, [&] {
+    for (const auto& in : inputs) {
+      volatile float sink = d.bundle.model.forward(in)[0];
+      (void)sink;
+    }
+  });
+  const double batch_s = time_best(reps, [&] {
+    volatile float sink = qm.forward_batch(inputs).back()[0];
+    (void)sink;
+  });
+
+  const double n = static_cast<double>(frames);
+  const double fast_ms = fast_s / n * 1e3;
+  const double ref_ms = ref_s / n * 1e3;
+  const double float_ms = float_s / n * 1e3;
+  const double speedup = fast_ms > 0.0 ? ref_ms / fast_ms : 0.0;
+  const double batch_fps = batch_s > 0.0 ? n / batch_s : 0.0;
+
+  std::ostringstream json;
+  json << "{\"bench\": \"kernels\""
+       << ", \"variant\": \"" << hls::kernels::variant() << "\""
+       << ", \"frames\": " << frames << ", \"reps\": " << reps
+       << ", \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << ", \"quant_reference_ms_per_frame\": "
+       << util::Table::fmt(ref_ms, 4)
+       << ", \"quant_fast_ms_per_frame\": " << util::Table::fmt(fast_ms, 4)
+       << ", \"float_ms_per_frame\": " << util::Table::fmt(float_ms, 4)
+       << ", \"speedup\": " << util::Table::fmt(speedup, 3)
+       << ", \"batch_fps\": " << util::Table::fmt(batch_fps, 1) << "}";
+
+  std::cout << json.str() << "\n";
+  std::ofstream(out_path) << json.str() << "\n";
+
+  if (!bit_identical) {
+    std::cerr << "FAIL: fast path diverged from reference executor\n";
+    return 1;
+  }
+  if (speedup < min_speedup) {
+    std::cerr << "FAIL: speedup " << util::Table::fmt(speedup, 3)
+              << "x below required " << util::Table::fmt(min_speedup, 3)
+              << "x\n";
+    return 1;
+  }
+  return 0;
+}

@@ -54,9 +54,16 @@ TrainedBundle train_or_load(const char* arch, nn::Model model,
   TrainedBundle bundle{std::move(model), std::move(built.standardizer)};
 
   if (std::filesystem::exists(path)) {
-    nn::load_weights(bundle.model, path);
-    bundle.loaded_from_cache = true;
-    return bundle;
+    try {
+      nn::load_weights(bundle.model, path);
+      bundle.loaded_from_cache = true;
+      return bundle;
+    } catch (const std::exception& e) {
+      // A stale or truncated cache must not abort the caller: fall through
+      // to retraining, which overwrites the bad file.
+      std::cerr << "[pretrained " << arch << "] ignoring unusable cache ("
+                << e.what() << "); retraining\n";
+    }
   }
 
   auto data = std::move(built.dataset);

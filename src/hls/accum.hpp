@@ -1,0 +1,105 @@
+// Fixed-point re-quantization and MAC-accumulator arithmetic shared by the
+// quantized executor (qmodel.cpp) and its blocked kernels (qkernels.cpp).
+// These used to live in qmodel.cpp's anonymous namespace; they moved here
+// unchanged when the kernels were split into their own translation unit so
+// both paths stay bit-identical by construction.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "hls/precision.hpp"
+
+namespace reads::hls::detail {
+
+/// Precomputed re-quantizer: shift from a source fraction alignment into a
+/// destination FixedSpec with round-to-nearest (ties away from zero) and
+/// saturation, counting saturation events.
+struct Requant {
+  int shift = 0;  // >0: drop bits, <0: widen
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  Requant() = default;
+  Requant(int from_frac_bits, const FixedSpec& to) {
+    shift = from_frac_bits - (to.width - to.int_bits);
+    hi = (std::int64_t{1} << (to.width - 1)) - 1;
+    lo = -(std::int64_t{1} << (to.width - 1));
+  }
+
+  std::int64_t apply(std::int64_t v, std::size_t& saturations) const noexcept {
+    if (shift > 0) {
+      const std::int64_t half = std::int64_t{1} << (shift - 1);
+      v = v >= 0 ? (v + half) >> shift : -((-v + half) >> shift);
+    } else if (shift < 0) {
+      v <<= -shift;
+    }
+    if (v < lo) {
+      ++saturations;
+      return lo;
+    }
+    if (v > hi) {
+      ++saturations;
+      return hi;
+    }
+    return v;
+  }
+};
+
+/// The MAC accumulator of a layer: a fixed-point register with the layer's
+/// activation integer range plus `guard` extra fraction bits, wrapping on
+/// overflow exactly like an AC_WRAP ac_fixed accumulator. Because wrap is
+/// modular arithmetic, accumulating exactly in int64 and wrapping once at
+/// the end is bit-identical to wrapping after every addition — and because
+/// int64 addition is exact at our magnitudes, the *order* in which terms
+/// are accumulated is free: blocked kernels produce the same final sums,
+/// hence the same overflow/saturation counts, as the reference loops.
+struct Accum {
+  int prod_shift = 0;   ///< product frac -> accumulator frac (>= 0)
+  int bias_shift = 0;   ///< stored bias frac -> accumulator frac
+  int ring_bits = 24;   ///< accumulator register width
+  std::int64_t ring_lo = 0;
+  std::int64_t ring_hi = 0;
+  std::uint64_t mask = 0;
+  Requant out;          ///< accumulator frac -> activation spec
+
+  Accum(const FixedSpec& act, int product_frac, int stored_bias_frac,
+        int guard_bits) {
+    const int act_frac = act.width - act.int_bits;
+    const int acc_frac = std::min(act_frac + guard_bits, product_frac);
+    prod_shift = product_frac - acc_frac;
+    bias_shift = stored_bias_frac - acc_frac;
+    ring_bits = act.int_bits + acc_frac;
+    // Degenerate all-fraction formats still need a 1-bit ring.
+    if (ring_bits < 1) ring_bits = 1;
+    ring_hi = (std::int64_t{1} << (ring_bits - 1)) - 1;
+    ring_lo = -(std::int64_t{1} << (ring_bits - 1));
+    mask = ring_bits >= 64 ? ~std::uint64_t{0}
+                           : (std::uint64_t{1} << ring_bits) - 1;
+    out = Requant(acc_frac, act);
+  }
+
+  std::int64_t term(std::int64_t product) const noexcept {
+    // AC_TRN: arithmetic right shift == floor division.
+    return prod_shift >= 0 ? product >> prod_shift : product << -prod_shift;
+  }
+
+  std::int64_t bias(std::int64_t stored) const noexcept {
+    return bias_shift >= 0 ? stored >> bias_shift : stored << -bias_shift;
+  }
+
+  std::int64_t finalize(std::int64_t exact, std::size_t& overflows,
+                        std::size_t& saturations) const noexcept {
+    std::int64_t wrapped = exact;
+    if (exact < ring_lo || exact > ring_hi) {
+      ++overflows;
+      auto u = static_cast<std::uint64_t>(exact) & mask;
+      if (u & (std::uint64_t{1} << (ring_bits - 1))) u |= ~mask;
+      wrapped = static_cast<std::int64_t>(u);
+    }
+    return out.apply(wrapped, saturations);
+  }
+};
+
+}  // namespace reads::hls::detail

@@ -1,10 +1,7 @@
 #include "hls/accuracy.hpp"
 
 #include <cmath>
-#include <mutex>
 #include <stdexcept>
-
-#include "util/thread_pool.hpp"
 
 namespace reads::hls {
 
@@ -26,46 +23,32 @@ AccuracyReport evaluate_quantization(const nn::Model& reference,
   report.frames = inputs.size();
   report.outputs_per_channel = inputs.size() * monitors;
 
-  std::mutex mutex;
+  // Both sweeps run batched on the thread pool (workers reuse per-thread
+  // scratch); the elementwise comparison is cheap and stays serial.
+  const auto refs = reference.forward_batch(inputs);
+  ForwardStats stats;
+  const auto quants = quantized.forward_batch(inputs, &stats);
+  report.saturation_events = stats.total_saturations();
+  report.overflow_events = stats.total_overflows();
+
   std::size_t close_mi = 0;
   std::size_t close_rr = 0;
   double sum_mi = 0.0;
   double sum_rr = 0.0;
-
-  util::parallel_for(0, inputs.size(), [&](std::size_t f) {
-    const auto ref = reference.forward(inputs[f]);
-    ForwardStats stats;
-    const auto quant = quantized.forward(inputs[f], &stats);
-    std::size_t local_close_mi = 0;
-    std::size_t local_close_rr = 0;
-    std::size_t local_out_mi = 0;
-    std::size_t local_out_rr = 0;
-    double local_sum_mi = 0.0;
-    double local_sum_rr = 0.0;
-    double local_max_mi = 0.0;
-    double local_max_rr = 0.0;
+  for (std::size_t f = 0; f < inputs.size(); ++f) {
+    const auto& ref = refs[f];
+    const auto& quant = quants[f];
     for (std::size_t m = 0; m < monitors; ++m) {
       const double d_mi = std::fabs(quant[m * 2 + 0] - ref[m * 2 + 0]);
       const double d_rr = std::fabs(quant[m * 2 + 1] - ref[m * 2 + 1]);
-      local_sum_mi += d_mi;
-      local_sum_rr += d_rr;
-      local_max_mi = std::max(local_max_mi, d_mi);
-      local_max_rr = std::max(local_max_rr, d_rr);
-      if (d_mi <= tolerance) ++local_close_mi; else ++local_out_mi;
-      if (d_rr <= tolerance) ++local_close_rr; else ++local_out_rr;
+      sum_mi += d_mi;
+      sum_rr += d_rr;
+      report.max_diff_mi = std::max(report.max_diff_mi, d_mi);
+      report.max_diff_rr = std::max(report.max_diff_rr, d_rr);
+      if (d_mi <= tolerance) ++close_mi; else ++report.outliers_mi;
+      if (d_rr <= tolerance) ++close_rr; else ++report.outliers_rr;
     }
-    std::lock_guard lock(mutex);
-    close_mi += local_close_mi;
-    close_rr += local_close_rr;
-    report.outliers_mi += local_out_mi;
-    report.outliers_rr += local_out_rr;
-    sum_mi += local_sum_mi;
-    sum_rr += local_sum_rr;
-    report.max_diff_mi = std::max(report.max_diff_mi, local_max_mi);
-    report.max_diff_rr = std::max(report.max_diff_rr, local_max_rr);
-    report.saturation_events += stats.total_saturations();
-    report.overflow_events += stats.total_overflows();
-  });
+  }
 
   const auto n = static_cast<double>(report.outputs_per_channel);
   report.accuracy_mi = static_cast<double>(close_mi) / n;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace reads::hls {
 
@@ -46,21 +49,44 @@ Profile profile_model(const nn::Model& model,
       }
     }
   }
-  for (const auto& input : calibration_inputs) {
-    const auto acts = model.forward_all(input);
-    for (std::size_t i = 0; i < model.nodes().size(); ++i) {
-      const auto& name = model.nodes()[i].name;
-      auto& slot = prof.max_activation[name];
-      auto& hist = prof.act_int_bits_histogram[name];
-      for (const float v : acts.values[i].flat()) {
-        const double a = std::fabs(v);
-        slot = std::max(slot, a);
-        const auto bits = static_cast<std::size_t>(
-            std::clamp(int_bits_for(a), 1, static_cast<int>(hist.size()) - 1));
-        ++hist[bits];
+  // Shard the calibration frames across the pool; each worker accumulates
+  // into node-indexed locals (reusing one Activations) and the max/histogram
+  // merges commute, so the result equals the sequential sweep.
+  const std::size_t n_nodes = model.nodes().size();
+  const std::size_t n_frames = calibration_inputs.size();
+  const std::size_t shards =
+      std::min(n_frames, std::max<std::size_t>(
+                             1, util::ThreadPool::global().worker_count()));
+  std::mutex mutex;
+  util::parallel_for(std::size_t{0}, shards, [&](std::size_t s) {
+    std::vector<double> local_max(n_nodes, 0.0);
+    std::vector<std::array<std::uint64_t, 25>> local_hist(n_nodes);
+    for (auto& h : local_hist) h.fill(0);
+    nn::Activations acts;
+    const std::size_t lo = s * n_frames / shards;
+    const std::size_t hi = (s + 1) * n_frames / shards;
+    for (std::size_t f = lo; f < hi; ++f) {
+      model.forward_all_into(calibration_inputs[f], acts);
+      for (std::size_t i = 0; i < n_nodes; ++i) {
+        auto& hist = local_hist[i];
+        for (const float v : acts.values[i].flat()) {
+          const double a = std::fabs(v);
+          local_max[i] = std::max(local_max[i], a);
+          const auto bits = static_cast<std::size_t>(std::clamp(
+              int_bits_for(a), 1, static_cast<int>(hist.size()) - 1));
+          ++hist[bits];
+        }
       }
     }
-  }
+    std::lock_guard lock(mutex);
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      const auto& name = model.nodes()[i].name;
+      auto& slot = prof.max_activation[name];
+      slot = std::max(slot, local_max[i]);
+      auto& hist = prof.act_int_bits_histogram[name];
+      for (std::size_t b = 0; b < hist.size(); ++b) hist[b] += local_hist[i][b];
+    }
+  });
   return prof;
 }
 

@@ -1,0 +1,88 @@
+#include "hls/qkernels.hpp"
+
+#include <algorithm>
+
+namespace reads::hls::kernels {
+
+namespace detail {
+
+// Scalar fallback: 4-wide output blocking over the transposed weight row,
+// one activation load shared across the block, zero activations skipped
+// ((0 * w) >> shift contributes exactly 0, and after ReLU layers a large
+// fraction of activations are zero).
+void conv1d_acc_scalar(const std::int64_t* x, const std::int64_t* wtr,
+                       const std::int64_t* bias_acc, std::int64_t* acc,
+                       std::size_t positions, std::size_t in_ch,
+                       std::size_t out_ch, std::size_t k, int shift) {
+  const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+  const auto pos = static_cast<std::ptrdiff_t>(positions);
+  const auto kk = static_cast<std::ptrdiff_t>(k);
+  for (std::ptrdiff_t p = 0; p < pos; ++p) {
+    std::int64_t* accp = acc + static_cast<std::size_t>(p) * out_ch;
+    std::copy(bias_acc, bias_acc + out_ch, accp);
+    const std::ptrdiff_t dk_lo = std::max<std::ptrdiff_t>(0, pad - p);
+    const std::ptrdiff_t dk_hi = std::min<std::ptrdiff_t>(kk, pos + pad - p);
+    for (std::ptrdiff_t dk = dk_lo; dk < dk_hi; ++dk) {
+      const std::int64_t* xq =
+          x + static_cast<std::size_t>(p + dk - pad) * in_ch;
+      const std::int64_t* wdk = wtr + static_cast<std::size_t>(dk) * in_ch * out_ch;
+      for (std::size_t i = 0; i < in_ch; ++i) {
+        const std::int64_t xv = xq[i];
+        if (xv == 0) continue;
+        const std::int64_t* wrow = wdk + i * out_ch;
+        std::size_t o = 0;
+        for (; o + 4 <= out_ch; o += 4) {
+          accp[o + 0] += (wrow[o + 0] * xv) >> shift;
+          accp[o + 1] += (wrow[o + 1] * xv) >> shift;
+          accp[o + 2] += (wrow[o + 2] * xv) >> shift;
+          accp[o + 3] += (wrow[o + 3] * xv) >> shift;
+        }
+        for (; o < out_ch; ++o) accp[o] += (wrow[o] * xv) >> shift;
+      }
+    }
+  }
+}
+
+#if defined(READS_QKERNELS_AVX512)
+void conv1d_acc_avx512(const std::int64_t* x, const std::int64_t* wtr,
+                       const std::int64_t* bias_acc, std::int64_t* acc,
+                       std::size_t positions, std::size_t in_ch,
+                       std::size_t out_ch, std::size_t k, int shift);
+#endif
+
+using KernelFn = void (*)(const std::int64_t*, const std::int64_t*,
+                          const std::int64_t*, std::int64_t*, std::size_t,
+                          std::size_t, std::size_t, std::size_t, int);
+
+struct Dispatch {
+  KernelFn fn = conv1d_acc_scalar;
+  const char* name = "scalar";
+};
+
+Dispatch resolve() {
+#if defined(READS_QKERNELS_AVX512) && defined(__GNUC__) && defined(__x86_64__)
+  if (__builtin_cpu_supports("avx512dq") && __builtin_cpu_supports("avx512vl")) {
+    return {conv1d_acc_avx512, "avx512"};
+  }
+#endif
+  return {};
+}
+
+const Dispatch& dispatch() {
+  static const Dispatch d = resolve();
+  return d;
+}
+
+}  // namespace detail
+
+void conv1d_acc(const std::int64_t* x, const std::int64_t* wtr,
+                const std::int64_t* bias_acc, std::int64_t* acc,
+                std::size_t positions, std::size_t in_ch, std::size_t out_ch,
+                std::size_t k, int shift) {
+  detail::dispatch().fn(x, wtr, bias_acc, acc, positions, in_ch, out_ch, k,
+                        shift);
+}
+
+const char* variant() noexcept { return detail::dispatch().name; }
+
+}  // namespace reads::hls::kernels

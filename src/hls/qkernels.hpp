@@ -1,0 +1,36 @@
+// Blocked, transposed-weight integer kernels for the quantized executor.
+//
+// Dense and Conv1D dominate the bit-accurate forward pass. The kernels here
+// work on weights transposed to (k, in, out) layout so the innermost loop
+// runs over *outputs* with a contiguous weight row and a single broadcast
+// activation — block-friendly for both the scalar 4-wide unroll and the
+// AVX-512 path (8 accumulators per vector, vpmullq/vpsraq).
+//
+// Bit-exactness contract: each kernel produces, for every output, the exact
+// int64 sum  bias_acc[o] + sum_taps((w * x) >> shift)  — the same value the
+// reference per-output loop computes, because int64 arithmetic is exact at
+// these magnitudes and addition order is therefore immaterial. The caller
+// applies Accum::finalize (wrap + requant + stats counting) afterwards, so
+// ForwardStats saturation/overflow counts are unchanged by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace reads::hls::kernels {
+
+/// 'same'-padded stride-1 Conv1D accumulator pass (Dense is the k == 1
+/// case). `x` is (positions, in_ch) activations, `wtr` is the transposed
+/// weight block (k, in_ch, out_ch), `bias_acc` holds per-output bias terms
+/// already aligned to the accumulator, and `acc` receives the exact int64
+/// accumulator value for each of positions*out_ch outputs. `shift` is the
+/// product-to-accumulator alignment (Accum::prod_shift, always >= 0).
+void conv1d_acc(const std::int64_t* x, const std::int64_t* wtr,
+                const std::int64_t* bias_acc, std::int64_t* acc,
+                std::size_t positions, std::size_t in_ch, std::size_t out_ch,
+                std::size_t k, int shift);
+
+/// Name of the kernel variant selected at runtime ("avx512" or "scalar").
+const char* variant() noexcept;
+
+}  // namespace reads::hls::kernels

@@ -1,0 +1,69 @@
+// AVX-512 variant of the transposed-weight Conv1D/Dense accumulator kernel.
+// This translation unit is compiled with -mavx512f -mavx512dq -mavx512vl
+// (see src/hls/CMakeLists.txt) and is only ever called after a runtime
+// __builtin_cpu_supports check in qkernels.cpp.
+//
+// All lane arithmetic is exact int64 (vpmullq products fit comfortably:
+// |w|, |x| < 2^24, so |w*x| < 2^48; vpsraq is the same floor shift as the
+// scalar `>>`), so the per-output sums — and therefore the finalize-stage
+// overflow/saturation counts — are bit-identical to the scalar kernel.
+#if defined(READS_QKERNELS_AVX512)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace reads::hls::kernels::detail {
+
+void conv1d_acc_avx512(const std::int64_t* x, const std::int64_t* wtr,
+                       const std::int64_t* bias_acc, std::int64_t* acc,
+                       std::size_t positions, std::size_t in_ch,
+                       std::size_t out_ch, std::size_t k, int shift) {
+  const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+  const auto pos = static_cast<std::ptrdiff_t>(positions);
+  const auto kk = static_cast<std::ptrdiff_t>(k);
+  const __m128i shift_cnt = _mm_cvtsi32_si128(shift);
+  const std::size_t o_main = out_ch & ~std::size_t{7};
+  const auto tail_mask =
+      static_cast<__mmask8>((1u << (out_ch - o_main)) - 1u);
+  for (std::ptrdiff_t p = 0; p < pos; ++p) {
+    std::int64_t* accp = acc + static_cast<std::size_t>(p) * out_ch;
+    std::copy(bias_acc, bias_acc + out_ch, accp);
+    const std::ptrdiff_t dk_lo = std::max<std::ptrdiff_t>(0, pad - p);
+    const std::ptrdiff_t dk_hi = std::min<std::ptrdiff_t>(kk, pos + pad - p);
+    for (std::ptrdiff_t dk = dk_lo; dk < dk_hi; ++dk) {
+      const std::int64_t* xq =
+          x + static_cast<std::size_t>(p + dk - pad) * in_ch;
+      const std::int64_t* wdk =
+          wtr + static_cast<std::size_t>(dk) * in_ch * out_ch;
+      for (std::size_t i = 0; i < in_ch; ++i) {
+        const std::int64_t xv = xq[i];
+        if (xv == 0) continue;
+        const __m512i xvec = _mm512_set1_epi64(xv);
+        const std::int64_t* wrow = wdk + i * out_ch;
+        std::size_t o = 0;
+        for (; o < o_main; o += 8) {
+          const __m512i w = _mm512_loadu_si512(wrow + o);
+          const __m512i term =
+              _mm512_sra_epi64(_mm512_mullo_epi64(w, xvec), shift_cnt);
+          const __m512i a = _mm512_loadu_si512(accp + o);
+          _mm512_storeu_si512(accp + o, _mm512_add_epi64(a, term));
+        }
+        if (tail_mask) {
+          const __m512i w = _mm512_maskz_loadu_epi64(tail_mask, wrow + o);
+          const __m512i term =
+              _mm512_sra_epi64(_mm512_mullo_epi64(w, xvec), shift_cnt);
+          const __m512i a = _mm512_maskz_loadu_epi64(tail_mask, accp + o);
+          _mm512_mask_storeu_epi64(accp + o, tail_mask,
+                                   _mm512_add_epi64(a, term));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace reads::hls::kernels::detail
+
+#endif  // READS_QKERNELS_AVX512

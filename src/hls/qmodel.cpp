@@ -2,111 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
+
+#include "hls/accum.hpp"
+#include "hls/qkernels.hpp"
+#include "util/arena.hpp"
+#include "util/thread_pool.hpp"
 
 namespace reads::hls {
 
 namespace {
 
-/// Precomputed re-quantizer: shift from a source fraction alignment into a
-/// destination FixedSpec with round-to-nearest (ties away from zero) and
-/// saturation, counting saturation events.
-struct Requant {
-  int shift = 0;  // >0: drop bits, <0: widen
-  std::int64_t lo = 0;
-  std::int64_t hi = 0;
-
-  Requant() = default;
-  Requant(int from_frac_bits, const FixedSpec& to) {
-    shift = from_frac_bits - (to.width - to.int_bits);
-    hi = (std::int64_t{1} << (to.width - 1)) - 1;
-    lo = -(std::int64_t{1} << (to.width - 1));
-  }
-
-  std::int64_t apply(std::int64_t v, std::size_t& saturations) const noexcept {
-    if (shift > 0) {
-      const std::int64_t half = std::int64_t{1} << (shift - 1);
-      v = v >= 0 ? (v + half) >> shift : -((-v + half) >> shift);
-    } else if (shift < 0) {
-      v <<= -shift;
-    }
-    if (v < lo) {
-      ++saturations;
-      return lo;
-    }
-    if (v > hi) {
-      ++saturations;
-      return hi;
-    }
-    return v;
-  }
-};
+using detail::Accum;
+using detail::Requant;
 
 int frac_bits(const FixedSpec& spec) noexcept {
   return spec.width - spec.int_bits;
 }
-
-/// The MAC accumulator of a layer: a fixed-point register with the layer's
-/// activation integer range plus `guard` extra fraction bits, wrapping on
-/// overflow exactly like an AC_WRAP ac_fixed accumulator. Because wrap is
-/// modular arithmetic, accumulating exactly in int64 and wrapping once at
-/// the end is bit-identical to wrapping after every addition.
-struct Accum {
-  int prod_shift = 0;   ///< product frac -> accumulator frac (>= 0)
-  int bias_shift = 0;   ///< stored bias frac -> accumulator frac
-  int ring_bits = 24;   ///< accumulator register width
-  std::int64_t ring_lo = 0;
-  std::int64_t ring_hi = 0;
-  std::uint64_t mask = 0;
-  Requant out;          ///< accumulator frac -> activation spec
-
-  Accum(const FixedSpec& act, int product_frac, int stored_bias_frac,
-        int guard_bits) {
-    const int act_frac = act.width - act.int_bits;
-    const int acc_frac = std::min(act_frac + guard_bits, product_frac);
-    prod_shift = product_frac - acc_frac;
-    bias_shift = stored_bias_frac - acc_frac;
-    ring_bits = act.int_bits + acc_frac;
-    // Degenerate all-fraction formats still need a 1-bit ring.
-    if (ring_bits < 1) ring_bits = 1;
-    ring_hi = (std::int64_t{1} << (ring_bits - 1)) - 1;
-    ring_lo = -(std::int64_t{1} << (ring_bits - 1));
-    mask = ring_bits >= 64 ? ~std::uint64_t{0}
-                           : (std::uint64_t{1} << ring_bits) - 1;
-    out = Requant(acc_frac, act);
-  }
-
-  std::int64_t term(std::int64_t product) const noexcept {
-    // AC_TRN: arithmetic right shift == floor division.
-    return prod_shift >= 0 ? product >> prod_shift : product << -prod_shift;
-  }
-
-  std::int64_t bias(std::int64_t stored) const noexcept {
-    return bias_shift >= 0 ? stored >> bias_shift : stored << -bias_shift;
-  }
-
-  std::int64_t finalize(std::int64_t exact, std::size_t& overflows,
-                        std::size_t& saturations) const noexcept {
-    std::int64_t wrapped = exact;
-    if (exact < ring_lo || exact > ring_hi) {
-      ++overflows;
-      auto u = static_cast<std::uint64_t>(exact) & mask;
-      if (u & (std::uint64_t{1} << (ring_bits - 1))) u |= ~mask;
-      wrapped = static_cast<std::int64_t>(u);
-    }
-    return out.apply(wrapped, saturations);
-  }
-};
 
 }  // namespace
 
 QuantizedModel::QuantizedModel(FirmwareModel firmware)
     : fw_(std::move(firmware)) {
   io_.reserve(fw_.layers.size());
+  act_offset_.reserve(fw_.layers.size());
+  plans_.resize(fw_.layers.size());
   sigmoid_tables_.resize(fw_.layers.size());
   for (std::size_t i = 0; i < fw_.layers.size(); ++i) {
     const auto& l = fw_.layers[i];
     io_.push_back({l.positions, l.out_channels});
+    act_offset_.push_back(act_words_);
+    act_words_ += l.positions * l.out_channels;
     if (l.kind == LayerKind::kSigmoid) {
       auto& table = sigmoid_tables_[i];
       table.resize(kSigmoidTableSize);
@@ -116,6 +43,34 @@ QuantizedModel::QuantizedModel(FirmwareModel firmware)
                          (static_cast<double>(b) + 0.5) * 2.0 * kSigmoidRange /
                              static_cast<double>(kSigmoidTableSize);
         table[b] = out_fmt.quantize(1.0 / (1.0 + std::exp(-x)));
+      }
+    }
+    if (l.kind == LayerKind::kDense || l.kind == LayerKind::kConv1D) {
+      const auto& src0 = fw_.layers[l.inputs[0]];
+      const Accum ac(l.quant.activation,
+                     frac_bits(l.quant.weight) +
+                         frac_bits(src0.quant.activation),
+                     l.bias_frac_bits, fw_.config.quant.accum_guard_bits);
+      auto& plan = plans_[i];
+      // prod_shift >= 0 by construction (the accumulator never carries more
+      // fraction bits than the product); the check keeps the kernel contract
+      // explicit and falls back to the reference loop otherwise.
+      plan.use_kernel = ac.prod_shift >= 0;
+      if (plan.use_kernel) {
+        const std::size_t k = l.kind == LayerKind::kDense ? 1 : l.kernel;
+        plan.wtr.resize(k * l.in_channels * l.out_channels);
+        for (std::size_t o = 0; o < l.out_channels; ++o) {
+          for (std::size_t dk = 0; dk < k; ++dk) {
+            for (std::size_t c = 0; c < l.in_channels; ++c) {
+              plan.wtr[(dk * l.in_channels + c) * l.out_channels + o] =
+                  l.weights_raw[(o * k + dk) * l.in_channels + c];
+            }
+          }
+        }
+        plan.bias_acc.resize(l.out_channels);
+        for (std::size_t o = 0; o < l.out_channels; ++o) {
+          plan.bias_acc[o] = ac.bias(l.bias_raw[o]);
+        }
       }
     }
   }
@@ -149,11 +104,245 @@ Tensor QuantizedModel::dequantize_output(
   return t;
 }
 
-Tensor QuantizedModel::forward(const Tensor& input, ForwardStats* stats) const {
-  return dequantize_output(forward_raw(quantize_input(input), stats));
+void QuantizedModel::prepare_stats(ForwardStats* stats) const {
+  if (!stats) return;
+  if (stats->saturations.size() != fw_.layers.size()) {
+    stats->saturations.assign(fw_.layers.size(), 0);
+  }
+  if (stats->overflows.size() != fw_.layers.size()) {
+    stats->overflows.assign(fw_.layers.size(), 0);
+  }
 }
 
-void QuantizedModel::run_layer(
+Tensor QuantizedModel::forward(const Tensor& input, ForwardStats* stats) const {
+  if (input.numel() != fw_.input_values) {
+    throw std::invalid_argument("QuantizedModel: input size mismatch");
+  }
+  prepare_stats(stats);
+  auto& arena = util::ScratchArena::local();
+  util::ArenaScope scope(arena);
+  arena.require<std::int64_t>(act_words_);
+  auto block = arena.alloc<std::int64_t>(act_words_);
+  const auto in_fmt = fw_.input_spec.format(fixed::QuantMode::kRound);
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    block[i] = in_fmt.quantize(input[i]);
+  }
+  const std::int64_t* out_raw = execute(block.data(), stats);
+  const auto& out_layer = fw_.layers.back();
+  const auto out_fmt = fw_.output_spec.format();
+  Tensor t({out_layer.positions, out_layer.out_channels});
+  for (std::size_t i = 0; i < fw_.output_values; ++i) {
+    t[i] = static_cast<float>(out_fmt.to_double(out_raw[i]));
+  }
+  return t;
+}
+
+std::vector<Tensor> QuantizedModel::forward_batch(
+    std::span<const Tensor> inputs, ForwardStats* stats) const {
+  prepare_stats(stats);
+  std::vector<Tensor> outputs(inputs.size());
+  std::mutex mutex;
+  util::parallel_for(0, inputs.size(), [&](std::size_t f) {
+    ForwardStats local;
+    outputs[f] = forward(inputs[f], stats ? &local : nullptr);
+    if (stats) {
+      std::lock_guard lock(mutex);
+      for (std::size_t i = 0; i < local.saturations.size(); ++i) {
+        stats->saturations[i] += local.saturations[i];
+        stats->overflows[i] += local.overflows[i];
+      }
+    }
+  });
+  return outputs;
+}
+
+std::vector<std::int64_t> QuantizedModel::forward_raw(
+    const std::vector<std::int64_t>& input_raw, ForwardStats* stats) const {
+  if (input_raw.size() != fw_.input_values) {
+    throw std::invalid_argument("QuantizedModel: raw input size mismatch");
+  }
+  prepare_stats(stats);
+  auto& arena = util::ScratchArena::local();
+  util::ArenaScope scope(arena);
+  arena.require<std::int64_t>(act_words_);
+  auto block = arena.alloc<std::int64_t>(act_words_);
+  std::copy(input_raw.begin(), input_raw.end(), block.data());
+  const std::int64_t* out = execute(block.data(), stats);
+  return {out, out + fw_.output_values};
+}
+
+const std::int64_t* QuantizedModel::execute(std::int64_t* acts,
+                                            ForwardStats* stats) const {
+  for (std::size_t i = 1; i < fw_.layers.size(); ++i) {
+    run_layer_fast(i, acts, stats);
+  }
+  return acts + act_offset_.back();
+}
+
+void QuantizedModel::run_layer_fast(std::size_t idx, std::int64_t* acts,
+                                    ForwardStats* stats) const {
+  const auto& l = fw_.layers[idx];
+  const std::int64_t* in0 = acts + act_offset_[l.inputs[0]];
+  std::int64_t* out = acts + act_offset_[idx];
+  const auto& src0 = fw_.layers[l.inputs[0]];
+  const int in_frac = frac_bits(src0.quant.activation);
+  const std::size_t n = l.positions * l.out_channels;
+  std::size_t sat = 0;
+  std::size_t ovf = 0;
+
+  switch (l.kind) {
+    case LayerKind::kInput:
+      throw std::logic_error("run_layer on input node");
+
+    case LayerKind::kDense:
+    case LayerKind::kConv1D: {
+      const Accum ac(l.quant.activation, frac_bits(l.quant.weight) + in_frac,
+                     l.bias_frac_bits, fw_.config.quant.accum_guard_bits);
+      const auto& plan = plans_[idx];
+      if (plan.use_kernel) {
+        const std::size_t k = l.kind == LayerKind::kDense ? 1 : l.kernel;
+        kernels::conv1d_acc(in0, plan.wtr.data(), plan.bias_acc.data(), out,
+                            l.positions, l.in_channels, l.out_channels, k,
+                            ac.prod_shift);
+        for (std::size_t j = 0; j < n; ++j) {
+          out[j] = ac.finalize(out[j], ovf, sat);
+        }
+        break;
+      }
+      // Defensive fallback (negative product shift): reference loop nest.
+      const std::size_t in_ch = l.in_channels;
+      const std::size_t out_ch = l.out_channels;
+      const std::size_t k = l.kind == LayerKind::kDense ? 1 : l.kernel;
+      const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+      const auto positions = static_cast<std::ptrdiff_t>(l.positions);
+      for (std::size_t p = 0; p < l.positions; ++p) {
+        std::int64_t* yp = out + p * out_ch;
+        for (std::size_t o = 0; o < out_ch; ++o) {
+          std::int64_t acc = ac.bias(l.bias_raw[o]);
+          for (std::size_t dk = 0; dk < k; ++dk) {
+            const std::ptrdiff_t q = static_cast<std::ptrdiff_t>(p + dk) - pad;
+            if (q < 0 || q >= positions) continue;
+            const std::int64_t* xq = in0 + static_cast<std::size_t>(q) * in_ch;
+            const std::int64_t* wk =
+                l.weights_raw.data() + (o * k + dk) * in_ch;
+            for (std::size_t i = 0; i < in_ch; ++i) {
+              acc += ac.term(wk[i] * xq[i]);
+            }
+          }
+          yp[o] = ac.finalize(acc, ovf, sat);
+        }
+      }
+      break;
+    }
+
+    case LayerKind::kBatchNorm: {
+      const Accum ac(l.quant.activation, frac_bits(l.quant.weight) + in_frac,
+                     l.bias_frac_bits, fw_.config.quant.accum_guard_bits);
+      for (std::size_t p = 0; p < l.positions; ++p) {
+        for (std::size_t c = 0; c < l.out_channels; ++c) {
+          const std::int64_t acc =
+              ac.term(l.weights_raw[c] * in0[p * l.out_channels + c]) +
+              ac.bias(l.bias_raw[c]);
+          out[p * l.out_channels + c] = ac.finalize(acc, ovf, sat);
+        }
+      }
+      break;
+    }
+
+    case LayerKind::kMaxPool: {
+      const Requant rq(in_frac, l.quant.activation);
+      const std::size_t ch = l.out_channels;
+      for (std::size_t p = 0; p < l.positions; ++p) {
+        for (std::size_t c = 0; c < ch; ++c) {
+          std::int64_t m = in0[(p * l.factor) * ch + c];
+          for (std::size_t d = 1; d < l.factor; ++d) {
+            m = std::max(m, in0[(p * l.factor + d) * ch + c]);
+          }
+          out[p * ch + c] = rq.apply(m, sat);
+        }
+      }
+      break;
+    }
+
+    case LayerKind::kUpSample: {
+      const Requant rq(in_frac, l.quant.activation);
+      const std::size_t ch = l.out_channels;
+      const std::size_t in_pos = l.positions / l.factor;
+      if (in_pos * l.factor != l.positions) {
+        std::fill(out, out + n, std::int64_t{0});
+      }
+      for (std::size_t p = 0; p < in_pos; ++p) {
+        for (std::size_t d = 0; d < l.factor; ++d) {
+          for (std::size_t c = 0; c < ch; ++c) {
+            out[(p * l.factor + d) * ch + c] = rq.apply(in0[p * ch + c], sat);
+          }
+        }
+      }
+      break;
+    }
+
+    case LayerKind::kConcat: {
+      const std::int64_t* in1 = acts + act_offset_[l.inputs[1]];
+      const auto& src1 = fw_.layers[l.inputs[1]];
+      const Requant rq0(in_frac, l.quant.activation);
+      const Requant rq1(frac_bits(src1.quant.activation), l.quant.activation);
+      const std::size_t c0 = src0.out_channels;
+      const std::size_t c1 = src1.out_channels;
+      for (std::size_t p = 0; p < l.positions; ++p) {
+        for (std::size_t c = 0; c < c0; ++c) {
+          out[p * (c0 + c1) + c] = rq0.apply(in0[p * c0 + c], sat);
+        }
+        for (std::size_t c = 0; c < c1; ++c) {
+          out[p * (c0 + c1) + c0 + c] = rq1.apply(in1[p * c1 + c], sat);
+        }
+      }
+      break;
+    }
+
+    case LayerKind::kRelu: {
+      const Requant rq(in_frac, l.quant.activation);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = rq.apply(std::max<std::int64_t>(0, in0[i]), sat);
+      }
+      break;
+    }
+
+    case LayerKind::kSigmoid: {
+      const auto& table = sigmoid_tables_[idx];
+      const double scale = std::ldexp(1.0, -in_frac);
+      const double buckets_per_unit =
+          static_cast<double>(kSigmoidTableSize) / (2.0 * kSigmoidRange);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = static_cast<double>(in0[i]) * scale;
+        auto b = static_cast<std::ptrdiff_t>(
+            std::floor((x + kSigmoidRange) * buckets_per_unit));
+        b = std::clamp<std::ptrdiff_t>(
+            b, 0, static_cast<std::ptrdiff_t>(kSigmoidTableSize) - 1);
+        out[i] = table[static_cast<std::size_t>(b)];
+      }
+      break;
+    }
+
+    case LayerKind::kFlatten: {
+      const Requant rq(in_frac, l.quant.activation);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = rq.apply(in0[i], sat);
+      }
+      break;
+    }
+  }
+
+  if (stats) {
+    stats->saturations[idx] += sat;
+    stats->overflows[idx] += ovf;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference (seed) executor, kept verbatim as the bit-exactness oracle.
+// ---------------------------------------------------------------------------
+
+void QuantizedModel::run_layer_reference(
     std::size_t idx, const std::vector<std::vector<std::int64_t>>& acts,
     std::vector<std::int64_t>& out, ForwardStats* stats) const {
   const auto& l = fw_.layers[idx];
@@ -315,23 +504,16 @@ void QuantizedModel::run_layer(
   }
 }
 
-std::vector<std::int64_t> QuantizedModel::forward_raw(
+std::vector<std::int64_t> QuantizedModel::forward_raw_reference(
     const std::vector<std::int64_t>& input_raw, ForwardStats* stats) const {
   if (input_raw.size() != fw_.input_values) {
     throw std::invalid_argument("QuantizedModel: raw input size mismatch");
   }
-  if (stats) {
-    if (stats->saturations.size() != fw_.layers.size()) {
-      stats->saturations.assign(fw_.layers.size(), 0);
-    }
-    if (stats->overflows.size() != fw_.layers.size()) {
-      stats->overflows.assign(fw_.layers.size(), 0);
-    }
-  }
+  prepare_stats(stats);
   std::vector<std::vector<std::int64_t>> acts(fw_.layers.size());
   acts[0] = input_raw;
   for (std::size_t i = 1; i < fw_.layers.size(); ++i) {
-    run_layer(i, acts, acts[i], stats);
+    run_layer_reference(i, acts, acts[i], stats);
   }
   return acts.back();
 }

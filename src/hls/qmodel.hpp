@@ -7,11 +7,19 @@
 // activation spec (round-to-nearest, saturating), which is where the
 // paper's quantization error and overflow outliers come from.
 //
+// Hot path: forward_raw() runs all layers over a per-thread scratch arena
+// (one flat int64 block, offsets precomputed per layer — zero allocations
+// per frame) and dispatches Dense/Conv1D through blocked transposed-weight
+// kernels (see qkernels.hpp). forward_raw_reference() keeps the original
+// per-layer-vector implementation; the two are bit-identical (outputs and
+// ForwardStats counters), which tests assert and bench_kernels times.
+//
 // Sigmoid is evaluated through a 1024-entry lookup table over [-8, 8),
 // matching the hls4ml implementation of activation tables.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hls/firmware.hpp"
@@ -49,10 +57,24 @@ class QuantizedModel {
   /// and return the dequantized float output (positions, channels).
   Tensor forward(const Tensor& input, ForwardStats* stats = nullptr) const;
 
+  /// Run many frames through the quantized pipeline on the global thread
+  /// pool, each worker reusing its own scratch arena. Per-frame stats are
+  /// summed into `stats` (counter sums are order-independent, so the result
+  /// is deterministic and equal to sequential per-frame accumulation).
+  std::vector<Tensor> forward_batch(std::span<const Tensor> inputs,
+                                    ForwardStats* stats = nullptr) const;
+
   /// Raw 16-bit-style interface used by the SoC simulation: input words are
   /// already quantized at the input spec; outputs come back raw at the
   /// output spec.
   std::vector<std::int64_t> forward_raw(
+      const std::vector<std::int64_t>& input_raw,
+      ForwardStats* stats = nullptr) const;
+
+  /// The original (seed) executor: per-layer vectors, naive per-output
+  /// loops. Kept as the bit-exactness oracle for the blocked kernels and as
+  /// the baseline bench_kernels measures speedup against.
+  std::vector<std::int64_t> forward_raw_reference(
       const std::vector<std::int64_t>& input_raw,
       ForwardStats* stats = nullptr) const;
 
@@ -68,12 +90,32 @@ class QuantizedModel {
     std::size_t channels;
   };
 
-  void run_layer(std::size_t idx,
-                 const std::vector<std::vector<std::int64_t>>& acts,
-                 std::vector<std::int64_t>& out, ForwardStats* stats) const;
+  /// Precomputed hot-path plan for a Dense/Conv1D layer: weights transposed
+  /// to (k, in, out) and biases pre-aligned to the accumulator.
+  struct KernelPlan {
+    bool use_kernel = false;
+    std::vector<std::int64_t> wtr;
+    std::vector<std::int64_t> bias_acc;
+  };
+
+  void prepare_stats(ForwardStats* stats) const;
+  /// Run layer `idx` on the flat activation block (fast path).
+  void run_layer_fast(std::size_t idx, std::int64_t* acts,
+                      ForwardStats* stats) const;
+  /// Seed implementation on per-layer vectors (reference path).
+  void run_layer_reference(std::size_t idx,
+                           const std::vector<std::vector<std::int64_t>>& acts,
+                           std::vector<std::int64_t>& out,
+                           ForwardStats* stats) const;
+  /// Execute the pipeline over a flat activation block whose input slot is
+  /// already populated; returns a pointer to the output slot.
+  const std::int64_t* execute(std::int64_t* acts, ForwardStats* stats) const;
 
   FirmwareModel fw_;
   std::vector<LayerIo> io_;
+  std::vector<std::size_t> act_offset_;  ///< per-layer slot in the arena
+  std::size_t act_words_ = 0;            ///< total arena words per frame
+  std::vector<KernelPlan> plans_;
   /// Sigmoid table: raw output-spec words, one per bucket over [-8, 8).
   std::vector<std::vector<std::int64_t>> sigmoid_tables_;  // per layer
   static constexpr std::size_t kSigmoidTableSize = 1024;

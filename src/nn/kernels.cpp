@@ -1,0 +1,177 @@
+#include "nn/kernels.hpp"
+
+#include <algorithm>
+
+#include "util/arena.hpp"
+
+namespace reads::nn::kernels {
+
+namespace {
+
+// Below this many positions the per-call weight transpose costs more than
+// the contiguous inner loop saves (the MLP runs every Dense at 1 position).
+constexpr std::size_t kTransposeMinPositions = 8;
+
+void dense_blocked(const float* x, const float* w, const float* b, float* y,
+                   std::size_t positions, std::size_t in, std::size_t out) {
+  for (std::size_t p = 0; p < positions; ++p) {
+    const float* xp = x + p * in;
+    float* yp = y + p * out;
+    std::size_t o = 0;
+    for (; o + 4 <= out; o += 4) {
+      const float* w0 = w + (o + 0) * in;
+      const float* w1 = w + (o + 1) * in;
+      const float* w2 = w + (o + 2) * in;
+      const float* w3 = w + (o + 3) * in;
+      float a0 = b[o + 0];
+      float a1 = b[o + 1];
+      float a2 = b[o + 2];
+      float a3 = b[o + 3];
+      for (std::size_t i = 0; i < in; ++i) {
+        const float xv = xp[i];
+        a0 += w0[i] * xv;
+        a1 += w1[i] * xv;
+        a2 += w2[i] * xv;
+        a3 += w3[i] * xv;
+      }
+      yp[o + 0] = a0;
+      yp[o + 1] = a1;
+      yp[o + 2] = a2;
+      yp[o + 3] = a3;
+    }
+    for (; o < out; ++o) {
+      const float* wo = w + o * in;
+      float acc = b[o];
+      for (std::size_t i = 0; i < in; ++i) acc += wo[i] * xp[i];
+      yp[o] = acc;
+    }
+  }
+}
+
+void dense_transposed(const float* x, const float* w, const float* b, float* y,
+                      std::size_t positions, std::size_t in, std::size_t out) {
+  auto& arena = util::ScratchArena::local();
+  util::ArenaScope scope(arena);
+  arena.require<float>(in * out + out + 4);  // +4 covers word rounding
+  auto wt = arena.alloc<float>(in * out);
+  for (std::size_t o = 0; o < out; ++o) {
+    for (std::size_t i = 0; i < in; ++i) wt[i * out + o] = w[o * in + i];
+  }
+  auto acc = arena.alloc<float>(out);
+  for (std::size_t p = 0; p < positions; ++p) {
+    const float* xp = x + p * in;
+    std::copy(b, b + out, acc.data());
+    for (std::size_t i = 0; i < in; ++i) {
+      const float xv = xp[i];
+      const float* wrow = wt.data() + i * out;
+      for (std::size_t o = 0; o < out; ++o) acc[o] += wrow[o] * xv;
+    }
+    std::copy(acc.data(), acc.data() + out, y + p * out);
+  }
+}
+
+void conv1d_transposed(const float* x, const float* w, const float* b,
+                       float* y, std::size_t positions, std::size_t in_ch,
+                       std::size_t out_ch, std::size_t k) {
+  auto& arena = util::ScratchArena::local();
+  util::ArenaScope scope(arena);
+  arena.require<float>(k * in_ch * out_ch + out_ch + 4);
+  auto wt = arena.alloc<float>(k * in_ch * out_ch);
+  for (std::size_t o = 0; o < out_ch; ++o) {
+    for (std::size_t dk = 0; dk < k; ++dk) {
+      for (std::size_t i = 0; i < in_ch; ++i) {
+        wt[(dk * in_ch + i) * out_ch + o] = w[(o * k + dk) * in_ch + i];
+      }
+    }
+  }
+  auto acc = arena.alloc<float>(out_ch);
+  const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+  const auto pos = static_cast<std::ptrdiff_t>(positions);
+  const auto kk = static_cast<std::ptrdiff_t>(k);
+  for (std::ptrdiff_t p = 0; p < pos; ++p) {
+    float* yp = y + static_cast<std::size_t>(p) * out_ch;
+    std::copy(b, b + out_ch, yp);
+    const std::ptrdiff_t dk_lo = std::max<std::ptrdiff_t>(0, pad - p);
+    const std::ptrdiff_t dk_hi = std::min<std::ptrdiff_t>(kk, pos + pad - p);
+    for (std::ptrdiff_t dk = dk_lo; dk < dk_hi; ++dk) {
+      const float* xq = x + static_cast<std::size_t>(p + dk - pad) * in_ch;
+      const float* wdk = wt.data() + static_cast<std::size_t>(dk) * in_ch * out_ch;
+      // One sub-sum per tap, added to y afterwards — the seed's grouping.
+      std::fill(acc.begin(), acc.end(), 0.0f);
+      for (std::size_t i = 0; i < in_ch; ++i) {
+        const float xv = xq[i];
+        const float* wrow = wdk + i * out_ch;
+        for (std::size_t o = 0; o < out_ch; ++o) acc[o] += wrow[o] * xv;
+      }
+      for (std::size_t o = 0; o < out_ch; ++o) yp[o] += acc[o];
+    }
+  }
+}
+
+void conv1d_blocked(const float* x, const float* w, const float* b, float* y,
+                    std::size_t positions, std::size_t in_ch,
+                    std::size_t out_ch, std::size_t k) {
+  const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+  const auto pos = static_cast<std::ptrdiff_t>(positions);
+  const auto kk = static_cast<std::ptrdiff_t>(k);
+  for (std::ptrdiff_t p = 0; p < pos; ++p) {
+    float* yp = y + static_cast<std::size_t>(p) * out_ch;
+    std::copy(b, b + out_ch, yp);
+    const std::ptrdiff_t dk_lo = std::max<std::ptrdiff_t>(0, pad - p);
+    const std::ptrdiff_t dk_hi = std::min<std::ptrdiff_t>(kk, pos + pad - p);
+    for (std::ptrdiff_t dk = dk_lo; dk < dk_hi; ++dk) {
+      const float* xq = x + static_cast<std::size_t>(p + dk - pad) * in_ch;
+      std::size_t o = 0;
+      for (; o + 4 <= out_ch; o += 4) {
+        const float* w0 = w + ((o + 0) * k + static_cast<std::size_t>(dk)) * in_ch;
+        const float* w1 = w + ((o + 1) * k + static_cast<std::size_t>(dk)) * in_ch;
+        const float* w2 = w + ((o + 2) * k + static_cast<std::size_t>(dk)) * in_ch;
+        const float* w3 = w + ((o + 3) * k + static_cast<std::size_t>(dk)) * in_ch;
+        float a0 = 0.0f;
+        float a1 = 0.0f;
+        float a2 = 0.0f;
+        float a3 = 0.0f;
+        for (std::size_t i = 0; i < in_ch; ++i) {
+          const float xv = xq[i];
+          a0 += w0[i] * xv;
+          a1 += w1[i] * xv;
+          a2 += w2[i] * xv;
+          a3 += w3[i] * xv;
+        }
+        yp[o + 0] += a0;
+        yp[o + 1] += a1;
+        yp[o + 2] += a2;
+        yp[o + 3] += a3;
+      }
+      for (; o < out_ch; ++o) {
+        const float* wk = w + (o * k + static_cast<std::size_t>(dk)) * in_ch;
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < in_ch; ++i) acc += wk[i] * xq[i];
+        yp[o] += acc;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void dense_forward(const float* x, const float* w, const float* b, float* y,
+                   std::size_t positions, std::size_t in, std::size_t out) {
+  if (positions >= kTransposeMinPositions && out >= 4) {
+    dense_transposed(x, w, b, y, positions, in, out);
+  } else {
+    dense_blocked(x, w, b, y, positions, in, out);
+  }
+}
+
+void conv1d_forward(const float* x, const float* w, const float* b, float* y,
+                    std::size_t positions, std::size_t in_ch,
+                    std::size_t out_ch, std::size_t k) {
+  if (positions >= kTransposeMinPositions && out_ch >= 4) {
+    conv1d_transposed(x, w, b, y, positions, in_ch, out_ch, k);
+  } else {
+    conv1d_blocked(x, w, b, y, positions, in_ch, out_ch, k);
+  }
+}
+
+}  // namespace reads::nn::kernels

@@ -35,10 +35,20 @@ class Layer {
   /// Shape of the output given input shapes; throws on invalid shapes.
   virtual Shape output_shape(std::span<const Shape> inputs) const = 0;
 
-  /// Compute the layer output. `training` selects training-time behaviour
-  /// (only BatchNorm cares). Must be safe to call concurrently.
-  virtual Tensor forward(std::span<const Tensor* const> inputs,
-                         bool training) const = 0;
+  /// Compute the layer output into `out`, resizing it as needed. Callers
+  /// reuse `out` across frames (Tensor::resize keeps the storage), which is
+  /// what makes the per-frame hot paths allocation-free. `out` must not
+  /// alias an input. `training` selects training-time behaviour (only
+  /// BatchNorm cares). Must be safe to call concurrently.
+  virtual void forward_into(std::span<const Tensor* const> inputs, Tensor& out,
+                            bool training) const = 0;
+
+  /// Allocating convenience wrapper over forward_into.
+  Tensor forward(std::span<const Tensor* const> inputs, bool training) const {
+    Tensor out;
+    forward_into(inputs, out, training);
+    return out;
+  }
 
   /// Backward pass. `grad_inputs[i]` are pre-allocated tensors (shaped like
   /// the corresponding inputs) into which the layer must *accumulate* (+=)

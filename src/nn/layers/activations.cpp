@@ -18,11 +18,13 @@ Shape ReLU::output_shape(std::span<const Shape> inputs) const {
   return passthrough_shape(inputs, "ReLU");
 }
 
-Tensor ReLU::forward(std::span<const Tensor* const> inputs,
-                     bool /*training*/) const {
-  Tensor y = *inputs[0];
-  for (auto& v : y.flat()) v = v > 0.0f ? v : 0.0f;
-  return y;
+void ReLU::forward_into(std::span<const Tensor* const> inputs, Tensor& out,
+                        bool /*training*/) const {
+  const Tensor& x = *inputs[0];
+  out.resize(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
 }
 
 void ReLU::backward(std::span<const Tensor* const> inputs,
@@ -40,11 +42,13 @@ Shape Sigmoid::output_shape(std::span<const Shape> inputs) const {
   return passthrough_shape(inputs, "Sigmoid");
 }
 
-Tensor Sigmoid::forward(std::span<const Tensor* const> inputs,
-                        bool /*training*/) const {
-  Tensor y = *inputs[0];
-  for (auto& v : y.flat()) v = 1.0f / (1.0f + std::exp(-v));
-  return y;
+void Sigmoid::forward_into(std::span<const Tensor* const> inputs, Tensor& out,
+                           bool /*training*/) const {
+  const Tensor& x = *inputs[0];
+  out.resize(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
 }
 
 void Sigmoid::backward(std::span<const Tensor* const> /*inputs*/,

@@ -11,8 +11,8 @@ class ReLU final : public Layer {
  public:
   std::string_view type() const noexcept override { return "ReLU"; }
   Shape output_shape(std::span<const Shape> inputs) const override;
-  Tensor forward(std::span<const Tensor* const> inputs,
-                 bool training) const override;
+  void forward_into(std::span<const Tensor* const> inputs, Tensor& out,
+                    bool training) const override;
   void backward(std::span<const Tensor* const> inputs, const Tensor& output,
                 const Tensor& grad_output,
                 std::span<Tensor* const> grad_inputs,
@@ -23,8 +23,8 @@ class Sigmoid final : public Layer {
  public:
   std::string_view type() const noexcept override { return "Sigmoid"; }
   Shape output_shape(std::span<const Shape> inputs) const override;
-  Tensor forward(std::span<const Tensor* const> inputs,
-                 bool training) const override;
+  void forward_into(std::span<const Tensor* const> inputs, Tensor& out,
+                    bool training) const override;
   void backward(std::span<const Tensor* const> inputs, const Tensor& output,
                 const Tensor& grad_output,
                 std::span<Tensor* const> grad_inputs,

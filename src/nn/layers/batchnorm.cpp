@@ -47,11 +47,12 @@ void BatchNorm1D::sample_stats(const Tensor& x, std::vector<double>& mean,
   for (auto& v : var) v /= static_cast<double>(positions);
 }
 
-Tensor BatchNorm1D::forward(std::span<const Tensor* const> inputs,
-                            bool training) const {
+void BatchNorm1D::forward_into(std::span<const Tensor* const> inputs,
+                               Tensor& out, bool training) const {
   const Tensor& x = *inputs[0];
   const std::size_t positions = x.dim(0);
-  Tensor y({positions, channels_});
+  out.resize({positions, channels_});
+  Tensor& y = out;
   std::vector<double> mean(channels_);
   std::vector<double> var(channels_);
   if (training && positions > 1) {
@@ -70,7 +71,6 @@ Tensor BatchNorm1D::forward(std::span<const Tensor* const> inputs,
           static_cast<float>(gamma_[c] * xn + beta_[c]);
     }
   }
-  return y;
 }
 
 void BatchNorm1D::backward(std::span<const Tensor* const> inputs,

@@ -14,14 +14,15 @@ Shape Concatenate::output_shape(std::span<const Shape> inputs) const {
   return {inputs[0][0], inputs[0][1] + inputs[1][1]};
 }
 
-Tensor Concatenate::forward(std::span<const Tensor* const> inputs,
-                            bool /*training*/) const {
+void Concatenate::forward_into(std::span<const Tensor* const> inputs,
+                               Tensor& out, bool /*training*/) const {
   const Tensor& a = *inputs[0];
   const Tensor& b = *inputs[1];
   const std::size_t positions = a.dim(0);
   const std::size_t ca = a.dim(1);
   const std::size_t cb = b.dim(1);
-  Tensor y({positions, ca + cb});
+  out.resize({positions, ca + cb});
+  Tensor& y = out;
   for (std::size_t p = 0; p < positions; ++p) {
     float* yp = y.data() + p * (ca + cb);
     const float* ap = a.data() + p * ca;
@@ -29,7 +30,6 @@ Tensor Concatenate::forward(std::span<const Tensor* const> inputs,
     for (std::size_t c = 0; c < ca; ++c) yp[c] = ap[c];
     for (std::size_t c = 0; c < cb; ++c) yp[ca + c] = bp[c];
   }
-  return y;
 }
 
 void Concatenate::backward(std::span<const Tensor* const> inputs,

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/kernels.hpp"
+
 namespace reads::nn {
 
 Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels,
@@ -27,30 +29,13 @@ Shape Conv1D::output_shape(std::span<const Shape> inputs) const {
   return {inputs[0][0], out_ch_};
 }
 
-Tensor Conv1D::forward(std::span<const Tensor* const> inputs,
-                       bool /*training*/) const {
+void Conv1D::forward_into(std::span<const Tensor* const> inputs, Tensor& out,
+                          bool /*training*/) const {
   const Tensor& x = *inputs[0];
   const std::size_t positions = x.dim(0);
-  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
-  Tensor y({positions, out_ch_});
-  const float* w = weight_.data();
-  for (std::size_t p = 0; p < positions; ++p) {
-    float* yp = y.data() + p * out_ch_;
-    for (std::size_t o = 0; o < out_ch_; ++o) yp[o] = bias_[o];
-    for (std::size_t dk = 0; dk < k_; ++dk) {
-      const std::ptrdiff_t q =
-          static_cast<std::ptrdiff_t>(p + dk) - pad;  // input position
-      if (q < 0 || q >= static_cast<std::ptrdiff_t>(positions)) continue;
-      const float* xq = x.data() + static_cast<std::size_t>(q) * in_ch_;
-      for (std::size_t o = 0; o < out_ch_; ++o) {
-        const float* wk = w + (o * k_ + dk) * in_ch_;
-        float acc = 0.0f;
-        for (std::size_t i = 0; i < in_ch_; ++i) acc += wk[i] * xq[i];
-        yp[o] += acc;
-      }
-    }
-  }
-  return y;
+  out.resize({positions, out_ch_});
+  kernels::conv1d_forward(x.data(), weight_.data(), bias_.data(), out.data(),
+                          positions, in_ch_, out_ch_, k_);
 }
 
 void Conv1D::backward(std::span<const Tensor* const> inputs,

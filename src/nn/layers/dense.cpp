@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/kernels.hpp"
+
 namespace reads::nn {
 
 Dense::Dense(std::size_t in_features, std::size_t out_features)
@@ -20,23 +22,13 @@ Shape Dense::output_shape(std::span<const Shape> inputs) const {
   return {inputs[0][0], out_};
 }
 
-Tensor Dense::forward(std::span<const Tensor* const> inputs,
-                      bool /*training*/) const {
+void Dense::forward_into(std::span<const Tensor* const> inputs, Tensor& out,
+                         bool /*training*/) const {
   const Tensor& x = *inputs[0];
   const std::size_t positions = x.dim(0);
-  Tensor y({positions, out_});
-  const float* w = weight_.data();
-  for (std::size_t p = 0; p < positions; ++p) {
-    const float* xp = x.data() + p * in_;
-    float* yp = y.data() + p * out_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float* wo = w + o * in_;
-      float acc = bias_[o];
-      for (std::size_t i = 0; i < in_; ++i) acc += wo[i] * xp[i];
-      yp[o] = acc;
-    }
-  }
-  return y;
+  out.resize({positions, out_});
+  kernels::dense_forward(x.data(), weight_.data(), bias_.data(), out.data(),
+                         positions, in_, out_);
 }
 
 void Dense::backward(std::span<const Tensor* const> inputs,

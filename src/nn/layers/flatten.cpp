@@ -1,5 +1,6 @@
 #include "nn/layers/flatten.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace reads::nn {
@@ -11,10 +12,11 @@ Shape Flatten::output_shape(std::span<const Shape> inputs) const {
   return {1, inputs[0][0] * inputs[0][1]};
 }
 
-Tensor Flatten::forward(std::span<const Tensor* const> inputs,
-                        bool /*training*/) const {
+void Flatten::forward_into(std::span<const Tensor* const> inputs, Tensor& out,
+                           bool /*training*/) const {
   const Tensor& x = *inputs[0];
-  return x.reshaped({1, x.numel()});
+  out.resize({1, x.numel()});
+  std::copy(x.data(), x.data() + x.numel(), out.data());
 }
 
 void Flatten::backward(std::span<const Tensor* const> /*inputs*/,

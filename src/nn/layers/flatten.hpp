@@ -10,8 +10,8 @@ class Flatten final : public Layer {
  public:
   std::string_view type() const noexcept override { return "Flatten"; }
   Shape output_shape(std::span<const Shape> inputs) const override;
-  Tensor forward(std::span<const Tensor* const> inputs,
-                 bool training) const override;
+  void forward_into(std::span<const Tensor* const> inputs, Tensor& out,
+                    bool training) const override;
   void backward(std::span<const Tensor* const> inputs, const Tensor& output,
                 const Tensor& grad_output,
                 std::span<Tensor* const> grad_inputs,

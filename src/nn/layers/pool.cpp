@@ -18,12 +18,13 @@ Shape MaxPool1D::output_shape(std::span<const Shape> inputs) const {
   return {inputs[0][0] / pool_, inputs[0][1]};
 }
 
-Tensor MaxPool1D::forward(std::span<const Tensor* const> inputs,
-                          bool /*training*/) const {
+void MaxPool1D::forward_into(std::span<const Tensor* const> inputs,
+                             Tensor& out, bool /*training*/) const {
   const Tensor& x = *inputs[0];
   const std::size_t out_pos = x.dim(0) / pool_;
   const std::size_t ch = x.dim(1);
-  Tensor y({out_pos, ch});
+  out.resize({out_pos, ch});
+  Tensor& y = out;
   for (std::size_t p = 0; p < out_pos; ++p) {
     float* yp = y.data() + p * ch;
     const float* x0 = x.data() + p * pool_ * ch;
@@ -35,7 +36,6 @@ Tensor MaxPool1D::forward(std::span<const Tensor* const> inputs,
       }
     }
   }
-  return y;
 }
 
 void MaxPool1D::backward(std::span<const Tensor* const> inputs,

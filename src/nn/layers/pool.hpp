@@ -12,8 +12,8 @@ class MaxPool1D final : public Layer {
 
   std::string_view type() const noexcept override { return "MaxPool1D"; }
   Shape output_shape(std::span<const Shape> inputs) const override;
-  Tensor forward(std::span<const Tensor* const> inputs,
-                 bool training) const override;
+  void forward_into(std::span<const Tensor* const> inputs, Tensor& out,
+                    bool training) const override;
   void backward(std::span<const Tensor* const> inputs, const Tensor& output,
                 const Tensor& grad_output,
                 std::span<Tensor* const> grad_inputs,

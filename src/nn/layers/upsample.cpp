@@ -15,12 +15,13 @@ Shape UpSampling1D::output_shape(std::span<const Shape> inputs) const {
   return {inputs[0][0] * factor_, inputs[0][1]};
 }
 
-Tensor UpSampling1D::forward(std::span<const Tensor* const> inputs,
-                             bool /*training*/) const {
+void UpSampling1D::forward_into(std::span<const Tensor* const> inputs,
+                                Tensor& out, bool /*training*/) const {
   const Tensor& x = *inputs[0];
   const std::size_t in_pos = x.dim(0);
   const std::size_t ch = x.dim(1);
-  Tensor y({in_pos * factor_, ch});
+  out.resize({in_pos * factor_, ch});
+  Tensor& y = out;
   for (std::size_t p = 0; p < in_pos; ++p) {
     const float* xp = x.data() + p * ch;
     for (std::size_t d = 0; d < factor_; ++d) {
@@ -28,7 +29,6 @@ Tensor UpSampling1D::forward(std::span<const Tensor* const> inputs,
       for (std::size_t c = 0; c < ch; ++c) yp[c] = xp[c];
     }
   }
-  return y;
 }
 
 void UpSampling1D::backward(std::span<const Tensor* const> inputs,

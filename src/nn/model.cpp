@@ -1,7 +1,10 @@
 #include "nn/model.hpp"
 
+#include <array>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace reads::nn {
 
@@ -72,25 +75,45 @@ std::size_t Model::add(std::string name, std::unique_ptr<Layer> layer) {
 }
 
 Activations Model::forward_all(const Tensor& input, bool training) const {
+  Activations acts;
+  forward_all_into(input, acts, training);
+  return acts;
+}
+
+void Model::forward_all_into(const Tensor& input, Activations& acts,
+                             bool training) const {
   if (input.shape() != nodes_.front().shape) {
     throw std::invalid_argument("Model::forward: input shape " +
                                 input.shape_string() + " != expected");
   }
-  Activations acts;
   acts.values.resize(nodes_.size());
-  acts.values[0] = input;
+  acts.values[0] = input;  // vector copy-assign reuses existing capacity
+  // Fixed-size stack of input pointers: every layer here is unary or binary.
+  std::array<const Tensor*, 4> ins{};
   for (std::size_t i = 1; i < nodes_.size(); ++i) {
     const Node& node = nodes_[i];
-    std::vector<const Tensor*> ins;
-    ins.reserve(node.inputs.size());
-    for (auto id : node.inputs) ins.push_back(&acts.values[id]);
-    acts.values[i] = node.layer->forward(ins, training);
+    const std::size_t arity = node.inputs.size();
+    if (arity > ins.size()) {
+      throw std::logic_error("Model::forward: unsupported layer arity");
+    }
+    for (std::size_t j = 0; j < arity; ++j) {
+      ins[j] = &acts.values[node.inputs[j]];
+    }
+    node.layer->forward_into({ins.data(), arity}, acts.values[i], training);
   }
-  return acts;
 }
 
 Tensor Model::forward(const Tensor& input) const {
-  return forward_all(input, /*training=*/false).values.back();
+  thread_local Activations scratch;
+  forward_all_into(input, scratch, /*training=*/false);
+  return scratch.values.back();
+}
+
+std::vector<Tensor> Model::forward_batch(std::span<const Tensor> inputs) const {
+  std::vector<Tensor> outputs(inputs.size());
+  util::parallel_for(std::size_t{0}, inputs.size(),
+                     [&](std::size_t i) { outputs[i] = forward(inputs[i]); });
+  return outputs;
 }
 
 void Model::backward(const Activations& acts, const Tensor& grad_output,

@@ -60,11 +60,21 @@ class Model {
   const Shape& input_shape() const noexcept { return nodes_.front().shape; }
   const Shape& output_shape() const noexcept { return nodes_.back().shape; }
 
-  /// Inference: returns the final output only.
+  /// Inference: returns the final output only. Internally runs over a
+  /// per-thread scratch Activations, so repeated calls do not allocate.
   Tensor forward(const Tensor& input) const;
+
+  /// Run many frames on the global thread pool; results are in input order.
+  std::vector<Tensor> forward_batch(std::span<const Tensor> inputs) const;
 
   /// Forward capturing every node's output (training and profiling).
   Activations forward_all(const Tensor& input, bool training = false) const;
+
+  /// Same, but reusing caller-owned Activations storage: each node tensor is
+  /// resized in place, so a loop that passes the same `acts` allocates only
+  /// on its first iteration.
+  void forward_all_into(const Tensor& input, Activations& acts,
+                        bool training = false) const;
 
   /// Reverse-mode pass. `grad_output` is dLoss/dOutput for the activations
   /// in `acts`; parameter gradients are accumulated into `store`.

@@ -38,14 +38,18 @@ struct TransferCounters {
   std::size_t bridge_reads = 0;   ///< 32-bit MMIO reads issued
 };
 
-/// Per-frame latency breakdown, all in microseconds (total also in ms).
+/// Per-frame latency breakdown, all in microseconds (totals also in ms).
 struct FrameTiming {
   double write_us = 0.0;     ///< step 1: stage inputs over the bridge
   double trigger_us = 0.0;   ///< step 2: CTRL write
   double ip_us = 0.0;        ///< steps 3–6: IP read + compute + write
   double irq_os_us = 0.0;    ///< step 7: IRQ delivery + OS wakeup
   double read_us = 0.0;      ///< step 8: read outputs over the bridge
-  double total_ms = 0.0;
+  double queue_us = 0.0;     ///< step 0: wait for the previous frame (stream)
+  double total_ms = 0.0;     ///< service time, steps 1–8 only
+  double latency_ms = 0.0;   ///< end-to-end: queueing wait + service time
+  /// Deadline verdict against end-to-end latency_ms — the same quantity
+  /// stream-level miss counts use, so the two always agree.
   bool deadline_met = false;
 };
 

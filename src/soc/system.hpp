@@ -29,11 +29,22 @@ struct FrameResult {
 
 struct StreamReport {
   std::size_t frames = 0;
+  /// Latency statistics are end-to-end (arrival to output-in-SDRAM,
+  /// including queueing behind the previous frame).
   double mean_latency_ms = 0.0;
   double min_latency_ms = 0.0;
   double max_latency_ms = 0.0;
-  std::size_t deadline_misses = 0;  ///< completion > deadline after arrival
-  double achieved_fps = 0.0;        ///< sustainable back-to-back rate
+  /// Frames whose end-to-end latency exceeded the deadline; by construction
+  /// equals the number of per-frame timings with deadline_met == false.
+  std::size_t deadline_misses = 0;
+  /// Sustainable back-to-back rate from service (busy) time alone — what the
+  /// node could do if frames were always waiting.
+  double capacity_fps = 0.0;
+  /// Rate actually delivered over the stream's wall-clock span (arrival of
+  /// the first frame to completion of the last); <= max(capacity, offered).
+  double observed_fps = 0.0;
+  /// Per-frame breakdowns, in arrival order (queue_us/latency_ms filled in).
+  std::vector<FrameTiming> timings;
 };
 
 class ArriaSocSystem {

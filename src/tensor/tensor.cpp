@@ -54,6 +54,12 @@ Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
   return t;
 }
 
+void Tensor::resize(std::vector<std::size_t> shape) {
+  const std::size_t n = shape_numel(shape);
+  shape_ = std::move(shape);
+  data_.resize(n);
+}
+
 void Tensor::fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
 
 Tensor& Tensor::add_scaled(const Tensor& other, float scale) {

@@ -41,6 +41,12 @@ class Tensor {
   /// Reinterpret with a new shape of identical element count.
   Tensor reshaped(std::vector<std::size_t> shape) const;
 
+  /// Change shape in place, reusing the existing storage when the element
+  /// count is unchanged (the scratch-reuse forward paths rely on this to
+  /// avoid per-frame allocations). Contents are unspecified after a resize
+  /// that changes the element count; callers overwrite every element.
+  void resize(std::vector<std::size_t> shape);
+
   void fill(float v) noexcept;
   void zero() noexcept { fill(0.0f); }
 

@@ -28,8 +28,9 @@ double Trainer::run_batch(const Dataset& data, std::size_t begin,
     const std::size_t lo = begin + s * per_shard;
     const std::size_t hi = std::min(end, lo + per_shard);
     Tensor grad_out;
+    nn::Activations acts;  // reused across the shard's samples
     for (std::size_t i = lo; i < hi; ++i) {
-      const auto acts = model_.forward_all(data.inputs[i], /*training=*/true);
+      model_.forward_all_into(data.inputs[i], acts, /*training=*/true);
       shard_loss[s] += loss_.compute(acts.output(), data.targets[i], grad_out);
       model_.backward(acts, grad_out, stores[s]);
     }

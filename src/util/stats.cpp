@@ -53,14 +53,15 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 
 void Histogram::add(double x) noexcept {
   ++total_;
+  // Out-of-range samples are tracked only by the underflow/overflow
+  // counters; folding them into the edge bins as well would double-count
+  // them against total() and skew the edge bars.
   if (x < lo_) {
     ++underflow_;
-    ++bins_.front();
     return;
   }
   if (x >= hi_) {
     ++overflow_;
-    ++bins_.back();
     return;
   }
   const double frac = (x - lo_) / (hi_ - lo_);
@@ -78,17 +79,37 @@ double Histogram::bin_hi(std::size_t i) const noexcept {
 }
 
 std::string Histogram::ascii(std::size_t width) const {
-  std::size_t peak = 0;
+  std::size_t peak = std::max(underflow_, overflow_);
   for (auto c : bins_) peak = std::max(peak, c);
   std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(4);
+  const auto row = [&](const std::string& label, std::size_t count) {
+    const auto bar = peak == 0 ? std::size_t{0} : count * width / peak;
+    out << label << ' ' << std::string(std::max<std::size_t>(bar, 1), '#')
+        << ' ' << count << '\n';
+  };
+  if (underflow_ > 0) {
+    std::ostringstream label;
+    label.setf(std::ios::fixed);
+    label.precision(4);
+    label << "< " << lo_ << "        ";
+    row(label.str(), underflow_);
+  }
   for (std::size_t i = 0; i < bins_.size(); ++i) {
     if (bins_[i] == 0) continue;
-    const auto bar = peak == 0 ? std::size_t{0} : bins_[i] * width / peak;
-    out.setf(std::ios::fixed);
-    out.precision(4);
-    out << '[' << bin_lo(i) << ", " << bin_hi(i) << ") "
-        << std::string(std::max<std::size_t>(bar, 1), '#') << ' ' << bins_[i]
-        << '\n';
+    std::ostringstream label;
+    label.setf(std::ios::fixed);
+    label.precision(4);
+    label << '[' << bin_lo(i) << ", " << bin_hi(i) << ")";
+    row(label.str(), bins_[i]);
+  }
+  if (overflow_ > 0) {
+    std::ostringstream label;
+    label.setf(std::ios::fixed);
+    label.precision(4);
+    label << ">= " << hi_ << "       ";
+    row(label.str(), overflow_);
   }
   return out.str();
 }

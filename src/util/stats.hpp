@@ -54,8 +54,10 @@ class Percentiles {
   bool sorted_ = false;
 };
 
-/// Fixed-bin histogram over [lo, hi); out-of-range samples land in
-/// saturating edge bins so nothing is silently dropped.
+/// Fixed-bin histogram over [lo, hi); out-of-range samples are counted by
+/// the underflow/overflow tallies (and rendered as explicit `< lo` / `>= hi`
+/// rows by ascii()) so nothing is silently dropped — and edge bins hold only
+/// in-range samples.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);

@@ -458,6 +458,86 @@ TEST(QuantizedModel, ForwardIsDeterministic) {
   EXPECT_EQ(tensor::max_abs_diff(qm.forward(in), qm.forward(in)), 0.0f);
 }
 
+// The scratch-arena executor with blocked kernels must be bit-identical to
+// the seed per-layer-vector implementation: same raw output words AND same
+// per-layer saturation/overflow counts (int64 accumulation is exact, so
+// reassociating the adds cannot change any finalize result).
+TEST(QuantizedModel, FastPathBitIdenticalToReference) {
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, 47);
+  std::vector<Tensor> calib;
+  for (int i = 0; i < 4; ++i) {
+    calib.push_back(random_frame({16, 1}, 600u + static_cast<unsigned>(i)));
+  }
+  const auto prof = hls::profile_model(model, calib);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::layer_based_config(model, prof, 16);
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  for (int f = 0; f < 6; ++f) {
+    // Large-scale frames provoke saturations so the stats comparison bites.
+    const double scale = f < 3 ? 1.0 : 25.0;
+    const auto raw = qm.quantize_input(
+        random_frame({16, 1}, 700u + static_cast<unsigned>(f), scale));
+    hls::ForwardStats fast_stats;
+    hls::ForwardStats ref_stats;
+    const auto fast = qm.forward_raw(raw, &fast_stats);
+    const auto ref = qm.forward_raw_reference(raw, &ref_stats);
+    EXPECT_EQ(fast, ref) << "frame " << f;
+    EXPECT_EQ(fast_stats.saturations, ref_stats.saturations) << "frame " << f;
+    EXPECT_EQ(fast_stats.overflows, ref_stats.overflows) << "frame " << f;
+  }
+}
+
+TEST(QuantizedModel, FastPathBitIdenticalOnOverflowingMlp) {
+  // Narrow accumulator + hot inputs: wrap-around overflows must be counted
+  // identically by the blocked Dense kernel and the reference loop.
+  auto model = nn::build_mlp({.inputs = 6, .hidden = 5, .outputs = 3});
+  nn::init_he_uniform(model, 53);
+  // He-uniform weights are too tame to wrap the <16,7> accumulator ring;
+  // inflate them so hot frames genuinely overflow.
+  for (auto* p : model.parameters()) {
+    for (auto& v : p->flat()) v *= 12.0f;
+  }
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 7});
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  std::size_t total_overflows = 0;
+  for (int f = 0; f < 4; ++f) {
+    const auto raw = qm.quantize_input(
+        random_frame({1, 6}, 800u + static_cast<unsigned>(f), 8.0));
+    hls::ForwardStats fast_stats;
+    hls::ForwardStats ref_stats;
+    EXPECT_EQ(qm.forward_raw(raw, &fast_stats),
+              qm.forward_raw_reference(raw, &ref_stats));
+    EXPECT_EQ(fast_stats.overflows, ref_stats.overflows);
+    EXPECT_EQ(fast_stats.saturations, ref_stats.saturations);
+    total_overflows += fast_stats.total_overflows();
+  }
+  EXPECT_GT(total_overflows, 0u);  // the comparison actually exercised wraps
+}
+
+TEST(QuantizedModel, ForwardBatchMatchesPerFrameForward) {
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, 59);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::QuantConfig::uniform({16, 8});
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 9; ++i) {
+    inputs.push_back(random_frame({16, 1}, 900u + static_cast<unsigned>(i), 4.0));
+  }
+  hls::ForwardStats batch_stats;
+  const auto outs = qm.forward_batch(inputs, &batch_stats);
+  ASSERT_EQ(outs.size(), inputs.size());
+  hls::ForwardStats serial_stats;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto one = qm.forward(inputs[i], &serial_stats);
+    EXPECT_EQ(tensor::max_abs_diff(outs[i], one), 0.0f) << i;
+  }
+  EXPECT_EQ(batch_stats.saturations, serial_stats.saturations);
+  EXPECT_EQ(batch_stats.overflows, serial_stats.overflows);
+}
+
 TEST(ResourceModel, LayerBasedCostsSlightlyMoreThanUniformSameWidth) {
   // Alignment shifters between differently-scaled layers are the only
   // delta; they must exist but stay small (paper: 22% vs 31%).

@@ -183,6 +183,40 @@ TEST(Model, SkipConnectionFanOutAccumulatesGradients) {
   EXPECT_EQ(acts.output().dim(1), 2u);
 }
 
+// Model::forward runs over per-thread scratch Activations and the blocked
+// kernels reuse the scratch arena; interleaving differently-shaped models on
+// the same thread must not leak state between them, and results must match
+// the allocating forward_all path exactly.
+TEST(Model, ScratchForwardMatchesForwardAllAcrossModels) {
+  auto unet = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(unet, 91);
+  auto mlp = nn::build_mlp({.inputs = 8, .hidden = 5, .outputs = 2});
+  nn::init_he_uniform(mlp, 92);
+  for (int i = 0; i < 3; ++i) {
+    const auto xu = random_tensor({16, 1}, 930u + static_cast<unsigned>(i));
+    const auto xm = random_tensor({1, 8}, 960u + static_cast<unsigned>(i));
+    const auto yu = unet.forward(xu);
+    const auto ym = mlp.forward(xm);
+    EXPECT_EQ(tensor::max_abs_diff(yu, unet.forward_all(xu).output()), 0.0f);
+    EXPECT_EQ(tensor::max_abs_diff(ym, mlp.forward_all(xm).output()), 0.0f);
+  }
+}
+
+TEST(Model, ForwardBatchMatchesPerFrame) {
+  auto unet = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(unet, 93);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 7; ++i) {
+    inputs.push_back(random_tensor({16, 1}, 970u + static_cast<unsigned>(i)));
+  }
+  const auto outs = unet.forward_batch(inputs);
+  ASSERT_EQ(outs.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(tensor::max_abs_diff(outs[i], unet.forward(inputs[i])), 0.0f)
+        << i;
+  }
+}
+
 TEST(Model, RejectsDuplicateAndUnknownNames) {
   Model m("in", {2, 1});
   m.add("a", relu(), {"in"});
@@ -351,6 +385,63 @@ TEST(Gradients, Conv1D) {
   m.add("c", std::make_unique<nn::Conv1D>(3, 4, 3), {"in"});
   nn::init_he_uniform(m, 31);
   check_gradients(m, random_tensor({8, 3}, 32), 33);
+}
+
+// Regression guard for the 'same'-padding backward boundary handling: the
+// `q < 0 || q >= positions` tap guard means the first/last positions see
+// fewer taps than interior ones, and an off-by-one there corrupts exactly
+// those rows' input gradients. k = 5 hangs two taps off each edge; every
+// boundary row's dLoss/dInput must match a finite difference.
+TEST(Gradients, Conv1DSamePaddingBoundaryInputGrad) {
+  constexpr std::size_t positions = 6;
+  constexpr std::size_t in_ch = 2;
+  constexpr std::size_t out_ch = 3;
+  constexpr std::size_t k = 5;
+  nn::Conv1D conv(in_ch, out_ch, k);
+  util::Xoshiro256 rng(81);
+  for (auto* p : conv.params()) {
+    for (auto& v : p->flat()) v = static_cast<float>(rng.normal() * 0.5);
+  }
+  Tensor x = random_tensor({positions, in_ch}, 82);
+  Tensor coeff({positions, out_ch});
+  for (auto& v : coeff.flat()) v = static_cast<float>(rng.normal());
+
+  const auto loss_of = [&](const Tensor& input) {
+    const Tensor* in_ptr = &input;
+    const Tensor y = conv.forward({&in_ptr, 1}, /*training=*/false);
+    double l = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i) l += coeff[i] * y[i];
+    return l;
+  };
+
+  const Tensor* x_ptr = &x;
+  const Tensor y = conv.forward({&x_ptr, 1}, /*training=*/false);
+  Tensor gx({positions, in_ch});
+  auto params = conv.params();
+  Tensor gw(params[0]->shape());
+  Tensor gb(params[1]->shape());
+  Tensor* grad_ins[] = {&gx};
+  Tensor* param_grads[] = {&gw, &gb};
+  conv.backward({&x_ptr, 1}, y, coeff, {grad_ins, 1}, {param_grads, 2});
+
+  const float eps = 1e-3f;
+  for (const std::size_t p : {std::size_t{0}, std::size_t{1},
+                              positions - 2, positions - 1}) {
+    for (std::size_t c = 0; c < in_ch; ++c) {
+      const std::size_t i = p * in_ch + c;
+      const float orig = x[i];
+      x[i] = orig + eps;
+      const double lp = loss_of(x);
+      x[i] = orig - eps;
+      const double lm = loss_of(x);
+      x[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double analytic = gx[i];
+      EXPECT_NEAR(analytic, numeric,
+                  2e-2 * std::max({1.0, std::fabs(numeric)}))
+          << "position " << p << " channel " << c;
+    }
+  }
 }
 
 TEST(Gradients, DenseReluChain) {

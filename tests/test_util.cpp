@@ -118,17 +118,38 @@ TEST(Percentiles, ThrowsOnEmpty) {
   EXPECT_THROW(p.percentile(50), std::logic_error);
 }
 
-TEST(Histogram, BinningAndEdgeSaturation) {
+TEST(Histogram, BinningAndOutOfRangeCounters) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);
   h.add(9.99);
-  h.add(-1.0);   // underflow -> first bin
-  h.add(100.0);  // overflow -> last bin
+  h.add(-1.0);   // underflow — counter only, not folded into bin 0
+  h.add(100.0);  // overflow — counter only, not folded into bin 9
   EXPECT_EQ(h.total(), 4u);
   EXPECT_EQ(h.underflow(), 1u);
   EXPECT_EQ(h.overflow(), 1u);
-  EXPECT_EQ(h.bin_count(0), 2u);
-  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+// Regression: out-of-range samples used to be counted twice — once in the
+// underflow/overflow tallies AND once in the edge bins — so bin sums
+// exceeded total(). The invariant is sum(bins) + underflow + overflow ==
+// total, and the ascii rendering reports the out-of-range rows explicitly.
+TEST(Histogram, OutOfRangeSamplesAreNotDoubleCounted) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 7; ++i) h.add(-0.5);
+  for (int i = 0; i < 3; ++i) h.add(2.0);
+  h.add(0.1);
+  h.add(0.9);
+  std::size_t in_bins = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) in_bins += h.bin_count(b);
+  EXPECT_EQ(in_bins, 2u);
+  EXPECT_EQ(in_bins + h.underflow() + h.overflow(), h.total());
+  const std::string chart = h.ascii();
+  EXPECT_NE(chart.find("< 0.0000"), std::string::npos);
+  EXPECT_NE(chart.find(">= 1.0000"), std::string::npos);
+  EXPECT_NE(chart.find(" 7\n"), std::string::npos);
+  EXPECT_NE(chart.find(" 3\n"), std::string::npos);
 }
 
 TEST(Histogram, RejectsDegenerateRange) {

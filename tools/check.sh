@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: plain Release build + ctest, then an ASan/UBSan
+# build + ctest (READS_SANITIZE=ON). Run from the repo root:
+#
+#   tools/check.sh [extra ctest args...]
+#
+# Build trees: build/ (plain) and build-asan/ (sanitized). Both are
+# incremental across runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)" "$@")
+
+echo "== sanitizer build (address,undefined) =="
+cmake -B build-asan -S . -DREADS_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"$(nproc)"
+(cd build-asan && ctest --output-on-failure -j"$(nproc)" "$@")
+
+echo "== all checks passed =="
