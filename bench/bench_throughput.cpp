@@ -3,8 +3,15 @@
 // 575 fps back-to-back capability and the deployed 320 fps / 3 ms
 // requirement (paper §I, §VI).
 //
-//   ./bench_throughput [--benchmark_filter=...]
+//   ./bench_throughput [--threads=N] [--duration_s=S] [--seed=K]
+//                      [--benchmark_filter=...]
+//
+// The headline check streams ~320 * duration_s frames and reports
+// capacity_fps (back-to-back) vs observed_fps (at the offered 320 fps),
+// the same two numbers bench_serve reports per load point.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "common.hpp"
 
@@ -83,14 +90,22 @@ BENCHMARK(BM_FrameGeneration)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  reads::util::Cli cli(argc, argv);
+  const auto flags = reads::bench::StandardFlags::parse(cli, /*duration*/ 0.2);
+  cli.check_unknown();
+  flags.apply_threads();
+
   // Headline throughput check first (plain output), then the micro table.
   {
     const auto& d = deployed();
     const hls::QuantizedModel qm(d.deployed_firmware());
     soc::SocParams params;
     params.functional_ip = false;
-    soc::ArriaSocSystem system(qm, params, 11);
-    const std::vector<tensor::Tensor> frames(64, tensor::Tensor({260, 1}));
+    soc::ArriaSocSystem system(qm, params, flags.seed);
+    const auto n_frames = std::max<std::size_t>(
+        16, static_cast<std::size_t>(320.0 * flags.duration_s));
+    const std::vector<tensor::Tensor> frames(n_frames,
+                                             tensor::Tensor({260, 1}));
     const auto at_rate = system.run_stream(frames, 320.0);
     std::cout << "=== throughput / deadline checks (paper: 575 fps capable, "
                  "320 fps @ 3 ms deployed) ===\n";

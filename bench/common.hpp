@@ -4,8 +4,10 @@
 // prints paper-style tables.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,8 +22,40 @@
 #include "soc/system.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace reads::bench {
+
+/// Flags every load-driving bench shares, parsed with the same names and
+/// defaults everywhere: `--threads` (0 = size from the hardware),
+/// `--duration_s` (wall-clock budget of the measured section) and `--seed`.
+struct StandardFlags {
+  std::size_t threads = 0;
+  double duration_s = 2.0;
+  std::uint64_t seed = 7;
+
+  static StandardFlags parse(util::Cli& cli, double default_duration_s = 2.0) {
+    StandardFlags f;
+    f.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+    f.duration_s = cli.get_double("duration_s", default_duration_s);
+    f.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+    if (f.duration_s <= 0.0) {
+      throw std::invalid_argument("--duration_s must be > 0");
+    }
+    return f;
+  }
+
+  /// Pin the global pool size before anything constructs it, so
+  /// `--threads=N` reproducibly bounds every parallel_for in the run.
+  void apply_threads() const {
+    if (threads == 0) return;
+    try {
+      util::ThreadPool::set_global_threads(threads);
+    } catch (const std::logic_error&) {
+      std::cerr << "warning: --threads ignored (global pool already built)\n";
+    }
+  }
+};
 
 struct DeployedUnet {
   core::TrainedBundle bundle;

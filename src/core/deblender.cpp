@@ -43,29 +43,32 @@ DeblendingSystem DeblendingSystem::build(const DeblendConfig& config) {
   return DeblendingSystem(config, pretrained_unet(config.model));
 }
 
-Decision DeblendingSystem::process(const tensor::Tensor& raw_frame) {
-  // The HPS pre-processing step: standardize the raw readings exactly as
-  // the training data was standardized.
-  const auto frame = bundle_.standardizer.transform(raw_frame);
-  auto result = soc_->process(frame);
-
+Decision decide(tensor::Tensor probabilities, double trip_threshold) {
   Decision decision;
-  decision.timing = result.timing;
-  const auto& probs = result.output;
-  const std::size_t monitors = probs.dim(0);
+  const std::size_t monitors = probabilities.dim(0);
   for (std::size_t m = 0; m < monitors; ++m) {
-    decision.mi_score += probs.at(m, 0);
-    decision.rr_score += probs.at(m, 1);
+    decision.mi_score += probabilities.at(m, 0);
+    decision.rr_score += probabilities.at(m, 1);
   }
-  if (decision.mi_score < config_.trip_threshold &&
-      decision.rr_score < config_.trip_threshold) {
+  if (decision.mi_score < trip_threshold &&
+      decision.rr_score < trip_threshold) {
     decision.target = MitigationTarget::kNone;
   } else if (decision.mi_score >= decision.rr_score) {
     decision.target = MitigationTarget::kMainInjector;
   } else {
     decision.target = MitigationTarget::kRecyclerRing;
   }
-  decision.probabilities = std::move(result.output);
+  decision.probabilities = std::move(probabilities);
+  return decision;
+}
+
+Decision DeblendingSystem::process(const tensor::Tensor& raw_frame) {
+  // The HPS pre-processing step: standardize the raw readings exactly as
+  // the training data was standardized.
+  const auto frame = bundle_.standardizer.transform(raw_frame);
+  auto result = soc_->process(frame);
+  Decision decision = decide(std::move(result.output), config_.trip_threshold);
+  decision.timing = result.timing;
   return decision;
 }
 

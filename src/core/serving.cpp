@@ -1,0 +1,62 @@
+#include "core/serving.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/backend.hpp"
+
+namespace reads::core {
+
+GatewayDeblender::GatewayDeblender(GatewayDeblendConfig config,
+                                   std::unique_ptr<DeblendingSystem> system,
+                                   std::unique_ptr<serve::Gateway> gateway)
+    : config_(std::move(config)),
+      system_(std::move(system)),
+      gateway_(std::move(gateway)) {}
+
+GatewayDeblender GatewayDeblender::build(const GatewayDeblendConfig& config) {
+  auto system =
+      std::make_unique<DeblendingSystem>(DeblendingSystem::build(config.deblend));
+
+  std::size_t replicas = config.replicas;
+  if (replicas == 0) {
+    replicas = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  serve::GatewayConfig gw_cfg = config.gateway;
+  // The gateway enforces the same hard real-time budget the SoC does unless
+  // the caller overrode it explicitly.
+  if (gw_cfg.deadline_ms == serve::GatewayConfig{}.deadline_ms) {
+    gw_cfg.deadline_ms = config.deblend.soc.deadline_ms;
+  }
+
+  std::vector<std::unique_ptr<serve::Backend>> backends;
+  backends.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    backends.push_back(std::make_unique<serve::QuantizedBackend>(
+        system->quantized().firmware()));
+  }
+  auto gateway =
+      std::make_unique<serve::Gateway>(std::move(backends), gw_cfg);
+  return GatewayDeblender(config, std::move(system), std::move(gateway));
+}
+
+serve::Ticket GatewayDeblender::submit(const tensor::Tensor& raw_frame,
+                                       std::uint64_t stream) {
+  return gateway_->submit(system_->standardizer().transform(raw_frame),
+                          stream);
+}
+
+Decision GatewayDeblender::decide(const serve::Response& response) const {
+  Decision decision = core::decide(tensor::Tensor(response.output),
+                                   config_.deblend.trip_threshold);
+  decision.timing.queue_us = response.queue_ms * 1e3;
+  decision.timing.total_ms = response.service_ms;
+  decision.timing.latency_ms = response.e2e_ms;
+  decision.timing.deadline_met = response.deadline_met;
+  return decision;
+}
+
+}  // namespace reads::core

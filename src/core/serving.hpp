@@ -1,0 +1,57 @@
+// GatewayDeblender — the Gateway-hosted deployment of the DeblendingSystem.
+//
+// Where DeblendingSystem::process() serves one blocking caller on one
+// simulated SoC, GatewayDeblender stands a serve::Gateway of quantized
+// replicas (each with its own copy of the deployed firmware) in front of
+// the same trained model, so many concurrent client streams share the node:
+// frames are standardized exactly like the blocking path, admitted or shed
+// against the 3 ms deadline, micro-batched under load, and mapped back to
+// the same mitigation Decision the blocking path produces — bit-identical
+// probabilities for the same raw frame.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/deblender.hpp"
+#include "serve/gateway.hpp"
+
+namespace reads::core {
+
+struct GatewayDeblendConfig {
+  DeblendConfig deblend;
+  serve::GatewayConfig gateway;
+  /// Replica count; 0 selects hardware_concurrency() (at least 1).
+  std::size_t replicas = 0;
+};
+
+class GatewayDeblender {
+ public:
+  /// Train-or-load the model, lower it once, and stand up `replicas`
+  /// gateway replicas each owning a copy of the deployed firmware.
+  static GatewayDeblender build(const GatewayDeblendConfig& config = {});
+
+  /// Standardize the raw readings (the HPS pre-processing step) and submit
+  /// to the gateway. Never blocks; the ticket says admitted or why not.
+  serve::Ticket submit(const tensor::Tensor& raw_frame,
+                       std::uint64_t stream = 0);
+
+  /// Map a served response to the mitigation decision, with the serving
+  /// latencies folded into the timing fields.
+  Decision decide(const serve::Response& response) const;
+
+  serve::Gateway& gateway() noexcept { return *gateway_; }
+  const DeblendingSystem& system() const noexcept { return *system_; }
+  void stop() { gateway_->stop(); }
+
+ private:
+  GatewayDeblender(GatewayDeblendConfig config,
+                   std::unique_ptr<DeblendingSystem> system,
+                   std::unique_ptr<serve::Gateway> gateway);
+
+  GatewayDeblendConfig config_;
+  std::unique_ptr<DeblendingSystem> system_;
+  std::unique_ptr<serve::Gateway> gateway_;
+};
+
+}  // namespace reads::core

@@ -137,22 +137,26 @@ Tensor QuantizedModel::forward(const Tensor& input, ForwardStats* stats) const {
   return t;
 }
 
-std::vector<Tensor> QuantizedModel::forward_batch(
-    std::span<const Tensor> inputs, ForwardStats* stats) const {
+std::vector<Tensor> QuantizedModel::forward_batch(std::span<const Tensor> inputs,
+                                                  ForwardStats* stats,
+                                                  util::Exec exec) const {
   prepare_stats(stats);
   std::vector<Tensor> outputs(inputs.size());
   std::mutex mutex;
-  util::parallel_for(0, inputs.size(), [&](std::size_t f) {
-    ForwardStats local;
-    outputs[f] = forward(inputs[f], stats ? &local : nullptr);
-    if (stats) {
-      std::lock_guard lock(mutex);
-      for (std::size_t i = 0; i < local.saturations.size(); ++i) {
-        stats->saturations[i] += local.saturations[i];
-        stats->overflows[i] += local.overflows[i];
-      }
-    }
-  });
+  util::parallel_for(
+      0, inputs.size(),
+      [&](std::size_t f) {
+        ForwardStats local;
+        outputs[f] = forward(inputs[f], stats ? &local : nullptr);
+        if (stats) {
+          std::lock_guard lock(mutex);
+          for (std::size_t i = 0; i < local.saturations.size(); ++i) {
+            stats->saturations[i] += local.saturations[i];
+            stats->overflows[i] += local.overflows[i];
+          }
+        }
+      },
+      exec);
   return outputs;
 }
 

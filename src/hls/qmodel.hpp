@@ -24,6 +24,7 @@
 
 #include "hls/firmware.hpp"
 #include "tensor/tensor.hpp"
+#include "util/thread_pool.hpp"
 
 namespace reads::hls {
 
@@ -57,12 +58,16 @@ class QuantizedModel {
   /// and return the dequantized float output (positions, channels).
   Tensor forward(const Tensor& input, ForwardStats* stats = nullptr) const;
 
-  /// Run many frames through the quantized pipeline on the global thread
-  /// pool, each worker reusing its own scratch arena. Per-frame stats are
-  /// summed into `stats` (counter sums are order-independent, so the result
-  /// is deterministic and equal to sequential per-frame accumulation).
+  /// Run many frames through the quantized pipeline, each worker reusing
+  /// its own scratch arena. Per-frame stats are summed into `stats`
+  /// (counter sums are order-independent, so the result is deterministic
+  /// and equal to sequential per-frame accumulation). `exec` selects the
+  /// global thread pool (default) or the calling thread only — serving
+  /// replicas use Exec::kCaller so micro-batches stay on the replica's
+  /// core. Outputs are bit-identical either way.
   std::vector<Tensor> forward_batch(std::span<const Tensor> inputs,
-                                    ForwardStats* stats = nullptr) const;
+                                    ForwardStats* stats = nullptr,
+                                    util::Exec exec = util::Exec::kPool) const;
 
   /// Raw 16-bit-style interface used by the SoC simulation: input words are
   /// already quantized at the input spec; outputs come back raw at the

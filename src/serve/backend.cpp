@@ -1,0 +1,49 @@
+#include "serve/backend.hpp"
+
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace reads::serve {
+
+std::vector<Tensor> Backend::infer_batch(std::span<const Tensor> frames) {
+  std::vector<Tensor> out;
+  out.reserve(frames.size());
+  for (const auto& f : frames) out.push_back(infer(f));
+  return out;
+}
+
+QuantizedBackend::QuantizedBackend(hls::FirmwareModel firmware)
+    : model_(std::move(firmware)) {}
+
+Tensor QuantizedBackend::infer(const Tensor& frame) {
+  return model_.forward(frame);
+}
+
+std::vector<Tensor> QuantizedBackend::infer_batch(
+    std::span<const Tensor> frames) {
+  // Exec::kCaller keeps the whole batch on the replica's thread: replicas
+  // are already one-per-core, so fanning each batch back out to the global
+  // pool would just make replicas contend with each other.
+  return model_.forward_batch(frames, nullptr, util::Exec::kCaller);
+}
+
+FloatBackend::FloatBackend(nn::Model model) : model_(std::move(model)) {}
+
+Tensor FloatBackend::infer(const Tensor& frame) { return model_.forward(frame); }
+
+std::vector<Tensor> FloatBackend::infer_batch(std::span<const Tensor> frames) {
+  return model_.forward_batch(frames, util::Exec::kCaller);
+}
+
+SocBackend::SocBackend(hls::FirmwareModel firmware, soc::SocParams params,
+                       std::uint64_t seed)
+    : model_(std::move(firmware)), system_(model_, params, seed) {}
+
+Tensor SocBackend::infer(const Tensor& frame) {
+  auto result = system_.process(frame);
+  last_sim_latency_ms_ = result.timing.total_ms;
+  return std::move(result.output);
+}
+
+}  // namespace reads::serve

@@ -1,0 +1,94 @@
+// Inference backends a Replica can wrap.
+//
+// Each replica owns its backend outright — its own weight copy, sigmoid
+// tables and kernel plans (QuantizedBackend), its own nn::Model
+// (FloatBackend), or its own simulated SoC (SocBackend) — so replicas never
+// share mutable state and scale without cross-replica synchronization. All
+// backends are deterministic: infer() on the same frame always returns the
+// same bits, and infer_batch() equals per-frame infer() (the gateway's
+// bit-exactness guarantee reduces to this property).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "hls/firmware.hpp"
+#include "hls/qmodel.hpp"
+#include "nn/model.hpp"
+#include "soc/params.hpp"
+#include "soc/system.hpp"
+#include "tensor/tensor.hpp"
+
+namespace reads::serve {
+
+using tensor::Tensor;
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// One frame in, one output out. Must be deterministic and must not touch
+  /// state shared with other Backend instances.
+  virtual Tensor infer(const Tensor& frame) = 0;
+
+  /// Micro-batch entry point; outputs in input order, each bit-identical to
+  /// infer() on the same frame. Default: a plain loop on the calling
+  /// (replica) thread.
+  virtual std::vector<Tensor> infer_batch(std::span<const Tensor> frames);
+};
+
+/// The PR 1 blocked-kernel integer pipeline; the production serving path.
+class QuantizedBackend final : public Backend {
+ public:
+  /// Takes its own copy of the firmware (weights, plans, tables).
+  explicit QuantizedBackend(hls::FirmwareModel firmware);
+
+  std::string_view name() const noexcept override { return "quantized"; }
+  Tensor infer(const Tensor& frame) override;
+  std::vector<Tensor> infer_batch(std::span<const Tensor> frames) override;
+
+  const hls::QuantizedModel& model() const noexcept { return model_; }
+
+ private:
+  hls::QuantizedModel model_;
+};
+
+/// Full-precision float path (accuracy reference / CPU-only deployments).
+class FloatBackend final : public Backend {
+ public:
+  explicit FloatBackend(nn::Model model);
+
+  std::string_view name() const noexcept override { return "float"; }
+  Tensor infer(const Tensor& frame) override;
+  std::vector<Tensor> infer_batch(std::span<const Tensor> frames) override;
+
+ private:
+  nn::Model model_;
+};
+
+/// Latency-faithful mode: every frame runs through a per-replica simulated
+/// Arria SoC (bridge transfers, IP latency, OS jitter in virtual time), so
+/// a gateway of SocBackends serves exactly what a rack of the paper's
+/// boards would compute. Batch requests fall back to sequential process().
+class SocBackend final : public Backend {
+ public:
+  SocBackend(hls::FirmwareModel firmware, soc::SocParams params,
+             std::uint64_t seed);
+
+  std::string_view name() const noexcept override { return "soc"; }
+  Tensor infer(const Tensor& frame) override;
+
+  /// Simulated (virtual-time) latency of the most recent infer() call.
+  double last_sim_latency_ms() const noexcept { return last_sim_latency_ms_; }
+
+ private:
+  hls::QuantizedModel model_;
+  soc::ArriaSocSystem system_;
+  double last_sim_latency_ms_ = 0.0;
+};
+
+}  // namespace reads::serve

@@ -1,0 +1,143 @@
+#include "serve/gateway.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace reads::serve {
+
+std::string_view to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kPredictedLate: return "predicted_late";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+Gateway::Gateway(std::vector<std::unique_ptr<Backend>> backends,
+                 GatewayConfig cfg)
+    : cfg_(cfg), metrics_(backends.size(), std::max(cfg.deadline_ms, 1.0)) {
+  if (backends.empty()) {
+    throw std::invalid_argument("Gateway: need at least one backend");
+  }
+  if (cfg_.max_batch == 0) {
+    throw std::invalid_argument("Gateway: max_batch must be positive");
+  }
+  shards_.reserve(backends.size());
+  replicas_.reserve(backends.size());
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    shards_.push_back(
+        std::make_unique<BoundedQueue<Request>>(cfg_.queue_capacity));
+    Replica::Options opts;
+    opts.id = i;
+    opts.max_batch = cfg_.max_batch;
+    opts.initial_service_est_ms = cfg_.initial_service_est_ms;
+    replicas_.push_back(std::make_unique<Replica>(
+        opts, std::move(backends[i]), metrics_));
+  }
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    replicas_[i]->start(*shards_[i]);
+  }
+}
+
+Gateway::~Gateway() { stop(); }
+
+void Gateway::stop() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  for (auto& shard : shards_) shard->close();
+  for (auto& replica : replicas_) replica->join();
+}
+
+double Gateway::predicted_completion_ms(std::size_t shard) const {
+  const auto& replica = *replicas_.at(shard);
+  const double est = replica.service_est_ms();
+  // RFC 6298-style conservative estimate: mean + 4x mean deviation, so
+  // admission is gated on a high service quantile. Admitting against the
+  // mean would let ~half the borderline frames finish late — exactly the
+  // frames admission control exists to refuse.
+  return static_cast<double>(shards_[shard]->size()) * est +
+         replica.busy_residual_ms() + est + 4.0 * replica.service_var_ms();
+}
+
+std::size_t Gateway::pick_shard(std::uint64_t stream) const {
+  if (cfg_.sharding == ShardPolicy::kByStream || shards_.size() == 1) {
+    return static_cast<std::size_t>(stream % shards_.size());
+  }
+  std::size_t best = 0;
+  double best_ms = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const double ms = predicted_completion_ms(i);
+    if (ms < best_ms) {
+      best_ms = ms;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Ticket Gateway::submit(Tensor frame, std::uint64_t stream) {
+  return submit(std::move(frame), stream, cfg_.deadline_ms);
+}
+
+Ticket Gateway::submit(Tensor frame, std::uint64_t stream, double deadline_ms) {
+  metrics_.record_arrival();
+  Ticket ticket;
+  if (stopped_.load(std::memory_order_relaxed)) {
+    ticket.reason = RejectReason::kShutdown;
+    metrics_.record_shed_shutdown();
+    return ticket;
+  }
+
+  const auto now = Clock::now();
+  const std::size_t shard = pick_shard(stream);
+  const bool has_deadline = deadline_ms > 0.0;
+
+  // Work-conservation floor: an empty shard with an idle replica never
+  // sheds. Shedding exists to protect *other* frames from queueing delay
+  // and the node from wasted work; with nothing queued and nothing running
+  // there is nobody to protect, and serving the frame keeps the EWMA
+  // service estimate fresh — otherwise a transiently inflated estimate
+  // (one slow batch on a noisy host) could exceed the whole budget and
+  // latch the gateway shut with no new observations to correct it.
+  const bool idle =
+      shards_[shard]->size() == 0 && !replicas_[shard]->busy();
+  if (cfg_.admission_control && has_deadline && !idle &&
+      predicted_completion_ms(shard) > cfg_.admission_margin * deadline_ms) {
+    ticket.reason = RejectReason::kPredictedLate;
+    metrics_.record_shed_predicted_late();
+    return ticket;
+  }
+
+  Request req;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.stream = stream;
+  req.frame = std::move(frame);
+  req.arrival = now;
+  req.deadline = has_deadline
+                     ? now + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(
+                                     deadline_ms))
+                     : Clock::time_point::max();
+  ticket.response = req.promise.get_future();
+  if (!shards_[shard]->try_push(req)) {
+    // Full or closed under us; either way the frame was never enqueued.
+    ticket.response = {};
+    if (shards_[shard]->closed()) {
+      ticket.reason = RejectReason::kShutdown;
+      metrics_.record_shed_shutdown();
+    } else {
+      ticket.reason = RejectReason::kQueueFull;
+      metrics_.record_shed_queue_full();
+    }
+    return ticket;
+  }
+  ticket.admitted = true;
+  metrics_.record_admitted();
+  return ticket;
+}
+
+}  // namespace reads::serve

@@ -1,0 +1,95 @@
+// Gateway: multiplexes many client frame streams onto a pool of inference
+// replicas.
+//
+// Dispatch is sharded: every replica owns a bounded queue, and submit()
+// routes each frame to one shard — kByStream pins a stream to a replica
+// (per-stream FIFO response order), kLeastLoaded picks the shard with the
+// least predicted backlog (work-conserving, best goodput under skew).
+//
+// Admission control is deadline-aware and happens on arrival: using the
+// shard's queue depth, the replica's EWMA service time and the in-flight
+// batch's predicted residual, the gateway estimates when a new frame would
+// complete; if that already exceeds the frame's deadline (times a safety
+// margin) the frame is shed immediately — the client hears "no" in
+// microseconds instead of receiving a useless answer after the deadline.
+// A full shard likewise sheds at admission (kQueueFull). Once admitted, a
+// frame is never dropped: exactly one Response is delivered, even through
+// shutdown (stop() closes the shards and replicas drain them).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/backend.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/replica.hpp"
+#include "serve/request.hpp"
+
+namespace reads::serve {
+
+enum class ShardPolicy : std::uint8_t {
+  kLeastLoaded,  ///< join the shard with the least predicted backlog
+  kByStream,     ///< stream id -> fixed replica (per-stream ordering)
+};
+
+struct GatewayConfig {
+  /// Per-shard queue capacity; overload beyond this sheds at admission.
+  std::size_t queue_capacity = 64;
+  /// Upper bound on opportunistic micro-batch size (1 = no batching).
+  std::size_t max_batch = 1;
+  /// Default per-frame latency budget; <= 0 means no deadline (and thus no
+  /// deadline-based admission control, only capacity).
+  double deadline_ms = 3.0;
+  /// Master switch for predicted-late shedding.
+  bool admission_control = true;
+  /// Admit only when predicted completion <= margin * budget; the headroom
+  /// absorbs service-time jitter between prediction and execution.
+  double admission_margin = 0.9;
+  /// EWMA seed until each replica has observed real service times.
+  double initial_service_est_ms = 2.0;
+  ShardPolicy sharding = ShardPolicy::kLeastLoaded;
+};
+
+class Gateway {
+ public:
+  /// One replica per backend; replica i serves shard i.
+  Gateway(std::vector<std::unique_ptr<Backend>> backends, GatewayConfig cfg);
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Admit-or-shed `frame` from `stream` with the config's default budget.
+  /// Never blocks.
+  Ticket submit(Tensor frame, std::uint64_t stream = 0);
+  /// Same with an explicit per-frame budget (<= 0: no deadline).
+  Ticket submit(Tensor frame, std::uint64_t stream, double deadline_ms);
+
+  /// Close all shards, serve everything already admitted, join replicas.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  std::size_t replica_count() const noexcept { return replicas_.size(); }
+  Replica& replica(std::size_t i) { return *replicas_.at(i); }
+  Metrics& metrics() noexcept { return metrics_; }
+  const GatewayConfig& config() const noexcept { return cfg_; }
+
+  /// Predicted ms from now until a frame submitted to `shard` would
+  /// complete (queue backlog + in-flight residual + own service).
+  double predicted_completion_ms(std::size_t shard) const;
+
+ private:
+  std::size_t pick_shard(std::uint64_t stream) const;
+
+  GatewayConfig cfg_;
+  Metrics metrics_;
+  std::vector<std::unique_ptr<BoundedQueue<Request>>> shards_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace reads::serve

@@ -1,0 +1,94 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace reads::serve {
+
+namespace {
+// Latency histograms cover [0, 4 deadlines): admission keeps accepted
+// latency near or under one deadline, so four covers the interesting tail
+// while the overflow counter still catches pathological stragglers.
+constexpr double kDeadlineSpan = 4.0;
+constexpr std::size_t kLatencyBins = 80;
+}  // namespace
+
+Metrics::Metrics(std::size_t replicas, double deadline_ms)
+    : replicas_(replicas),
+      queue_ms_(0.0, kDeadlineSpan * deadline_ms, kLatencyBins),
+      e2e_ms_(0.0, kDeadlineSpan * deadline_ms, kLatencyBins) {}
+
+void Metrics::record_batch(std::size_t replica, double busy_ms,
+                           const std::vector<double>& frame_queue_ms,
+                           const std::vector<double>& frame_e2e_ms,
+                           std::size_t deadline_misses) {
+  auto& r = replicas_.at(replica);
+  const std::size_t n = frame_e2e_ms.size();
+  r.frames.fetch_add(n, kRelaxed);
+  r.batches.fetch_add(1, kRelaxed);
+  r.busy_ns.fetch_add(static_cast<std::uint64_t>(busy_ms * 1e6), kRelaxed);
+  std::size_t seen = r.max_batch.load(kRelaxed);
+  while (seen < n && !r.max_batch.compare_exchange_weak(seen, n, kRelaxed)) {
+  }
+  completed_.fetch_add(n, kRelaxed);
+  deadline_misses_.fetch_add(deadline_misses, kRelaxed);
+
+  std::lock_guard lock(dist_mutex_);
+  for (double q : frame_queue_ms) queue_ms_.add(q);
+  for (double e : frame_e2e_ms) {
+    e2e_ms_.add(e);
+    e2e_samples_.add(e);
+  }
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot s;
+  s.arrived = arrived_.load(kRelaxed);
+  s.admitted = admitted_.load(kRelaxed);
+  s.shed_predicted_late = shed_predicted_late_.load(kRelaxed);
+  s.shed_queue_full = shed_queue_full_.load(kRelaxed);
+  s.shed_shutdown = shed_shutdown_.load(kRelaxed);
+  s.completed = completed_.load(kRelaxed);
+  s.deadline_misses = deadline_misses_.load(kRelaxed);
+  s.replicas.reserve(replicas_.size());
+  for (const auto& r : replicas_) {
+    ReplicaSnapshot rs;
+    rs.frames = r.frames.load(kRelaxed);
+    rs.batches = r.batches.load(kRelaxed);
+    rs.busy_ms = static_cast<double>(r.busy_ns.load(kRelaxed)) / 1e6;
+    rs.max_batch = r.max_batch.load(kRelaxed);
+    s.replicas.push_back(rs);
+  }
+  std::lock_guard lock(dist_mutex_);
+  s.queue_ms = queue_ms_;
+  s.e2e_ms = e2e_ms_;
+  s.e2e_samples = e2e_samples_;
+  return s;
+}
+
+std::string MetricsSnapshot::to_json(double wall_s) {
+  std::ostringstream out;
+  out << "{\"arrived\": " << arrived << ", \"admitted\": " << admitted
+      << ", \"completed\": " << completed
+      << ", \"deadline_misses\": " << deadline_misses << ", \"shed\": {"
+      << "\"predicted_late\": " << shed_predicted_late
+      << ", \"queue_full\": " << shed_queue_full
+      << ", \"shutdown\": " << shed_shutdown
+      << ", \"rate\": " << shed_rate() << "}"
+      << ", \"goodput_fps\": " << goodput_fps(wall_s)
+      << ", \"e2e_ms\": " << e2e_samples.summary_json()
+      << ", \"queue_hist\": " << queue_ms.to_json()
+      << ", \"e2e_hist\": " << e2e_ms.to_json() << ", \"replicas\": [";
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    const auto& r = replicas[i];
+    if (i) out << ", ";
+    out << "{\"frames\": " << r.frames << ", \"batches\": " << r.batches
+        << ", \"busy_ms\": " << r.busy_ms << ", \"utilization\": "
+        << (wall_s > 0.0 ? r.busy_ms / (wall_s * 1e3) : 0.0)
+        << ", \"max_batch\": " << r.max_batch << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace reads::serve

@@ -1,0 +1,115 @@
+// Per-stage counters and latency distributions for the serving gateway.
+//
+// Counter writes are lock-free atomics on the admission and replica hot
+// paths; the latency histograms/percentile samples are guarded by one mutex
+// taken once per completed micro-batch (not per frame). snapshot() copies
+// everything at once so exports are internally consistent, and to_json()
+// emits the BENCH_serve.json building blocks via the util::stats JSON
+// export.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace reads::serve {
+
+/// Aggregated view of one replica's work.
+struct ReplicaSnapshot {
+  std::size_t frames = 0;
+  std::size_t batches = 0;
+  double busy_ms = 0.0;
+  std::size_t max_batch = 0;
+};
+
+/// Consistent copy of all gateway metrics at one instant.
+struct MetricsSnapshot {
+  std::size_t arrived = 0;
+  std::size_t admitted = 0;
+  std::size_t shed_predicted_late = 0;
+  std::size_t shed_queue_full = 0;
+  std::size_t shed_shutdown = 0;
+  std::size_t completed = 0;
+  std::size_t deadline_misses = 0;
+  std::vector<ReplicaSnapshot> replicas;
+  util::Histogram queue_ms{0.0, 1.0, 1};
+  util::Histogram e2e_ms{0.0, 1.0, 1};
+  util::Percentiles e2e_samples;
+  std::size_t sheds() const noexcept {
+    return shed_predicted_late + shed_queue_full + shed_shutdown;
+  }
+  double shed_rate() const noexcept {
+    return arrived ? static_cast<double>(sheds()) / static_cast<double>(arrived)
+                   : 0.0;
+  }
+  /// Completions that met their deadline, per wall-clock second.
+  double goodput_fps(double wall_s) const noexcept {
+    return wall_s > 0.0 ? static_cast<double>(completed - deadline_misses) /
+                              wall_s
+                        : 0.0;
+  }
+
+  /// JSON object (schema: DESIGN.md §7) with counters, shed/goodput rates,
+  /// p50/p99/p99.97, per-replica utilization over `wall_s`, and the e2e
+  /// histogram.
+  std::string to_json(double wall_s);
+};
+
+class Metrics {
+ public:
+  /// Histogram ranges scale with the deadline so the interesting region
+  /// (0 .. a few deadlines) keeps bin resolution.
+  Metrics(std::size_t replicas, double deadline_ms);
+
+  void record_arrival() noexcept { arrived_.fetch_add(1, kRelaxed); }
+  void record_admitted() noexcept { admitted_.fetch_add(1, kRelaxed); }
+  void record_shed_predicted_late() noexcept {
+    shed_predicted_late_.fetch_add(1, kRelaxed);
+  }
+  void record_shed_queue_full() noexcept {
+    shed_queue_full_.fetch_add(1, kRelaxed);
+  }
+  void record_shed_shutdown() noexcept {
+    shed_shutdown_.fetch_add(1, kRelaxed);
+  }
+
+  /// One completed micro-batch on `replica`: per-frame queue/e2e latencies
+  /// plus the batch's busy time. Takes the distribution lock once.
+  void record_batch(std::size_t replica, double busy_ms,
+                    const std::vector<double>& frame_queue_ms,
+                    const std::vector<double>& frame_e2e_ms,
+                    std::size_t deadline_misses);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+  struct PerReplica {
+    std::atomic<std::size_t> frames{0};
+    std::atomic<std::size_t> batches{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::size_t> max_batch{0};
+  };
+
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::size_t> admitted_{0};
+  std::atomic<std::size_t> shed_predicted_late_{0};
+  std::atomic<std::size_t> shed_queue_full_{0};
+  std::atomic<std::size_t> shed_shutdown_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> deadline_misses_{0};
+  std::vector<PerReplica> replicas_;
+
+  mutable std::mutex dist_mutex_;
+  util::Histogram queue_ms_;
+  util::Histogram e2e_ms_;
+  util::Percentiles e2e_samples_;
+};
+
+}  // namespace reads::serve

@@ -1,0 +1,146 @@
+#include "serve/replica.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace reads::serve {
+
+namespace {
+
+constexpr double kEwmaAlpha = 0.2;
+/// Gain for the mean-deviation EWMA (RFC 6298 uses 1/4).
+constexpr double kVarBeta = 0.25;
+/// Initial deviation as a fraction of the initial estimate; shrinks as
+/// real observations arrive.
+constexpr double kInitialVarFrac = 0.25;
+
+std::int64_t to_ns(Clock::time_point t) noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+double ms_between(Clock::time_point a, Clock::time_point b) noexcept {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+Replica::Replica(Options options, std::unique_ptr<Backend> backend,
+                 Metrics& metrics)
+    : opts_(options),
+      backend_(std::move(backend)),
+      metrics_(metrics),
+      service_est_ms_(std::max(1e-6, options.initial_service_est_ms)),
+      service_var_ms_(kInitialVarFrac *
+                      std::max(1e-6, options.initial_service_est_ms)) {}
+
+Replica::~Replica() { join(); }
+
+void Replica::start(BoundedQueue<Request>& shard) {
+  thread_ = std::thread([this, &shard] { run(shard); });
+}
+
+void Replica::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+double Replica::busy_residual_ms() const noexcept {
+  const std::int64_t until = busy_until_ns_.load(std::memory_order_relaxed);
+  const std::int64_t now = to_ns(Clock::now());
+  if (until > now) return static_cast<double>(until - now) / 1e6;
+  // The in-flight batch has overrun its prediction (or sits in the brief
+  // window before one is posted). All we know is "still running" — and
+  // returning 0 here is the worst possible answer: admission would
+  // underestimate precisely when the replica is running late, admitting
+  // frames that then wait behind the overrun. Assume one more service
+  // quantum instead.
+  return busy_.load(std::memory_order_relaxed) ? service_est_ms() : 0.0;
+}
+
+void Replica::run(BoundedQueue<Request>& shard) {
+  std::vector<Request> batch;
+  while (auto first = shard.pop()) {
+    batch.clear();
+    batch.push_back(std::move(*first));
+
+    // Deadline-aware greedy drain: grow the batch only while the predicted
+    // completion (batch size x EWMA service) still meets every already-
+    // drained frame's deadline. The candidate itself can only gain: being
+    // served in this batch is never later than waiting behind it.
+    const double est = service_est_ms();
+    auto min_deadline = batch.front().deadline;
+    while (batch.size() < opts_.max_batch) {
+      const auto predicted_done =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 est * static_cast<double>(batch.size() + 1)));
+      if (predicted_done > min_deadline) break;
+      auto next = shard.try_pop();
+      if (!next) break;
+      min_deadline = std::min(min_deadline, next->deadline);
+      batch.push_back(std::move(*next));
+    }
+
+    serve_batch(batch);
+  }
+}
+
+void Replica::serve_batch(std::vector<Request>& batch) {
+  const std::size_t n = batch.size();
+  const auto start = Clock::now();
+  const double est = service_est_ms();
+  busy_.store(true, std::memory_order_relaxed);
+  busy_until_ns_.store(
+      to_ns(start) +
+          static_cast<std::int64_t>(est * static_cast<double>(n) * 1e6),
+      std::memory_order_relaxed);
+
+  std::vector<Tensor> outputs;
+  if (n == 1) {
+    outputs.push_back(backend_->infer(batch.front().frame));
+  } else {
+    std::vector<Tensor> frames;
+    frames.reserve(n);
+    for (auto& r : batch) frames.push_back(std::move(r.frame));
+    outputs = backend_->infer_batch(frames);
+  }
+  const auto done = Clock::now();
+  busy_until_ns_.store(0, std::memory_order_relaxed);
+  busy_.store(false, std::memory_order_relaxed);
+
+  const double service_ms = ms_between(start, done);
+  std::vector<double> queue_ms(n);
+  std::vector<double> e2e_ms(n);
+  std::size_t misses = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& r = batch[i];
+    Response resp;
+    resp.id = r.id;
+    resp.stream = r.stream;
+    resp.output = std::move(outputs[i]);
+    resp.replica = opts_.id;
+    resp.batch_size = n;
+    resp.queue_ms = ms_between(r.arrival, start);
+    resp.service_ms = service_ms;
+    resp.e2e_ms = ms_between(r.arrival, done);
+    resp.deadline_met = done <= r.deadline;
+    queue_ms[i] = resp.queue_ms;
+    e2e_ms[i] = resp.e2e_ms;
+    if (!resp.deadline_met) ++misses;
+    r.promise.set_value(std::move(resp));
+  }
+
+  const double per_frame = service_ms / static_cast<double>(n);
+  service_est_ms_.store(
+      std::max(1e-6, (1.0 - kEwmaAlpha) * est + kEwmaAlpha * per_frame),
+      std::memory_order_relaxed);
+  const double var = service_var_ms_.load(std::memory_order_relaxed);
+  service_var_ms_.store(
+      (1.0 - kVarBeta) * var + kVarBeta * std::abs(per_frame - est),
+      std::memory_order_relaxed);
+  metrics_.record_batch(opts_.id, service_ms, queue_ms, e2e_ms, misses);
+}
+
+}  // namespace reads::serve

@@ -1,0 +1,90 @@
+// Replica: one worker thread draining one shard queue into a Backend.
+//
+// Micro-batching is opportunistic and deadline-aware: after the blocking
+// pop of the first request the replica greedily try_pop()s more — a frame
+// that is already queued always completes no later by joining the current
+// batch than by waiting for the next one — but only while the grown batch's
+// predicted completion still meets the deadline of every frame already in
+// it. Under light load batches stay at 1 (lowest latency); when the queue
+// is deep and deadlines are loose, batches grow toward max_batch and the
+// backend's batch entry point amortizes dispatch.
+//
+// The replica publishes two values the gateway's admission control reads
+// lock-free: an EWMA per-frame service-time estimate and the predicted
+// completion time of the in-flight batch (busy_residual_ms).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/backend.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace reads::serve {
+
+class Replica {
+ public:
+  struct Options {
+    std::size_t id = 0;
+    std::size_t max_batch = 1;
+    /// Seed for the EWMA until real service times are observed.
+    double initial_service_est_ms = 2.0;
+  };
+
+  Replica(Options options, std::unique_ptr<Backend> backend, Metrics& metrics);
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Spawn the worker thread; `shard` must outlive join().
+  void start(BoundedQueue<Request>& shard);
+  /// Wait for the worker to drain its (closed) shard and exit.
+  void join();
+
+  std::size_t id() const noexcept { return opts_.id; }
+  Backend& backend() noexcept { return *backend_; }
+
+  /// EWMA per-frame service time (ms), updated after every batch.
+  double service_est_ms() const noexcept {
+    return service_est_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// EWMA of |observed - estimate| (ms), RFC 6298-style: the admission
+  /// predictor adds a multiple of this so jittery hosts admit against a
+  /// high service quantile, not the mean.
+  double service_var_ms() const noexcept {
+    return service_var_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// True from first frame of a batch until its responses are delivered.
+  bool busy() const noexcept {
+    return busy_.load(std::memory_order_relaxed);
+  }
+
+  /// Predicted ms until the in-flight batch finishes; 0 when idle (or when
+  /// the batch has overrun its prediction — check busy() to distinguish).
+  double busy_residual_ms() const noexcept;
+
+ private:
+  void run(BoundedQueue<Request>& shard);
+  void serve_batch(std::vector<Request>& batch);
+
+  Options opts_;
+  std::unique_ptr<Backend> backend_;
+  Metrics& metrics_;
+  std::thread thread_;
+  std::atomic<double> service_est_ms_;
+  std::atomic<double> service_var_ms_;
+  std::atomic<bool> busy_{false};
+  /// steady_clock nanoseconds when the current batch should complete;
+  /// 0 = idle.
+  std::atomic<std::int64_t> busy_until_ns_{0};
+};
+
+}  // namespace reads::serve

@@ -1,0 +1,59 @@
+// Request/response vocabulary of the serving gateway.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string_view>
+
+#include "tensor/tensor.hpp"
+
+namespace reads::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// One served inference result. `output` is bit-identical to what a direct
+/// single-threaded call on the same backend would produce for the same
+/// frame (tests and bench_serve gate on this).
+struct Response {
+  std::uint64_t id = 0;
+  std::uint64_t stream = 0;
+  tensor::Tensor output;
+  std::size_t replica = 0;
+  std::size_t batch_size = 1;   ///< frames in the micro-batch that served it
+  double queue_ms = 0.0;        ///< arrival -> batch start
+  double service_ms = 0.0;      ///< batch start -> batch done (whole batch)
+  double e2e_ms = 0.0;          ///< arrival -> response ready
+  bool deadline_met = true;
+};
+
+/// Why a frame was refused at admission. Both are *early* sheds: the client
+/// hears immediately instead of a response arriving after its deadline.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kPredictedLate,  ///< predicted queue delay + service exceeds the deadline
+  kQueueFull,      ///< shard at capacity (explicit backpressure)
+  kShutdown,       ///< gateway stopping
+};
+
+std::string_view to_string(RejectReason reason) noexcept;
+
+/// A frame in flight inside the gateway (move-only: carries the promise).
+struct Request {
+  std::uint64_t id = 0;
+  std::uint64_t stream = 0;
+  tensor::Tensor frame;
+  Clock::time_point arrival{};
+  Clock::time_point deadline{Clock::time_point::max()};
+  std::promise<Response> promise;
+};
+
+/// Result of Gateway::submit. When not admitted, `response` is invalid and
+/// `reason` says why; when admitted, exactly one Response will arrive.
+struct Ticket {
+  bool admitted = false;
+  RejectReason reason = RejectReason::kNone;
+  std::future<Response> response;
+};
+
+}  // namespace reads::serve

@@ -1,7 +1,10 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -43,6 +46,40 @@ double Percentiles::percentile(double p) {
   const auto n = static_cast<double>(values_.size());
   const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
   return values_[std::min(values_.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+namespace {
+
+/// Shortest decimal that round-trips the double (snapshots get re-parsed).
+void append_double(std::ostringstream& out, double v) {
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << v;
+  out << s.str();
+}
+
+/// Trim a percent label: 99.0 -> "p99", 99.97 -> "p99.97".
+std::string percent_key(double p) {
+  std::ostringstream s;
+  s << 'p' << p;
+  return s.str();
+}
+
+}  // namespace
+
+std::string Percentiles::summary_json(std::initializer_list<double> percents) {
+  std::ostringstream out;
+  out << "{\"count\": " << values_.size();
+  if (!values_.empty()) {
+    for (double p : percents) {
+      out << ", \"" << percent_key(p) << "\": ";
+      append_double(out, percentile(p));
+    }
+    out << ", \"max\": ";
+    append_double(out, percentile(100.0));
+  }
+  out << "}";
+  return out.str();
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
@@ -112,6 +149,118 @@ std::string Histogram::ascii(std::size_t width) const {
     row(label.str(), overflow_);
   }
   return out.str();
+}
+
+std::string Histogram::to_json() const {
+  std::ostringstream out;
+  out << "{\"lo\": ";
+  append_double(out, lo_);
+  out << ", \"hi\": ";
+  append_double(out, hi_);
+  out << ", \"bins\": [";
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (i) out << ", ";
+    out << bins_[i];
+  }
+  out << "], \"underflow\": " << underflow_ << ", \"overflow\": " << overflow_
+      << ", \"total\": " << total_ << "}";
+  return out.str();
+}
+
+namespace {
+
+/// Minimal scanning parser for the flat objects this module emits. Finds
+/// `"key":` and parses the value after it; not a general JSON library.
+struct JsonScan {
+  const std::string& text;
+
+  std::size_t value_pos(const std::string& key) const {
+    const std::string needle = "\"" + key + "\"";
+    const auto k = text.find(needle);
+    if (k == std::string::npos) {
+      throw std::invalid_argument("stats JSON: missing key '" + key + "'");
+    }
+    auto p = text.find(':', k + needle.size());
+    if (p == std::string::npos) {
+      throw std::invalid_argument("stats JSON: key '" + key + "' has no value");
+    }
+    ++p;
+    while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p]))) {
+      ++p;
+    }
+    return p;
+  }
+
+  double number(const std::string& key) const {
+    const auto p = value_pos(key);
+    const char* start = text.c_str() + p;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) {
+      throw std::invalid_argument("stats JSON: key '" + key +
+                                  "' is not a number");
+    }
+    return v;
+  }
+
+  std::size_t count(const std::string& key) const {
+    const double v = number(key);
+    if (v < 0.0 || v != std::floor(v)) {
+      throw std::invalid_argument("stats JSON: key '" + key +
+                                  "' is not a count");
+    }
+    return static_cast<std::size_t>(v);
+  }
+
+  std::vector<std::size_t> count_array(const std::string& key) const {
+    auto p = value_pos(key);
+    if (text[p] != '[') {
+      throw std::invalid_argument("stats JSON: key '" + key +
+                                  "' is not an array");
+    }
+    ++p;
+    std::vector<std::size_t> out;
+    for (;;) {
+      while (p < text.size() &&
+             (std::isspace(static_cast<unsigned char>(text[p])) ||
+              text[p] == ',')) {
+        ++p;
+      }
+      if (p >= text.size()) {
+        throw std::invalid_argument("stats JSON: unterminated array");
+      }
+      if (text[p] == ']') break;
+      const char* start = text.c_str() + p;
+      char* end = nullptr;
+      const double v = std::strtod(start, &end);
+      if (end == start || v < 0.0 || v != std::floor(v)) {
+        throw std::invalid_argument("stats JSON: bad array element");
+      }
+      out.push_back(static_cast<std::size_t>(v));
+      p += static_cast<std::size_t>(end - start);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Histogram Histogram::from_json(const std::string& json) {
+  const JsonScan scan{json};
+  const double lo = scan.number("lo");
+  const double hi = scan.number("hi");
+  const auto bins = scan.count_array("bins");
+  Histogram h(lo, hi, bins.size());  // validates hi > lo, bins > 0
+  h.bins_ = bins;
+  h.underflow_ = scan.count("underflow");
+  h.overflow_ = scan.count("overflow");
+  h.total_ = scan.count("total");
+  std::size_t in_range = 0;
+  for (auto c : bins) in_range += c;
+  if (in_range + h.underflow_ + h.overflow_ != h.total_) {
+    throw std::invalid_argument("stats JSON: histogram totals inconsistent");
+  }
+  return h;
 }
 
 }  // namespace reads::util

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,12 @@ class Percentiles {
   double percentile(double p);
   double median() { return percentile(50.0); }
 
+  /// JSON object of nearest-rank percentiles, e.g.
+  /// {"count": 12, "p50": 1.5, "p99": 3.2, "p99.97": 3.9, "max": 4.0}.
+  /// Empty samples yield {"count": 0}.
+  std::string summary_json(
+      std::initializer_list<double> percents = {50.0, 90.0, 99.0, 99.97});
+
   const std::vector<double>& values() const noexcept { return values_; }
 
  private:
@@ -73,6 +80,16 @@ class Histogram {
 
   /// Render an ASCII bar chart (one line per non-empty bin).
   std::string ascii(std::size_t width = 50) const;
+
+  /// JSON object carrying the full state, including the underflow/overflow
+  /// tallies:
+  ///   {"lo": .., "hi": .., "bins": [..], "underflow": n, "overflow": n,
+  ///    "total": n}
+  /// from_json(to_json()) reconstructs an identical histogram (round-trip
+  /// regression-tested); from_json throws std::invalid_argument on
+  /// malformed input or inconsistent totals.
+  std::string to_json() const;
+  static Histogram from_json(const std::string& json);
 
  private:
   double lo_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <stdexcept>
 
 namespace reads::util {
 
@@ -28,6 +30,11 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
+    if (stop_) {
+      // A task enqueued after shutdown would never run and its
+      // parallel_for would block forever; fail loudly instead.
+      throw std::logic_error("ThreadPool: enqueue after shutdown");
+    }
     tasks_.push(std::move(task));
   }
   cv_.notify_one();
@@ -81,13 +88,44 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
 }
 
-ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+namespace {
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+bool g_global_created = false;
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard lock(g_global_mutex);
+  auto& slot = global_slot();
+  if (!slot) {
+    slot = std::make_unique<ThreadPool>();
+    g_global_created = true;
+  }
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  std::lock_guard lock(g_global_mutex);
+  auto& slot = global_slot();
+  if (g_global_created) {
+    throw std::logic_error(
+        "ThreadPool: set_global_threads after the global pool was created");
+  }
+  slot = std::make_unique<ThreadPool>(threads);
+  g_global_created = true;
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn) {
+                  const std::function<void(std::size_t)>& fn, Exec exec) {
+  if (exec == Exec::kCaller) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   ThreadPool::global().parallel_for(begin, end, fn);
 }
 

@@ -3,6 +3,20 @@
 // Training and the accuracy sweeps are embarrassingly parallel over samples;
 // on multi-core hosts the pool gives near-linear speedup, and on single-core
 // hosts parallel_for degrades to a plain loop with no thread overhead.
+//
+// Shutdown-safety contract (audited; stress-tested in test_util, run under
+// TSan by tools/check.sh):
+//  - The destructor closes the queue, wakes every worker, drains all
+//    already-enqueued tasks, and joins. It must only race with nothing:
+//    no thread may call parallel_for concurrently with destruction (the
+//    blocking parallel_for makes that impossible for well-formed callers —
+//    every task a caller enqueued has completed before its call returns).
+//  - enqueue() after stop would strand a task (its parallel_for would wait
+//    forever), so it throws std::logic_error instead of silently accepting.
+//  - parallel_for is safe to call concurrently from many threads, including
+//    from inside tasks running on *another* pool; calling it from inside
+//    one of this pool's own tasks risks deadlock (workers waiting on
+//    workers) and is not supported.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +28,11 @@
 #include <vector>
 
 namespace reads::util {
+
+/// Where batch-style entry points run their per-item work: fanned out on
+/// the global pool (default), or inline on the calling thread — the serving
+/// gateway pins each replica's batches to the replica's own core this way.
+enum class Exec : unsigned char { kPool, kCaller };
 
 class ThreadPool {
  public:
@@ -37,6 +56,11 @@ class ThreadPool {
   /// Process-wide pool sized from the hardware. Lazily constructed.
   static ThreadPool& global();
 
+  /// Fix the global pool's size before anything has used it (benches pin
+  /// worker counts for reproducible runs). Throws std::logic_error if the
+  /// global pool already exists.
+  static void set_global_threads(std::size_t threads);
+
  private:
   void enqueue(std::function<void()> task);
   void worker_loop();
@@ -48,8 +72,10 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Convenience wrapper over the global pool.
+/// Convenience wrapper over the global pool. Exec::kCaller (or an empty
+/// pool) runs the loop inline on the calling thread.
 void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn);
+                  const std::function<void(std::size_t)>& fn,
+                  Exec exec = Exec::kPool);
 
 }  // namespace reads::util

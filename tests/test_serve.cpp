@@ -1,0 +1,506 @@
+// Serving gateway tests: bounded MPMC queue semantics, replica micro-
+// batching, deadline-aware admission control, sharding, metrics, and the
+// gateway's core guarantee — every admitted frame gets exactly one
+// response, bit-identical to direct single-threaded inference.
+//
+// The pure-concurrency suites here (BoundedQueue*, Replica*, GatewayTest*,
+// ServeMetrics*) run under ThreadSanitizer via tools/check.sh; the
+// DeblendServing integration suite needs the pretrained model cache and
+// runs in the plain/ASan builds only. Timing-dependent tests assert logical
+// properties (counts, batch bounds, no loss), never wall-clock bounds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "blm/generator.hpp"
+#include "blm/machine.hpp"
+#include "core/serving.hpp"
+#include "hls/firmware.hpp"
+#include "hls/precision.hpp"
+#include "hls/profiler.hpp"
+#include "nn/builders.hpp"
+#include "nn/init.hpp"
+#include "serve/backend.hpp"
+#include "serve/gateway.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/replica.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace reads;
+using namespace std::chrono_literals;
+using serve::BoundedQueue;
+using serve::Clock;
+using serve::RejectReason;
+using tensor::Tensor;
+
+Tensor test_frame(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Tensor t({n, 1});
+  for (auto& v : t.flat()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+/// Deterministic backend with a controllable service time. Sleeping (not
+/// spinning) keeps single-core hosts honest: the submitting thread still
+/// runs while a "busy" replica waits.
+class SyntheticBackend final : public serve::Backend {
+ public:
+  explicit SyntheticBackend(std::chrono::microseconds service = 0us)
+      : service_(service) {}
+
+  std::string_view name() const noexcept override { return "synthetic"; }
+
+  Tensor infer(const Tensor& frame) override {
+    if (service_ > 0us) std::this_thread::sleep_for(service_);
+    Tensor out = frame;
+    for (auto& v : out.flat()) v = 2.0f * v + 1.0f;
+    calls_.fetch_add(1);
+    return out;
+  }
+
+  std::atomic<std::size_t> calls_{0};
+
+ private:
+  std::chrono::microseconds service_;
+};
+
+std::vector<std::unique_ptr<serve::Backend>> synthetic_backends(
+    std::size_t n, std::chrono::microseconds service = 0us) {
+  std::vector<std::unique_ptr<serve::Backend>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::make_unique<SyntheticBackend>(service));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- BoundedQueue
+
+TEST(BoundedQueue, TryVariantsRespectCapacity) {
+  BoundedQueue<int> q(2);
+  int a = 1;
+  int b = 2;
+  int c = 3;
+  EXPECT_TRUE(q.try_push(a));
+  EXPECT_TRUE(q.try_push(b));
+  EXPECT_FALSE(q.try_push(c));  // full: overload is visible, not buffered
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_TRUE(q.try_push(c));
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_EQ(q.try_pop().value(), 3);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(4);
+  int v = 7;
+  ASSERT_TRUE(q.try_push(v));
+  q.close();
+  int w = 8;
+  EXPECT_FALSE(q.try_push(w));  // no new items after close
+  EXPECT_FALSE(q.push(9));
+  EXPECT_EQ(q.pop().value(), 7);        // but queued items drain
+  EXPECT_FALSE(q.pop().has_value());    // then pop reports end-of-stream
+}
+
+TEST(BoundedQueue, BlockingPopWakesOnPush) {
+  BoundedQueue<int> q(1);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(10ms);
+    q.push(42);
+  });
+  EXPECT_EQ(q.pop().value(), 42);  // parked until the producer delivers
+  producer.join();
+}
+
+TEST(BoundedQueue, BlockingPushWakesOnPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(10ms);
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+  });
+  EXPECT_TRUE(q.push(2));  // blocks until the consumer frees a slot
+  consumer.join();
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumersLoseNothing) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(8);
+  std::atomic<long long> sum{0};
+  std::atomic<std::size_t> popped{0};
+
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(static_cast<int>(p * kPerProducer) + i));
+      }
+    });
+  }
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (std::size_t p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (std::size_t c = kProducers; c < threads.size(); ++c) threads[c].join();
+
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), static_cast<std::size_t>(n));
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);  // each value exactly once
+}
+
+// --------------------------------------------------------------- Replica
+
+serve::Request make_request(std::uint64_t id, const Tensor& frame,
+                            Clock::time_point deadline,
+                            std::future<serve::Response>& future) {
+  serve::Request req;
+  req.id = id;
+  req.frame = frame;
+  req.arrival = Clock::now();
+  req.deadline = deadline;
+  future = req.promise.get_future();
+  return req;
+}
+
+TEST(Replica, DrainsQueuedFramesIntoMicroBatches) {
+  serve::Metrics metrics(1, 3.0);
+  BoundedQueue<serve::Request> shard(16);
+  const auto frame = test_frame(8, 1);
+  constexpr std::size_t kFrames = 9;
+  std::vector<std::future<serve::Response>> futures(kFrames);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    auto req =
+        make_request(i + 1, frame, Clock::time_point::max(), futures[i]);
+    ASSERT_TRUE(shard.try_push(req));
+  }
+  shard.close();
+
+  serve::Replica::Options opts;
+  opts.max_batch = 4;
+  serve::Replica replica(opts, std::make_unique<SyntheticBackend>(), metrics);
+  replica.start(shard);
+  replica.join();
+
+  std::size_t max_batch = 0;
+  for (auto& f : futures) {
+    auto resp = f.get();
+    max_batch = std::max(max_batch, resp.batch_size);
+    EXPECT_LE(resp.batch_size, opts.max_batch);
+  }
+  // The whole backlog was waiting with no deadline pressure, so the replica
+  // must have used real micro-batches (first batch drains to max_batch).
+  EXPECT_EQ(max_batch, opts.max_batch);
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.completed, kFrames);
+  EXPECT_EQ(snap.replicas[0].frames, kFrames);
+  EXPECT_EQ(snap.replicas[0].max_batch, opts.max_batch);
+  EXPECT_LT(snap.replicas[0].batches, kFrames);  // fewer batches than frames
+}
+
+TEST(Replica, ExpiredDeadlinesSuppressBatchGrowth) {
+  serve::Metrics metrics(1, 3.0);
+  BoundedQueue<serve::Request> shard(16);
+  const auto frame = test_frame(8, 2);
+  // Deadlines already in the past: growing a batch can only add delay for
+  // frames that are late, so the replica serves them one at a time.
+  const auto past = Clock::now() - 1ms;
+  constexpr std::size_t kFrames = 6;
+  std::vector<std::future<serve::Response>> futures(kFrames);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    auto req = make_request(i + 1, frame, past, futures[i]);
+    ASSERT_TRUE(shard.try_push(req));
+  }
+  shard.close();
+
+  serve::Replica::Options opts;
+  opts.max_batch = 4;
+  serve::Replica replica(opts, std::make_unique<SyntheticBackend>(), metrics);
+  replica.start(shard);
+  replica.join();
+
+  for (auto& f : futures) {
+    auto resp = f.get();
+    EXPECT_EQ(resp.batch_size, 1u);
+    EXPECT_FALSE(resp.deadline_met);
+  }
+  EXPECT_EQ(metrics.snapshot().deadline_misses, kFrames);
+}
+
+// --------------------------------------------------------------- Gateway
+
+TEST(GatewayTest, ServesBitIdenticalToDirectInference) {
+  serve::GatewayConfig cfg;
+  cfg.deadline_ms = 0.0;  // no deadline: everything is admitted
+  cfg.max_batch = 3;
+  serve::Gateway gateway(synthetic_backends(2), cfg);
+
+  SyntheticBackend oracle;
+  constexpr std::size_t kFrames = 64;
+  std::vector<serve::Ticket> tickets;
+  std::vector<Tensor> expected;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    const auto frame = test_frame(8, 100 + i);
+    expected.push_back(oracle.infer(frame));
+    tickets.push_back(gateway.submit(frame, /*stream=*/i % 5));
+  }
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(tickets[i].admitted);
+    auto resp = tickets[i].response.get();
+    EXPECT_EQ(resp.output, expected[i]) << "frame " << i;
+    EXPECT_EQ(resp.stream, i % 5);
+  }
+  gateway.stop();
+  const auto snap = gateway.metrics().snapshot();
+  EXPECT_EQ(snap.arrived, kFrames);
+  EXPECT_EQ(snap.admitted, kFrames);
+  EXPECT_EQ(snap.completed, kFrames);
+  EXPECT_EQ(snap.sheds(), 0u);
+}
+
+TEST(GatewayTest, EveryAdmittedFrameAnsweredExactlyOnceThroughShutdown) {
+  serve::GatewayConfig cfg;
+  cfg.deadline_ms = 0.0;
+  cfg.queue_capacity = 128;
+  serve::Gateway gateway(synthetic_backends(2, 500us), cfg);
+
+  const auto frame = test_frame(8, 3);
+  std::vector<serve::Ticket> tickets;
+  for (std::size_t i = 0; i < 40; ++i) {
+    tickets.push_back(gateway.submit(frame, i));
+  }
+  gateway.stop();  // closes shards; replicas must drain the backlog
+
+  std::size_t admitted = 0;
+  std::size_t answered = 0;
+  for (auto& t : tickets) {
+    if (!t.admitted) continue;
+    ++admitted;
+    // future::get() succeeds exactly once per admitted frame; a dropped
+    // request would leave a broken promise and throw here.
+    auto resp = t.response.get();
+    EXPECT_EQ(resp.output.numel(), frame.numel());
+    ++answered;
+  }
+  EXPECT_GT(admitted, 0u);
+  EXPECT_EQ(answered, admitted);
+  EXPECT_EQ(gateway.metrics().snapshot().completed, admitted);
+
+  // After stop(), new arrivals are refused as shutdown sheds.
+  auto late = gateway.submit(frame, 0);
+  EXPECT_FALSE(late.admitted);
+  EXPECT_EQ(late.reason, RejectReason::kShutdown);
+}
+
+TEST(GatewayTest, AdmissionControlShedsPredictedLateFrames) {
+  serve::GatewayConfig cfg;
+  cfg.deadline_ms = 20.0;
+  cfg.initial_service_est_ms = 5.0;
+  cfg.queue_capacity = 64;
+  serve::Gateway gateway(synthetic_backends(1, 5000us), cfg);
+
+  const auto frame = test_frame(8, 4);
+  std::vector<serve::Ticket> tickets;
+  for (std::size_t i = 0; i < 12; ++i) {
+    tickets.push_back(gateway.submit(frame, i));
+  }
+  std::size_t admitted = 0;
+  std::size_t shed = 0;
+  for (auto& t : tickets) {
+    if (t.admitted) {
+      ++admitted;
+      t.response.get();  // still exactly-once for everything admitted
+    } else {
+      EXPECT_EQ(t.reason, RejectReason::kPredictedLate);
+      ++shed;
+    }
+  }
+  // 12 frames x 5 ms against a 20 ms budget: the gateway must admit the
+  // head of the burst and shed the tail at admission, not after service.
+  EXPECT_GT(admitted, 0u);
+  EXPECT_GT(shed, 0u);
+  gateway.stop();
+  const auto snap = gateway.metrics().snapshot();
+  EXPECT_EQ(snap.shed_predicted_late, shed);
+  EXPECT_EQ(snap.completed, admitted);
+}
+
+TEST(GatewayTest, FullShardShedsAtAdmission) {
+  serve::GatewayConfig cfg;
+  cfg.deadline_ms = 0.0;  // capacity is the only limiter
+  cfg.queue_capacity = 2;
+  serve::Gateway gateway(synthetic_backends(1, 2000us), cfg);
+
+  const auto frame = test_frame(8, 5);
+  std::vector<serve::Ticket> tickets;
+  for (std::size_t i = 0; i < 16; ++i) {
+    tickets.push_back(gateway.submit(frame, i));
+  }
+  std::size_t queue_full = 0;
+  for (auto& t : tickets) {
+    if (!t.admitted && t.reason == RejectReason::kQueueFull) ++queue_full;
+    if (t.admitted) t.response.get();
+  }
+  EXPECT_GT(queue_full, 0u);
+  gateway.stop();
+  EXPECT_EQ(gateway.metrics().snapshot().shed_queue_full, queue_full);
+}
+
+TEST(GatewayTest, ByStreamShardingPinsStreamsToReplicas) {
+  serve::GatewayConfig cfg;
+  cfg.deadline_ms = 0.0;
+  cfg.sharding = serve::ShardPolicy::kByStream;
+  serve::Gateway gateway(synthetic_backends(3), cfg);
+
+  const auto frame = test_frame(8, 6);
+  std::vector<serve::Ticket> tickets;
+  std::vector<std::uint64_t> streams;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const std::uint64_t stream = i % 7;
+    streams.push_back(stream);
+    tickets.push_back(gateway.submit(frame, stream));
+  }
+  std::map<std::uint64_t, std::set<std::size_t>> replicas_by_stream;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i].admitted);
+    replicas_by_stream[streams[i]].insert(tickets[i].response.get().replica);
+  }
+  for (const auto& [stream, replicas] : replicas_by_stream) {
+    EXPECT_EQ(replicas.size(), 1u) << "stream " << stream;
+    EXPECT_EQ(*replicas.begin(), stream % gateway.replica_count());
+  }
+}
+
+TEST(GatewayTest, QuantizedBackendMatchesDirectModel) {
+  // A real (tiny) quantized model across 2 replicas: gateway outputs must
+  // be bit-identical to single-threaded QuantizedModel::forward.
+  auto model = nn::build_mlp({.inputs = 16, .hidden = 8, .outputs = 6});
+  nn::init_he_uniform(model, 21);
+  std::vector<Tensor> calib;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    calib.push_back(test_frame(16, 300 + s).reshaped({1, 16}));
+  }
+  const auto profile = hls::profile_model(model, calib);
+  hls::HlsConfig hls_cfg;
+  hls_cfg.quant = hls::layer_based_config(model, profile, 16);
+  const auto firmware = hls::compile(model, hls_cfg);
+  const hls::QuantizedModel direct(firmware);
+
+  serve::GatewayConfig cfg;
+  cfg.deadline_ms = 0.0;
+  cfg.max_batch = 4;
+  std::vector<std::unique_ptr<serve::Backend>> backends;
+  backends.push_back(std::make_unique<serve::QuantizedBackend>(firmware));
+  backends.push_back(std::make_unique<serve::QuantizedBackend>(firmware));
+  serve::Gateway gateway(std::move(backends), cfg);
+
+  constexpr std::size_t kFrames = 32;
+  std::vector<serve::Ticket> tickets;
+  std::vector<Tensor> expected;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    const auto frame = test_frame(16, 400 + i).reshaped({1, 16});
+    expected.push_back(direct.forward(frame));
+    tickets.push_back(gateway.submit(frame, i % 3));
+  }
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(tickets[i].admitted);
+    EXPECT_EQ(tickets[i].response.get().output, expected[i]) << "frame " << i;
+  }
+}
+
+// --------------------------------------------------------- ServeMetrics
+
+TEST(ServeMetrics, SnapshotAndJsonCarryAllStages) {
+  serve::Metrics metrics(2, 3.0);
+  metrics.record_arrival();
+  metrics.record_arrival();
+  metrics.record_arrival();
+  metrics.record_admitted();
+  metrics.record_admitted();
+  metrics.record_shed_predicted_late();
+  metrics.record_batch(1, 4.0, {0.5, 1.0}, {2.5, 3.5}, 1);
+
+  auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.arrived, 3u);
+  EXPECT_EQ(snap.admitted, 2u);
+  EXPECT_EQ(snap.sheds(), 1u);
+  EXPECT_NEAR(snap.shed_rate(), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(snap.completed, 2u);
+  EXPECT_EQ(snap.deadline_misses, 1u);
+  EXPECT_EQ(snap.replicas[1].frames, 2u);
+  EXPECT_EQ(snap.replicas[1].batches, 1u);
+  EXPECT_NEAR(snap.replicas[1].busy_ms, 4.0, 1e-6);
+  // goodput counts only in-deadline completions
+  EXPECT_NEAR(snap.goodput_fps(2.0), 0.5, 1e-12);
+
+  const auto json = snap.to_json(2.0);
+  for (const char* key :
+       {"\"arrived\"", "\"admitted\"", "\"shed\"", "\"goodput_fps\"",
+        "\"e2e_ms\"", "\"queue_hist\"", "\"e2e_hist\"", "\"replicas\"",
+        "\"utilization\"", "\"max_batch\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // The embedded histogram is itself valid util::stats JSON.
+  const auto hist_pos = json.find("\"e2e_hist\": ");
+  auto hist = util::Histogram::from_json(json.substr(hist_pos + 12));
+  EXPECT_EQ(hist.total(), 2u);
+}
+
+// ------------------------------------------------- DeblendServing (heavy)
+
+TEST(DeblendServing, GatewayDecisionsMatchDirectQuantizedPath) {
+  core::GatewayDeblendConfig cfg;
+  cfg.replicas = 2;
+  cfg.gateway.deadline_ms = 0.0;  // functional test: no shedding
+  cfg.gateway.max_batch = 2;
+  auto server = core::GatewayDeblender::build(cfg);
+
+  const auto& system = server.system();
+  blm::FrameGenerator gen(blm::MachineConfig::fermilab_like(),
+                          system.config().seed + 99);
+
+  for (int i = 0; i < 6; ++i) {
+    const auto frame = gen.next();
+    auto ticket = server.submit(frame.raw, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ticket.admitted);
+    const auto resp = ticket.response.get();
+    const auto direct = system.quantized().forward(
+        system.standardizer().transform(frame.raw));
+    EXPECT_EQ(resp.output, direct) << "frame " << i;
+
+    const auto decision = server.decide(resp);
+    const auto expected =
+        core::decide(direct, system.config().trip_threshold);
+    EXPECT_EQ(decision.target, expected.target);
+    EXPECT_DOUBLE_EQ(decision.mi_score, expected.mi_score);
+    EXPECT_DOUBLE_EQ(decision.rr_score, expected.rr_score);
+  }
+  server.stop();
+  const auto snap = server.gateway().metrics().snapshot();
+  EXPECT_EQ(snap.completed, 6u);
+  EXPECT_EQ(snap.sheds(), 0u);
+}
+
+}  // namespace

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "util/cli.hpp"
@@ -157,6 +159,61 @@ TEST(Histogram, RejectsDegenerateRange) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(Histogram, JsonRoundTripPreservesEverything) {
+  Histogram h(0.25, 4.75, 9);
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 500; ++i) h.add(rng.normal(2.5, 2.0));  // spills both ends
+  h.add(-100.0);
+  h.add(1e9);
+  ASSERT_GT(h.underflow(), 0u);
+  ASSERT_GT(h.overflow(), 0u);
+
+  const auto json = h.to_json();
+  const auto back = Histogram::from_json(json);
+  EXPECT_EQ(back.bins(), h.bins());
+  EXPECT_EQ(back.total(), h.total());
+  EXPECT_EQ(back.underflow(), h.underflow());
+  EXPECT_EQ(back.overflow(), h.overflow());
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    EXPECT_EQ(back.bin_count(i), h.bin_count(i)) << "bin " << i;
+    EXPECT_DOUBLE_EQ(back.bin_lo(i), h.bin_lo(i));
+    EXPECT_DOUBLE_EQ(back.bin_hi(i), h.bin_hi(i));
+  }
+  // Re-serializing the reconstruction is byte-identical: the export uses
+  // round-trip-exact float formatting, so to_json is a fixed point.
+  EXPECT_EQ(back.to_json(), json);
+}
+
+TEST(Histogram, FromJsonRejectsMalformed) {
+  EXPECT_THROW(Histogram::from_json("not json"), std::invalid_argument);
+  EXPECT_THROW(Histogram::from_json("{\"lo\": 0.0, \"hi\": 1.0}"),
+               std::invalid_argument);
+  // Totals that do not match the bin contents must be rejected, not trusted.
+  EXPECT_THROW(Histogram::from_json(
+                   "{\"lo\": 0, \"hi\": 1, \"bins\": [1, 2], "
+                   "\"underflow\": 0, \"overflow\": 0, \"total\": 99}"),
+               std::invalid_argument);
+  // Degenerate ranges are invalid through this door too.
+  EXPECT_THROW(Histogram::from_json(
+                   "{\"lo\": 1, \"hi\": 1, \"bins\": [0], "
+                   "\"underflow\": 0, \"overflow\": 0, \"total\": 0}"),
+               std::invalid_argument);
+}
+
+TEST(Percentiles, SummaryJsonNearestRankAndEmpty) {
+  Percentiles p;
+  for (int i = 1; i <= 1000; ++i) p.add(static_cast<double>(i));
+  const auto json = p.summary_json();
+  EXPECT_NE(json.find("\"count\": 1000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\": 500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\": 990"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99.97\": 1000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\": 1000"), std::string::npos) << json;
+
+  Percentiles empty;
+  EXPECT_EQ(empty.summary_json(), "{\"count\": 0}");
+}
+
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
   std::vector<std::atomic<int>> hits(1000);
   parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
@@ -175,6 +232,55 @@ TEST(ThreadPool, LocalPoolIndependentOfGlobal) {
   std::atomic<std::size_t> sum{0};
   pool.parallel_for(0, 100, [&](std::size_t i) { sum += i; });
   EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, ExecCallerRunsInlineOnCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  parallel_for(
+      0, 64,
+      [&](std::size_t) {
+        if (std::this_thread::get_id() != caller) ++off_thread;
+      },
+      Exec::kCaller);
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallersShareOnePool) {
+  // Shutdown-safety audit, part 1: many threads driving the same pool's
+  // blocking parallel_for concurrently must neither lose indices nor race.
+  ThreadPool pool(3);
+  constexpr std::size_t kCallers = 4;
+  constexpr std::size_t kIters = 25;
+  constexpr std::size_t kRange = 200;
+  std::atomic<std::size_t> hits{0};
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (std::size_t it = 0; it < kIters; ++it) {
+        pool.parallel_for(0, kRange, [&](std::size_t) { hits.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(hits.load(), kCallers * kIters * kRange);
+}
+
+TEST(ThreadPool, ConstructDestroyChurnDrainsAllWork) {
+  // Shutdown-safety audit, part 2: destruction immediately after blocking
+  // work must drain and join cleanly every time (no stranded tasks, no
+  // use-after-free; TSan verifies the absence of races in check.sh).
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> done{0};
+    ThreadPool pool(2);
+    pool.parallel_for(0, 50, [&](std::size_t) { done.fetch_add(1); });
+    EXPECT_EQ(done.load(), 50u);
+  }  // ~ThreadPool here
+}
+
+TEST(ThreadPool, SetGlobalThreadsAfterGlobalExistsThrows) {
+  ThreadPool::global();  // ensure the lazy singleton is constructed
+  EXPECT_THROW(ThreadPool::set_global_threads(2), std::logic_error);
 }
 
 TEST(Table, RendersAlignedAndCsvEscapes) {

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification: plain Release build + ctest, then an ASan/UBSan
-# build + ctest (READS_SANITIZE=ON). Run from the repo root:
+# build + ctest (READS_SANITIZE=ON), then a ThreadSanitizer build
+# (READS_TSAN=ON) of the concurrency-heavy targets running the serve/queue/
+# thread-pool tests. Run from the repo root:
 #
 #   tools/check.sh [extra ctest args...]
 #
-# Build trees: build/ (plain) and build-asan/ (sanitized). Both are
-# incremental across runs.
+# Build trees: build/ (plain), build-asan/ and build-tsan/ (sanitized).
+# All are incremental across runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,5 +20,13 @@ echo "== sanitizer build (address,undefined) =="
 cmake -B build-asan -S . -DREADS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)"
 (cd build-asan && ctest --output-on-failure -j"$(nproc)" "$@")
+
+echo "== thread sanitizer build (serve / concurrency tests) =="
+cmake -B build-tsan -S . -DREADS_TSAN=ON >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target test_serve test_util
+# Model-cache-backed integration tests (DeblendServing) are covered by the
+# plain and ASan runs; under TSan we run the pure-concurrency suites.
+(cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
+  -R 'BoundedQueue|Replica|GatewayTest|ServeMetrics|ThreadPool|Stats|Histogram|Percentiles')
 
 echo "== all checks passed =="
