@@ -1,0 +1,498 @@
+// Chaos campaign: drive the full facility pipeline and the serving gateway
+// through every fault scenario in fault::Plan and gate on the robustness
+// contract of the 3 ms loop (paper §VI runs one decision per 3 ms tick;
+// here: the decision must survive hub outages, corrupt packets, NN-IP
+// hangs and replica crashes without ever skipping a tick).
+//
+//   ./bench_chaos [--ticks=600] [--quick] [--frames=1200]
+//                 [--fault_scenario=<name>] [--fault_seed=N]
+//                 [--threads=0] [--seed=7] [--out=BENCH_chaos.json]
+//
+// Pipeline campaign (one FacilityNode per scenario, same seed as the
+// fault-free reference run). Gates, per scenario:
+//   (a) a decision is produced on EVERY tick — no exception, no skipped
+//       frame, a probability tensor on each report;
+//   (b) the scenario's defense actually engaged (CRC rejects for corrupt,
+//       layout rejects for malform, duplicate rejects, dropped packets +
+//       degraded flag for outage, plausibility substitutions for
+//       saturate/nan, watchdog timeouts for ip_hang, HPS fallback for
+//       ip_wedge) — a chaos run whose faults are silently absorbed by
+//       accident is a broken harness, not a robust pipeline;
+//   (c) bounded recovery: every tick after last_fault_tick + the LKV
+//       staleness bound + 1 is bit-identical to the reference run and not
+//       degraded;
+//   (d) zero-perturbation: the "none" scenario (tap installed, empty plan)
+//       is bit-identical to the reference on every tick, as are the
+//       scenarios whose defense is exactness-preserving by design
+//       (duplicate: second copy rejected; reorder: assembly is
+//       order-independent; ip_hang: the watchdog's reset-and-retry reruns
+//       the same frame).
+//
+// Serving campaign ("crash"): 4 replicas behind serve::Gateway, each
+// backend wrapped in fault::ChaosBackend so scheduled ops throw mid-batch.
+// Gates: every submitted frame is admitted (no deadline, capacity sized to
+// the run), answered exactly once, bit-identical to the direct-inference
+// oracle; the fault machinery visibly engaged (backend faults and
+// quarantines > 0 in serve::Metrics).
+//
+// Exits non-zero if any gate fails. All placement is derived from
+// --fault_seed (default --seed), so a failure is replayable bit-for-bit.
+#include <algorithm>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/facility_node.hpp"
+#include "fault/chaos_backend.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "net/packet.hpp"
+#include "serve/gateway.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace reads;
+
+struct TickRef {
+  tensor::Tensor probabilities;
+  core::MitigationTarget target = core::MitigationTarget::kNone;
+  bool degraded = false;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t ticks_requested = 0;
+  std::uint64_t ticks_decided = 0;  ///< reports with a probability tensor
+  std::uint64_t injected = 0;
+  net::AssemblerCounters counters;
+  std::uint64_t watchdog_timeouts = 0;
+  std::uint64_t ip_resets = 0;
+  std::uint64_t fallback_frames = 0;
+  std::uint64_t degraded_ticks = 0;
+  std::uint64_t mismatched_ticks = 0;  ///< vs reference, anywhere in the run
+  std::uint64_t tail_bad_ticks = 0;    ///< vs reference, after recovery bound
+  std::uint64_t recovery_tail = 0;     ///< ticks the recovery gate covered
+  bool every_tick = false;
+  bool defense_engaged = false;
+  bool recovered = false;
+  bool identical_required = false;
+  bool identical = false;
+  std::string error;
+
+  bool pass() const {
+    return error.empty() && every_tick && defense_engaged && recovered &&
+           (!identical_required || identical);
+  }
+};
+
+bool same_decision(const core::TickReport& got, const TickRef& ref) {
+  return got.decision.target == ref.target &&
+         got.decision.probabilities == ref.probabilities;
+}
+
+/// One pipeline scenario: fresh node (same seed as the reference), the
+/// scenario's plan wired into the delivery tap and the NN-IP hang hook.
+ScenarioResult run_scenario(const std::string& name,
+                            const core::FacilityNodeConfig& cfg,
+                            std::uint64_t ticks, std::uint64_t fault_seed,
+                            const std::vector<TickRef>& ref,
+                            bool plausibility_armed) {
+  ScenarioResult r;
+  r.name = name;
+  r.ticks_requested = ticks;
+  r.identical_required = name == "none" || name == "duplicate" ||
+                         name == "reorder" || name == "ip_hang";
+
+  auto node = core::FacilityNode::build(cfg);
+  fault::ScenarioParams sp;
+  sp.seed = fault_seed;
+  sp.ticks = ticks;
+  sp.hubs = cfg.facility.hubs;
+  auto injector = std::make_shared<fault::Injector>(
+      fault::Plan::scenario(name, sp), fault_seed);
+  node.facility_mutable().set_delivery_tap(
+      [injector](std::uint32_t seq, std::vector<net::Delivery>& ds) {
+        injector->apply(seq, ds);
+      });
+  node.deblender().soc().set_ip_hang_hook(injector->ip_hang_hook());
+
+  // Recovery bound: the LKV staleness window plus one clean tick to re-arm
+  // every hub's age; after this, the faulted timeline must rejoin the
+  // reference bit-for-bit.
+  const std::uint64_t last = injector->plan().last_fault_tick();
+  const std::uint64_t tail_start =
+      name == "none" ? 0
+                     : last + cfg.facility.assembler.max_stale_ticks + 2;
+
+  std::vector<core::TickReport> reports;
+  reports.reserve(ticks);
+  try {
+    for (std::uint64_t t = 0; t < ticks; ++t) reports.push_back(node.tick());
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+
+  r.ticks_decided = 0;
+  bool saw_stale_degraded = false;
+  bool saw_fallback_degraded = false;
+  r.identical = true;
+  for (std::uint64_t t = 0; t < reports.size(); ++t) {
+    const auto& rep = reports[t];
+    if (rep.decision.probabilities.numel() > 0) ++r.ticks_decided;
+    if (rep.degraded) ++r.degraded_ticks;
+    if (rep.degraded && rep.stale_hubs > 0) saw_stale_degraded = true;
+    if (rep.nn_source == core::DecisionSource::kHpsFloatFallback &&
+        rep.degraded) {
+      saw_fallback_degraded = true;
+    }
+    const bool match = same_decision(rep, ref[t]);
+    if (!match) ++r.mismatched_ticks;
+    if (!match || r.identical_required) r.identical = r.identical && match;
+    if (t >= tail_start && (!match || rep.degraded)) ++r.tail_bad_ticks;
+  }
+  r.recovery_tail = ticks > tail_start ? ticks - tail_start : 0;
+  r.every_tick = r.error.empty() && reports.size() == ticks &&
+                 r.ticks_decided == ticks;
+  // The campaign must actually contain a post-fault tail to certify
+  // recovery on; the scenario factory places windows in the first 80% of
+  // the run, so a zero-length tail means the bench was misconfigured.
+  r.recovered = r.recovery_tail > 0 && r.tail_bad_ticks == 0;
+
+  r.injected = injector->injected_total();
+  r.counters = node.facility().assembler().counters();
+  r.watchdog_timeouts = node.deblender().soc().watchdog_timeouts();
+  r.ip_resets = node.deblender().soc().ip_resets();
+  r.fallback_frames = node.deblender().soc().fallback_frames();
+
+  const auto& c = r.counters;
+  if (name == "none") {
+    r.defense_engaged = r.injected == 0 && c.total_rejects() == 0;
+  } else if (name == "corrupt") {
+    r.defense_engaged = c.crc_rejects > 0;
+  } else if (name == "malform") {
+    r.defense_engaged = c.malformed_rejects > 0;
+  } else if (name == "duplicate") {
+    r.defense_engaged = c.duplicate_rejects > 0;
+  } else if (name == "reorder") {
+    r.defense_engaged =
+        injector->injected(fault::FaultKind::kPacketReorder) > 0;
+  } else if (name == "outage") {
+    r.defense_engaged = c.dropped_packets > 0 && saw_stale_degraded;
+  } else if (name == "saturate") {
+    r.defense_engaged = c.implausible_readings > 0;
+  } else if (name == "nan") {
+    // NaN readings encode as zero counts; only a plausibility floor above
+    // zero can tell them from a clean quiet monitor.
+    r.defense_engaged = plausibility_armed ? c.implausible_readings > 0
+                                           : r.injected > 0;
+  } else if (name == "ip_hang") {
+    r.defense_engaged = r.watchdog_timeouts > 0 && r.ip_resets > 0 &&
+                        r.fallback_frames == 0;
+  } else if (name == "ip_wedge") {
+    r.defense_engaged = r.fallback_frames > 0 && saw_fallback_degraded;
+  } else if (name == "storm") {
+    r.defense_engaged = r.injected > 0 && c.total_rejects() > 0;
+  } else {
+    r.defense_engaged = r.injected > 0;
+  }
+  return r;
+}
+
+struct CrashResult {
+  std::size_t frames = 0;
+  std::size_t admitted = 0;
+  std::size_t answered = 0;
+  std::size_t lost = 0;
+  std::size_t duplicated = 0;
+  std::size_t mismatched = 0;
+  std::uint64_t injected = 0;
+  serve::MetricsSnapshot metrics;
+  double wall_s = 0.0;
+
+  bool exact() const {
+    return admitted == frames && answered == frames && lost == 0 &&
+           duplicated == 0 && mismatched == 0;
+  }
+  bool engaged() const {
+    return injected > 0 && metrics.backend_faults > 0 &&
+           metrics.quarantines > 0;
+  }
+  bool pass() const { return exact() && engaged(); }
+};
+
+/// The serving-side campaign: scheduled backend crashes mid-batch, the
+/// gateway must still deliver exactly one bit-exact answer per frame.
+CrashResult run_crash_campaign(const bench::DeployedUnet& unet,
+                               std::size_t frames_n, std::size_t replicas,
+                               std::uint64_t fault_seed, std::uint64_t seed) {
+  const auto firmware = unet.deployed_firmware();
+  const auto frames = unet.eval_inputs(32, seed + 2);
+  const hls::QuantizedModel direct(firmware);
+  std::vector<tensor::Tensor> oracle;
+  for (const auto& f : frames) oracle.push_back(direct.forward(f));
+
+  // Crash events live on each replica's backend-op axis, and batching
+  // compresses ops: with even sharding a replica performs at least
+  // frames / (replicas * max_batch) ops, so size the op-axis campaign to
+  // that floor or the scheduled windows would land beyond the run.
+  constexpr std::size_t kMaxBatch = 4;
+  fault::ScenarioParams sp;
+  sp.seed = fault_seed;
+  sp.ticks = std::max<std::uint64_t>(10, frames_n / (replicas * kMaxBatch));
+  sp.replicas = replicas;
+  auto injector = std::make_shared<fault::Injector>(
+      fault::Plan::scenario("crash", sp), fault_seed, replicas);
+
+  std::vector<std::unique_ptr<serve::Backend>> backends;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    backends.push_back(std::make_unique<fault::ChaosBackend>(
+        std::make_unique<serve::QuantizedBackend>(firmware), r, injector));
+  }
+  serve::GatewayConfig cfg;
+  cfg.queue_capacity = frames_n;  // capacity-shedding off: audit all frames
+  cfg.max_batch = kMaxBatch;
+  cfg.deadline_ms = 0.0;  // no admission deadline: every frame is admitted
+  cfg.backoff_initial_ms = 0.25;  // keep quarantine pauses bench-friendly
+  cfg.backoff_max_ms = 2.0;
+  serve::Gateway gateway(std::move(backends), cfg);
+
+  struct Rec {
+    serve::Ticket ticket;
+    std::size_t idx;
+  };
+  std::vector<Rec> records;
+  records.reserve(frames_n);
+  const auto t0 = serve::Clock::now();
+  for (std::size_t i = 0; i < frames_n; ++i) {
+    const std::size_t idx = i % frames.size();
+    records.push_back({gateway.submit(frames[idx], i % replicas), idx});
+  }
+
+  // Audit with the shards still open: a replica that faults mid-drain can
+  // actually re-home its batch to a healthy peer (stop() first would close
+  // every queue and force all recovery onto the local-retry path).
+  CrashResult res;
+  res.frames = frames_n;
+  std::set<std::uint64_t> seen;
+  for (auto& rec : records) {
+    if (!rec.ticket.admitted) continue;
+    ++res.admitted;
+    serve::Response resp;
+    try {
+      resp = rec.ticket.response.get();
+    } catch (const std::future_error&) {
+      ++res.lost;
+      continue;
+    }
+    ++res.answered;
+    if (!seen.insert(resp.id).second) ++res.duplicated;
+    if (!(resp.output == oracle[rec.idx])) ++res.mismatched;
+  }
+  gateway.stop();
+  res.wall_s =
+      std::chrono::duration<double>(serve::Clock::now() - t0).count();
+  res.injected = injector->injected(fault::FaultKind::kReplicaCrash);
+  res.metrics = gateway.metrics().snapshot();
+  return res;
+}
+
+std::string json_scenario(const ScenarioResult& r) {
+  std::ostringstream j;
+  j << "{\"scenario\": \"" << r.name << "\", \"pass\": "
+    << (r.pass() ? "true" : "false") << ", \"ticks\": " << r.ticks_requested
+    << ", \"decided\": " << r.ticks_decided
+    << ", \"injected\": " << r.injected
+    << ", \"rejects\": {\"crc\": " << r.counters.crc_rejects
+    << ", \"malformed\": " << r.counters.malformed_rejects
+    << ", \"duplicate\": " << r.counters.duplicate_rejects
+    << ", \"sequence\": " << r.counters.sequence_rejects
+    << ", \"late\": " << r.counters.late_packets
+    << ", \"dropped\": " << r.counters.dropped_packets
+    << ", \"implausible\": " << r.counters.implausible_readings << "}"
+    << ", \"watchdog_timeouts\": " << r.watchdog_timeouts
+    << ", \"ip_resets\": " << r.ip_resets
+    << ", \"fallback_frames\": " << r.fallback_frames
+    << ", \"degraded_ticks\": " << r.degraded_ticks
+    << ", \"mismatched_ticks\": " << r.mismatched_ticks
+    << ", \"recovery_tail\": " << r.recovery_tail
+    << ", \"tail_bad_ticks\": " << r.tail_bad_ticks
+    << ", \"gates\": {\"every_tick\": " << (r.every_tick ? "true" : "false")
+    << ", \"defense_engaged\": " << (r.defense_engaged ? "true" : "false")
+    << ", \"recovered\": " << (r.recovered ? "true" : "false")
+    << ", \"identical\": "
+    << (r.identical_required ? (r.identical ? "\"pass\"" : "\"fail\"")
+                             : "\"not_required\"")
+    << "}";
+  if (!r.error.empty()) j << ", \"error\": \"" << r.error << "\"";
+  j << "}";
+  return j.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  auto flags = bench::StandardFlags::parse(cli);
+  const bool quick = cli.get_bool("quick", false);
+  const auto ticks = static_cast<std::uint64_t>(
+      cli.get_int("ticks", quick ? 160 : 600));
+  const auto crash_frames = static_cast<std::size_t>(
+      cli.get_int("frames", quick ? 400 : 1200));
+  const std::string out_path = cli.get_string("out", "BENCH_chaos.json");
+  cli.check_unknown();
+  flags.apply_threads();
+
+  bench::print_header(
+      "chaos campaign: fault injection vs the 3 ms decision loop",
+      "one decision per 3 ms tick (paper SVI); here: hub outages, corrupt "
+      "packets, NN-IP hangs and replica crashes, with recovery gates");
+  std::cout << "ticks " << ticks << ", crash frames " << crash_frames
+            << ", seed " << flags.seed << ", fault_seed " << flags.fault_seed
+            << "\n\n";
+
+  // -------------------------------------------------- fault-free reference
+  // Same node config every run; the reference also calibrates the
+  // plausibility window from the clean reading distribution, so the
+  // saturate/nan defenses never misfire on honest data.
+  core::FacilityNodeConfig cfg;
+  cfg.seed = flags.seed;
+  auto ref_node = core::FacilityNode::build(cfg);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  ref_node.facility_mutable().set_delivery_tap(
+      [&lo, &hi](std::uint32_t, std::vector<net::Delivery>& ds) {
+        for (const auto& d : ds) {
+          if (d.dropped) continue;
+          for (const auto raw : d.packet.readings) {
+            const double v = net::decode_reading(raw);
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+          }
+        }
+      });
+  std::vector<TickRef> ref;
+  ref.reserve(ticks);
+  for (std::uint64_t t = 0; t < ticks; ++t) {
+    auto rep = ref_node.tick();
+    ref.push_back({std::move(rep.decision.probabilities),
+                   rep.decision.target, rep.degraded});
+  }
+  const bool plausibility_armed = lo > 0.0;
+  if (plausibility_armed) {
+    cfg.facility.assembler.plausible_min = lo * 0.5;
+    cfg.facility.assembler.plausible_max = hi * 2.0 + 16.0;
+  } else {
+    // Clean data reaches zero counts, so a floor would substitute honest
+    // readings; leave min unarmed and keep the saturation ceiling.
+    cfg.facility.assembler.plausible_max = hi * 2.0 + 16.0;
+  }
+  std::cout << "reference: " << ref.size() << " ticks, clean readings ["
+            << util::Table::fmt(lo, 3) << ", " << util::Table::fmt(hi, 3)
+            << "], plausibility window "
+            << (plausibility_armed ? "armed" : "ceiling-only") << "\n\n";
+
+  // ------------------------------------------------------ scenario sweep
+  std::vector<std::string> names;
+  bool run_crash = false;
+  if (!flags.fault_scenario.empty()) {
+    if (flags.fault_scenario == "crash") {
+      run_crash = true;
+    } else {
+      names.push_back(flags.fault_scenario);
+    }
+  } else {
+    names = fault::Plan::scenario_names();
+    run_crash = true;
+  }
+
+  std::vector<ScenarioResult> results;
+  util::Table table({"scenario", "injected", "rejects", "degraded", "mismatch",
+                     "tail bad", "verdict"});
+  for (const auto& name : names) {
+    auto r = run_scenario(name, cfg, ticks, flags.fault_seed, ref,
+                          plausibility_armed);
+    table.add_row({r.name, std::to_string(r.injected),
+                   std::to_string(r.counters.total_rejects() +
+                                  r.counters.implausible_readings),
+                   std::to_string(r.degraded_ticks),
+                   std::to_string(r.mismatched_ticks),
+                   std::to_string(r.tail_bad_ticks),
+                   r.pass() ? "pass" : "FAIL"});
+    if (!r.pass()) {
+      std::cout << "scenario " << r.name << ": every_tick="
+                << r.every_tick << " defense=" << r.defense_engaged
+                << " recovered=" << r.recovered << " identical="
+                << (r.identical_required ? (r.identical ? "yes" : "NO")
+                                         : "n/a")
+                << (r.error.empty() ? "" : " error=" + r.error) << "\n";
+    }
+    results.push_back(std::move(r));
+  }
+  if (!results.empty()) std::cout << table.to_string() << "\n";
+
+  // -------------------------------------------------- replica-crash audit
+  CrashResult crash;
+  if (run_crash) {
+    const bench::DeployedUnet unet;
+    crash = run_crash_campaign(unet, crash_frames, 4, flags.fault_seed,
+                               flags.seed);
+    std::cout << "crash campaign: " << crash.frames << " frames, "
+              << crash.injected << " injected crashes, "
+              << crash.metrics.backend_faults << " backend faults, "
+              << crash.metrics.quarantines << " quarantines, "
+              << crash.metrics.restarts << " restarts, "
+              << crash.metrics.redispatched << " redispatched ("
+              << util::Table::fmt(crash.wall_s, 2) << " s)\n"
+              << "  exactness: " << crash.answered << "/" << crash.frames
+              << " answered, " << crash.lost << " lost, " << crash.duplicated
+              << " duplicated, " << crash.mismatched << " divergent -> "
+              << (crash.exact() ? "pass" : "FAIL") << "\n"
+              << "  self-healing engaged: "
+              << (crash.engaged() ? "pass" : "FAIL") << "\n\n";
+  }
+
+  bool ok = true;
+  for (const auto& r : results) ok = ok && r.pass();
+  if (run_crash) ok = ok && crash.pass();
+  std::cout << "chaos verdict: " << (ok ? "pass" : "FAIL") << "\n";
+
+  // -------------------------------------------------------------- JSON
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"chaos\",\n  \"ticks\": " << ticks
+       << ",\n  \"seed\": " << flags.seed
+       << ",\n  \"fault_seed\": " << flags.fault_seed
+       << ",\n  \"plausibility_armed\": "
+       << (plausibility_armed ? "true" : "false")
+       << ",\n  \"verdict\": " << (ok ? "\"pass\"" : "\"fail\"")
+       << ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    json << "    " << json_scenario(results[i])
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]";
+  if (run_crash) {
+    json << ",\n  \"crash\": {\"frames\": " << crash.frames
+         << ", \"pass\": " << (crash.pass() ? "true" : "false")
+         << ", \"injected\": " << crash.injected
+         << ", \"admitted\": " << crash.admitted
+         << ", \"answered\": " << crash.answered
+         << ", \"lost\": " << crash.lost
+         << ", \"duplicated\": " << crash.duplicated
+         << ", \"mismatched\": " << crash.mismatched
+         << ", \"wall_s\": " << crash.wall_s
+         << ",\n    \"metrics\": " << crash.metrics.to_json(crash.wall_s)
+         << "}";
+  }
+  json << "\n}";
+  std::ofstream(out_path) << json.str() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return ok ? 0 : 1;
+}

@@ -29,16 +29,25 @@ namespace reads::bench {
 /// Flags every load-driving bench shares, parsed with the same names and
 /// defaults everywhere: `--threads` (0 = size from the hardware),
 /// `--duration_s` (wall-clock budget of the measured section) and `--seed`.
+/// `--fault_scenario`/`--fault_seed` let any bench replay a specific chaos
+/// schedule (fault/plan.hpp) deterministically; the default is no faults,
+/// and `--fault_seed=0` reuses `--seed` so one number reproduces the whole
+/// run, faults included.
 struct StandardFlags {
   std::size_t threads = 0;
   double duration_s = 2.0;
   std::uint64_t seed = 7;
+  std::string fault_scenario;  ///< empty = fault-free
+  std::uint64_t fault_seed = 0;
 
   static StandardFlags parse(util::Cli& cli, double default_duration_s = 2.0) {
     StandardFlags f;
     f.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
     f.duration_s = cli.get_double("duration_s", default_duration_s);
     f.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+    f.fault_scenario = cli.get_string("fault_scenario", "");
+    f.fault_seed = static_cast<std::uint64_t>(cli.get_int("fault_seed", 0));
+    if (f.fault_seed == 0) f.fault_seed = f.seed;
     if (f.duration_s <= 0.0) {
       throw std::invalid_argument("--duration_s must be > 0");
     }

@@ -15,6 +15,14 @@ std::string_view to_string(MitigationTarget target) noexcept {
   return "?";
 }
 
+std::string_view to_string(DecisionSource source) noexcept {
+  switch (source) {
+    case DecisionSource::kNnIp: return "nn_ip";
+    case DecisionSource::kHpsFloatFallback: return "hps_float_fallback";
+  }
+  return "?";
+}
+
 DeblendingSystem::DeblendingSystem(DeblendConfig config, TrainedBundle bundle)
     : config_(std::move(config)), bundle_(std::move(bundle)) {
   // Profile on freshly generated calibration frames (standardized like the
@@ -67,8 +75,27 @@ Decision DeblendingSystem::process(const tensor::Tensor& raw_frame) {
   // the training data was standardized.
   const auto frame = bundle_.standardizer.transform(raw_frame);
   auto result = soc_->process(frame);
+
+  if (result.ip_fallback) {
+    // The fabric wedged through every watchdog retry. Run the float model
+    // on the ARM core — the trained weights are resident in HPS memory for
+    // exactly this contingency — so a decision still goes out this tick.
+    // The timing already carries the watchdog timeouts and resets; the
+    // float forward's CPU time is not separately modelled (it is bounded by
+    // the remaining budget, and the decision is flagged degraded either
+    // way).
+    Decision decision =
+        decide(bundle_.model.forward(frame), config_.trip_threshold);
+    decision.timing = result.timing;
+    decision.source = DecisionSource::kHpsFloatFallback;
+    decision.watchdog_timeouts = result.watchdog_timeouts;
+    decision.degraded = true;
+    return decision;
+  }
+
   Decision decision = decide(std::move(result.output), config_.trip_threshold);
   decision.timing = result.timing;
+  decision.watchdog_timeouts = result.watchdog_timeouts;
   return decision;
 }
 

@@ -23,12 +23,30 @@ enum class MitigationTarget { kNone, kMainInjector, kRecyclerRing };
 
 std::string_view to_string(MitigationTarget target) noexcept;
 
+/// Which compute produced the probabilities behind a decision.
+enum class DecisionSource : std::uint8_t {
+  kNnIp,             ///< the quantized NN IP on the fabric (normal path)
+  kHpsFloatFallback  ///< float model on the ARM core after the IP wedged
+};
+
+std::string_view to_string(DecisionSource source) noexcept;
+
 struct Decision {
   tensor::Tensor probabilities;  ///< (monitors, 2) — MI, RR per monitor
   MitigationTarget target = MitigationTarget::kNone;
   double mi_score = 0.0;  ///< summed MI probability over monitors
   double rr_score = 0.0;
   soc::FrameTiming timing;
+  DecisionSource source = DecisionSource::kNnIp;
+  /// Watchdog expiries while serving this frame (a successful reset-and-
+  /// retry reports them without degrading — the retried output is
+  /// bit-identical to a clean run).
+  std::size_t watchdog_timeouts = 0;
+  /// True when the probabilities did not come from the deployed firmware
+  /// (HPS float fallback): numerically close, but not the validated
+  /// quantized pipeline, so operators must treat the decision as
+  /// low-confidence.
+  bool degraded = false;
 };
 
 /// Trip logic alone: sum the per-monitor MI/RR probabilities and pick the

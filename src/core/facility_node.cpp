@@ -20,9 +20,14 @@ TickReport FacilityNode::tick() {
   report.sequence = frame.sequence;
   report.network_us = frame.assembly_us;
   report.frame_complete = frame.complete();
+  report.stale_hubs = frame.stale_hubs;
+  report.packets_rejected = frame.packets_rejected;
 
   report.decision = deblender_->process(frame.raw);
   report.soc_ms = report.decision.timing.total_ms;
+  report.watchdog_timeouts = report.decision.watchdog_timeouts;
+  report.nn_source = report.decision.source;
+  report.degraded = frame.degraded || report.decision.degraded;
 
   const auto& msg = acnet_.publish(
       frame.sequence, std::string(to_string(report.decision.target)),

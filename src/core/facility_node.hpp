@@ -30,6 +30,14 @@ struct TickReport {
   double end_to_end_ms = 0.0;
   bool frame_complete = true;  ///< all hub packets arrived in time
   bool deadline_met = false;
+  /// Degraded operation summary, so operators can see *why* a decision is
+  /// low-confidence: stale sensing (hub outage past the LKV bound), packet
+  /// rejects this tick, or non-firmware compute (NN-IP fallback).
+  bool degraded = false;
+  std::size_t stale_hubs = 0;
+  std::size_t packets_rejected = 0;
+  std::size_t watchdog_timeouts = 0;
+  DecisionSource nn_source = DecisionSource::kNnIp;
 };
 
 class FacilityNode {
@@ -41,6 +49,8 @@ class FacilityNode {
 
   DeblendingSystem& deblender() noexcept { return *deblender_; }
   const net::FacilityLink& facility() const noexcept { return *facility_; }
+  /// Mutable access for fault-harness wiring (delivery taps).
+  net::FacilityLink& facility_mutable() noexcept { return *facility_; }
   const net::AcnetPublisher& acnet() const noexcept { return acnet_; }
 
  private:

@@ -6,7 +6,10 @@
 namespace reads::net {
 
 FrameAssembler::FrameAssembler(AssemblerParams params)
-    : params_(params), last_known_(params.monitors, 0.0) {
+    : params_(params),
+      layout_(hub_layout(params.monitors, params.hubs)),
+      last_known_(params.monitors, 0.0),
+      hub_age_(params.hubs, 0) {
   if (params_.monitors == 0) {
     throw std::invalid_argument("FrameAssembler: zero monitors");
   }
@@ -22,32 +25,73 @@ AssembledFrame FrameAssembler::assemble(
     out.raw[m] = static_cast<float>(last_known_[m]);
   }
 
-  std::size_t expected = 0;
+  // One accepted packet per hub per tick; everything else is counted and
+  // substituted. The gauntlet ordering matters: cheap checks (sequence,
+  // layout) run before the CRC so a flood of stale or malformed packets
+  // cannot buy CPU time with checksummed garbage, and the duplicate check
+  // runs last so a corrupt copy of an already-accepted packet is attributed
+  // to its real cause (CRC) rather than masked as a duplicate.
+  std::vector<bool> accepted(params_.hubs, false);
   for (const auto& d : deliveries) {
-    ++expected;
-    if (d.packet.sequence != sequence) {
-      throw std::invalid_argument("FrameAssembler: stale packet sequence");
-    }
-    if (d.dropped || d.arrival_us > params_.deadline_us) {
-      ++out.packets_missing;
+    if (d.dropped) {
+      ++counters_.dropped_packets;
       ++lost_;
       continue;
     }
-    const std::size_t first = d.packet.first_monitor;
-    if (first + d.packet.readings.size() > params_.monitors) {
-      throw std::invalid_argument("FrameAssembler: packet beyond ring");
+    if (d.arrival_us > params_.deadline_us) {
+      ++counters_.late_packets;
+      ++lost_;
+      continue;
     }
+    if (d.packet.sequence != sequence) {
+      ++counters_.sequence_rejects;
+      ++out.packets_rejected;
+      continue;
+    }
+    const std::size_t hub = d.packet.hub_id;
+    if (hub >= params_.hubs || d.packet.first_monitor != layout_[hub].first ||
+        d.packet.readings.size() != layout_[hub].second) {
+      ++counters_.malformed_rejects;
+      ++out.packets_rejected;
+      continue;
+    }
+    if (!packet_crc_ok(d.packet)) {
+      ++counters_.crc_rejects;
+      ++out.packets_rejected;
+      continue;
+    }
+    if (accepted[hub]) {
+      ++counters_.duplicate_rejects;
+      ++out.packets_rejected;
+      continue;
+    }
+    accepted[hub] = true;
+    const std::size_t first = d.packet.first_monitor;
     for (std::size_t i = 0; i < d.packet.readings.size(); ++i) {
       const double v = decode_reading(d.packet.readings[i]);
+      if (v < params_.plausible_min || v > params_.plausible_max) {
+        // Keep the monitor's last-known value (already in out.raw).
+        ++counters_.implausible_readings;
+        continue;
+      }
       out.raw[first + i] = static_cast<float>(v);
       last_known_[first + i] = v;
     }
     ++out.packets_used;
     out.assembly_us = std::max(out.assembly_us, d.arrival_us);
   }
-  if (expected != params_.hubs) {
-    throw std::invalid_argument("FrameAssembler: wrong delivery count");
+
+  for (std::size_t h = 0; h < params_.hubs; ++h) {
+    if (accepted[h]) {
+      hub_age_[h] = 0;
+    } else {
+      ++out.packets_missing;
+      ++hub_age_[h];
+    }
+    out.max_staleness_ticks = std::max(out.max_staleness_ticks, hub_age_[h]);
+    if (hub_age_[h] > params_.max_stale_ticks) ++out.stale_hubs;
   }
+  out.degraded = out.stale_hubs > 0;
   if (out.packets_missing > 0) {
     // We waited until the deadline before giving up on stragglers.
     out.assembly_us = params_.deadline_us;

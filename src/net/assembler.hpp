@@ -2,9 +2,20 @@
 // of a tick into one 260-value frame, with a hold-off deadline for stragglers
 // and per-monitor last-known-value substitution for lost packets (a trip
 // decision must go out every 3 ms regardless).
+//
+// The assembler is the pipeline's trust boundary: packets arrive off a real
+// network from crates in a radiation environment, so nothing in them may be
+// believed until validated. Every delivery runs a fixed gauntlet — drop,
+// deadline, sequence, layout, CRC, duplicate — and failures are *counted*,
+// never thrown: an exception here would skip a tick, which is the one thing
+// the controller must never do. Monitors whose hub fails the gauntlet fall
+// back to their last-known values, and a per-hub staleness age bounds how
+// long that substitution stays trustworthy before the frame is flagged
+// degraded.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -18,6 +29,34 @@ struct AssemblerParams {
   std::size_t hubs = 7;
   /// Packets arriving later than this after the tick count as lost.
   double deadline_us = 400.0;
+  /// A hub may be substituted from last-known values for at most this many
+  /// consecutive ticks before its monitors count as stale and the frame is
+  /// flagged degraded.
+  std::size_t max_stale_ticks = 3;
+  /// Per-reading plausibility window (decoded units). Readings outside it are
+  /// replaced by the monitor's last-known value and counted. The defaults
+  /// disable the gate so the fault-free path is untouched; chaos configs
+  /// tighten it to catch saturated/zeroed digitizers that pass the CRC.
+  double plausible_min = -std::numeric_limits<double>::infinity();
+  double plausible_max = std::numeric_limits<double>::infinity();
+};
+
+/// Why packets were refused, cumulatively since construction. All rejected
+/// packets also leave their hub missing for the tick (last-known fill), so
+/// these counters explain `packets_missing` rather than add to it.
+struct AssemblerCounters {
+  std::uint64_t crc_rejects = 0;        ///< failed integrity check
+  std::uint64_t malformed_rejects = 0;  ///< hub_id/span disagree with layout
+  std::uint64_t duplicate_rejects = 0;  ///< second delivery from a hub, one tick
+  std::uint64_t sequence_rejects = 0;   ///< stale or future sequence number
+  std::uint64_t late_packets = 0;       ///< arrived after the hold-off deadline
+  std::uint64_t dropped_packets = 0;    ///< never arrived (link drop / outage)
+  std::uint64_t implausible_readings = 0;  ///< individual readings substituted
+
+  std::uint64_t total_rejects() const noexcept {
+    return crc_rejects + malformed_rejects + duplicate_rejects +
+           sequence_rejects + late_packets + dropped_packets;
+  }
 };
 
 struct AssembledFrame {
@@ -26,6 +65,10 @@ struct AssembledFrame {
   double assembly_us = 0.0;      ///< last accepted packet arrival (or deadline)
   std::size_t packets_used = 0;
   std::size_t packets_missing = 0;
+  std::size_t packets_rejected = 0;  ///< this tick's refusals (subset of missing causes)
+  std::size_t stale_hubs = 0;        ///< hubs older than max_stale_ticks
+  std::size_t max_staleness_ticks = 0;  ///< worst hub age this tick
+  bool degraded = false;             ///< any hub beyond the staleness bound
   bool complete() const noexcept { return packets_missing == 0; }
 };
 
@@ -36,19 +79,29 @@ class FrameAssembler {
   const AssemblerParams& params() const noexcept { return params_; }
 
   /// Assemble one tick from the hub deliveries. Deliveries whose arrival is
-  /// beyond the deadline, or that were dropped, fall back to the previous
-  /// frame's values for their monitors (zero on the very first frame).
+  /// beyond the deadline, that were dropped, or that fail validation fall
+  /// back to the previous frame's values for their monitors (zero on the
+  /// very first frame). Never throws on packet content — malformed input is
+  /// counted and substituted, because a decision must go out regardless.
   AssembledFrame assemble(std::uint32_t sequence,
                           const std::vector<Delivery>& deliveries);
 
   std::uint64_t frames_assembled() const noexcept { return frames_; }
   std::uint64_t packets_lost() const noexcept { return lost_; }
+  const AssemblerCounters& counters() const noexcept { return counters_; }
+
+  /// Ticks since hub `h` last delivered a valid packet (0 = delivered this
+  /// tick; first-ever tick counts from construction).
+  std::size_t hub_age(std::size_t h) const { return hub_age_.at(h); }
 
  private:
   AssemblerParams params_;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> layout_;
   std::vector<double> last_known_;
+  std::vector<std::size_t> hub_age_;
   std::uint64_t frames_ = 0;
   std::uint64_t lost_ = 0;
+  AssemblerCounters counters_;
 };
 
 }  // namespace reads::net

@@ -27,6 +27,7 @@ AssembledFrame FacilityLink::tick() {
   for (auto& hub : hubs_) {
     deliveries.push_back(hub.transmit(sequence_, readings));
   }
+  if (tap_) tap_(sequence_, deliveries);
   auto frame = assembler_.assemble(sequence_, deliveries);
   ++sequence_;
   return frame;

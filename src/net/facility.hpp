@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "blm/machine.hpp"
@@ -21,7 +22,17 @@ struct FacilityParams {
 
 class FacilityLink {
  public:
+  /// Hook between hub transmission and frame assembly: sees (and may mutate)
+  /// this tick's deliveries. This is where the fault harness corrupts,
+  /// duplicates, reorders, or blacks out packets — the link model itself
+  /// stays fault-agnostic, and with no tap installed the tick path is
+  /// byte-identical to before.
+  using DeliveryTap =
+      std::function<void(std::uint32_t sequence, std::vector<Delivery>&)>;
+
   FacilityLink(FacilityParams params, std::uint64_t seed);
+
+  void set_delivery_tap(DeliveryTap tap) { tap_ = std::move(tap); }
 
   /// One 3 ms tick: sample the machine, transmit all hubs, assemble.
   AssembledFrame tick();
@@ -38,6 +49,7 @@ class FacilityLink {
   std::vector<BlmHub> hubs_;
   FrameAssembler assembler_;
   std::uint32_t sequence_ = 0;
+  DeliveryTap tap_;
 };
 
 }  // namespace reads::net

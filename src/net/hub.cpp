@@ -29,6 +29,7 @@ Delivery BlmHub::transmit(std::uint32_t sequence,
     d.packet.readings.push_back(
         encode_reading(frame_readings[static_cast<std::size_t>(first_) + m]));
   }
+  seal_packet(d.packet);
   ++sent_;
   if (rng_.bernoulli(link_.drop_probability)) {
     d.dropped = true;

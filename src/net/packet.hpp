@@ -5,9 +5,13 @@
 // datagram to the central node (paper §III-A: "It receives inputs from
 // seven BLM hubs distributed around the accelerator complex"). Readings
 // travel as raw 32-bit fixed-point counts exactly as the digitizers emit
-// them.
+// them, protected by a CRC-32 over the header and payload — in a radiation
+// environment bit flips on the wire (or in hub SRAM) are an expected fault,
+// not an anomaly, and the assembler must be able to reject a damaged packet
+// instead of feeding garbage readings to the trip logic.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -17,20 +21,72 @@ struct BlmPacket {
   std::uint8_t hub_id = 0;        ///< 0..6
   std::uint32_t sequence = 0;     ///< frame tick this packet belongs to
   std::uint16_t first_monitor = 0;  ///< ring index of the first reading
+  std::uint32_t crc = 0;          ///< CRC-32 over header fields + readings
   std::vector<std::uint32_t> readings;  ///< raw digitizer counts
 
   std::size_t wire_bytes() const noexcept {
-    // 8-byte header + 4 bytes per reading (+ UDP/IP/Ethernet framing).
-    return 8 + readings.size() * 4 + 42;
+    // 12-byte header (incl. CRC) + 4 bytes per reading (+ UDP/IP/Ethernet
+    // framing).
+    return 12 + readings.size() * 4 + 42;
   }
 };
+
+/// Incremental CRC-32 (reflected, polynomial 0xEDB88320 — the Ethernet /
+/// zlib polynomial). Bitwise, table-free: packets are a few hundred bytes
+/// every 3 ms, so the cost is noise next to the NN inference.
+class Crc32 {
+ public:
+  constexpr void add_byte(std::uint8_t b) noexcept {
+    state_ ^= b;
+    for (int k = 0; k < 8; ++k) {
+      state_ = (state_ >> 1) ^ (0xEDB88320u & (0u - (state_ & 1u)));
+    }
+  }
+  constexpr void add_u16(std::uint16_t v) noexcept {
+    add_byte(static_cast<std::uint8_t>(v & 0xFFu));
+    add_byte(static_cast<std::uint8_t>(v >> 8));
+  }
+  constexpr void add_u32(std::uint32_t v) noexcept {
+    add_byte(static_cast<std::uint8_t>(v & 0xFFu));
+    add_byte(static_cast<std::uint8_t>((v >> 8) & 0xFFu));
+    add_byte(static_cast<std::uint8_t>((v >> 16) & 0xFFu));
+    add_byte(static_cast<std::uint8_t>(v >> 24));
+  }
+  constexpr std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// CRC over everything the packet carries except the CRC field itself.
+inline std::uint32_t packet_crc(const BlmPacket& p) noexcept {
+  Crc32 crc;
+  crc.add_byte(p.hub_id);
+  crc.add_u32(p.sequence);
+  crc.add_u16(p.first_monitor);
+  crc.add_u32(static_cast<std::uint32_t>(p.readings.size()));
+  for (std::uint32_t r : p.readings) crc.add_u32(r);
+  return crc.value();
+}
+
+/// Stamp the packet's CRC (hubs call this last, after filling readings).
+inline void seal_packet(BlmPacket& p) noexcept { p.crc = packet_crc(p); }
+
+/// True when the packet survived the wire intact.
+inline bool packet_crc_ok(const BlmPacket& p) noexcept {
+  return p.crc == packet_crc(p);
+}
 
 /// Digitizer counts are unsigned fixed-point with 4 fraction bits; the
 /// 105k-120k readings fit comfortably in 32 bits.
 constexpr double kCountScale = 16.0;
 
 inline std::uint32_t encode_reading(double value) noexcept {
-  if (value < 0.0) return 0;
+  // NaN (a glitched digitizer front-end) must not reach the integer cast:
+  // converting NaN to an unsigned is undefined behavior. Encode it — and any
+  // negative value — as zero counts; the assembler's plausibility gate then
+  // treats the dead reading like any other implausible sample.
+  if (std::isnan(value) || value < 0.0) return 0;
   const double scaled = value * kCountScale;
   if (scaled >= 4294967295.0) return 4294967295u;
   return static_cast<std::uint32_t>(scaled);

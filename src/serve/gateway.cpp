@@ -1,8 +1,10 @@
 #include "serve/gateway.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace reads::serve {
 
@@ -34,10 +36,15 @@ Gateway::Gateway(std::vector<std::unique_ptr<Backend>> backends,
     opts.id = i;
     opts.max_batch = cfg_.max_batch;
     opts.initial_service_est_ms = cfg_.initial_service_est_ms;
+    opts.quarantine_after = cfg_.quarantine_after;
+    opts.backoff_initial_ms = cfg_.backoff_initial_ms;
+    opts.backoff_max_ms = cfg_.backoff_max_ms;
     replicas_.push_back(std::make_unique<Replica>(
         opts, std::move(backends[i]), metrics_));
   }
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    replicas_[i]->set_redispatch(
+        [this, i](Request& req) { return redispatch(i, req); });
     replicas_[i]->start(*shards_[i]);
   }
 }
@@ -64,19 +71,50 @@ double Gateway::predicted_completion_ms(std::size_t shard) const {
 }
 
 std::size_t Gateway::pick_shard(std::uint64_t stream) const {
+  // A quarantined replica is in restart backoff: frames routed to it would
+  // sit until it wakes, so healthy shards win even under kByStream (stream
+  // pinning is a latency optimization, not a correctness property — the
+  // pinned shard resumes on recovery). With every replica quarantined the
+  // normal policy applies; queues still drain after restart.
+  const auto healthy = [&](std::size_t i) {
+    return replicas_[i]->health() == ReplicaHealth::kHealthy;
+  };
   if (cfg_.sharding == ShardPolicy::kByStream || shards_.size() == 1) {
-    return static_cast<std::size_t>(stream % shards_.size());
+    const auto pinned = static_cast<std::size_t>(stream % shards_.size());
+    if (healthy(pinned) || shards_.size() == 1) return pinned;
   }
   std::size_t best = 0;
   double best_ms = std::numeric_limits<double>::infinity();
+  bool best_healthy = false;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const double ms = predicted_completion_ms(i);
-    if (ms < best_ms) {
+    const bool h = healthy(i);
+    // Any healthy shard beats any quarantined one; ties break on backlog.
+    if ((h && !best_healthy) || (h == best_healthy && ms < best_ms)) {
       best_ms = ms;
       best = i;
+      best_healthy = h;
     }
   }
   return best;
+}
+
+bool Gateway::redispatch(std::size_t from, Request& req) {
+  if (req.redispatches > cfg_.max_redispatch) return false;
+  // Cheapest healthy peer first; try_push only moves the request out on
+  // success, so walking the candidates cannot lose it.
+  std::vector<std::pair<double, std::size_t>> order;
+  order.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i == from) continue;
+    if (replicas_[i]->health() != ReplicaHealth::kHealthy) continue;
+    order.emplace_back(predicted_completion_ms(i), i);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [ms, shard] : order) {
+    if (shards_[shard]->try_push(req)) return true;
+  }
+  return false;
 }
 
 Ticket Gateway::submit(Tensor frame, std::uint64_t stream) {

@@ -51,6 +51,14 @@ struct GatewayConfig {
   /// EWMA seed until each replica has observed real service times.
   double initial_service_est_ms = 2.0;
   ShardPolicy sharding = ShardPolicy::kLeastLoaded;
+  /// Self-healing knobs, forwarded to each replica (see Replica::Options).
+  std::size_t quarantine_after = 3;
+  double backoff_initial_ms = 1.0;
+  double backoff_max_ms = 64.0;
+  /// A faulted frame is offered to peers at most this many times before the
+  /// faulting replica must retry it locally (bounds redispatch ping-pong
+  /// when every backend is unhealthy at once).
+  std::size_t max_redispatch = 8;
 };
 
 class Gateway {
@@ -83,6 +91,9 @@ class Gateway {
 
  private:
   std::size_t pick_shard(std::uint64_t stream) const;
+  /// Replica fault hook: place `req` on a healthy shard other than `from`.
+  /// Never blocks; false leaves the request with the caller.
+  bool redispatch(std::size_t from, Request& req);
 
   GatewayConfig cfg_;
   Metrics metrics_;

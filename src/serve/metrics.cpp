@@ -50,6 +50,10 @@ MetricsSnapshot Metrics::snapshot() const {
   s.shed_shutdown = shed_shutdown_.load(kRelaxed);
   s.completed = completed_.load(kRelaxed);
   s.deadline_misses = deadline_misses_.load(kRelaxed);
+  s.backend_faults = backend_faults_.load(kRelaxed);
+  s.quarantines = quarantines_.load(kRelaxed);
+  s.restarts = restarts_.load(kRelaxed);
+  s.redispatched = redispatched_.load(kRelaxed);
   s.replicas.reserve(replicas_.size());
   for (const auto& r : replicas_) {
     ReplicaSnapshot rs;
@@ -57,6 +61,7 @@ MetricsSnapshot Metrics::snapshot() const {
     rs.batches = r.batches.load(kRelaxed);
     rs.busy_ms = static_cast<double>(r.busy_ns.load(kRelaxed)) / 1e6;
     rs.max_batch = r.max_batch.load(kRelaxed);
+    rs.faults = r.faults.load(kRelaxed);
     s.replicas.push_back(rs);
   }
   std::lock_guard lock(dist_mutex_);
@@ -75,7 +80,11 @@ std::string MetricsSnapshot::to_json(double wall_s) {
       << ", \"queue_full\": " << shed_queue_full
       << ", \"shutdown\": " << shed_shutdown
       << ", \"rate\": " << shed_rate() << "}"
-      << ", \"goodput_fps\": " << goodput_fps(wall_s)
+      << ", \"goodput_fps\": " << goodput_fps(wall_s) << ", \"faults\": {"
+      << "\"backend_faults\": " << backend_faults
+      << ", \"quarantines\": " << quarantines
+      << ", \"restarts\": " << restarts
+      << ", \"redispatched\": " << redispatched << "}"
       << ", \"e2e_ms\": " << e2e_samples.summary_json()
       << ", \"queue_hist\": " << queue_ms.to_json()
       << ", \"e2e_hist\": " << e2e_ms.to_json() << ", \"replicas\": [";
@@ -85,7 +94,8 @@ std::string MetricsSnapshot::to_json(double wall_s) {
     out << "{\"frames\": " << r.frames << ", \"batches\": " << r.batches
         << ", \"busy_ms\": " << r.busy_ms << ", \"utilization\": "
         << (wall_s > 0.0 ? r.busy_ms / (wall_s * 1e3) : 0.0)
-        << ", \"max_batch\": " << r.max_batch << "}";
+        << ", \"max_batch\": " << r.max_batch
+        << ", \"faults\": " << r.faults << "}";
   }
   out << "]}";
   return out.str();

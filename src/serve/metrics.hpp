@@ -25,6 +25,7 @@ struct ReplicaSnapshot {
   std::size_t batches = 0;
   double busy_ms = 0.0;
   std::size_t max_batch = 0;
+  std::size_t faults = 0;  ///< backend faults attributed to this replica
 };
 
 /// Consistent copy of all gateway metrics at one instant.
@@ -36,6 +37,12 @@ struct MetricsSnapshot {
   std::size_t shed_shutdown = 0;
   std::size_t completed = 0;
   std::size_t deadline_misses = 0;
+  /// Self-healing activity: backend faults seen, quarantine entries,
+  /// restarts after backoff, and frames re-homed to a peer mid-recovery.
+  std::size_t backend_faults = 0;
+  std::size_t quarantines = 0;
+  std::size_t restarts = 0;
+  std::size_t redispatched = 0;
   std::vector<ReplicaSnapshot> replicas;
   util::Histogram queue_ms{0.0, 1.0, 1};
   util::Histogram e2e_ms{0.0, 1.0, 1};
@@ -78,6 +85,21 @@ class Metrics {
     shed_shutdown_.fetch_add(1, kRelaxed);
   }
 
+  /// Self-healing events (replica worker threads).
+  void record_backend_fault(std::size_t replica) noexcept {
+    backend_faults_.fetch_add(1, kRelaxed);
+    replicas_[replica].faults.fetch_add(1, kRelaxed);
+  }
+  void record_quarantine(std::size_t replica) noexcept {
+    (void)replica;
+    quarantines_.fetch_add(1, kRelaxed);
+  }
+  void record_restart(std::size_t replica) noexcept {
+    (void)replica;
+    restarts_.fetch_add(1, kRelaxed);
+  }
+  void record_redispatched() noexcept { redispatched_.fetch_add(1, kRelaxed); }
+
   /// One completed micro-batch on `replica`: per-frame queue/e2e latencies
   /// plus the batch's busy time. Takes the distribution lock once.
   void record_batch(std::size_t replica, double busy_ms,
@@ -95,6 +117,7 @@ class Metrics {
     std::atomic<std::size_t> batches{0};
     std::atomic<std::uint64_t> busy_ns{0};
     std::atomic<std::size_t> max_batch{0};
+    std::atomic<std::size_t> faults{0};
   };
 
   std::atomic<std::size_t> arrived_{0};
@@ -104,6 +127,10 @@ class Metrics {
   std::atomic<std::size_t> shed_shutdown_{0};
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::size_t> deadline_misses_{0};
+  std::atomic<std::size_t> backend_faults_{0};
+  std::atomic<std::size_t> quarantines_{0};
+  std::atomic<std::size_t> restarts_{0};
+  std::atomic<std::size_t> redispatched_{0};
   std::vector<PerReplica> replicas_;
 
   mutable std::mutex dist_mutex_;

@@ -61,33 +61,99 @@ double Replica::busy_residual_ms() const noexcept {
 
 void Replica::run(BoundedQueue<Request>& shard) {
   std::vector<Request> batch;
-  while (auto first = shard.pop()) {
-    batch.clear();
-    batch.push_back(std::move(*first));
+  for (;;) {
+    if (!carry_.empty()) {
+      // Locally retried requests go first: they were admitted before
+      // anything still in the queue, and no peer would take them.
+      batch = std::move(carry_);
+      carry_.clear();
+    } else {
+      auto first = shard.pop();
+      if (!first) break;  // closed and drained, nothing carried
+      batch.clear();
+      batch.push_back(std::move(*first));
 
-    // Deadline-aware greedy drain: grow the batch only while the predicted
-    // completion (batch size x EWMA service) still meets every already-
-    // drained frame's deadline. The candidate itself can only gain: being
-    // served in this batch is never later than waiting behind it.
-    const double est = service_est_ms();
-    auto min_deadline = batch.front().deadline;
-    while (batch.size() < opts_.max_batch) {
-      const auto predicted_done =
-          Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                             std::chrono::duration<double, std::milli>(
-                                 est * static_cast<double>(batch.size() + 1)));
-      if (predicted_done > min_deadline) break;
-      auto next = shard.try_pop();
-      if (!next) break;
-      min_deadline = std::min(min_deadline, next->deadline);
-      batch.push_back(std::move(*next));
+      // Deadline-aware greedy drain: grow the batch only while the
+      // predicted completion (batch size x EWMA service) still meets every
+      // already-drained frame's deadline. The candidate itself can only
+      // gain: being served in this batch is never later than waiting
+      // behind it.
+      const double est = service_est_ms();
+      auto min_deadline = batch.front().deadline;
+      while (batch.size() < opts_.max_batch) {
+        const auto predicted_done =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    est * static_cast<double>(batch.size() + 1)));
+        if (predicted_done > min_deadline) break;
+        auto next = shard.try_pop();
+        if (!next) break;
+        min_deadline = std::min(min_deadline, next->deadline);
+        batch.push_back(std::move(*next));
+      }
     }
 
-    serve_batch(batch);
+    if (serve_batch(batch)) {
+      consecutive_faults_ = 0;
+    } else {
+      handle_fault(batch, shard);
+    }
   }
 }
 
-void Replica::serve_batch(std::vector<Request>& batch) {
+void Replica::handle_fault(std::vector<Request>& batch,
+                           BoundedQueue<Request>& shard) {
+  metrics_.record_backend_fault(opts_.id);
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  ++consecutive_faults_;
+
+  // Admitted frames are never lost: offer each to a healthy peer; whoever
+  // the gateway cannot place stays here for a local retry. The promise
+  // travels with the request, so exactly-once delivery is preserved no
+  // matter how many hops recovery takes.
+  for (auto& r : batch) {
+    ++r.redispatches;
+    if (redispatch_ && redispatch_(r)) {
+      metrics_.record_redispatched();
+    } else {
+      carry_.push_back(std::move(r));
+    }
+  }
+  batch.clear();
+
+  if (consecutive_faults_ < opts_.quarantine_after) return;
+
+  // Fault streak: quarantine. Routing already avoids us (health flips
+  // before the drain), the backlog goes to peers, and we sleep an
+  // exponentially backed-off restart delay. Anything nobody would take is
+  // retried here after the backoff — better late than lost.
+  health_.store(ReplicaHealth::kQuarantined, std::memory_order_relaxed);
+  metrics_.record_quarantine(opts_.id);
+  while (auto queued = shard.try_pop()) {
+    ++queued->redispatches;
+    if (redispatch_ && redispatch_(*queued)) {
+      metrics_.record_redispatched();
+    } else {
+      carry_.push_back(std::move(*queued));
+    }
+  }
+
+  const auto restarts = restarts_.load(std::memory_order_relaxed);
+  const double factor =
+      static_cast<double>(1ull << std::min<std::uint64_t>(restarts, 20));
+  const double backoff_ms =
+      std::min(opts_.backoff_max_ms, opts_.backoff_initial_ms * factor);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(backoff_ms));
+
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.record_restart(opts_.id);
+  consecutive_faults_ = 0;
+  health_.store(ReplicaHealth::kHealthy, std::memory_order_relaxed);
+}
+
+bool Replica::serve_batch(std::vector<Request>& batch) {
   const std::size_t n = batch.size();
   const auto start = Clock::now();
   const double est = service_est_ms();
@@ -98,13 +164,27 @@ void Replica::serve_batch(std::vector<Request>& batch) {
       std::memory_order_relaxed);
 
   std::vector<Tensor> outputs;
-  if (n == 1) {
-    outputs.push_back(backend_->infer(batch.front().frame));
-  } else {
-    std::vector<Tensor> frames;
-    frames.reserve(n);
-    for (auto& r : batch) frames.push_back(std::move(r.frame));
-    outputs = backend_->infer_batch(frames);
+  std::vector<Tensor> frames;
+  try {
+    if (n == 1) {
+      outputs.push_back(backend_->infer(batch.front().frame));
+    } else {
+      frames.reserve(n);
+      for (auto& r : batch) frames.push_back(std::move(r.frame));
+      outputs = backend_->infer_batch(frames);
+    }
+  } catch (...) {
+    // Backend fault (worker crash). Put the frames back where they came
+    // from — the requests must survive intact for redispatch — and report
+    // the batch unserved. The what() is deliberately not propagated: the
+    // caller's recovery does not branch on it, and an admitted frame's
+    // promise must never carry an exception.
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      batch[i].frame = std::move(frames[i]);
+    }
+    busy_until_ns_.store(0, std::memory_order_relaxed);
+    busy_.store(false, std::memory_order_relaxed);
+    return false;
   }
   const auto done = Clock::now();
   busy_until_ns_.store(0, std::memory_order_relaxed);
@@ -126,6 +206,7 @@ void Replica::serve_batch(std::vector<Request>& batch) {
     resp.service_ms = service_ms;
     resp.e2e_ms = ms_between(r.arrival, done);
     resp.deadline_met = done <= r.deadline;
+    resp.redispatches = r.redispatches;
     queue_ms[i] = resp.queue_ms;
     e2e_ms[i] = resp.e2e_ms;
     if (!resp.deadline_met) ++misses;
@@ -141,6 +222,7 @@ void Replica::serve_batch(std::vector<Request>& batch) {
       (1.0 - kVarBeta) * var + kVarBeta * std::abs(per_frame - est),
       std::memory_order_relaxed);
   metrics_.record_batch(opts_.id, service_ms, queue_ms, e2e_ms, misses);
+  return true;
 }
 
 }  // namespace reads::serve

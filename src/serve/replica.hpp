@@ -12,10 +12,21 @@
 // The replica publishes two values the gateway's admission control reads
 // lock-free: an EWMA per-frame service-time estimate and the predicted
 // completion time of the in-flight batch (busy_residual_ms).
+//
+// Self-healing: a backend fault (an exception from infer/infer_batch — in a
+// real deployment a crashed worker process) never loses an admitted frame
+// and never kills the worker thread. Faulted requests are redispatched to
+// healthy peers through the gateway's hook, or retried locally when no peer
+// will take them. After `quarantine_after` consecutive faults the replica
+// quarantines itself: it stops accepting work (the gateway routes around
+// it), hands its backlog to peers, sleeps an exponentially backed-off
+// restart delay, and returns to service with a clean fault streak.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -27,6 +38,11 @@
 
 namespace reads::serve {
 
+enum class ReplicaHealth : std::uint8_t {
+  kHealthy,
+  kQuarantined,  ///< in backoff after a fault streak; routed around
+};
+
 class Replica {
  public:
   struct Options {
@@ -34,7 +50,19 @@ class Replica {
     std::size_t max_batch = 1;
     /// Seed for the EWMA until real service times are observed.
     double initial_service_est_ms = 2.0;
+    /// Consecutive backend faults before the replica quarantines itself.
+    std::size_t quarantine_after = 3;
+    /// Restart backoff: initial delay, doubling per restart up to the cap.
+    /// The cap also bounds how long stop() can wait on a quarantined
+    /// replica, so keep it well under a second.
+    double backoff_initial_ms = 1.0;
+    double backoff_max_ms = 64.0;
   };
+
+  /// Gateway hook: offer a faulted request to another replica. Returns true
+  /// if the request was re-enqueued elsewhere (it is moved-from); on false
+  /// the request is untouched and stays with the caller for a local retry.
+  using Redispatch = std::function<bool(Request&)>;
 
   Replica(Options options, std::unique_ptr<Backend> backend, Metrics& metrics);
   ~Replica();
@@ -47,8 +75,24 @@ class Replica {
   /// Wait for the worker to drain its (closed) shard and exit.
   void join();
 
+  /// Install the gateway's peer-redispatch hook. Must be called before
+  /// start(); the worker thread reads it without synchronization.
+  void set_redispatch(Redispatch redispatch) {
+    redispatch_ = std::move(redispatch);
+  }
+
   std::size_t id() const noexcept { return opts_.id; }
   Backend& backend() noexcept { return *backend_; }
+
+  ReplicaHealth health() const noexcept {
+    return health_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t backend_faults() const noexcept {
+    return faults_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t restarts() const noexcept {
+    return restarts_.load(std::memory_order_relaxed);
+  }
 
   /// EWMA per-frame service time (ms), updated after every batch.
   double service_est_ms() const noexcept {
@@ -73,11 +117,17 @@ class Replica {
 
  private:
   void run(BoundedQueue<Request>& shard);
-  void serve_batch(std::vector<Request>& batch);
+  /// Serve one batch; false when the backend faulted (batch is intact —
+  /// frames restored — and no promise was touched).
+  bool serve_batch(std::vector<Request>& batch);
+  /// Fault recovery: redispatch the batch to peers (refusals go to carry_),
+  /// and quarantine + backoff + restart once the streak is long enough.
+  void handle_fault(std::vector<Request>& batch, BoundedQueue<Request>& shard);
 
   Options opts_;
   std::unique_ptr<Backend> backend_;
   Metrics& metrics_;
+  Redispatch redispatch_;
   std::thread thread_;
   std::atomic<double> service_est_ms_;
   std::atomic<double> service_var_ms_;
@@ -85,6 +135,14 @@ class Replica {
   /// steady_clock nanoseconds when the current batch should complete;
   /// 0 = idle.
   std::atomic<std::int64_t> busy_until_ns_{0};
+  std::atomic<ReplicaHealth> health_{ReplicaHealth::kHealthy};
+  std::atomic<std::uint64_t> faults_{0};
+  std::atomic<std::uint64_t> restarts_{0};
+  /// Worker-thread private: current fault streak and requests awaiting a
+  /// local retry because no peer would take them. Served before any new
+  /// work, so an admitted frame can never be stranded behind the queue.
+  std::size_t consecutive_faults_ = 0;
+  std::vector<Request> carry_;
 };
 
 }  // namespace reads::serve

@@ -25,6 +25,9 @@ struct Response {
   double service_ms = 0.0;      ///< batch start -> batch done (whole batch)
   double e2e_ms = 0.0;          ///< arrival -> response ready
   bool deadline_met = true;
+  /// Times the frame was handed to another replica after a backend fault
+  /// before being served (0 on the clean path).
+  std::size_t redispatches = 0;
 };
 
 /// Why a frame was refused at admission. Both are *early* sheds: the client
@@ -46,6 +49,8 @@ struct Request {
   Clock::time_point arrival{};
   Clock::time_point deadline{Clock::time_point::max()};
   std::promise<Response> promise;
+  /// Fault-recovery hops so far; bounds redispatch ping-pong.
+  std::size_t redispatches = 0;
 };
 
 /// Result of Gateway::submit. When not admitted, `response` is invalid and

@@ -33,6 +33,11 @@ class ControlIp {
   /// Signal from the NN IP that it finished writing the output buffer.
   void ip_done();
 
+  /// Watchdog reset: return the FSM to idle regardless of state. Pending
+  /// done pulses from before the reset are the NN IP's problem (its epoch
+  /// guard drops them), so no spurious ip_done can follow.
+  void reset() noexcept { state_ = State::kIdle; }
+
   State state() const noexcept { return state_; }
   std::uint64_t runs() const noexcept { return runs_; }
 

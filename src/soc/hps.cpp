@@ -23,13 +23,14 @@ SimTime OsJitterModel::sample() {
 
 Hps::Hps(EventSim& sim, OnChipRam& input, OnChipRam& output,
          ControlIp& control, BridgeParams bridge, OsParams os,
-         std::uint64_t seed)
+         std::uint64_t seed, WatchdogParams watchdog)
     : sim_(sim),
       input_(input),
       output_(output),
       control_(control),
       bridge_(bridge),
       os_(os),
+      watchdog_(watchdog),
       jitter_(os, seed) {}
 
 void Hps::process_frame(
@@ -89,6 +90,15 @@ void Hps::poll_status() {
   counters_.bridge_reads += 1;
   const bool done = (control_.read_reg(ControlIp::kStatus) & 0x2u) != 0;
   if (!done) {
+    // Watchdog give-up: if the IP has been silent past the timeout, stop
+    // polling so the event loop can drain and the caller's recovery runs.
+    // Without this bound a wedged IP would spin the poll loop forever —
+    // the simulation's equivalent of a hung CPU.
+    if (watchdog_.timeout_us > 0.0 &&
+        static_cast<double>(sim_.now() - ip_start_) / 1e3 >=
+            watchdog_.timeout_us) {
+      return;
+    }
     schedule_poll();
     return;
   }
@@ -97,6 +107,14 @@ void Hps::poll_status() {
   timing_.ip_us = static_cast<double>(sim_.now() - ip_start_) / 1e3;
   timing_.irq_os_us = bridge_.read_ns / 1e3;
   begin_readback();
+}
+
+void Hps::abort_frame() noexcept {
+  busy_ = false;
+  pending_input_.clear();
+  pending_output_words_ = 0;
+  on_complete_ = nullptr;
+  timing_ = FrameTiming{};
 }
 
 void Hps::irq() {

@@ -56,7 +56,8 @@ struct FrameTiming {
 class Hps {
  public:
   Hps(EventSim& sim, OnChipRam& input, OnChipRam& output, ControlIp& control,
-      BridgeParams bridge, OsParams os, std::uint64_t seed);
+      BridgeParams bridge, OsParams os, std::uint64_t seed,
+      WatchdogParams watchdog = {});
 
   /// Launch the steps 1..8 sequence for one frame of input words (16-bit
   /// raw fixed-point). `on_complete` fires when the outputs have landed
@@ -69,6 +70,12 @@ class Hps {
   /// IRQ line from the control IP.
   void irq();
 
+  /// Watchdog path: drop the in-flight frame without completing it. The
+  /// completion callback is discarded (the caller owns recovery), and the
+  /// HPS is immediately ready for the retry's process_frame.
+  void abort_frame() noexcept;
+
+  bool busy() const noexcept { return busy_; }
   const TransferCounters& counters() const noexcept { return counters_; }
 
  private:
@@ -82,6 +89,7 @@ class Hps {
   ControlIp& control_;
   BridgeParams bridge_;
   OsParams os_;
+  WatchdogParams watchdog_;
   OsJitterModel jitter_;
   TransferCounters counters_;
 

@@ -37,9 +37,24 @@ void NnIpCore::trigger() {
   if (busy_) throw std::logic_error("NnIpCore: trigger while busy");
   busy_ = true;
   ++runs_;
+  if (hang_hook_ && hang_hook_(runs_)) {
+    // Wedged: the FSM is stuck busy and the done pulse never comes. Only a
+    // watchdog reset gets the core back.
+    ++hangs_;
+    return;
+  }
   const auto duration = static_cast<SimTime>(std::llround(
       static_cast<double>(run_cycles_) * fpga_.cycle_ns()));
-  sim_.schedule_in(duration, [this] { finish(); });
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_in(duration, [this, epoch] {
+    if (epoch == epoch_) finish();
+  });
+}
+
+void NnIpCore::reset() noexcept {
+  ++epoch_;
+  ++resets_;
+  busy_ = false;
 }
 
 void NnIpCore::finish() {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "hls/latency.hpp"
 #include "hls/qmodel.hpp"
@@ -23,13 +24,27 @@ class NnIpCore {
            hls::LatencyModelParams latency_params = {},
            bool functional = true);
 
+  /// Fault hook: consulted on every trigger with the 1-based run index.
+  /// Returning true wedges this run — the IP goes busy and never pulses
+  /// done, exactly like a radiation-upset FSM. Used only by the fault
+  /// harness; absent, the trigger path is unchanged.
+  using HangHook = std::function<bool(std::uint64_t run)>;
+  void set_hang_hook(HangHook hook) { hang_hook_ = std::move(hook); }
+
   /// Start pulse from the control IP.
   void trigger();
+
+  /// Hardware reset from the HPS watchdog: drop any in-flight run (a
+  /// completion scheduled before the reset is disarmed by the epoch guard)
+  /// and return to idle, ready for a fresh trigger.
+  void reset() noexcept;
 
   /// Cycle budget of one run (read + compute + write), at the FPGA clock.
   std::size_t run_cycles() const noexcept { return run_cycles_; }
   const hls::LatencyReport& latency_report() const noexcept { return latency_; }
   std::uint64_t runs() const noexcept { return runs_; }
+  std::uint64_t hangs() const noexcept { return hangs_; }
+  std::uint64_t resets() const noexcept { return resets_; }
 
  private:
   void finish();
@@ -43,8 +58,12 @@ class NnIpCore {
   hls::LatencyReport latency_;
   std::size_t run_cycles_ = 0;
   std::uint64_t runs_ = 0;
+  std::uint64_t hangs_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t epoch_ = 0;  ///< bumped on reset; stale completions no-op
   bool busy_ = false;
   bool functional_ = true;
+  HangHook hang_hook_;
 };
 
 }  // namespace reads::soc

@@ -59,11 +59,30 @@ struct FpgaParams {
   std::size_t control_latency_cycles = 4;
 };
 
+/// Recovery policy for a wedged NN IP. An SEU or a clock-domain-crossing
+/// glitch can leave the accelerator busy forever; the HPS application arms a
+/// timer around every trigger and, on expiry, resets the IP and retries. If
+/// the retry also times out, the frame falls back to float inference on the
+/// ARM core so the 3 ms decision still goes out (degraded, and flagged so).
+struct WatchdogParams {
+  /// HPS-side timeout from frame start to completion (us). The default sits
+  /// well above the worst observed U-Net service time (~1.9 ms) but leaves
+  /// room inside the 3 ms budget for one reset + software fallback.
+  /// <= 0 disables the watchdog (a hang then throws, as before).
+  double timeout_us = 1500.0;
+  /// Reset-and-retry attempts after the first timeout before giving up on
+  /// the fabric for this frame.
+  std::size_t max_retries = 1;
+  /// Cost of an IP reset pulse + re-arm (us).
+  double reset_us = 25.0;
+};
+
 struct SocParams {
   BridgeParams bridge;
   DmaParams dma;
   OsParams os;
   FpgaParams fpga;
+  WatchdogParams watchdog;
   /// Hard real-time requirement: the BLM digitizer poll rate (ms).
   double deadline_ms = 3.0;
   /// When false, the NN IP skips the functional (bit-accurate) execution

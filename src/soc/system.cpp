@@ -16,7 +16,7 @@ ArriaSocSystem::ArriaSocSystem(const hls::QuantizedModel& model,
       ip_(sim_, model, input_ram_, output_ram_, control_, params.fpga,
           latency_params, params.functional_ip),
       hps_(sim_, input_ram_, output_ram_, control_, params.bridge, params.os,
-           seed) {
+           seed, params.watchdog) {
   control_.connect([this] { ip_.trigger(); }, [this] { hps_.irq(); });
 }
 
@@ -26,19 +26,59 @@ FrameResult ArriaSocSystem::process(const Tensor& frame) {
   words.reserve(raw.size());
   for (auto v : raw) words.push_back(static_cast<std::int16_t>(v));
 
+  // Watchdog protocol around the fabric: a hang is detected when the event
+  // queue drains with the completion callback never fired (in hardware, the
+  // HPS timer expiring). Each expiry costs the full timeout plus a reset
+  // pulse — the dominant terms on the real platform, where the write/trigger
+  // microseconds of the doomed attempt are noise — and is folded into ip_us
+  // so the per-frame breakdown identity (total == sum of phases) survives
+  // recovery.
+  const WatchdogParams& wd = params_.watchdog;
+  const bool wd_enabled = wd.timeout_us > 0.0;
+  const std::size_t attempts = 1 + (wd_enabled ? wd.max_retries : 0);
   FrameResult result;
-  bool done = false;
-  hps_.process_frame(std::move(words), model_.firmware().output_values,
-                     [&](std::vector<std::int16_t> out, FrameTiming timing) {
-                       std::vector<std::int64_t> out_raw(out.begin(), out.end());
-                       result.output = model_.dequantize_output(out_raw);
-                       result.timing = timing;
-                       done = true;
-                     });
-  sim_.run();
-  if (!done) throw std::logic_error("ArriaSocSystem: frame did not complete");
-  // A standalone frame has no queueing wait, so end-to-end latency is the
-  // service time; the deadline is always judged against latency_ms.
+  double penalty_us = 0.0;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    bool done = false;
+    hps_.process_frame(words, model_.firmware().output_values,
+                       [&](std::vector<std::int16_t> out, FrameTiming timing) {
+                         std::vector<std::int64_t> out_raw(out.begin(),
+                                                           out.end());
+                         result.output = model_.dequantize_output(out_raw);
+                         result.timing = timing;
+                         done = true;
+                       });
+    sim_.run();
+    if (done) {
+      result.timing.ip_us += penalty_us;
+      result.timing.total_ms += penalty_us / 1e3;
+      // A standalone frame has no queueing wait, so end-to-end latency is
+      // the service time; the deadline is always judged against latency_ms.
+      result.timing.queue_us = 0.0;
+      result.timing.latency_ms = result.timing.total_ms;
+      result.timing.deadline_met =
+          result.timing.latency_ms <= params_.deadline_ms;
+      return result;
+    }
+    if (!wd_enabled) {
+      throw std::logic_error("ArriaSocSystem: frame did not complete");
+    }
+    ++watchdog_timeouts_;
+    ++result.watchdog_timeouts;
+    penalty_us += wd.timeout_us + wd.reset_us;
+    hps_.abort_frame();
+    ip_.reset();
+    control_.reset();
+  }
+
+  // Every fabric attempt wedged. Hand the frame back for HPS-side fallback;
+  // the accumulated timeouts and resets are this frame's entire cost.
+  ++fallback_frames_;
+  result.ip_fallback = true;
+  result.output = Tensor{};
+  result.timing = FrameTiming{};
+  result.timing.ip_us = penalty_us;
+  result.timing.total_ms = penalty_us / 1e3;
   result.timing.queue_us = 0.0;
   result.timing.latency_ms = result.timing.total_ms;
   result.timing.deadline_met = result.timing.latency_ms <= params_.deadline_ms;

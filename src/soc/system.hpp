@@ -25,6 +25,15 @@ using tensor::Tensor;
 struct FrameResult {
   Tensor output;       ///< dequantized (monitors, 2) probabilities
   FrameTiming timing;
+  /// Watchdog expiries while serving this frame (0 on the clean path; a
+  /// successful reset-and-retry still reports its timeouts here, with the
+  /// recovery time folded into timing).
+  std::size_t watchdog_timeouts = 0;
+  /// True when every fabric attempt wedged and no IP output exists for this
+  /// frame (`output` is empty). The caller must compute the frame on the
+  /// HPS instead — the system cannot, because float fallback lives a layer
+  /// up where the float model is held.
+  bool ip_fallback = false;
 };
 
 struct StreamReport {
@@ -61,6 +70,15 @@ class ArriaSocSystem {
   /// measured from arrival to output-in-SDRAM.
   StreamReport run_stream(std::span<const Tensor> frames, double fps);
 
+  /// Install a fault hook on the NN IP (see NnIpCore::HangHook).
+  void set_ip_hang_hook(NnIpCore::HangHook hook) {
+    ip_.set_hang_hook(std::move(hook));
+  }
+
+  std::uint64_t watchdog_timeouts() const noexcept { return watchdog_timeouts_; }
+  std::uint64_t ip_resets() const noexcept { return ip_.resets(); }
+  std::uint64_t fallback_frames() const noexcept { return fallback_frames_; }
+
   const SocParams& params() const noexcept { return params_; }
   const NnIpCore& ip() const noexcept { return ip_; }
   const ControlIp& control() const noexcept { return control_; }
@@ -79,6 +97,8 @@ class ArriaSocSystem {
   ControlIp control_;
   NnIpCore ip_;
   Hps hps_;
+  std::uint64_t watchdog_timeouts_ = 0;
+  std::uint64_t fallback_frames_ = 0;
 };
 
 /// Transfer-interface ablation (Table I discussion): time to move a frame's

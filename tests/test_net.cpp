@@ -3,6 +3,9 @@
 // the facility link end to end.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "net/acnet.hpp"
 #include "net/assembler.hpp"
 #include "net/facility.hpp"
@@ -25,10 +28,32 @@ TEST(Packet, CodecClampsNegativeAndHuge) {
   EXPECT_EQ(net::encode_reading(1e12), 4294967295u);
 }
 
-TEST(Packet, WireBytesIncludeFraming) {
+TEST(Packet, CodecEncodesNanAsZeroCounts) {
+  // A glitched digitizer front-end can emit NaN; the cast to unsigned would
+  // be UB without the guard.
+  EXPECT_EQ(net::encode_reading(std::numeric_limits<double>::quiet_NaN()), 0u);
+}
+
+TEST(Packet, WireBytesIncludeFramingAndCrc) {
   net::BlmPacket p;
   p.readings.resize(37);
-  EXPECT_EQ(p.wire_bytes(), 8u + 37u * 4u + 42u);
+  EXPECT_EQ(p.wire_bytes(), 12u + 37u * 4u + 42u);
+}
+
+TEST(Packet, CrcDetectsCorruption) {
+  net::BlmPacket p;
+  p.hub_id = 3;
+  p.sequence = 41;
+  p.first_monitor = 100;
+  p.readings = {1u, 2u, 3u};
+  net::seal_packet(p);
+  EXPECT_TRUE(net::packet_crc_ok(p));
+  p.readings[1] ^= 0x00010000u;  // single flipped bit in flight
+  EXPECT_FALSE(net::packet_crc_ok(p));
+  p.readings[1] ^= 0x00010000u;
+  EXPECT_TRUE(net::packet_crc_ok(p));
+  p.sequence ^= 1u;  // header corruption is caught too
+  EXPECT_FALSE(net::packet_crc_ok(p));
 }
 
 TEST(HubLayout, CoversRingExactlyOnce) {
@@ -104,6 +129,7 @@ std::vector<net::Delivery> make_deliveries(std::uint32_t seq,
     for (std::uint16_t i = 0; i < layout[h].second; ++i) {
       d.packet.readings.push_back(net::encode_reading(value));
     }
+    net::seal_packet(d.packet);
     d.arrival_us = 20.0 + static_cast<double>(h);
     ds.push_back(std::move(d));
   }
@@ -143,10 +169,125 @@ TEST(FrameAssembler, StragglerBeyondDeadlineCountsAsLost) {
   EXPECT_EQ(asm_.packets_lost(), 1u);
 }
 
-TEST(FrameAssembler, RejectsStaleSequence) {
+TEST(FrameAssembler, RejectsStaleSequenceWithoutSkippingTheTick) {
+  // A stale (or replayed) packet must not crash the tick — it is counted,
+  // its hub falls back to last-known values, and the frame still goes out.
   net::FrameAssembler asm_({.monitors = 14, .hubs = 7, .deadline_us = 100.0});
   auto ds = make_deliveries(3, 14, 7, 2.0);
-  EXPECT_THROW(asm_.assemble(4, ds), std::invalid_argument);
+  const auto frame = asm_.assemble(4, ds);
+  EXPECT_EQ(frame.packets_used, 0u);
+  EXPECT_EQ(frame.packets_missing, 7u);
+  EXPECT_EQ(frame.packets_rejected, 7u);
+  EXPECT_EQ(asm_.counters().sequence_rejects, 7u);
+}
+
+TEST(FrameAssembler, RejectsCorruptPacket) {
+  net::FrameAssembler asm_({.monitors = 14, .hubs = 7, .deadline_us = 100.0});
+  auto ds = make_deliveries(0, 14, 7, 2.0);
+  ds[3].packet.readings[0] ^= 0x40u;  // bit flip on the wire; CRC now stale
+  const auto frame = asm_.assemble(0, ds);
+  EXPECT_EQ(frame.packets_used, 6u);
+  EXPECT_EQ(frame.packets_missing, 1u);
+  EXPECT_EQ(asm_.counters().crc_rejects, 1u);
+}
+
+TEST(FrameAssembler, RejectsDuplicateHubDelivery) {
+  // A duplicated datagram must not double-count packets_used or overwrite
+  // the span twice.
+  net::FrameAssembler asm_({.monitors = 14, .hubs = 7, .deadline_us = 100.0});
+  auto ds = make_deliveries(0, 14, 7, 2.0);
+  ds.push_back(ds[4]);  // exact duplicate of hub 4
+  const auto frame = asm_.assemble(0, ds);
+  EXPECT_TRUE(frame.complete());
+  EXPECT_EQ(frame.packets_used, 7u);
+  EXPECT_EQ(frame.packets_rejected, 1u);
+  EXPECT_EQ(asm_.counters().duplicate_rejects, 1u);
+}
+
+TEST(FrameAssembler, MalformedPacketIsCountedNotIndexed) {
+  // hub_id/first_monitor/readings.size() are attacker-controlled from the
+  // assembler's point of view; a packet disagreeing with the canonical
+  // layout must be refused before any indexing happens.
+  net::FrameAssembler asm_({.monitors = 14, .hubs = 7, .deadline_us = 100.0});
+  auto ds = make_deliveries(0, 14, 7, 2.0);
+  ds[1].packet.first_monitor = 9000;  // far beyond the ring
+  net::seal_packet(ds[1].packet);     // valid CRC: malformation is upstream
+  ds[2].packet.hub_id = 200;
+  net::seal_packet(ds[2].packet);
+  ds[6].packet.readings.resize(1);  // truncated payload
+  net::seal_packet(ds[6].packet);
+  const auto frame = asm_.assemble(0, ds);
+  EXPECT_EQ(frame.packets_used, 4u);
+  EXPECT_EQ(asm_.counters().malformed_rejects, 3u);
+}
+
+TEST(FrameAssembler, ReorderedDeliveriesAssembleIdentically) {
+  net::FrameAssembler a({.monitors = 14, .hubs = 7, .deadline_us = 100.0});
+  net::FrameAssembler b({.monitors = 14, .hubs = 7, .deadline_us = 100.0});
+  auto ds = make_deliveries(0, 14, 7, 2.0);
+  auto reversed = ds;
+  std::reverse(reversed.begin(), reversed.end());
+  const auto fa = a.assemble(0, ds);
+  const auto fb = b.assemble(0, reversed);
+  EXPECT_EQ(fa.raw, fb.raw);
+  EXPECT_EQ(fb.packets_used, 7u);
+}
+
+TEST(FrameAssembler, MultiTickOutageAgesThenRecovers) {
+  // Sustained hub outage: last-known substitution holds for max_stale_ticks,
+  // then the frame is flagged degraded; the first good packet clears it.
+  net::AssemblerParams params{.monitors = 14, .hubs = 7, .deadline_us = 100.0};
+  params.max_stale_ticks = 2;
+  net::FrameAssembler asm_(params);
+  asm_.assemble(0, make_deliveries(0, 14, 7, 9.0));  // prime last-known
+  EXPECT_EQ(asm_.hub_age(3), 0u);
+
+  for (std::uint32_t t = 1; t <= 4; ++t) {
+    auto ds = make_deliveries(t, 14, 7, 3.0);
+    ds[3].dropped = true;
+    const auto frame = asm_.assemble(t, ds);
+    EXPECT_EQ(frame.packets_missing, 1u);
+    EXPECT_EQ(asm_.hub_age(3), t);
+    EXPECT_EQ(frame.max_staleness_ticks, t);
+    // Hub 3's span (monitors 6..7) still carries the primed value.
+    EXPECT_NEAR(frame.raw[6], 9.0f, 0.1f);
+    EXPECT_NEAR(frame.raw[0], 3.0f, 0.1f);
+    // Within the bound the substitution is trusted; beyond it, degraded.
+    if (t <= params.max_stale_ticks) {
+      EXPECT_FALSE(frame.degraded) << "tick " << t;
+      EXPECT_EQ(frame.stale_hubs, 0u);
+    } else {
+      EXPECT_TRUE(frame.degraded) << "tick " << t;
+      EXPECT_EQ(frame.stale_hubs, 1u);
+    }
+  }
+
+  // Recovery on the first good packet: age resets, degraded clears, and the
+  // hub's monitors snap to live data.
+  const auto frame = asm_.assemble(5, make_deliveries(5, 14, 7, 4.0));
+  EXPECT_TRUE(frame.complete());
+  EXPECT_FALSE(frame.degraded);
+  EXPECT_EQ(asm_.hub_age(3), 0u);
+  EXPECT_NEAR(frame.raw[6], 4.0f, 0.1f);
+}
+
+TEST(FrameAssembler, ImplausibleReadingsAreSubstituted) {
+  // With a plausibility window configured, saturated counts (all-ones from
+  // a dead ADC) keep the monitor's last-known value instead of poisoning
+  // the standardized frame.
+  net::AssemblerParams params{.monitors = 14, .hubs = 7, .deadline_us = 100.0};
+  params.plausible_min = 1.0;
+  params.plausible_max = 1e6;
+  net::FrameAssembler asm_(params);
+  asm_.assemble(0, make_deliveries(0, 14, 7, 9.0));
+  auto ds = make_deliveries(1, 14, 7, 3.0);
+  ds[0].packet.readings[0] = 0xFFFFFFFFu;  // ~268e6 decoded: saturated
+  net::seal_packet(ds[0].packet);
+  const auto frame = asm_.assemble(1, ds);
+  EXPECT_TRUE(frame.complete());
+  EXPECT_NEAR(frame.raw[0], 9.0f, 0.1f);  // substituted
+  EXPECT_NEAR(frame.raw[1], 3.0f, 0.1f);  // live
+  EXPECT_EQ(asm_.counters().implausible_readings, 1u);
 }
 
 TEST(AcnetPublisher, JournalsAndCountsTrips) {

@@ -249,6 +249,106 @@ TEST(Replica, ExpiredDeadlinesSuppressBatchGrowth) {
   EXPECT_EQ(metrics.snapshot().deadline_misses, kFrames);
 }
 
+// ------------------------------------------------- Replica self-healing
+
+/// Backend whose first `fail_first` inference calls throw (a worker dying
+/// mid-request), then behaves exactly like SyntheticBackend.
+class FlakyBackend final : public serve::Backend {
+ public:
+  explicit FlakyBackend(std::size_t fail_first) : remaining_(fail_first) {}
+
+  std::string_view name() const noexcept override { return "flaky"; }
+
+  Tensor infer(const Tensor& frame) override {
+    auto left = remaining_.load();
+    while (left > 0 && !remaining_.compare_exchange_weak(left, left - 1)) {
+    }
+    if (left > 0) throw std::runtime_error("flaky backend fault");
+    Tensor out = frame;
+    for (auto& v : out.flat()) v = 2.0f * v + 1.0f;
+    return out;
+  }
+
+ private:
+  std::atomic<std::size_t> remaining_;
+};
+
+TEST(Replica, BackendFaultRetriesLocallyWithoutLosingFrames) {
+  serve::Metrics metrics(1, 3.0);
+  BoundedQueue<serve::Request> shard(16);
+  SyntheticBackend oracle;
+  constexpr std::size_t kFrames = 6;
+  std::vector<std::future<serve::Response>> futures(kFrames);
+  std::vector<Tensor> expected;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    const auto frame = test_frame(8, 40 + i);
+    expected.push_back(oracle.infer(frame));
+    auto req =
+        make_request(i + 1, frame, Clock::time_point::max(), futures[i]);
+    ASSERT_TRUE(shard.try_push(req));
+  }
+  shard.close();
+
+  serve::Replica::Options opts;
+  opts.max_batch = 2;
+  serve::Replica replica(opts, std::make_unique<FlakyBackend>(1), metrics);
+  replica.start(shard);
+  replica.join();
+
+  // One fault, no redispatch hook installed: the faulted batch must be
+  // retried locally and every frame still answered bit-identically.
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(futures[i].get().output, expected[i]) << i;
+  }
+  EXPECT_EQ(replica.backend_faults(), 1u);
+  EXPECT_EQ(replica.restarts(), 0u);  // streak 1 < quarantine_after
+  EXPECT_EQ(replica.health(), serve::ReplicaHealth::kHealthy);
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.completed, kFrames);
+  EXPECT_EQ(snap.backend_faults, 1u);
+  EXPECT_EQ(snap.quarantines, 0u);
+}
+
+TEST(Replica, FaultStreakQuarantinesBacksOffAndRestarts) {
+  serve::Metrics metrics(1, 3.0);
+  BoundedQueue<serve::Request> shard(16);
+  SyntheticBackend oracle;
+  constexpr std::size_t kFrames = 5;
+  std::vector<std::future<serve::Response>> futures(kFrames);
+  std::vector<Tensor> expected;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    const auto frame = test_frame(8, 60 + i);
+    expected.push_back(oracle.infer(frame));
+    auto req =
+        make_request(i + 1, frame, Clock::time_point::max(), futures[i]);
+    ASSERT_TRUE(shard.try_push(req));
+  }
+  shard.close();
+
+  serve::Replica::Options opts;
+  opts.max_batch = 2;
+  opts.quarantine_after = 2;
+  opts.backoff_initial_ms = 0.25;
+  opts.backoff_max_ms = 1.0;
+  serve::Replica replica(opts, std::make_unique<FlakyBackend>(3), metrics);
+  replica.start(shard);
+  replica.join();
+
+  // Three consecutive faults against quarantine_after = 2: the replica must
+  // quarantine, back off, restart, and still deliver every frame.
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(futures[i].get().output, expected[i]) << i;
+  }
+  EXPECT_EQ(replica.backend_faults(), 3u);
+  EXPECT_GE(replica.restarts(), 1u);
+  EXPECT_EQ(replica.health(), serve::ReplicaHealth::kHealthy);
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.completed, kFrames);
+  EXPECT_EQ(snap.backend_faults, 3u);
+  EXPECT_GE(snap.quarantines, 1u);
+  EXPECT_GE(snap.restarts, 1u);
+}
+
 // --------------------------------------------------------------- Gateway
 
 TEST(GatewayTest, ServesBitIdenticalToDirectInference) {
@@ -391,6 +491,44 @@ TEST(GatewayTest, ByStreamShardingPinsStreamsToReplicas) {
     EXPECT_EQ(replicas.size(), 1u) << "stream " << stream;
     EXPECT_EQ(*replicas.begin(), stream % gateway.replica_count());
   }
+}
+
+TEST(GatewayTest, FaultedFramesRedispatchToAHealthyPeer) {
+  serve::GatewayConfig cfg;
+  cfg.deadline_ms = 0.0;
+  cfg.quarantine_after = 1;
+  cfg.backoff_initial_ms = 0.25;
+  cfg.backoff_max_ms = 1.0;
+  std::vector<std::unique_ptr<serve::Backend>> backends;
+  backends.push_back(
+      std::make_unique<FlakyBackend>(100000));  // replica 0 never recovers
+  backends.push_back(std::make_unique<SyntheticBackend>());
+  serve::Gateway gateway(std::move(backends), cfg);
+
+  SyntheticBackend oracle;
+  constexpr std::size_t kFrames = 20;
+  std::vector<serve::Ticket> tickets;
+  std::vector<Tensor> expected;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    const auto frame = test_frame(8, 70 + i);
+    expected.push_back(oracle.infer(frame));
+    tickets.push_back(gateway.submit(frame, i));
+  }
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(tickets[i].admitted);
+    auto resp = tickets[i].response.get();
+    EXPECT_EQ(resp.output, expected[i]) << "frame " << i;
+    // The sick replica can never complete a batch, so every answer comes
+    // from its healthy peer — via redispatch for the frames it was dealt.
+    EXPECT_EQ(resp.replica, 1u) << "frame " << i;
+  }
+  gateway.stop();
+  const auto snap = gateway.metrics().snapshot();
+  EXPECT_EQ(snap.completed, kFrames);
+  EXPECT_GT(snap.backend_faults, 0u);
+  EXPECT_GE(snap.quarantines, 1u);
+  EXPECT_GE(snap.redispatched, 1u);
+  EXPECT_EQ(snap.replicas[0].faults, gateway.replica(0).backend_faults());
 }
 
 TEST(GatewayTest, QuantizedBackendMatchesDirectModel) {

@@ -403,4 +403,74 @@ TEST(NnIpCore, RejectsWideFirmwareOnSixteenBitInterface) {
                std::invalid_argument);
 }
 
+// ---------------------------------------------------------- NN-IP watchdog
+
+TEST(Watchdog, ResetAndRetryIsBitIdenticalWithTimeoutAccounted) {
+  SmallSystem s;
+  const auto frame = s.frame(42);
+  const auto clean = s.soc_sys->process(frame);
+
+  soc::ArriaSocSystem sys(*s.qm, soc::SocParams{}, 1);
+  sys.set_ip_hang_hook([](std::uint64_t run) { return run == 1; });
+  const auto r = sys.process(frame);
+  // The retried frame is the validated firmware path, bit-for-bit; only the
+  // timing carries the scar (timeout + reset folded into ip_us).
+  EXPECT_EQ(tensor::max_abs_diff(r.output, clean.output), 0.0f);
+  EXPECT_FALSE(r.ip_fallback);
+  EXPECT_EQ(r.watchdog_timeouts, 1u);
+  const auto& wd = soc::SocParams{}.watchdog;
+  EXPECT_GT(r.timing.ip_us, wd.timeout_us);  // penalty visible in breakdown
+  EXPECT_NEAR(r.timing.total_ms,
+              (r.timing.write_us + r.timing.trigger_us + r.timing.ip_us +
+               r.timing.irq_os_us + r.timing.read_us) /
+                  1e3,
+              1e-6);
+  EXPECT_EQ(sys.watchdog_timeouts(), 1u);
+  EXPECT_EQ(sys.ip_resets(), 1u);
+  EXPECT_EQ(sys.fallback_frames(), 0u);
+}
+
+TEST(Watchdog, ExhaustedRetriesHandTheFrameBackForFallback) {
+  SmallSystem s;
+  soc::ArriaSocSystem sys(*s.qm, soc::SocParams{}, 1);
+  sys.set_ip_hang_hook([](std::uint64_t) { return true; });  // wedged solid
+  const auto r = sys.process(s.frame(43));
+  EXPECT_TRUE(r.ip_fallback);
+  EXPECT_EQ(r.output.numel(), 0u);  // no fabric output to trust
+  const auto& wd = soc::SocParams{}.watchdog;
+  EXPECT_EQ(r.watchdog_timeouts, 1u + wd.max_retries);
+  EXPECT_EQ(sys.fallback_frames(), 1u);
+  EXPECT_EQ(sys.ip_resets(), 1u + wd.max_retries);
+
+  // The IP is reset, not poisoned: the next frame runs clean.
+  const auto clean = s.soc_sys->process(s.frame(44));
+  sys.set_ip_hang_hook(nullptr);
+  const auto next = sys.process(s.frame(44));
+  EXPECT_FALSE(next.ip_fallback);
+  EXPECT_EQ(tensor::max_abs_diff(next.output, clean.output), 0.0f);
+}
+
+TEST(Watchdog, DisabledWatchdogStillFailsLoudOnAHang) {
+  SmallSystem s;
+  soc::SocParams params;
+  params.watchdog.timeout_us = 0.0;  // watchdog off: a hang is fatal again
+  soc::ArriaSocSystem sys(*s.qm, params, 1);
+  sys.set_ip_hang_hook([](std::uint64_t) { return true; });
+  EXPECT_THROW(sys.process(s.frame(45)), std::logic_error);
+}
+
+TEST(Watchdog, PollingModeGivesUpAtTheTimeoutInsteadOfSpinningForever) {
+  SmallSystem s;
+  soc::SocParams params;
+  params.os.notify = soc::NotifyMode::kPolling;
+  soc::ArriaSocSystem sys(*s.qm, params, 1);
+  sys.set_ip_hang_hook([](std::uint64_t) { return true; });
+  // Without the poll-loop's give-up bound this would never return: the
+  // status register stays busy forever. With it, the watchdog path reports
+  // the hang exactly like interrupt mode does.
+  const auto r = sys.process(s.frame(46));
+  EXPECT_TRUE(r.ip_fallback);
+  EXPECT_EQ(r.watchdog_timeouts, 1u + params.watchdog.max_retries);
+}
+
 }  // namespace

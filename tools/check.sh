@@ -16,6 +16,11 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)" "$@")
 
+echo "== chaos campaign (fault-injection gates) =="
+# Every fault scenario plus the replica-crash audit; exits non-zero on a
+# skipped tick, a lost/duplicated frame, or unbounded recovery.
+(cd build && ./bench/bench_chaos --quick --out=BENCH_chaos.json)
+
 echo "== sanitizer build (address,undefined) =="
 cmake -B build-asan -S . -DREADS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)"
@@ -23,10 +28,11 @@ cmake --build build-asan -j"$(nproc)"
 
 echo "== thread sanitizer build (serve / concurrency tests) =="
 cmake -B build-tsan -S . -DREADS_TSAN=ON >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target test_serve test_util
-# Model-cache-backed integration tests (DeblendServing) are covered by the
-# plain and ASan runs; under TSan we run the pure-concurrency suites.
+cmake --build build-tsan -j"$(nproc)" --target test_serve test_util test_fault
+# Model-cache-backed integration tests (DeblendServing, FaultPipeline) are
+# covered by the plain and ASan runs; under TSan we run the
+# pure-concurrency suites, including the scheduled-crash recovery path.
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-  -R 'BoundedQueue|Replica|GatewayTest|ServeMetrics|ThreadPool|Stats|Histogram|Percentiles')
+  -R 'BoundedQueue|Replica|GatewayTest|ServeMetrics|ThreadPool|Stats|Histogram|Percentiles|FaultPlan|FaultInjector|ChaosServe')
 
 echo "== all checks passed =="
