@@ -1,0 +1,606 @@
+// Lifecycle campaign: drive the full drift -> requalify -> hot-swap loop
+// end to end, then rehearse the same rollout discipline on the serving
+// gateway (shadow -> promote, shadow -> rollback).
+//
+//   ./bench_lifecycle [--quick] [--cycles=3] [--replicas=3]
+//                     [--max_ticks=N] [--seed=7] [--drift_seed=N]
+//                     [--shadow_fraction=0.25] [--threads=0]
+//                     [--out=BENCH_lifecycle.json]
+//
+// Phase A — decision loop (core::DeblendingSystem + LifecycleManager at the
+// paper's 320 fps tick). A blm::FrameGenerator with a deterministic
+// DriftSchedule slowly rotates the loss geometry and raises the loss rate;
+// the DriftMonitor must latch, the Requalifier must retrain/quantize/gate a
+// candidate in the background, and the swap must land through the SoC's
+// partial-reconfiguration window. Before the second cycle a weight-corrupting
+// mutator is injected into exactly one candidate. Gates:
+//   (a) >= --cycles completed drift->requalify->swap cycles;
+//   (b) a decision on EVERY tick (no lost, no duplicated, none late:
+//       zero deadline misses across the run);
+//   (c) every reconfiguration window fully covered by degraded-flagged HPS
+//       float-fallback decisions (reconfig ticks == swaps * window, each
+//       tagged reconfiguring+degraded+kHpsFloatFallback);
+//   (d) the corrupted candidate is rejected by the qualification gates
+//       before ever reaching shadow or fabric, and every artifact the
+//       registry holds passed qualification;
+//   (e) recovery: for every swap, windowed decision-vs-truth MSE right
+//       after the swap is below the window right before the reconfiguration
+//       opened (the new generation actually tracks the drifted machine).
+//
+// Phase B — serving rollout (serve::Gateway of per-replica artifact
+// backends on registry v1, drifted traffic, ground-truth shadow judge).
+// A qualified candidate from Phase A's registry is shadow-evaluated and
+// must be promoted; frames submitted after promotion must be served
+// bit-identical to the candidate oracle and stamped with its epoch. Then a
+// regressing candidate (outputs scaled x3) is shadowed and must be rolled
+// back, after which serving must remain bit-identical to the promoted
+// generation. Every admitted frame is answered exactly once and none late.
+//
+// Exits non-zero if any gate fails. The whole campaign is a pure function
+// of (--seed, --drift_seed): failures replay bit-for-bit.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "blm/generator.hpp"
+#include "common.hpp"
+#include "core/deblender.hpp"
+#include "lifecycle/manager.hpp"
+#include "nn/builders.hpp"
+#include "serve/gateway.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace reads;
+using tensor::Tensor;
+
+double frame_mse(const Tensor& a, const Tensor& b) {
+  if (a.numel() == 0 || a.numel() != b.numel()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) -
+                     static_cast<double>(b.data()[i]);
+    sum += d * d;
+  }
+  return sum / static_cast<double>(a.numel());
+}
+
+double window_mean(const std::vector<double>& xs, std::size_t begin,
+                   std::size_t end) {
+  if (begin >= end || end > xs.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += xs[i];
+  return sum / static_cast<double>(end - begin);
+}
+
+/// Serves a registry artifact the way a deployed box would: the artifact's
+/// own standardizer in front of its own quantized firmware. Each backend
+/// owns a private QuantizedModel (scratch buffers are per-instance), so
+/// replicas never share mutable state.
+class ArtifactBackend final : public serve::Backend {
+ public:
+  explicit ArtifactBackend(
+      std::shared_ptr<const lifecycle::ModelArtifact> artifact)
+      : artifact_(std::move(artifact)),
+        model_(artifact_->quantized->firmware()) {}
+
+  std::string_view name() const noexcept override { return "artifact"; }
+
+  Tensor infer(const Tensor& raw) override {
+    return model_.forward(artifact_->standardizer.transform(raw));
+  }
+
+ private:
+  std::shared_ptr<const lifecycle::ModelArtifact> artifact_;
+  hls::QuantizedModel model_;
+};
+
+/// The shadow-regression injection: a candidate whose outputs are wrong by
+/// construction (scaled), which the ground-truth judge must reject.
+class ScaledBackend final : public serve::Backend {
+ public:
+  ScaledBackend(std::unique_ptr<serve::Backend> inner, float gain)
+      : inner_(std::move(inner)), gain_(gain) {}
+
+  std::string_view name() const noexcept override { return "scaled"; }
+
+  Tensor infer(const Tensor& raw) override {
+    Tensor out = inner_->infer(raw);
+    for (std::size_t i = 0; i < out.numel(); ++i) out.data()[i] *= gain_;
+    return out;
+  }
+
+ private:
+  std::unique_ptr<serve::Backend> inner_;
+  float gain_;
+};
+
+struct PhaseAResult {
+  bool ran = false;
+  std::uint64_t ticks = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t triggers = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t reconfig_ticks = 0;
+  std::size_t window_frames = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t empty_decisions = 0;
+  std::uint64_t bad_reconfig_ticks = 0;  ///< reconfig tick not degraded+HPS
+  bool mutator_rejected = false;
+  bool registry_all_passed = false;
+  bool epochs_monotone = true;
+  std::vector<lifecycle::SwapRecord> swaps;
+  std::vector<double> pre_mse;   ///< per swap: window before reconfig opened
+  std::vector<double> post_mse;  ///< per swap: window after the swap landed
+  std::vector<double> cf_mse;    ///< prior generation on the same post window
+  double wall_s = 0.0;
+
+  /// Recovery gate: on the identical post-swap frames, the new generation
+  /// must beat the generation it replaced (counterfactual replay removes
+  /// traffic nonstationarity from the comparison).
+  bool recovery_ok() const {
+    for (std::size_t i = 0; i < post_mse.size(); ++i) {
+      if (!(post_mse[i] < cf_mse[i])) return false;
+    }
+    return !post_mse.empty();
+  }
+  bool pass(std::uint64_t want_cycles) const {
+    return ran && cycles >= want_cycles && deadline_misses == 0 &&
+           empty_decisions == 0 && bad_reconfig_ticks == 0 &&
+           reconfig_ticks == cycles * window_frames && mutator_rejected &&
+           registry_all_passed && epochs_monotone && recovery_ok();
+  }
+};
+
+struct PhaseBResult {
+  bool ran = false;
+  bool promoted = false;
+  bool rolled_back = false;
+  bool post_promote_bit_identical = false;
+  bool post_rollback_bit_identical = false;
+  bool epoch_tags_ok = false;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t duplicate_ids = 0;
+  std::uint64_t deadline_misses = 0;
+  serve::ShadowStatus promote_status;
+  serve::ShadowStatus rollback_status;
+  double promote_wall_s = 0.0;
+  double rollback_wall_s = 0.0;
+
+  bool pass() const {
+    return ran && promoted && rolled_back && post_promote_bit_identical &&
+           post_rollback_bit_identical && epoch_tags_ok &&
+           answered == admitted && duplicate_ids == 0 && deadline_misses == 0;
+  }
+};
+
+std::string flag(bool ok) { return ok ? "pass" : "FAIL"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  auto flags = reads::bench::StandardFlags::parse(cli);
+  const bool quick = cli.get_bool("quick", false);
+  const auto want_cycles =
+      static_cast<std::uint64_t>(cli.get_int("cycles", 3));
+  const auto replicas = static_cast<std::size_t>(cli.get_int("replicas", 3));
+  const auto max_ticks = static_cast<std::uint64_t>(
+      cli.get_int("max_ticks", quick ? 60000 : 150000));
+  const std::string out_path = cli.get_string("out", "BENCH_lifecycle.json");
+  cli.check_unknown();
+  flags.apply_threads();
+
+  reads::bench::print_header(
+      "bench_lifecycle",
+      "model lifecycle: drift detection, background requalification, "
+      "zero-downtime hot-swap (paper SS IV deployment loop, extended)");
+
+  // ---------------------------------------------------------------- Phase A
+  core::DeblendConfig dc;
+  dc.seed = flags.seed;
+  auto system = core::DeblendingSystem::build(dc);
+  const auto machine = blm::MachineConfig::fermilab_like();
+  const std::size_t monitors = machine.monitors;
+
+  lifecycle::LifecycleConfig lc;
+  lc.drift.window = 32;
+  lc.drift.baseline_windows = 2;
+  lc.drift.trigger_threshold = 6.0;
+  lc.drift.clear_threshold = 2.0;
+  lc.drift.consecutive = 2;
+  lc.requalify.epochs = quick ? 2 : 3;
+  lc.requalify.batch_size = 16;
+  lc.requalify.learning_rate = 1e-3;
+  lc.requalify.holdout_fraction = 0.25;
+  lc.requalify.total_bits = system.config().total_bits;
+  lc.requalify.min_quant_accuracy = 0.90;
+  lc.requalify.max_mse_ratio = 1.10;
+  lc.recent_capacity = quick ? 96 : 192;
+  lc.min_frames = quick ? 64 : 128;
+  lc.reconfig_window_ms = 40.0;
+  lc.fps = 320.0;
+  lc.seed = flags.seed;
+  lifecycle::LifecycleManager manager(
+      system, lc, [] { return nn::build_unet(nn::UNetConfig{}); });
+
+  blm::DriftSchedule drift;
+  drift.enabled = true;
+  drift.onset_frame = lc.drift.window * (lc.drift.baseline_windows + 2);
+  drift.rotation_monitors_per_kframe = 3.0;
+  drift.event_rate_shift_per_kframe = 0.35;
+  drift.intensity_shift_per_kframe = 0.15;
+  blm::FrameGenerator gen(machine, flags.drift_seed, drift);
+
+  PhaseAResult a;
+  a.ran = true;
+  a.window_frames = manager.reconfig_window_frames();
+  const std::size_t rw = lc.drift.window;  ///< recovery comparison window
+  std::vector<double> tick_mse;
+  tick_mse.reserve(max_ticks);
+  std::vector<std::uint64_t> tick_epoch;
+  tick_epoch.reserve(max_ticks);
+  std::vector<blm::BlmFrame> trace;  ///< every frame, for replay audits
+  trace.reserve(max_ticks);
+  bool mutator_armed = false;
+  std::uint64_t mutator_rejected_before = 0;
+  const auto a_start = std::chrono::steady_clock::now();
+
+  std::cout << "phase A: drifting decision loop (" << monitors
+            << " monitors, reconfig window " << a.window_frames
+            << " ticks, target " << want_cycles << " cycles)\n";
+
+  auto run_tick = [&] {
+    auto frame = gen.next();
+    auto decision = manager.tick(frame.raw, frame.target);
+
+    if (decision.probabilities.numel() != monitors * 2) ++a.empty_decisions;
+    if (!decision.timing.deadline_met) ++a.deadline_misses;
+    if (decision.reconfiguring &&
+        !(decision.degraded &&
+          decision.source == core::DecisionSource::kHpsFloatFallback)) {
+      ++a.bad_reconfig_ticks;
+    }
+    tick_mse.push_back(frame_mse(decision.probabilities, frame.target));
+    tick_epoch.push_back(decision.model_epoch);
+    trace.push_back(std::move(frame));
+
+    // Arm the corrupting mutator once, after the first clean swap: the
+    // second cycle's first candidate must be rejected by the gates.
+    if (!mutator_armed && manager.cycles() == 1) {
+      mutator_armed = true;
+      mutator_rejected_before = manager.rejected_candidates();
+      manager.set_next_candidate_mutator([](nn::Model& m) {
+        for (auto* p : m.parameters()) {
+          for (std::size_t i = 0; i < p->numel(); ++i) p->data()[i] *= 8.0f;
+        }
+      });
+    }
+  };
+
+  while (manager.cycles() < want_cycles && manager.ticks() < max_ticks) {
+    run_tick();
+  }
+  // Tail: keep serving past the last swap so its post-swap recovery window
+  // is fully populated (the loop above exits at the landing tick).
+  for (std::size_t i = 0; i < rw; ++i) run_tick();
+  a.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           a_start)
+                 .count();
+
+  a.ticks = manager.ticks();
+  a.cycles = manager.cycles();
+  a.triggers = manager.triggers();
+  a.rejected = manager.rejected_candidates();
+  a.reconfig_ticks = manager.reconfig_ticks();
+  a.swaps = manager.swaps();
+  a.mutator_rejected =
+      mutator_armed && manager.rejected_candidates() > mutator_rejected_before;
+
+  a.registry_all_passed = manager.registry().size() == a.cycles + 1;
+  for (std::uint64_t v = 1; v <= manager.registry().size(); ++v) {
+    auto artifact = manager.registry().version(v);
+    if (!artifact || !artifact->report.passed) a.registry_all_passed = false;
+  }
+
+  for (const auto& s : a.swaps) {
+    // Pre window: the rw ticks before the reconfiguration window opened
+    // (incumbent serving a fully drifted machine). Post window: the rw
+    // ticks from the landing tick on (new generation serving).
+    const std::size_t landed = static_cast<std::size_t>(s.landed_tick);
+    const std::size_t pre_end = landed - 1 - s.reconfig_ticks;
+    const std::size_t post_begin = landed - 1;
+    const std::size_t post_end = std::min(tick_mse.size(), post_begin + rw);
+    a.pre_mse.push_back(
+        window_mean(tick_mse, pre_end >= rw ? pre_end - rw : 0, pre_end));
+    a.post_mse.push_back(window_mean(tick_mse, post_begin, post_end));
+
+    // Counterfactual: replay the identical post-swap frames through the
+    // generation the swap replaced; the new one must beat it.
+    auto prev = manager.registry().version(s.from_version);
+    double cf = std::numeric_limits<double>::infinity();
+    if (prev && post_begin < post_end) {
+      hls::QuantizedModel replay(prev->quantized->firmware());
+      double sum = 0.0;
+      for (std::size_t i = post_begin; i < post_end; ++i) {
+        sum += frame_mse(
+            replay.forward(prev->standardizer.transform(trace[i].raw)),
+            trace[i].target);
+      }
+      cf = sum / static_cast<double>(post_end - post_begin);
+    }
+    a.cf_mse.push_back(cf);
+
+    // Epoch stamps must step exactly at the landing tick.
+    if (landed >= 2 && !(tick_epoch[landed - 1] == tick_epoch[landed - 2] + 1))
+      a.epochs_monotone = false;
+  }
+
+  util::Table cycle_table({"cycle", "trigger_tick", "landed_tick",
+                           "reconfig_ticks", "rejected", "pre_mse",
+                           "post_mse", "prior_on_post", "epoch"});
+  for (std::size_t i = 0; i < a.swaps.size(); ++i) {
+    const auto& s = a.swaps[i];
+    cycle_table.add_row({std::to_string(i + 1),
+                         std::to_string(s.trigger_tick),
+                         std::to_string(s.landed_tick),
+                         std::to_string(s.reconfig_ticks),
+                         std::to_string(s.rejected_candidates),
+                         util::Table::fmt(a.pre_mse[i], 5),
+                         util::Table::fmt(a.post_mse[i], 5),
+                         util::Table::fmt(a.cf_mse[i], 5),
+                         std::to_string(s.to_version)});
+  }
+  cycle_table.print(std::cout);
+  std::cout << "ticks " << a.ticks << ", triggers " << a.triggers
+            << ", rejected candidates " << a.rejected << ", reconfig ticks "
+            << a.reconfig_ticks << " (HPS fallback), wall "
+            << util::Table::fmt(a.wall_s, 1) << " s\n";
+  std::cout << "gates: cycles " << flag(a.cycles >= want_cycles)
+            << ", every-tick " << flag(a.empty_decisions == 0)
+            << ", zero-late " << flag(a.deadline_misses == 0)
+            << ", reconfig-coverage "
+            << flag(a.bad_reconfig_ticks == 0 &&
+                    a.reconfig_ticks == a.cycles * a.window_frames)
+            << ", bad-candidate-rejected " << flag(a.mutator_rejected)
+            << ", registry-qualified " << flag(a.registry_all_passed)
+            << ", epoch-step " << flag(a.epochs_monotone) << ", recovery "
+            << flag(a.recovery_ok()) << "\n\n";
+
+  // ---------------------------------------------------------------- Phase B
+  PhaseBResult b;
+  auto v1 = manager.registry().version(1);
+  auto candidate = manager.registry().current();
+  if (a.cycles >= 1 && v1 && candidate && candidate->version > 1) {
+    b.ran = true;
+    std::cout << "phase B: serving rollout (" << replicas
+              << " replicas on v1, shadow candidate v" << candidate->version
+              << ", mirror fraction " << flags.shadow_fraction << ")\n";
+
+    // Drifted traffic with ground truth, indexed by stream id.
+    const std::size_t pool =
+        quick ? 1024 : 4096;
+    std::vector<Tensor> raws, truths;
+    raws.reserve(pool);
+    truths.reserve(pool);
+    for (std::size_t i = 0; i < pool; ++i) {
+      auto f = gen.next();
+      raws.push_back(std::move(f.raw));
+      truths.push_back(std::move(f.target));
+    }
+
+    // Oracles for bit-identity audits (single-threaded reference path).
+    ArtifactBackend candidate_oracle(candidate);
+
+    std::vector<std::unique_ptr<serve::Backend>> fleet;
+    for (std::size_t i = 0; i < replicas; ++i) {
+      fleet.push_back(std::make_unique<ArtifactBackend>(v1));
+    }
+    serve::GatewayConfig gc;
+    gc.queue_capacity = 512;
+    gc.max_batch = 2;
+    gc.deadline_ms = 250.0;
+    gc.admission_control = false;
+    serve::Gateway gateway(std::move(fleet), gc);
+
+    auto judge = [&truths](std::uint64_t stream, const Tensor&,
+                           const Tensor& primary, const Tensor& shadow) {
+      const auto& truth = truths[stream];
+      const double pm = frame_mse(primary, truth);
+      const double sm = frame_mse(shadow, truth);
+      return sm <= std::max(pm * 1.25, pm + 1e-3);
+    };
+
+    serve::ShadowConfig sc;
+    sc.fraction = flags.shadow_fraction;
+    sc.window = quick ? 16 : 32;
+    sc.max_rejects = sc.window / 8;
+    sc.promote_after = 2;
+    sc.queue_capacity = 256;
+
+    std::set<std::uint64_t> seen_ids;
+    std::size_t next_frame = 0;
+    // expect_epoch == 0: don't check the stamp.
+    auto pump_one = [&](std::uint64_t expect_epoch,
+                        bool audit_against_candidate) {
+      const std::size_t i = next_frame++ % pool;
+      auto ticket = gateway.submit(raws[i], /*stream=*/i);
+      ++b.submitted;
+      if (!ticket.admitted) return;
+      ++b.admitted;
+      auto resp = ticket.response.get();
+      ++b.answered;
+      if (!seen_ids.insert(resp.id).second) ++b.duplicate_ids;
+      if (!resp.deadline_met) ++b.deadline_misses;
+      if (expect_epoch != 0 && resp.model_epoch != expect_epoch) {
+        b.epoch_tags_ok = false;
+      }
+      if (audit_against_candidate &&
+          !(resp.output == candidate_oracle.infer(raws[i]))) {
+        b.post_promote_bit_identical = false;
+        b.post_rollback_bit_identical = false;
+      }
+    };
+
+    // Warm-up outside the audited run (replica threads, scratch buffers,
+    // cold caches): no deadline, so start-up cost cannot read as "late".
+    for (std::size_t i = 0; i < replicas * 8; ++i) {
+      const std::size_t f = next_frame++ % pool;
+      auto ticket = gateway.submit(raws[f], /*stream=*/f, /*deadline_ms=*/0.0);
+      ++b.submitted;
+      if (!ticket.admitted) continue;
+      ++b.admitted;
+      auto resp = ticket.response.get();
+      ++b.answered;
+      if (!seen_ids.insert(resp.id).second) ++b.duplicate_ids;
+    }
+
+    // --- Rollout 1: the qualified candidate must be promoted.
+    const auto p_start = std::chrono::steady_clock::now();
+    if (!gateway.begin_shadow(
+            [&candidate] { return std::make_unique<ArtifactBackend>(candidate); },
+            sc, judge)) {
+      std::cout << "begin_shadow refused\n";
+      b.ran = false;
+    }
+    const std::size_t promote_budget = quick ? 6000 : 20000;
+    for (std::size_t i = 0; b.ran && i < promote_budget; ++i) {
+      pump_one(/*expect_epoch=*/0, /*audit=*/false);
+      if (gateway.shadow_status().outcome == serve::ShadowOutcome::kPromoted) {
+        break;
+      }
+    }
+    b.promote_status = gateway.end_shadow();
+    b.promoted = b.promote_status.outcome == serve::ShadowOutcome::kPromoted;
+    b.promote_wall_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - p_start)
+                           .count();
+    const std::uint64_t promoted_epoch = gateway.model_epoch();
+
+    // Post-promotion: every frame served by the candidate generation,
+    // bit-identical to its oracle and stamped with its epoch.
+    b.epoch_tags_ok = b.promoted && promoted_epoch == 2;
+    b.post_promote_bit_identical = b.promoted;
+    for (std::size_t i = 0; b.promoted && i < (quick ? 64u : 256u); ++i) {
+      pump_one(promoted_epoch, /*audit=*/true);
+    }
+    b.post_rollback_bit_identical = b.post_promote_bit_identical;
+
+    // --- Rollout 2: a regressing candidate must be rolled back, leaving
+    // serving bit-identical to the promoted generation.
+    const auto r_start = std::chrono::steady_clock::now();
+    bool shadow2 = b.promoted &&
+                   gateway.begin_shadow(
+                       [&candidate] {
+                         return std::make_unique<ScaledBackend>(
+                             std::make_unique<ArtifactBackend>(candidate),
+                             3.0f);
+                       },
+                       sc, judge);
+    const std::size_t rollback_budget = quick ? 6000 : 20000;
+    for (std::size_t i = 0; shadow2 && i < rollback_budget; ++i) {
+      pump_one(promoted_epoch, /*audit=*/true);
+      if (gateway.shadow_status().outcome ==
+          serve::ShadowOutcome::kRolledBack) {
+        break;
+      }
+    }
+    b.rollback_status = gateway.end_shadow();
+    b.rolled_back =
+        b.rollback_status.outcome == serve::ShadowOutcome::kRolledBack;
+    b.rollback_wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - r_start)
+                            .count();
+
+    for (std::size_t i = 0; b.rolled_back && i < (quick ? 64u : 256u); ++i) {
+      pump_one(promoted_epoch, /*audit=*/true);
+    }
+    gateway.stop();
+
+    std::cout << "promote: " << to_string(b.promote_status.outcome)
+              << " after " << b.promote_status.judged << " judged mirrors ("
+              << b.promote_status.mirrored << " mirrored, "
+              << b.promote_status.dropped << " dropped, "
+              << util::Table::fmt(b.promote_wall_s, 2) << " s)\n";
+    std::cout << "rollback: " << to_string(b.rollback_status.outcome)
+              << " after " << b.rollback_status.judged << " judged mirrors ("
+              << b.rollback_status.rejects << " rejects, "
+              << util::Table::fmt(b.rollback_wall_s, 2) << " s)\n";
+    std::cout << "frames: " << b.submitted << " submitted, " << b.admitted
+              << " admitted, " << b.answered << " answered\n";
+    std::cout << "gates: promoted " << flag(b.promoted) << ", rolled-back "
+              << flag(b.rolled_back) << ", post-promote-bits "
+              << flag(b.post_promote_bit_identical)
+              << ", post-rollback-bits "
+              << flag(b.post_rollback_bit_identical) << ", epoch-tags "
+              << flag(b.epoch_tags_ok) << ", exactly-once "
+              << flag(b.answered == b.admitted && b.duplicate_ids == 0)
+              << ", zero-late " << flag(b.deadline_misses == 0) << "\n\n";
+  } else {
+    std::cout << "phase B skipped: phase A produced no qualified candidate\n";
+  }
+
+  const bool ok = a.pass(want_cycles) && b.pass();
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"lifecycle\",\n  \"quick\": "
+       << (quick ? "true" : "false") << ",\n  \"seed\": " << flags.seed
+       << ",\n  \"drift_seed\": " << flags.drift_seed
+       << ",\n  \"phase_a\": {\n    \"ticks\": " << a.ticks
+       << ",\n    \"cycles\": " << a.cycles << ",\n    \"triggers\": "
+       << a.triggers << ",\n    \"rejected_candidates\": " << a.rejected
+       << ",\n    \"reconfig_window_ticks\": " << a.window_frames
+       << ",\n    \"reconfig_fallback_ticks\": " << a.reconfig_ticks
+       << ",\n    \"deadline_misses\": " << a.deadline_misses
+       << ",\n    \"wall_s\": " << a.wall_s << ",\n    \"swaps\": [";
+  for (std::size_t i = 0; i < a.swaps.size(); ++i) {
+    const auto& s = a.swaps[i];
+    json << (i ? "," : "") << "\n      {\"to_version\": " << s.to_version
+         << ", \"trigger_tick\": " << s.trigger_tick
+         << ", \"landed_tick\": " << s.landed_tick
+         << ", \"swap_latency_ticks\": " << (s.landed_tick - s.trigger_tick)
+         << ", \"rejected\": " << s.rejected_candidates
+         << ", \"pre_mse\": " << a.pre_mse[i]
+         << ", \"post_mse\": " << a.post_mse[i]
+         << ", \"prior_on_post_mse\": " << a.cf_mse[i] << "}";
+  }
+  json << "\n    ],\n    \"pass\": " << (a.pass(want_cycles) ? "true" : "false")
+       << "\n  },\n  \"phase_b\": {\n    \"ran\": "
+       << (b.ran ? "true" : "false")
+       << ",\n    \"promoted\": " << (b.promoted ? "true" : "false")
+       << ",\n    \"rolled_back\": " << (b.rolled_back ? "true" : "false")
+       << ",\n    \"promote_judged\": " << b.promote_status.judged
+       << ",\n    \"promote_mirrored\": " << b.promote_status.mirrored
+       << ",\n    \"promote_wall_s\": " << b.promote_wall_s
+       << ",\n    \"rollback_judged\": " << b.rollback_status.judged
+       << ",\n    \"rollback_rejects\": " << b.rollback_status.rejects
+       << ",\n    \"rollback_wall_s\": " << b.rollback_wall_s
+       << ",\n    \"submitted\": " << b.submitted << ",\n    \"admitted\": "
+       << b.admitted << ",\n    \"answered\": " << b.answered
+       << ",\n    \"deadline_misses\": " << b.deadline_misses
+       << ",\n    \"pass\": " << (b.pass() ? "true" : "false")
+       << "\n  },\n  \"pass\": " << (ok ? "true" : "false") << "\n}";
+  std::ofstream(out_path) << json.str() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  std::cout << (ok ? "LIFECYCLE GATES: all pass\n"
+                   : "LIFECYCLE GATES: FAILED\n");
+  return ok ? 0 : 1;
+}

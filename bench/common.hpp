@@ -39,6 +39,11 @@ struct StandardFlags {
   std::uint64_t seed = 7;
   std::string fault_scenario;  ///< empty = fault-free
   std::uint64_t fault_seed = 0;
+  /// Seeds a blm::DriftSchedule where a bench drives a drifting machine;
+  /// 0 reuses --seed so one number reproduces the run, drift included.
+  std::uint64_t drift_seed = 0;
+  /// Fraction of admitted frames mirrored during shadow rollout.
+  double shadow_fraction = 0.25;
 
   static StandardFlags parse(util::Cli& cli, double default_duration_s = 2.0) {
     StandardFlags f;
@@ -48,8 +53,14 @@ struct StandardFlags {
     f.fault_scenario = cli.get_string("fault_scenario", "");
     f.fault_seed = static_cast<std::uint64_t>(cli.get_int("fault_seed", 0));
     if (f.fault_seed == 0) f.fault_seed = f.seed;
+    f.drift_seed = static_cast<std::uint64_t>(cli.get_int("drift_seed", 0));
+    if (f.drift_seed == 0) f.drift_seed = f.seed;
+    f.shadow_fraction = cli.get_double("shadow_fraction", 0.25);
     if (f.duration_s <= 0.0) {
       throw std::invalid_argument("--duration_s must be > 0");
+    }
+    if (f.shadow_fraction <= 0.0 || f.shadow_fraction > 1.0) {
+      throw std::invalid_argument("--shadow_fraction must be in (0, 1]");
     }
     return f;
   }

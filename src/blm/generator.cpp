@@ -1,12 +1,56 @@
 #include "blm/generator.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace reads::blm {
 
-FrameGenerator::FrameGenerator(MachineConfig config, std::uint64_t seed)
-    : machine_(std::move(config), seed),
+FrameGenerator::FrameGenerator(MachineConfig config, std::uint64_t seed,
+                               DriftSchedule drift)
+    : base_config_(config),
+      machine_seed_(seed),
+      drift_(drift),
+      machine_(std::move(config), seed),
       rng_(util::derive_seed(seed, /*purpose=*/0xF2)) {}
 
+MachineConfig FrameGenerator::effective_config() const {
+  if (!drift_.active() || frame_index_ < drift_.onset_frame) {
+    return base_config_;
+  }
+  const double kframes =
+      static_cast<double>(frame_index_ - drift_.onset_frame) / 1000.0;
+  MachineConfig cfg = base_config_;
+  const auto ring = static_cast<double>(cfg.monitors);
+  const double offset = drift_.rotation_monitors_per_kframe * kframes;
+  const double rate_factor =
+      1.0 + drift_.event_rate_shift_per_kframe * kframes;
+  const double mu_shift = drift_.intensity_shift_per_kframe * kframes;
+  for (auto* spec : {&cfg.mi, &cfg.rr}) {
+    for (auto& pos : spec->source_positions) {
+      const double rotated =
+          std::fmod(static_cast<double>(pos) + offset, ring);
+      pos = static_cast<std::size_t>(std::llround(rotated)) % cfg.monitors;
+    }
+    spec->event_probability =
+        std::clamp(spec->event_probability * rate_factor, 0.0, 1.0);
+    spec->intensity_mu += mu_shift;
+  }
+  return cfg;
+}
+
 BlmFrame FrameGenerator::next() {
+  if (drift_.active() && frame_index_ >= drift_.onset_frame) {
+    // Rebuild the machine whenever the drifted configuration moved. The
+    // machine seed is unchanged — installed per-monitor gains and pedestals
+    // are hardware, not optics — so only the loss geometry and statistics
+    // drift. The event RNG stream (rng_) is independent of the rebuild,
+    // which keeps the schedule a pure function of (seed, frame index).
+    auto cfg = effective_config();
+    if (cfg.fingerprint() != machine_.config().fingerprint()) {
+      machine_ = MachineModel(std::move(cfg), machine_seed_);
+    }
+  }
+  ++frame_index_;
   const auto truth = machine_.sample_truth(rng_);
   const auto readings = machine_.readings(truth, rng_);
   const auto targets = machine_.targets(truth);

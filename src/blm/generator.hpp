@@ -1,5 +1,14 @@
 // Frame generator: turns the machine model into a stream of (raw frame,
 // target) pairs shaped for the U-Net ((monitors, 1) in, (monitors, 2) out).
+//
+// Machine drift: a deployed de-blender must survive the optics and
+// apertures changing under it, so the generator can apply a deterministic
+// drift schedule — a slow rotation of the loss-source geometry around the
+// ring (the response matrix the model learned shifts monitor-by-monitor)
+// plus loss-rate and intensity shifts. The schedule is a pure function of
+// (seed, frame index): replaying the same seed replays the same drifted
+// stream bit-for-bit, and a disabled schedule leaves the generator
+// bit-identical to the pre-drift implementation (regression-tested).
 #pragma once
 
 #include <cstdint>
@@ -16,17 +25,50 @@ struct BlmFrame {
   Tensor target;   ///< (monitors, 2) ground-truth (MI, RR) probabilities
 };
 
+/// Deterministic machine-drift schedule, applied from `onset_frame` on.
+/// Rates are per 1000 frames (~3 s of the paper's 320 fps stream per unit),
+/// so default-magnitude drift plays out over minutes of machine time.
+struct DriftSchedule {
+  bool enabled = false;
+  std::size_t onset_frame = 0;
+  /// Loss-source positions rotate around the ring at this rate
+  /// (monitors per 1000 frames) — the response-matrix rotation.
+  double rotation_monitors_per_kframe = 0.0;
+  /// Multiplicative event-probability shift per 1000 frames
+  /// (0.5 = +50% loss rate after 1000 drifted frames; clamped to [0, 1]).
+  double event_rate_shift_per_kframe = 0.0;
+  /// Additive shift of the lognormal intensity mu per 1000 frames.
+  double intensity_shift_per_kframe = 0.0;
+
+  bool active() const noexcept {
+    return enabled && (rotation_monitors_per_kframe != 0.0 ||
+                       event_rate_shift_per_kframe != 0.0 ||
+                       intensity_shift_per_kframe != 0.0);
+  }
+};
+
 class FrameGenerator {
  public:
-  FrameGenerator(MachineConfig config, std::uint64_t seed);
+  FrameGenerator(MachineConfig config, std::uint64_t seed,
+                 DriftSchedule drift = {});
 
   const MachineModel& machine() const noexcept { return machine_; }
+  const DriftSchedule& drift() const noexcept { return drift_; }
+  std::size_t frames_generated() const noexcept { return frame_index_; }
+
+  /// The drifted machine configuration the next frame will be sampled from
+  /// (equals the constructor config while drift is inactive).
+  MachineConfig effective_config() const;
 
   BlmFrame next();
 
  private:
+  MachineConfig base_config_;
+  std::uint64_t machine_seed_;
+  DriftSchedule drift_;
   MachineModel machine_;
   util::Xoshiro256 rng_;
+  std::size_t frame_index_ = 0;
 };
 
 }  // namespace reads::blm

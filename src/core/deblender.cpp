@@ -41,7 +41,7 @@ DeblendingSystem::DeblendingSystem(DeblendConfig config, TrainedBundle bundle)
   auto firmware = hls::compile(bundle_.model, hls_cfg);
   resources_ = hls::ResourceModel().estimate(firmware);
   ip_latency_ = hls::LatencyModel(config_.latency).estimate(firmware);
-  qmodel_ = std::make_unique<hls::QuantizedModel>(std::move(firmware));
+  qmodel_ = std::make_shared<const hls::QuantizedModel>(std::move(firmware));
   soc_ = std::make_unique<soc::ArriaSocSystem>(
       *qmodel_, config_.soc, util::derive_seed(config_.seed, 0x50),
       config_.latency);
@@ -70,7 +70,45 @@ Decision decide(tensor::Tensor probabilities, double trip_threshold) {
   return decision;
 }
 
+void DeblendingSystem::swap_model(
+    nn::Model float_model, train::Standardizer standardizer,
+    std::shared_ptr<const hls::QuantizedModel> quantized,
+    std::size_t reconfig_window_frames) {
+  if (!quantized) {
+    throw std::invalid_argument("swap_model: null quantized candidate");
+  }
+  if (pending_) {
+    throw std::logic_error("swap_model: a swap is already in progress");
+  }
+  const auto& fw = quantized->firmware();
+  const auto& cur = qmodel_->firmware();
+  if (fw.input_values != cur.input_values ||
+      fw.output_values != cur.output_values) {
+    throw std::invalid_argument(
+        "swap_model: candidate firmware I/O geometry does not match the "
+        "deployed on-chip buffers");
+  }
+  pending_.emplace(PendingSwap{std::move(float_model), std::move(standardizer),
+                               std::move(quantized)});
+  soc_->begin_reconfigure(reconfig_window_frames);
+}
+
 Decision DeblendingSystem::process(const tensor::Tensor& raw_frame) {
+  if (pending_ && !soc_->reconfiguring()) {
+    // The PR bitstream finished streaming before this tick: land the swap.
+    // Firmware, float fallback weights, and standardizer flip together, so
+    // from this frame on every path — IP and HPS fallback alike — sees one
+    // coherent model generation.
+    soc_->install_firmware(*pending_->quantized);
+    qmodel_ = std::move(pending_->quantized);
+    bundle_.model = std::move(pending_->model);
+    bundle_.standardizer = std::move(pending_->standardizer);
+    resources_ = hls::ResourceModel().estimate(qmodel_->firmware());
+    ip_latency_ = hls::LatencyModel(config_.latency).estimate(qmodel_->firmware());
+    ++model_epoch_;
+    pending_.reset();
+  }
+
   // The HPS pre-processing step: standardize the raw readings exactly as
   // the training data was standardized.
   const auto frame = bundle_.standardizer.transform(raw_frame);
@@ -90,12 +128,15 @@ Decision DeblendingSystem::process(const tensor::Tensor& raw_frame) {
     decision.source = DecisionSource::kHpsFloatFallback;
     decision.watchdog_timeouts = result.watchdog_timeouts;
     decision.degraded = true;
+    decision.reconfiguring = result.reconfiguring;
+    decision.model_epoch = model_epoch_;
     return decision;
   }
 
   Decision decision = decide(std::move(result.output), config_.trip_threshold);
   decision.timing = result.timing;
   decision.watchdog_timeouts = result.watchdog_timeouts;
+  decision.model_epoch = model_epoch_;
   return decision;
 }
 

@@ -47,6 +47,15 @@ struct Decision {
   /// quantized pipeline, so operators must treat the decision as
   /// low-confidence.
   bool degraded = false;
+  /// True when the frame landed inside a partial-reconfiguration window
+  /// (a planned firmware swap, as opposed to a watchdog-exhausted wedge);
+  /// implies degraded and kHpsFloatFallback.
+  bool reconfiguring = false;
+  /// Which installed model generation produced this decision. Starts at 1
+  /// for the model the system was built with and increments on every
+  /// completed swap_model(), so a decision stream can be audited for
+  /// exactly when the hot-swap landed.
+  std::uint64_t model_epoch = 1;
 };
 
 /// Trip logic alone: sum the per-monitor MI/RR probabilities and pick the
@@ -74,8 +83,33 @@ class DeblendingSystem {
   /// One 3 ms frame: raw readings in, mitigation decision out.
   Decision process(const tensor::Tensor& raw_frame);
 
+  /// Stage a qualified replacement model for zero-downtime hot-swap. Opens
+  /// an FPGA partial-reconfiguration window of `reconfig_window_frames`
+  /// decision ticks: frames arriving inside the window are served by the
+  /// *incumbent* float model on the HPS (degraded + reconfiguring flags
+  /// set), and the first process() call after the window drains installs
+  /// the new firmware on the NN IP, publishes the new float model +
+  /// standardizer for fallback, and bumps model_epoch(). No tick is ever
+  /// skipped. Throws std::logic_error if a swap is already staged, or
+  /// std::invalid_argument on a null/geometry-mismatched candidate.
+  /// Single-threaded like process(): call from the decision-loop thread.
+  void swap_model(nn::Model float_model, train::Standardizer standardizer,
+                  std::shared_ptr<const hls::QuantizedModel> quantized,
+                  std::size_t reconfig_window_frames);
+
+  /// True while a staged swap has not yet been installed (reconfiguration
+  /// window still open, or install pending on the next process()).
+  bool swap_pending() const noexcept { return pending_.has_value(); }
+  /// Installed model generation (1 = the model build() trained).
+  std::uint64_t model_epoch() const noexcept { return model_epoch_; }
+
   const nn::Model& float_model() const noexcept { return bundle_.model; }
   const hls::QuantizedModel& quantized() const noexcept { return *qmodel_; }
+  /// Shared ownership of the deployed firmware (e.g. to seed a registry);
+  /// stays valid across swaps for as long as the caller holds it.
+  std::shared_ptr<const hls::QuantizedModel> quantized_ptr() const noexcept {
+    return qmodel_;
+  }
   const train::Standardizer& standardizer() const noexcept {
     return bundle_.standardizer;
   }
@@ -87,12 +121,22 @@ class DeblendingSystem {
  private:
   DeblendingSystem(DeblendConfig config, TrainedBundle bundle);
 
+  /// A qualified candidate staged by swap_model(), waiting for the
+  /// reconfiguration window to drain before installation.
+  struct PendingSwap {
+    nn::Model model;
+    train::Standardizer standardizer;
+    std::shared_ptr<const hls::QuantizedModel> quantized;
+  };
+
   DeblendConfig config_;
   TrainedBundle bundle_;
-  std::unique_ptr<hls::QuantizedModel> qmodel_;
+  std::shared_ptr<const hls::QuantizedModel> qmodel_;
   std::unique_ptr<soc::ArriaSocSystem> soc_;
   hls::ResourceReport resources_;
   hls::LatencyReport ip_latency_;
+  std::optional<PendingSwap> pending_;
+  std::uint64_t model_epoch_ = 1;
 };
 
 }  // namespace reads::core

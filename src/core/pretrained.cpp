@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "nn/init.hpp"
 #include "nn/serialize.hpp"
@@ -56,11 +58,23 @@ TrainedBundle train_or_load(const char* arch, nn::Model model,
   if (std::filesystem::exists(path)) {
     try {
       nn::load_weights(bundle.model, path);
+      const auto stamp = read_cache_stamp(path);
+      if (!stamp) {
+        // Legacy cache written before stamping existed: accept it once (it
+        // parsed cleanly) and stamp it so future loads are hash-verified.
+        write_cache_stamp(path, bundle.model);
+      } else if (stamp->format_version != kWeightCacheFormatVersion) {
+        throw std::runtime_error(
+            "stale cache format v" + std::to_string(stamp->format_version) +
+            " (current v" + std::to_string(kWeightCacheFormatVersion) + ")");
+      } else if (stamp->weights_hash != nn::weights_hash(bundle.model)) {
+        throw std::runtime_error("cache content hash mismatch");
+      }
       bundle.loaded_from_cache = true;
       return bundle;
     } catch (const std::exception& e) {
-      // A stale or truncated cache must not abort the caller: fall through
-      // to retraining, which overwrites the bad file.
+      // A stale, truncated, or hash-mismatched cache must not abort the
+      // caller: fall through to retraining, which overwrites the bad file.
       std::cerr << "[pretrained " << arch << "] ignoring unusable cache ("
                 << e.what() << "); retraining\n";
     }
@@ -89,10 +103,40 @@ TrainedBundle train_or_load(const char* arch, nn::Model model,
   const auto result = trainer.fit(std::move(data), cfg);
   bundle.final_loss = result.final_loss();
   nn::save_weights(bundle.model, path);
+  write_cache_stamp(path, bundle.model);
   return bundle;
 }
 
 }  // namespace
+
+std::string cache_stamp_path(const std::string& weights_path) {
+  return weights_path + ".stamp";
+}
+
+std::optional<CacheStamp> read_cache_stamp(const std::string& weights_path) {
+  std::ifstream in(cache_stamp_path(weights_path));
+  if (!in) return std::nullopt;
+  std::string version_key, hash_key;
+  CacheStamp stamp;
+  in >> version_key >> stamp.format_version >> hash_key >> std::hex >>
+      stamp.weights_hash;
+  if (!in || version_key != "version" || hash_key != "hash") {
+    return std::nullopt;
+  }
+  return stamp;
+}
+
+void write_cache_stamp(const std::string& weights_path,
+                       const nn::Model& model) {
+  std::ofstream out(cache_stamp_path(weights_path),
+                    std::ios::out | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot write weight-cache stamp for " +
+                             weights_path);
+  }
+  out << "version " << kWeightCacheFormatVersion << "\n"
+      << "hash " << std::hex << nn::weights_hash(model) << "\n";
+}
 
 std::string model_cache_dir(const PretrainedOptions& options) {
   std::string dir = options.cache_dir;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "blm/data.hpp"
@@ -46,5 +47,29 @@ TrainedBundle pretrained_mlp(const PretrainedOptions& options = {});
 
 /// Resolved cache directory (created if missing).
 std::string model_cache_dir(const PretrainedOptions& options);
+
+/// Format version stamped beside every cached weights file. Bump when the
+/// cache contract changes (training recipe, weight layout, hashing scheme);
+/// caches stamped with an older version are treated as stale — a warning
+/// is printed and the model is retrained rather than trusted.
+inline constexpr std::uint32_t kWeightCacheFormatVersion = 2;
+
+/// Sidecar stamp recording the cache contract version and the FNV-1a
+/// content hash of the weights the cache held when it was written.
+struct CacheStamp {
+  std::uint32_t format_version = 0;
+  std::uint64_t weights_hash = 0;
+};
+
+/// Path of the stamp sidecar for a cached weights file ("<path>.stamp").
+std::string cache_stamp_path(const std::string& weights_path);
+
+/// Parse a stamp sidecar. nullopt when absent or unparsable (legacy cache).
+std::optional<CacheStamp> read_cache_stamp(const std::string& weights_path);
+
+/// Write the sidecar for `weights_path`, recording the current format
+/// version and `model`'s content hash (nn::weights_hash).
+void write_cache_stamp(const std::string& weights_path,
+                       const nn::Model& model);
 
 }  // namespace reads::core

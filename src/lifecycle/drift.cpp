@@ -1,0 +1,160 @@
+#include "lifecycle/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reads::lifecycle {
+
+namespace {
+/// Scale floor: a monitor that never varies in the baseline (pedestal-only
+/// channel) must not turn numerical dust into an infinite z-score.
+constexpr double kScaleFloor = 1e-6;
+}  // namespace
+
+DriftMonitor::DriftMonitor(DriftConfig config) : cfg_(config) {
+  if (cfg_.window == 0) {
+    throw std::invalid_argument("DriftMonitor: window must be positive");
+  }
+  if (cfg_.baseline_windows == 0) {
+    throw std::invalid_argument(
+        "DriftMonitor: baseline_windows must be positive");
+  }
+  if (cfg_.consecutive == 0) {
+    throw std::invalid_argument("DriftMonitor: consecutive must be positive");
+  }
+  if (cfg_.clear_threshold > cfg_.trigger_threshold) {
+    throw std::invalid_argument(
+        "DriftMonitor: clear_threshold must not exceed trigger_threshold");
+  }
+}
+
+void DriftMonitor::observe(const Tensor& standardized_frame,
+                           const Tensor& probabilities) {
+  const std::size_t n = standardized_frame.numel();
+  if (monitors_ == 0) {
+    monitors_ = n;
+    win_input_sum_.assign(monitors_, 0.0);
+    base_sum_.assign(monitors_, 0.0);
+    base_sumsq_.assign(monitors_, 0.0);
+  } else if (n != monitors_) {
+    throw std::invalid_argument("DriftMonitor: monitor count changed");
+  }
+  if (probabilities.numel() != 2 * monitors_) {
+    throw std::invalid_argument(
+        "DriftMonitor: probabilities must be (monitors, 2)");
+  }
+
+  double mi = 0.0, rr = 0.0;
+  for (std::size_t m = 0; m < monitors_; ++m) {
+    const double v = static_cast<double>(standardized_frame[m]);
+    win_input_sum_[m] += v;
+    if (!baseline_frozen_) {
+      base_sum_[m] += v;
+      base_sumsq_[m] += v * v;
+    }
+    mi += static_cast<double>(probabilities[m * 2 + 0]);
+    rr += static_cast<double>(probabilities[m * 2 + 1]);
+  }
+  win_mi_sum_ += mi;
+  win_rr_sum_ += rr;
+  if (!baseline_frozen_) {
+    ++base_frames_;
+    base_mi_sum_ += mi;
+    base_mi_sumsq_ += mi * mi;
+    base_rr_sum_ += rr;
+    base_rr_sumsq_ += rr * rr;
+  }
+
+  if (++win_count_ >= cfg_.window) finish_window();
+}
+
+void DriftMonitor::freeze_baseline() {
+  const auto frames = static_cast<double>(base_frames_);
+  base_mean_.resize(monitors_);
+  base_scale_.resize(monitors_);
+  for (std::size_t m = 0; m < monitors_; ++m) {
+    const double mean = base_sum_[m] / frames;
+    const double var =
+        std::max(0.0, base_sumsq_[m] / frames - mean * mean);
+    base_mean_[m] = mean;
+    base_scale_[m] = std::max(kScaleFloor, std::sqrt(var));
+  }
+  mi_mean_ = base_mi_sum_ / frames;
+  mi_scale_ = std::max(
+      kScaleFloor,
+      std::sqrt(std::max(0.0, base_mi_sumsq_ / frames - mi_mean_ * mi_mean_)));
+  rr_mean_ = base_rr_sum_ / frames;
+  rr_scale_ = std::max(
+      kScaleFloor,
+      std::sqrt(std::max(0.0, base_rr_sumsq_ / frames - rr_mean_ * rr_mean_)));
+  baseline_frozen_ = true;
+  snap_.baseline_frozen = true;
+}
+
+void DriftMonitor::finish_window() {
+  const auto w = static_cast<double>(win_count_);
+
+  if (!baseline_frozen_) {
+    if (++base_windows_done_ >= cfg_.baseline_windows) freeze_baseline();
+  } else {
+    // The window mean of W iid samples has std sigma/sqrt(W): z-score each
+    // monitor's window mean at that scale, then average |z| over monitors.
+    // Under no drift this sits near 0.8 (E|N(0,1)|); real drift moves whole
+    // groups of monitors coherently and pushes it past any sane trigger.
+    const double root_w = std::sqrt(w);
+    double input_shift = 0.0;
+    for (std::size_t m = 0; m < monitors_; ++m) {
+      const double win_mean = win_input_sum_[m] / w;
+      input_shift +=
+          std::abs(win_mean - base_mean_[m]) / (base_scale_[m] / root_w);
+    }
+    input_shift /= static_cast<double>(monitors_);
+
+    const double z_mi =
+        std::abs(win_mi_sum_ / w - mi_mean_) / (mi_scale_ / root_w);
+    const double z_rr =
+        std::abs(win_rr_sum_ / w - rr_mean_) / (rr_scale_ / root_w);
+    const double output_shift = std::max(z_mi, z_rr);
+
+    const double score = std::max(input_shift, output_shift);
+    if (score >= cfg_.trigger_threshold) {
+      ++alarm_streak_;
+    } else if (score <= cfg_.clear_threshold) {
+      alarm_streak_ = 0;
+    }  // hysteresis band: hold the streak
+    if (alarm_streak_ >= cfg_.consecutive) triggered_ = true;
+
+    snap_.input_shift = input_shift;
+    snap_.output_shift = output_shift;
+    snap_.score = score;
+    ++snap_.windows;
+    snap_.alarm_streak = alarm_streak_;
+    snap_.triggered = triggered_;
+  }
+
+  win_count_ = 0;
+  std::fill(win_input_sum_.begin(), win_input_sum_.end(), 0.0);
+  win_mi_sum_ = 0.0;
+  win_rr_sum_ = 0.0;
+}
+
+void DriftMonitor::rearm() {
+  triggered_ = false;
+  alarm_streak_ = 0;
+  baseline_frozen_ = false;
+  base_windows_done_ = 0;
+  base_frames_ = 0;
+  if (monitors_ != 0) {
+    std::fill(base_sum_.begin(), base_sum_.end(), 0.0);
+    std::fill(base_sumsq_.begin(), base_sumsq_.end(), 0.0);
+    std::fill(win_input_sum_.begin(), win_input_sum_.end(), 0.0);
+  }
+  base_mi_sum_ = base_mi_sumsq_ = 0.0;
+  base_rr_sum_ = base_rr_sumsq_ = 0.0;
+  win_count_ = 0;
+  win_mi_sum_ = win_rr_sum_ = 0.0;
+  snap_ = DriftSnapshot{};
+}
+
+}  // namespace reads::lifecycle

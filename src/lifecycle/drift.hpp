@@ -1,0 +1,105 @@
+// DriftMonitor: windowed detection of machine drift from the decision
+// loop's own traffic, with a frozen baseline sketch and hysteresis-guarded
+// triggering.
+//
+// The monitor sees exactly what the deployed model sees — the standardized
+// input frame and the (monitors, 2) output probabilities — and never the
+// ground truth (production has none). Two shift proxies are maintained per
+// window of `window` frames:
+//
+//  - input shift: per-monitor z-score of the window-mean reading against a
+//    baseline sketch (mean and variance per monitor) frozen over the first
+//    `baseline_windows` windows, averaged across monitors. Loss-pattern
+//    rotation and intensity drift both move it.
+//  - output shift: z-scores of the window-mean total MI and RR probability
+//    mass against the same baseline. A model serving drifted optics starts
+//    mis-assigning mass long before anyone labels a frame.
+//
+// The drift score is the max of the two. Hysteresis: a window with score
+// >= trigger_threshold extends the alarm streak, a window with score <=
+// clear_threshold resets it, scores in between hold it; `consecutive`
+// alarmed windows latch triggered(). The latch (and the baseline) survive
+// until rearm() — called after a model swap, when the new generation
+// defines a new normal and the sketch must be rebuilt.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace reads::lifecycle {
+
+using tensor::Tensor;
+
+struct DriftConfig {
+  std::size_t window = 64;           ///< frames per evaluation window
+  std::size_t baseline_windows = 2;  ///< windows frozen into the sketch
+  double trigger_threshold = 4.0;    ///< window score >= this: alarm window
+  double clear_threshold = 2.0;      ///< window score <= this: streak reset
+  std::size_t consecutive = 2;       ///< alarm windows to latch a trigger
+};
+
+struct DriftSnapshot {
+  double input_shift = 0.0;   ///< last completed window
+  double output_shift = 0.0;
+  double score = 0.0;         ///< max(input_shift, output_shift)
+  std::size_t windows = 0;    ///< completed monitoring windows (post-baseline)
+  std::size_t alarm_streak = 0;
+  bool baseline_frozen = false;
+  bool triggered = false;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftConfig config = {});
+
+  /// Feed one decision tick. `standardized_frame` is the (monitors, 1)
+  /// model input; `probabilities` the (monitors, 2) model output.
+  /// Single-threaded, like the decision loop that calls it.
+  void observe(const Tensor& standardized_frame, const Tensor& probabilities);
+
+  /// Latched: a drift trigger fired and rearm() has not been called.
+  bool triggered() const noexcept { return triggered_; }
+
+  /// Clear the latch AND discard the baseline sketch; the next
+  /// `baseline_windows` windows rebuild it. Call after a model swap.
+  void rearm();
+
+  DriftSnapshot snapshot() const noexcept { return snap_; }
+  const DriftConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void finish_window();
+  void freeze_baseline();
+
+  DriftConfig cfg_;
+  std::size_t monitors_ = 0;  ///< inferred from the first frame
+
+  // Current-window accumulators.
+  std::size_t win_count_ = 0;
+  std::vector<double> win_input_sum_;  ///< per monitor
+  double win_mi_sum_ = 0.0;            ///< per-frame total MI mass, summed
+  double win_rr_sum_ = 0.0;
+
+  // Baseline accumulation (first baseline_windows windows after (re)arm).
+  std::size_t base_frames_ = 0;
+  std::vector<double> base_sum_;    ///< per monitor
+  std::vector<double> base_sumsq_;  ///< per monitor
+  double base_mi_sum_ = 0.0, base_mi_sumsq_ = 0.0;
+  double base_rr_sum_ = 0.0, base_rr_sumsq_ = 0.0;
+  std::size_t base_windows_done_ = 0;
+
+  // Frozen sketch.
+  bool baseline_frozen_ = false;
+  std::vector<double> base_mean_;
+  std::vector<double> base_scale_;  ///< per-monitor std, floored
+  double mi_mean_ = 0.0, mi_scale_ = 1.0;
+  double rr_mean_ = 0.0, rr_scale_ = 1.0;
+
+  std::size_t alarm_streak_ = 0;
+  bool triggered_ = false;
+  DriftSnapshot snap_;
+};
+
+}  // namespace reads::lifecycle

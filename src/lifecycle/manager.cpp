@@ -1,0 +1,153 @@
+#include "lifecycle/manager.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace reads::lifecycle {
+
+std::string_view to_string(LifecyclePhase phase) noexcept {
+  switch (phase) {
+    case LifecyclePhase::kStable: return "stable";
+    case LifecyclePhase::kRequalifying: return "requalifying";
+    case LifecyclePhase::kSwapping: return "swapping";
+  }
+  return "?";
+}
+
+LifecycleManager::LifecycleManager(core::DeblendingSystem& system,
+                                   LifecycleConfig config, ModelFactory factory)
+    : system_(system),
+      cfg_(std::move(config)),
+      factory_(std::move(factory)),
+      registry_(cfg_.persist_dir),
+      monitor_(cfg_.drift),
+      requalifier_(cfg_.requalify, factory_) {
+  if (!factory_) {
+    throw std::invalid_argument("LifecycleManager: null model factory");
+  }
+  if (cfg_.fps <= 0.0) {
+    throw std::invalid_argument("LifecycleManager: fps must be positive");
+  }
+  if (cfg_.recent_capacity < 8 || cfg_.min_frames > cfg_.recent_capacity) {
+    throw std::invalid_argument(
+        "LifecycleManager: need recent_capacity >= 8 and min_frames <= "
+        "recent_capacity");
+  }
+  window_frames_ = static_cast<std::size_t>(
+      std::ceil(cfg_.reconfig_window_ms * cfg_.fps / 1e3));
+
+  // Version 1: the generation the system was built with. Qualified by
+  // construction (it is the paper's deployed, verified firmware).
+  QualificationReport initial;
+  initial.passed = true;
+  initial.reason = "initial deployment";
+  registry_.publish(ModelArtifact(clone_model(system_.float_model()),
+                                  system_.standardizer(),
+                                  system_.quantized_ptr(), initial));
+}
+
+nn::Model LifecycleManager::clone_model(const nn::Model& src) const {
+  nn::Model copy = factory_();
+  nn::copy_weights(src, copy);
+  return copy;
+}
+
+void LifecycleManager::maybe_submit() {
+  if (requalifier_.busy() || recent_.size() < cfg_.min_frames) return;
+
+  RequalifyRequest request;
+  request.frames.assign(recent_.begin(), recent_.end());
+  request.incumbent = registry_.current();
+  request.seed = util::derive_seed(
+      cfg_.seed, /*purpose=*/0x9E00 + triggers_ + rejected_candidates_);
+  request.mutate = std::move(next_mutator_);
+  next_mutator_ = nullptr;
+
+  const bool accepted = requalifier_.submit(
+      std::move(request), [this](RequalifyResult result) {
+        std::lock_guard lock(result_mutex_);
+        pending_result_.emplace(std::move(result));
+      });
+  if (accepted) phase_ = LifecyclePhase::kRequalifying;
+}
+
+void LifecycleManager::consume_result() {
+  std::optional<RequalifyResult> result;
+  {
+    std::lock_guard lock(result_mutex_);
+    result = std::move(pending_result_);
+    pending_result_.reset();
+  }
+  if (!result) return;
+
+  if (!result->qualified) {
+    // Gate failure: the candidate never reaches the registry or the
+    // fabric. Stay triggered — the next tick resubmits on fresher frames.
+    ++rejected_candidates_;
+    ++cycle_rejected_;
+    phase_ = LifecyclePhase::kStable;
+    return;
+  }
+
+  auto published = registry_.publish(std::move(*result->artifact));
+  swap_from_version_ = published->version - 1;
+  system_.swap_model(clone_model(published->model), published->standardizer,
+                     published->quantized, window_frames_);
+  phase_ = LifecyclePhase::kSwapping;
+}
+
+core::Decision LifecycleManager::tick(const tensor::Tensor& raw_frame,
+                                      const tensor::Tensor& target) {
+  auto decision = system_.process(raw_frame);
+  ++ticks_;
+  if (decision.degraded) ++degraded_ticks_;
+  if (decision.reconfiguring) ++reconfig_ticks_;
+
+  // Swap-landing detection: process() installs a pending swap at the first
+  // tick past the reconfiguration window.
+  if (phase_ == LifecyclePhase::kSwapping && !system_.swap_pending()) {
+    auto current = registry_.current();
+    SwapRecord record;
+    record.from_version = swap_from_version_;
+    record.to_version = current->version;
+    record.landed_tick = ticks_;
+    record.trigger_tick = trigger_tick_;
+    record.reconfig_ticks = window_frames_;
+    record.rejected_candidates = cycle_rejected_;
+    swaps_.push_back(record);
+    cycle_rejected_ = 0;
+    trigger_tick_ = 0;
+    monitor_.rearm();
+    phase_ = LifecyclePhase::kStable;
+  }
+
+  // Feed the monitor what the model saw; during a reconfiguration window
+  // that is the incumbent standardizer's view, which is exactly what the
+  // serving fallback used.
+  monitor_.observe(system_.standardizer().transform(raw_frame),
+                   decision.probabilities);
+
+  recent_.push_back(blm::BlmFrame{raw_frame, target});
+  while (recent_.size() > cfg_.recent_capacity) recent_.pop_front();
+
+  if (phase_ == LifecyclePhase::kRequalifying) {
+    consume_result();
+  }
+  if (phase_ == LifecyclePhase::kStable && monitor_.triggered()) {
+    if (trigger_tick_ == 0) {
+      // First tick of this cycle's latched trigger (resubmits after a
+      // rejected candidate belong to the same cycle).
+      trigger_tick_ = ticks_;
+      ++triggers_;
+    }
+    maybe_submit();
+  }
+
+  return decision;
+}
+
+}  // namespace reads::lifecycle

@@ -1,0 +1,145 @@
+// LifecycleManager: the closed loop that keeps a deployed DeblendingSystem
+// qualified as the machine drifts.
+//
+//   drift detected  ->  background requalification on recent frames
+//                   ->  candidate gated (accuracy-vs-float + holdout MSE)
+//                   ->  published to the registry (versioned, hashed)
+//                   ->  hot-swapped: partial-reconfiguration window opens,
+//                       the HPS float fallback serves every tick inside it,
+//                       the new firmware lands at the first tick after
+//
+// The decision loop never skips a tick and never blocks on training: the
+// manager's tick() is the loop body, requalification runs on the
+// Requalifier's worker thread, and the swap itself is the deblender's
+// pending-install mechanism. After a swap the DriftMonitor is rearmed so
+// the new generation defines the new baseline — the whole cycle can repeat
+// indefinitely, which is exactly what bench_lifecycle drives.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/deblender.hpp"
+#include "lifecycle/drift.hpp"
+#include "lifecycle/registry.hpp"
+#include "lifecycle/requalify.hpp"
+
+namespace reads::lifecycle {
+
+enum class LifecyclePhase : std::uint8_t {
+  kStable,        ///< serving; drift monitor watching
+  kRequalifying,  ///< worker training/qualifying a candidate
+  kSwapping,      ///< reconfiguration window open, install pending
+};
+
+std::string_view to_string(LifecyclePhase phase) noexcept;
+
+struct LifecycleConfig {
+  DriftConfig drift;
+  RequalifyConfig requalify;
+  /// Labelled-frame ring buffer capacity (recent traffic for retraining).
+  std::size_t recent_capacity = 192;
+  /// Frames required before a trigger may submit a requalification.
+  std::size_t min_frames = 96;
+  /// Partial-reconfiguration window: how long the PR bitstream takes to
+  /// stream into the fabric, converted to decision ticks at `fps`.
+  double reconfig_window_ms = 40.0;
+  double fps = 320.0;
+  std::uint64_t seed = 2026;
+  /// Registry persistence directory ("" = in-memory only).
+  std::string persist_dir;
+};
+
+/// One completed drift->requalify->swap cycle, for audit and benching.
+struct SwapRecord {
+  std::uint64_t from_version = 0;
+  std::uint64_t to_version = 0;
+  std::uint64_t landed_tick = 0;    ///< tick index at which the swap landed
+  std::uint64_t trigger_tick = 0;   ///< tick at which drift latched
+  std::size_t reconfig_ticks = 0;   ///< fallback ticks inside the window
+  std::size_t rejected_candidates = 0;  ///< gate failures in this cycle
+};
+
+class LifecycleManager {
+ public:
+  /// `system` must outlive the manager. `factory` builds the deployed
+  /// topology (used to clone artifacts — nn::Model is move-only — and to
+  /// warm-start candidates). Publishes the system's current model as
+  /// registry version 1.
+  LifecycleManager(core::DeblendingSystem& system, LifecycleConfig config,
+                   ModelFactory factory);
+
+  LifecycleManager(const LifecycleManager&) = delete;
+  LifecycleManager& operator=(const LifecycleManager&) = delete;
+
+  /// The decision-loop body: serve the frame through the system, feed the
+  /// drift monitor, bank the labelled frame, and advance the lifecycle
+  /// state machine. `target` is the frame's ground truth — in production
+  /// it arrives from the accelerator's logging chain, possibly delayed; the
+  /// manager only reads it when banking frames for retraining, never to
+  /// make the tick's decision. Single-threaded.
+  core::Decision tick(const tensor::Tensor& raw_frame,
+                      const tensor::Tensor& target);
+
+  /// Fault injection / testing: applied to the next candidate after
+  /// training, before qualification, then cleared. A corrupting mutator
+  /// must be caught by the gates (bench_lifecycle asserts it).
+  void set_next_candidate_mutator(std::function<void(nn::Model&)> mutate) {
+    next_mutator_ = std::move(mutate);
+  }
+
+  LifecyclePhase phase() const noexcept { return phase_; }
+  const ModelRegistry& registry() const noexcept { return registry_; }
+  const DriftMonitor& monitor() const noexcept { return monitor_; }
+  const std::vector<SwapRecord>& swaps() const noexcept { return swaps_; }
+  std::uint64_t ticks() const noexcept { return ticks_; }
+  std::uint64_t degraded_ticks() const noexcept { return degraded_ticks_; }
+  std::uint64_t reconfig_ticks() const noexcept { return reconfig_ticks_; }
+  std::uint64_t triggers() const noexcept { return triggers_; }
+  std::uint64_t rejected_candidates() const noexcept {
+    return rejected_candidates_;
+  }
+  /// Completed drift->requalify->swap cycles (== swaps().size()).
+  std::uint64_t cycles() const noexcept { return swaps_.size(); }
+  std::size_t reconfig_window_frames() const noexcept {
+    return window_frames_;
+  }
+
+ private:
+  nn::Model clone_model(const nn::Model& src) const;
+  void maybe_submit();
+  void consume_result();
+
+  core::DeblendingSystem& system_;
+  LifecycleConfig cfg_;
+  ModelFactory factory_;
+  ModelRegistry registry_;
+  DriftMonitor monitor_;
+  Requalifier requalifier_;
+  std::size_t window_frames_ = 0;
+
+  std::deque<blm::BlmFrame> recent_;
+  LifecyclePhase phase_ = LifecyclePhase::kStable;
+  std::function<void(nn::Model&)> next_mutator_;
+
+  /// Finished requalifications parked by the worker for the tick thread.
+  std::mutex result_mutex_;
+  std::optional<RequalifyResult> pending_result_;
+
+  std::uint64_t ticks_ = 0;
+  std::uint64_t degraded_ticks_ = 0;
+  std::uint64_t reconfig_ticks_ = 0;
+  std::uint64_t triggers_ = 0;
+  std::uint64_t rejected_candidates_ = 0;
+  std::uint64_t cycle_rejected_ = 0;
+  std::uint64_t trigger_tick_ = 0;
+  std::uint64_t swap_from_version_ = 0;
+  std::vector<SwapRecord> swaps_;
+};
+
+}  // namespace reads::lifecycle

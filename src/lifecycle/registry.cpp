@@ -1,0 +1,63 @@
+#include "lifecycle/registry.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace reads::lifecycle {
+
+ModelRegistry::ModelRegistry(std::string persist_dir)
+    : persist_dir_(std::move(persist_dir)) {
+  if (!persist_dir_.empty()) {
+    std::filesystem::create_directories(persist_dir_);
+  }
+}
+
+std::shared_ptr<const ModelArtifact> ModelRegistry::publish(
+    ModelArtifact artifact) {
+  if (!artifact.quantized) {
+    throw std::invalid_argument(
+        "ModelRegistry::publish: artifact has no quantized model");
+  }
+  std::lock_guard lock(mutex_);
+  artifact.version = history_.size() + 1;
+  artifact.content_hash = nn::weights_hash(artifact.model);
+  if (!persist_dir_.empty()) {
+    std::ostringstream name;
+    name << "v" << artifact.version << "_" << std::hex << artifact.content_hash
+         << ".weights";
+    nn::save_weights(artifact.model,
+                     (std::filesystem::path(persist_dir_) / name.str())
+                         .string());
+  }
+  auto frozen =
+      std::make_shared<const ModelArtifact>(std::move(artifact));
+  history_.push_back(frozen);
+  current_.store(frozen.get(), std::memory_order_release);
+  return frozen;
+}
+
+std::shared_ptr<const ModelArtifact> ModelRegistry::version(
+    std::uint64_t v) const {
+  std::lock_guard lock(mutex_);
+  if (v == 0 || v > history_.size()) return nullptr;
+  return history_[v - 1];
+}
+
+std::shared_ptr<const ModelArtifact> ModelRegistry::rollback() {
+  std::lock_guard lock(mutex_);
+  const ModelArtifact* cur = current_.load(std::memory_order_acquire);
+  if (!cur || cur->version <= 1) return nullptr;
+  auto prev = history_[cur->version - 2];
+  current_.store(prev.get(), std::memory_order_release);
+  return prev;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return history_.size();
+}
+
+}  // namespace reads::lifecycle

@@ -1,0 +1,116 @@
+// ModelRegistry: versioned, immutable, content-hashed model artifacts with
+// RCU-style publication.
+//
+// Every qualified model generation — float weights, the standardizer they
+// were trained against, and the quantized firmware lowered from them — is
+// frozen into one ModelArtifact and published atomically. Readers (the
+// decision loop, the serving gateway, benches) grab current() lock-free and
+// keep a shared_ptr for as long as they serve from it; a publish or
+// rollback never invalidates an artifact somebody still holds, which is
+// exactly the property a zero-downtime hot-swap needs: the old firmware
+// stays alive until the last frame served from it has left the building.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hls/qmodel.hpp"
+#include "nn/model.hpp"
+#include "train/standardize.hpp"
+
+namespace reads::lifecycle {
+
+/// Outcome of the qualification gate a candidate passed (or failed) before
+/// reaching the registry. Kept with the artifact for audit.
+struct QualificationReport {
+  double quant_accuracy_mi = 0.0;  ///< vs float, fraction within tolerance
+  double quant_accuracy_rr = 0.0;
+  double holdout_mse = 0.0;            ///< candidate float MSE on holdout
+  double incumbent_holdout_mse = 0.0;  ///< incumbent float MSE, same holdout
+  std::size_t holdout_frames = 0;
+  bool passed = false;
+  std::string reason;  ///< human-readable verdict ("qualified", or why not)
+};
+
+/// One immutable model generation. Never mutated after publication; the
+/// registry only ever hands out shared_ptr<const ModelArtifact>.
+/// enable_shared_from_this lets the registry's reader fast path turn its
+/// atomic raw pointer back into shared ownership without touching a lock.
+struct ModelArtifact : std::enable_shared_from_this<ModelArtifact> {
+  ModelArtifact(nn::Model model_, train::Standardizer standardizer_,
+                std::shared_ptr<const hls::QuantizedModel> quantized_,
+                QualificationReport report_ = {})
+      : model(std::move(model_)),
+        standardizer(std::move(standardizer_)),
+        quantized(std::move(quantized_)),
+        report(std::move(report_)) {}
+
+  /// Registry-assigned, dense from 1 in publication order.
+  std::uint64_t version = 0;
+  /// FNV-1a over the float model's shapes and weight bytes
+  /// (nn::weights_hash): two artifacts with the same hash serve the same
+  /// bits. Computed at publication.
+  std::uint64_t content_hash = 0;
+  nn::Model model;  ///< float weights (HPS fallback + future warm starts)
+  train::Standardizer standardizer;
+  std::shared_ptr<const hls::QuantizedModel> quantized;
+  QualificationReport report;
+};
+
+/// Thread-safe versioned store. Writers (publish/rollback) serialize on a
+/// mutex; readers are a lock-free atomic pointer load (see current()).
+class ModelRegistry {
+ public:
+  /// `persist_dir` non-empty: every published artifact's float weights are
+  /// also written to `<dir>/v<version>_<hash>.weights` (nn::save_weights
+  /// format) so a generation can be audited or resurrected offline.
+  explicit ModelRegistry(std::string persist_dir = "");
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Freeze `artifact` (version and content_hash are assigned here),
+  /// persist it if configured, and publish it as current. Returns the
+  /// published artifact. Throws std::invalid_argument if the artifact has
+  /// no quantized model.
+  std::shared_ptr<const ModelArtifact> publish(ModelArtifact artifact);
+
+  /// The serving generation; never null after the first publish. Lock-free:
+  /// one acquire load of a raw pointer plus an atomic refcount bump
+  /// (shared_from_this). The pointee is pinned by history_, which never
+  /// shrinks, so the pointer can't dangle while the registry is alive.
+  /// (Not std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic::load
+  /// releases its embedded spinlock with memory_order_relaxed, which TSan —
+  /// correctly, per the formal model — reports as a reader/writer race on
+  /// the stored pointer.)
+  std::shared_ptr<const ModelArtifact> current() const noexcept {
+    const ModelArtifact* p = current_.load(std::memory_order_acquire);
+    return p ? p->shared_from_this() : nullptr;
+  }
+
+  /// A specific generation (nullptr if `v` was never published).
+  std::shared_ptr<const ModelArtifact> version(std::uint64_t v) const;
+
+  /// Repoint current at the generation preceding it (publication order,
+  /// skipping nothing — rollback of a rollback walks further back).
+  /// Returns the new current, or nullptr (and no change) when there is no
+  /// earlier generation to fall back to.
+  std::shared_ptr<const ModelArtifact> rollback();
+
+  /// Number of generations ever published.
+  std::size_t size() const;
+
+  const std::string& persist_dir() const noexcept { return persist_dir_; }
+
+ private:
+  std::string persist_dir_;
+  mutable std::mutex mutex_;  ///< guards history_ and writer ordering
+  std::vector<std::shared_ptr<const ModelArtifact>> history_;
+  std::atomic<const ModelArtifact*> current_{nullptr};
+};
+
+}  // namespace reads::lifecycle

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/layers/batchnorm.hpp"
+#include "util/hash.hpp"
 
 namespace reads::nn {
 
@@ -84,6 +85,33 @@ void load_weights(Model& model, const std::string& path) {
             static_cast<std::streamsize>(t->numel() * sizeof(float)));
     if (!in) throw std::runtime_error("weights file truncated: " + path);
   }
+}
+
+void copy_weights(const Model& src, Model& dst) {
+  auto from = serializable_tensors(const_cast<Model&>(src));
+  auto to = serializable_tensors(dst);
+  if (from.size() != to.size()) {
+    throw std::runtime_error("copy_weights: tensor count mismatch");
+  }
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    if (from[i]->shape() != to[i]->shape()) {
+      throw std::runtime_error("copy_weights: tensor shape mismatch");
+    }
+    *to[i] = *from[i];
+  }
+}
+
+std::uint64_t weights_hash(const Model& model) {
+  auto tensors = serializable_tensors(const_cast<Model&>(model));
+  std::uint64_t h = util::kFnvOffset;
+  for (const auto* t : tensors) {
+    for (auto d : t->shape()) {
+      const auto dim = static_cast<std::uint64_t>(d);
+      h = util::fnv1a64(&dim, sizeof(dim), h);
+    }
+    h = util::fnv1a64(t->data(), t->numel() * sizeof(float), h);
+  }
+  return h;
 }
 
 }  // namespace reads::nn

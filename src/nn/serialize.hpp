@@ -4,6 +4,7 @@
 // load so a file cannot be silently applied to a mismatched architecture.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "nn/model.hpp"
@@ -14,5 +15,20 @@ void save_weights(const Model& model, const std::string& path);
 
 /// Throws std::runtime_error on I/O failure or shape mismatch.
 void load_weights(Model& model, const std::string& path);
+
+/// Copy every serialized tensor (trainable parameters, then BatchNorm
+/// running statistics) from `src` into `dst`. The two models must have the
+/// same topology (same builder, same config); throws std::runtime_error on
+/// tensor-count or shape mismatch. nn::Model is move-only because layers
+/// own their storage, so this is how the lifecycle subsystem clones a model:
+/// rebuild the topology with its builder, then copy the weights across.
+void copy_weights(const Model& src, Model& dst);
+
+/// FNV-1a/64 content hash over the exact bytes save_weights would persist
+/// (shapes and float payloads of every serialized tensor, in order). Two
+/// models hash equal iff load/save round-trips between them are
+/// bit-identical; the model registry and the pretrained cache stamp use
+/// this as the artifact identity.
+std::uint64_t weights_hash(const Model& model);
 
 }  // namespace reads::nn

@@ -1,12 +1,97 @@
 #include "serve/gateway.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace reads::serve {
+
+namespace {
+
+/// Deterministic mirror selection: a pure function of the request id, so a
+/// replayed stream mirrors exactly the same frames regardless of timing.
+bool mirror_selected(std::uint64_t id, double fraction) noexcept {
+  if (fraction >= 1.0) return true;
+  if (fraction <= 0.0) return false;
+  util::SplitMix64 sm(id);
+  return static_cast<double>(sm.next()) <
+         fraction * 18446744073709551616.0;  // 2^64
+}
+
+/// Default shadow verdict: elementwise agreement with the incumbent within
+/// a loose band (quantization-level differences pass; a wrong model fails).
+bool default_judge(const Tensor& primary, const Tensor& shadow) {
+  if (primary.numel() != shadow.numel()) return false;
+  for (std::size_t i = 0; i < primary.numel(); ++i) {
+    if (std::abs(primary[i] - shadow[i]) > 0.25) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One mirrored frame awaiting a shadow verdict.
+struct ShadowItem {
+  std::uint64_t id = 0;
+  std::uint64_t stream = 0;
+  Tensor frame;
+  Tensor primary;
+};
+
+struct Gateway::ShadowSession {
+  explicit ShadowSession(ShadowConfig c) : cfg(c), queue(c.queue_capacity) {}
+
+  ShadowConfig cfg;
+  BackendFactory factory;
+  ShadowJudge judge;
+  std::unique_ptr<Backend> candidate;
+  std::uint64_t candidate_epoch = 0;
+  BoundedQueue<ShadowItem> queue;
+  std::thread worker;
+  /// Mirroring + judging continue only while true; flips on promote,
+  /// rollback, or end_shadow().
+  std::atomic<bool> active{true};
+  std::atomic<ShadowOutcome> outcome{ShadowOutcome::kActive};
+  std::atomic<std::uint64_t> mirrored{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> judged{0};
+  std::atomic<std::uint64_t> rejects{0};
+  std::atomic<std::uint64_t> windows{0};
+  std::atomic<std::uint64_t> clean_windows{0};
+  /// Shadow-worker private: verdicts within the current window.
+  std::size_t window_judged = 0;
+  std::size_t window_rejects = 0;
+
+  ShadowStatus status() const {
+    ShadowStatus s;
+    s.active = active.load(std::memory_order_relaxed);
+    s.outcome = outcome.load(std::memory_order_relaxed);
+    s.candidate_epoch = candidate_epoch;
+    s.mirrored = mirrored.load(std::memory_order_relaxed);
+    s.dropped = dropped.load(std::memory_order_relaxed);
+    s.judged = judged.load(std::memory_order_relaxed);
+    s.rejects = rejects.load(std::memory_order_relaxed);
+    s.windows = windows.load(std::memory_order_relaxed);
+    s.clean_windows = clean_windows.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+std::string_view to_string(ShadowOutcome outcome) noexcept {
+  switch (outcome) {
+    case ShadowOutcome::kNone: return "none";
+    case ShadowOutcome::kActive: return "active";
+    case ShadowOutcome::kPromoted: return "promoted";
+    case ShadowOutcome::kRolledBack: return "rolled_back";
+    case ShadowOutcome::kEnded: return "ended";
+  }
+  return "?";
+}
 
 std::string_view to_string(RejectReason reason) noexcept {
   switch (reason) {
@@ -45,6 +130,9 @@ Gateway::Gateway(std::vector<std::unique_ptr<Backend>> backends,
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     replicas_[i]->set_redispatch(
         [this, i](Request& req) { return redispatch(i, req); });
+    replicas_[i]->set_shadow_tap(
+        [this](std::uint64_t id, std::uint64_t stream, const Tensor& frame,
+               const Tensor& output) { on_mirror(id, stream, frame, output); });
     replicas_[i]->start(*shards_[i]);
   }
 }
@@ -55,8 +143,147 @@ void Gateway::stop() {
   if (stopped_.exchange(true)) {
     return;
   }
+  end_shadow();
   for (auto& shard : shards_) shard->close();
   for (auto& replica : replicas_) replica->join();
+}
+
+void Gateway::swap_all(const BackendFactory& factory, std::uint64_t epoch) {
+  if (!factory) {
+    throw std::invalid_argument("Gateway::swap_all: null backend factory");
+  }
+  for (auto& replica : replicas_) replica->swap_model(factory(), epoch);
+  model_epoch_.store(epoch, std::memory_order_relaxed);
+}
+
+std::shared_ptr<Gateway::ShadowSession> Gateway::shadow_session() const {
+  std::lock_guard lock(shadow_mutex_);
+  return shadow_;
+}
+
+bool Gateway::begin_shadow(BackendFactory factory, ShadowConfig cfg,
+                           ShadowJudge judge) {
+  if (!factory) {
+    throw std::invalid_argument("Gateway::begin_shadow: null backend factory");
+  }
+  if (cfg.fraction <= 0.0 || cfg.window == 0 || cfg.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "Gateway::begin_shadow: fraction, window, and queue_capacity must "
+        "be positive");
+  }
+  if (stopped_.load(std::memory_order_relaxed)) return false;
+  std::unique_lock lock(shadow_mutex_);
+  if (shadow_ && shadow_->active.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  if (shadow_) {
+    // A terminal session (promoted / rolled back) whose worker was never
+    // reaped: finish it outside the lock before starting anew.
+    lock.unlock();
+    end_shadow();
+    lock.lock();
+    if (shadow_) return false;  // someone else began a session meanwhile
+  }
+  auto session = std::make_shared<ShadowSession>(cfg);
+  session->candidate = factory();  // may throw; nothing published yet
+  session->factory = std::move(factory);
+  session->judge = judge ? std::move(judge)
+                         : [](std::uint64_t, const Tensor&,
+                              const Tensor& primary, const Tensor& shadow) {
+                             return default_judge(primary, shadow);
+                           };
+  session->candidate_epoch = model_epoch_.load(std::memory_order_relaxed) + 1;
+  session->worker = std::thread([this, session] { shadow_run(session); });
+  shadow_ = session;
+  return true;
+}
+
+ShadowStatus Gateway::end_shadow() {
+  std::shared_ptr<ShadowSession> session;
+  {
+    std::lock_guard lock(shadow_mutex_);
+    session = std::move(shadow_);
+    shadow_.reset();
+  }
+  if (!session) {
+    std::lock_guard lock(shadow_mutex_);
+    return last_shadow_status_;
+  }
+  session->active.store(false, std::memory_order_relaxed);
+  session->queue.close();
+  if (session->worker.joinable()) session->worker.join();
+  ShadowOutcome expected = ShadowOutcome::kActive;
+  session->outcome.compare_exchange_strong(expected, ShadowOutcome::kEnded,
+                                           std::memory_order_relaxed);
+  auto status = session->status();
+  status.active = false;
+  {
+    std::lock_guard lock(shadow_mutex_);
+    last_shadow_status_ = status;
+  }
+  return status;
+}
+
+ShadowStatus Gateway::shadow_status() const {
+  std::lock_guard lock(shadow_mutex_);
+  if (shadow_) return shadow_->status();
+  return last_shadow_status_;
+}
+
+void Gateway::on_mirror(std::uint64_t id, std::uint64_t stream,
+                        const Tensor& frame, const Tensor& primary) {
+  auto session = shadow_session();
+  if (!session || !session->active.load(std::memory_order_relaxed)) return;
+  ShadowItem item;
+  item.id = id;
+  item.stream = stream;
+  item.frame = frame;
+  item.primary = primary;
+  if (session->queue.try_push(item)) {
+    session->mirrored.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    session->dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Gateway::shadow_run(std::shared_ptr<ShadowSession> session) {
+  auto& s = *session;
+  while (auto item = s.queue.pop()) {
+    if (!s.active.load(std::memory_order_relaxed)) continue;  // drain only
+    bool ok = false;
+    try {
+      const Tensor shadow_out = s.candidate->infer(item->frame);
+      ok = s.judge(item->stream, item->frame, item->primary, shadow_out);
+    } catch (...) {
+      ok = false;  // a faulting candidate is a rejecting candidate
+    }
+    s.judged.fetch_add(1, std::memory_order_relaxed);
+    ++s.window_judged;
+    if (!ok) {
+      s.rejects.fetch_add(1, std::memory_order_relaxed);
+      ++s.window_rejects;
+    }
+    if (s.window_judged < s.cfg.window) continue;
+
+    s.windows.fetch_add(1, std::memory_order_relaxed);
+    if (s.window_rejects > s.cfg.max_rejects) {
+      // Regression: discard the candidate. Live traffic only ever saw the
+      // incumbent, so the fleet is already "rolled back" — bit-identically.
+      s.clean_windows.store(0, std::memory_order_relaxed);
+      s.outcome.store(ShadowOutcome::kRolledBack, std::memory_order_relaxed);
+      s.active.store(false, std::memory_order_relaxed);
+    } else {
+      const auto clean =
+          s.clean_windows.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (clean >= s.cfg.promote_after) {
+        swap_all(s.factory, s.candidate_epoch);
+        s.outcome.store(ShadowOutcome::kPromoted, std::memory_order_relaxed);
+        s.active.store(false, std::memory_order_relaxed);
+      }
+    }
+    s.window_judged = 0;
+    s.window_rejects = 0;
+  }
 }
 
 double Gateway::predicted_completion_ms(std::size_t shard) const {
@@ -152,6 +379,10 @@ Ticket Gateway::submit(Tensor frame, std::uint64_t stream, double deadline_ms) {
 
   Request req;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (auto session = shadow_session();
+      session && session->active.load(std::memory_order_relaxed)) {
+    req.mirror = mirror_selected(req.id, session->cfg.fraction);
+  }
   req.stream = stream;
   req.frame = std::move(frame);
   req.arrival = now;

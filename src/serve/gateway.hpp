@@ -19,7 +19,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "serve/backend.hpp"
@@ -61,6 +65,58 @@ struct GatewayConfig {
   std::size_t max_redispatch = 8;
 };
 
+/// Produces one fresh Backend instance per call; used by fleet swaps (one
+/// backend per replica — replicas never share mutable state) and by shadow
+/// sessions (one more for the shadow worker).
+using BackendFactory = std::function<std::unique_ptr<Backend>()>;
+
+/// Verdict on one mirrored frame: true = the candidate's output is
+/// acceptable. Runs on the shadow worker thread with the primary's output
+/// for the same frame; `stream` lets a caller with ground truth (the bench
+/// tags streams with frame indices) judge against labels instead of the
+/// incumbent.
+using ShadowJudge = std::function<bool(
+    std::uint64_t stream, const Tensor& frame, const Tensor& primary,
+    const Tensor& shadow)>;
+
+struct ShadowConfig {
+  /// Fraction of admitted frames mirrored to the candidate (deterministic
+  /// per request id, so a replayed stream mirrors identically).
+  double fraction = 0.25;
+  /// Judged mirrors per evaluation window.
+  std::size_t window = 64;
+  /// A window with more rejects than this is a regression: the candidate
+  /// is rolled back (discarded; the fleet never served it).
+  std::size_t max_rejects = 3;
+  /// Consecutive clean windows before the candidate is promoted fleet-wide.
+  std::size_t promote_after = 2;
+  /// Shadow queue capacity; mirrors beyond it are dropped (counted), never
+  /// letting the candidate's speed stall the primary path.
+  std::size_t queue_capacity = 256;
+};
+
+enum class ShadowOutcome : std::uint8_t {
+  kNone,        ///< no shadow session has run
+  kActive,      ///< candidate still under evaluation
+  kPromoted,    ///< clean windows reached; fleet swapped to the candidate
+  kRolledBack,  ///< regression detected; candidate discarded
+  kEnded,       ///< end_shadow() before any verdict
+};
+
+std::string_view to_string(ShadowOutcome outcome) noexcept;
+
+struct ShadowStatus {
+  bool active = false;
+  ShadowOutcome outcome = ShadowOutcome::kNone;
+  std::uint64_t candidate_epoch = 0;
+  std::uint64_t mirrored = 0;  ///< mirror copies enqueued to the shadow
+  std::uint64_t dropped = 0;   ///< mirror copies shed (shadow queue full)
+  std::uint64_t judged = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t windows = 0;        ///< completed evaluation windows
+  std::uint64_t clean_windows = 0;  ///< consecutive clean windows so far
+};
+
 class Gateway {
  public:
   /// One replica per backend; replica i serves shard i.
@@ -85,15 +141,56 @@ class Gateway {
   Metrics& metrics() noexcept { return metrics_; }
   const GatewayConfig& config() const noexcept { return cfg_; }
 
+  /// Hot-swap every replica to a fresh backend from `factory`, tagged
+  /// `epoch`. Zero downtime: each replica lands the swap at its next batch
+  /// boundary; frames submitted after swap_all() returns are served by the
+  /// new generation (and stamped with its epoch), frames already in flight
+  /// finish on whichever generation serves them — the stamp tells which.
+  void swap_all(const BackendFactory& factory, std::uint64_t epoch);
+
+  /// Fleet model generation (1 = the backends the gateway was built with).
+  std::uint64_t model_epoch() const noexcept {
+    return model_epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Start shadow evaluation of a candidate model: a deterministic
+  /// `cfg.fraction` of admitted frames is mirrored — after the primary
+  /// serves them — to a candidate backend on a dedicated shadow thread,
+  /// where `judge` scores candidate outputs. After `cfg.promote_after`
+  /// consecutive clean windows the candidate is promoted fleet-wide via
+  /// swap_all(); a window with more than `cfg.max_rejects` rejects rolls it
+  /// back (discards it — live traffic never saw it, so "rollback" restores
+  /// nothing and the fleet's outputs stay bit-identical to before).
+  /// Default judge: max |primary - shadow| <= 0.25 elementwise.
+  /// Returns false if a session is already active or the gateway stopped.
+  bool begin_shadow(BackendFactory factory, ShadowConfig cfg,
+                    ShadowJudge judge = {});
+
+  /// Finish the shadow session (if any): stop mirroring, drain and join the
+  /// shadow worker, and return the final status. Idempotent.
+  ShadowStatus end_shadow();
+
+  /// Snapshot of the running (or most recently finished) shadow session.
+  ShadowStatus shadow_status() const;
+
   /// Predicted ms from now until a frame submitted to `shard` would
   /// complete (queue backlog + in-flight residual + own service).
   double predicted_completion_ms(std::size_t shard) const;
 
  private:
+  struct ShadowSession;
+
   std::size_t pick_shard(std::uint64_t stream) const;
   /// Replica fault hook: place `req` on a healthy shard other than `from`.
   /// Never blocks; false leaves the request with the caller.
   bool redispatch(std::size_t from, Request& req);
+  /// Replica shadow tap: copy a served (frame, output) pair into the
+  /// session's queue. Never blocks; drops (counted) when the queue is full.
+  void on_mirror(std::uint64_t id, std::uint64_t stream, const Tensor& frame,
+                 const Tensor& primary);
+  /// Shadow worker: judge mirrored frames, promote or roll back.
+  void shadow_run(std::shared_ptr<ShadowSession> session);
+  std::shared_ptr<ShadowSession> shadow_session() const;
 
   GatewayConfig cfg_;
   Metrics metrics_;
@@ -101,6 +198,10 @@ class Gateway {
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> model_epoch_{1};
+  mutable std::mutex shadow_mutex_;
+  std::shared_ptr<ShadowSession> shadow_;
+  ShadowStatus last_shadow_status_;
 };
 
 }  // namespace reads::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 
 namespace reads::serve {
@@ -44,6 +45,26 @@ void Replica::start(BoundedQueue<Request>& shard) {
 
 void Replica::join() {
   if (thread_.joinable()) thread_.join();
+}
+
+void Replica::swap_model(std::unique_ptr<Backend> backend,
+                         std::uint64_t epoch) {
+  if (!backend) {
+    throw std::invalid_argument("Replica::swap_model: null backend");
+  }
+  std::lock_guard lock(swap_mutex_);
+  pending_backend_ = std::move(backend);
+  pending_epoch_ = epoch;
+  swap_staged_.store(true, std::memory_order_release);
+}
+
+void Replica::maybe_apply_swap() {
+  if (!swap_staged_.load(std::memory_order_acquire)) return;
+  std::lock_guard lock(swap_mutex_);
+  if (!pending_backend_) return;
+  backend_ = std::move(pending_backend_);
+  epoch_.store(pending_epoch_, std::memory_order_relaxed);
+  swap_staged_.store(false, std::memory_order_relaxed);
 }
 
 double Replica::busy_residual_ms() const noexcept {
@@ -93,6 +114,11 @@ void Replica::run(BoundedQueue<Request>& shard) {
         batch.push_back(std::move(*next));
       }
     }
+
+    // Batch boundary: land a staged hot-swap before serving. Because the
+    // stage completes before any subsequently submitted frame can be
+    // popped, every such frame is served by the new backend.
+    maybe_apply_swap();
 
     if (serve_batch(batch)) {
       consecutive_faults_ = 0;
@@ -191,11 +217,17 @@ bool Replica::serve_batch(std::vector<Request>& batch) {
   busy_.store(false, std::memory_order_relaxed);
 
   const double service_ms = ms_between(start, done);
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   std::vector<double> queue_ms(n);
   std::vector<double> e2e_ms(n);
   std::size_t misses = 0;
   for (std::size_t i = 0; i < n; ++i) {
     auto& r = batch[i];
+    if (r.mirror && shadow_tap_) {
+      // Mirror before the output is moved into the promise; the tap copies
+      // (frame, output) into the shadow queue and never blocks.
+      shadow_tap_(r.id, r.stream, n == 1 ? r.frame : frames[i], outputs[i]);
+    }
     Response resp;
     resp.id = r.id;
     resp.stream = r.stream;
@@ -207,6 +239,7 @@ bool Replica::serve_batch(std::vector<Request>& batch) {
     resp.e2e_ms = ms_between(r.arrival, done);
     resp.deadline_met = done <= r.deadline;
     resp.redispatches = r.redispatches;
+    resp.model_epoch = epoch;
     queue_ms[i] = resp.queue_ms;
     e2e_ms[i] = resp.e2e_ms;
     if (!resp.deadline_met) ++misses;

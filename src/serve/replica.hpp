@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -81,6 +82,29 @@ class Replica {
     redispatch_ = std::move(redispatch);
   }
 
+  /// Shadow-mirror hook: invoked on the worker thread for every served
+  /// request whose mirror flag is set, with the request's id/stream, the
+  /// input frame, and the primary output. Must be called before start();
+  /// must be cheap (the gateway copies into a bounded queue and returns).
+  using ShadowTap = std::function<void(std::uint64_t id, std::uint64_t stream,
+                                       const Tensor& frame,
+                                       const Tensor& output)>;
+  void set_shadow_tap(ShadowTap tap) { shadow_tap_ = std::move(tap); }
+
+  /// Stage a replacement backend for zero-downtime hot-swap. The worker
+  /// applies it at the next batch boundary — never mid-batch, so every
+  /// response is entirely one model generation and is stamped with the
+  /// epoch that actually served it. Any frame submitted after swap_model()
+  /// returns is guaranteed to be served by the new backend. A second stage
+  /// before the first applies simply replaces it (last writer wins).
+  /// Thread-safe; callable while the worker is running.
+  void swap_model(std::unique_ptr<Backend> backend, std::uint64_t epoch);
+
+  /// Model generation currently serving (1 = the constructor backend).
+  std::uint64_t model_epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
   std::size_t id() const noexcept { return opts_.id; }
   Backend& backend() noexcept { return *backend_; }
 
@@ -117,6 +141,8 @@ class Replica {
 
  private:
   void run(BoundedQueue<Request>& shard);
+  /// Worker-thread batch boundary: install a staged backend swap, if any.
+  void maybe_apply_swap();
   /// Serve one batch; false when the backend faulted (batch is intact —
   /// frames restored — and no promise was touched).
   bool serve_batch(std::vector<Request>& batch);
@@ -128,6 +154,14 @@ class Replica {
   std::unique_ptr<Backend> backend_;
   Metrics& metrics_;
   Redispatch redispatch_;
+  ShadowTap shadow_tap_;
+  /// Staged hot-swap, guarded by swap_mutex_; the flag lets the worker
+  /// skip the lock on the (overwhelmingly common) no-swap batch boundary.
+  std::mutex swap_mutex_;
+  std::unique_ptr<Backend> pending_backend_;
+  std::uint64_t pending_epoch_ = 0;
+  std::atomic<bool> swap_staged_{false};
+  std::atomic<std::uint64_t> epoch_{1};
   std::thread thread_;
   std::atomic<double> service_est_ms_;
   std::atomic<double> service_var_ms_;

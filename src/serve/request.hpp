@@ -28,6 +28,9 @@ struct Response {
   /// Times the frame was handed to another replica after a backend fault
   /// before being served (0 on the clean path).
   std::size_t redispatches = 0;
+  /// Model generation of the backend that served this frame (1 = the
+  /// backends the gateway was built with; bumped by every fleet swap).
+  std::uint64_t model_epoch = 1;
 };
 
 /// Why a frame was refused at admission. Both are *early* sheds: the client
@@ -51,6 +54,9 @@ struct Request {
   std::promise<Response> promise;
   /// Fault-recovery hops so far; bounds redispatch ping-pong.
   std::size_t redispatches = 0;
+  /// Selected for shadow mirroring: after the primary serves it, a copy of
+  /// (frame, output) is offered to the gateway's shadow session.
+  bool mirror = false;
 };
 
 /// Result of Gateway::submit. When not admitted, `response` is invalid and

@@ -11,14 +11,20 @@ NnIpCore::NnIpCore(EventSim& sim, const hls::QuantizedModel& model,
                    FpgaParams fpga, hls::LatencyModelParams latency_params,
                    bool functional)
     : sim_(sim),
-      model_(model),
+      model_(&model),
       input_(input),
       output_(output),
       control_(control),
       fpga_(fpga),
-      latency_(hls::LatencyModel(latency_params).estimate(model.firmware())),
+      latency_params_(latency_params),
+      latency_(validate_and_estimate(model)),
       functional_(functional) {
-  const auto& fw = model_.firmware();
+  run_cycles_ = latency_.total_cycles;
+}
+
+hls::LatencyReport NnIpCore::validate_and_estimate(
+    const hls::QuantizedModel& model) const {
+  const auto& fw = model.firmware();
   if (input_.size() < fw.input_values) {
     throw std::invalid_argument("NnIpCore: input buffer too small");
   }
@@ -30,6 +36,16 @@ NnIpCore::NnIpCore(EventSim& sim, const hls::QuantizedModel& model,
         "NnIpCore: the memory-mapped interface carries 16-bit words; "
         "deploy a <=16-bit firmware (wider precisions are analysis-only)");
   }
+  return hls::LatencyModel(latency_params_).estimate(fw);
+}
+
+void NnIpCore::rebind(const hls::QuantizedModel& model) {
+  if (busy_) {
+    throw std::logic_error("NnIpCore: rebind while a run is in flight");
+  }
+  auto latency = validate_and_estimate(model);
+  model_ = &model;
+  latency_ = std::move(latency);
   run_cycles_ = latency_.total_cycles;
 }
 
@@ -60,13 +76,13 @@ void NnIpCore::reset() noexcept {
 void NnIpCore::finish() {
   // Functional execution happens at completion time: read the input buffer
   // words the HPS staged, run the integer pipeline, stage the outputs.
-  const auto& fw = model_.firmware();
+  const auto& fw = model_->firmware();
   if (functional_) {
     std::vector<std::int64_t> in_raw(fw.input_values);
     for (std::size_t i = 0; i < fw.input_values; ++i) {
       in_raw[i] = input_.read16(i);
     }
-    const auto out_raw = model_.forward_raw(in_raw);
+    const auto out_raw = model_->forward_raw(in_raw);
     for (std::size_t i = 0; i < out_raw.size(); ++i) {
       output_.write16(i, static_cast<std::int16_t>(out_raw[i]));
     }

@@ -39,6 +39,15 @@ class NnIpCore {
   /// and return to idle, ready for a fresh trigger.
   void reset() noexcept;
 
+  /// Partial reconfiguration landed: point the core at new firmware and
+  /// re-derive its cycle budget from the new layer plan. The caller (the
+  /// system's reconfiguration window) guarantees the core is idle — the
+  /// fabric region cannot be reprogrammed mid-run — and that the new
+  /// firmware has the same I/O geometry as the buffers wired to the core.
+  /// Throws std::logic_error if busy, std::invalid_argument on a geometry
+  /// or word-width mismatch.
+  void rebind(const hls::QuantizedModel& model);
+
   /// Cycle budget of one run (read + compute + write), at the FPGA clock.
   std::size_t run_cycles() const noexcept { return run_cycles_; }
   const hls::LatencyReport& latency_report() const noexcept { return latency_; }
@@ -49,12 +58,18 @@ class NnIpCore {
  private:
   void finish();
 
+  /// Validate geometry/width and compute the latency report for `model`
+  /// (shared by the constructor and rebind()).
+  hls::LatencyReport validate_and_estimate(
+      const hls::QuantizedModel& model) const;
+
   EventSim& sim_;
-  const hls::QuantizedModel& model_;
+  const hls::QuantizedModel* model_;
   OnChipRam& input_;
   OnChipRam& output_;
   ControlIp& control_;
   FpgaParams fpga_;
+  hls::LatencyModelParams latency_params_;
   hls::LatencyReport latency_;
   std::size_t run_cycles_ = 0;
   std::uint64_t runs_ = 0;

@@ -8,7 +8,7 @@ namespace reads::soc {
 ArriaSocSystem::ArriaSocSystem(const hls::QuantizedModel& model,
                                SocParams params, std::uint64_t seed,
                                hls::LatencyModelParams latency_params)
-    : model_(model),
+    : model_(&model),
       params_(params),
       input_ram_(model.firmware().input_values),
       output_ram_(model.firmware().output_values),
@@ -20,8 +20,43 @@ ArriaSocSystem::ArriaSocSystem(const hls::QuantizedModel& model,
   control_.connect([this] { ip_.trigger(); }, [this] { hps_.irq(); });
 }
 
+void ArriaSocSystem::begin_reconfigure(std::size_t window_frames) {
+  reconfig_remaining_ = window_frames;
+}
+
+void ArriaSocSystem::install_firmware(const hls::QuantizedModel& model) {
+  if (reconfig_remaining_ > 0) {
+    throw std::logic_error(
+        "ArriaSocSystem: install_firmware inside the reconfiguration window");
+  }
+  if (model.firmware().input_values != model_->firmware().input_values ||
+      model.firmware().output_values != model_->firmware().output_values) {
+    throw std::invalid_argument(
+        "ArriaSocSystem: new firmware's I/O geometry does not match the "
+        "installed on-chip buffers");
+  }
+  ip_.rebind(model);
+  model_ = &model;
+  ++firmware_swaps_;
+}
+
 FrameResult ArriaSocSystem::process(const Tensor& frame) {
-  const auto raw = model_.quantize_input(frame);
+  if (reconfig_remaining_ > 0) {
+    // The PR bitstream is still streaming into the fabric: the IP region is
+    // dark, so the frame is handed straight back for HPS float fallback.
+    // No bridge traffic happens (there is nothing to write into), so the
+    // frame's timing is the fallback's CPU time, which — like the watchdog
+    // fallback path — is accounted a layer up where the float model runs.
+    --reconfig_remaining_;
+    ++reconfig_fallback_frames_;
+    FrameResult result;
+    result.ip_fallback = true;
+    result.reconfiguring = true;
+    result.timing = FrameTiming{};
+    result.timing.deadline_met = true;
+    return result;
+  }
+  const auto raw = model_->quantize_input(frame);
   std::vector<std::int16_t> words;
   words.reserve(raw.size());
   for (auto v : raw) words.push_back(static_cast<std::int16_t>(v));
@@ -40,11 +75,11 @@ FrameResult ArriaSocSystem::process(const Tensor& frame) {
   double penalty_us = 0.0;
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     bool done = false;
-    hps_.process_frame(words, model_.firmware().output_values,
+    hps_.process_frame(words, model_->firmware().output_values,
                        [&](std::vector<std::int16_t> out, FrameTiming timing) {
                          std::vector<std::int64_t> out_raw(out.begin(),
                                                            out.end());
-                         result.output = model_.dequantize_output(out_raw);
+                         result.output = model_->dequantize_output(out_raw);
                          result.timing = timing;
                          done = true;
                        });

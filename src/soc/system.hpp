@@ -34,6 +34,11 @@ struct FrameResult {
   /// HPS instead — the system cannot, because float fallback lives a layer
   /// up where the float model is held.
   bool ip_fallback = false;
+  /// True when the frame arrived inside a partial-reconfiguration window:
+  /// the fabric region holding the NN IP is being reprogrammed, so
+  /// `ip_fallback` is also set (the HPS float model must serve the tick).
+  /// Distinguishes planned firmware swaps from watchdog-exhausted wedges.
+  bool reconfiguring = false;
 };
 
 struct StreamReport {
@@ -70,6 +75,24 @@ class ArriaSocSystem {
   /// measured from arrival to output-in-SDRAM.
   StreamReport run_stream(std::span<const Tensor> frames, double fps);
 
+  /// Begin an FPGA partial reconfiguration of the NN IP region: for the
+  /// next `window_frames` calls to process(), the IP is offline and every
+  /// frame returns `ip_fallback = reconfiguring = true` (the HPS float
+  /// fallback a layer up serves those ticks, so the decision loop never
+  /// skips one). The window models the milliseconds the PR bitstream takes
+  /// to stream into the fabric, expressed in decision ticks by the caller.
+  /// A window of 0 makes the next install_firmware() immediate.
+  void begin_reconfigure(std::size_t window_frames);
+
+  /// Frames left in the current reconfiguration window (0 = IP online).
+  bool reconfiguring() const noexcept { return reconfig_remaining_ > 0; }
+
+  /// Complete a reconfiguration: rebind the NN IP to `model`. Must only be
+  /// called with the window drained (reconfiguring() == false) and no frame
+  /// in flight; the new firmware must match the installed buffer geometry.
+  /// `model` must outlive the system, exactly like the constructor model.
+  void install_firmware(const hls::QuantizedModel& model);
+
   /// Install a fault hook on the NN IP (see NnIpCore::HangHook).
   void set_ip_hang_hook(NnIpCore::HangHook hook) {
     ip_.set_hang_hook(std::move(hook));
@@ -78,6 +101,13 @@ class ArriaSocSystem {
   std::uint64_t watchdog_timeouts() const noexcept { return watchdog_timeouts_; }
   std::uint64_t ip_resets() const noexcept { return ip_.resets(); }
   std::uint64_t fallback_frames() const noexcept { return fallback_frames_; }
+  /// Frames served by HPS fallback because they landed inside a
+  /// reconfiguration window (a subset of history, not of fallback_frames()).
+  std::uint64_t reconfig_fallback_frames() const noexcept {
+    return reconfig_fallback_frames_;
+  }
+  /// Number of completed install_firmware() swaps.
+  std::uint64_t firmware_swaps() const noexcept { return firmware_swaps_; }
 
   const SocParams& params() const noexcept { return params_; }
   const NnIpCore& ip() const noexcept { return ip_; }
@@ -89,7 +119,7 @@ class ArriaSocSystem {
   const OnChipRam& output_ram() const noexcept { return output_ram_; }
 
  private:
-  const hls::QuantizedModel& model_;
+  const hls::QuantizedModel* model_;
   SocParams params_;
   EventSim sim_;
   OnChipRam input_ram_;
@@ -99,6 +129,9 @@ class ArriaSocSystem {
   Hps hps_;
   std::uint64_t watchdog_timeouts_ = 0;
   std::uint64_t fallback_frames_ = 0;
+  std::size_t reconfig_remaining_ = 0;
+  std::uint64_t reconfig_fallback_frames_ = 0;
+  std::uint64_t firmware_swaps_ = 0;
 };
 
 /// Transfer-interface ablation (Table I discussion): time to move a frame's

@@ -88,6 +88,13 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
   if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
 }
 
+void Histogram::reset() noexcept {
+  std::fill(bins_.begin(), bins_.end(), std::size_t{0});
+  total_ = 0;
+  underflow_ = 0;
+  overflow_ = 0;
+}
+
 void Histogram::add(double x) noexcept {
   ++total_;
   // Out-of-range samples are tracked only by the underflow/overflow

@@ -14,6 +14,9 @@ class RunningStats {
  public:
   void add(double x) noexcept;
 
+  /// Forget every sample (re-arm for a new measurement window).
+  void reset() noexcept { *this = RunningStats{}; }
+
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return n_ ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
@@ -43,6 +46,14 @@ class Percentiles {
   void reserve(std::size_t n) { values_.reserve(n); }
   std::size_t count() const noexcept { return values_.size(); }
 
+  /// Drop all samples but keep the retained capacity, so a per-epoch
+  /// metrics window can be re-armed without reallocating its sample buffer
+  /// (serve/lifecycle reset distributions at every model-swap epoch).
+  void reset() noexcept {
+    values_.clear();
+    sorted_ = false;
+  }
+
   /// p in [0, 100]. Sorts lazily on first query after the last insertion.
   double percentile(double p);
   double median() { return percentile(50.0); }
@@ -70,6 +81,12 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x) noexcept;
+
+  /// Zero every bin and the under/overflow tallies in place; the bin layout
+  /// (lo, hi, bin count) is preserved and no memory is released, so swap
+  /// epochs can re-arm histograms on the hot path without reallocation.
+  void reset() noexcept;
+
   std::size_t bin_count(std::size_t i) const { return bins_.at(i); }
   std::size_t bins() const noexcept { return bins_.size(); }
   double bin_lo(std::size_t i) const noexcept;

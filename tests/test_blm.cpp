@@ -164,4 +164,88 @@ TEST(BuildEvalInputs, UsesProvidedStandardizer) {
   EXPECT_EQ(inputs[0].shape(), (std::vector<std::size_t>{260, 1}));
 }
 
+// ------------------------------------------------------- drift schedule
+
+TEST(DriftSchedule, DisabledScheduleIsBitIdenticalToNoSchedule) {
+  const auto cfg = blm::MachineConfig::fermilab_like();
+  blm::FrameGenerator plain(cfg, 99);
+  blm::FrameGenerator off(cfg, 99, blm::DriftSchedule{});
+  for (int i = 0; i < 32; ++i) {
+    const auto a = plain.next();
+    const auto b = off.next();
+    EXPECT_EQ(a.raw, b.raw);
+    EXPECT_EQ(a.target, b.target);
+  }
+}
+
+TEST(DriftSchedule, EnabledWithZeroRatesIsInactiveAndBitIdentical) {
+  blm::DriftSchedule zero;
+  zero.enabled = true;  // all rates zero: nothing to apply
+  EXPECT_FALSE(zero.active());
+
+  const auto cfg = blm::MachineConfig::fermilab_like();
+  blm::FrameGenerator plain(cfg, 7);
+  blm::FrameGenerator zeroed(cfg, 7, zero);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(plain.next().raw, zeroed.next().raw);
+  }
+}
+
+TEST(DriftSchedule, IdenticalBeforeOnsetThenDiverges) {
+  blm::DriftSchedule drift;
+  drift.enabled = true;
+  drift.onset_frame = 8;
+  drift.rotation_monitors_per_kframe = 40.0;
+  drift.event_rate_shift_per_kframe = 2.0;
+  drift.intensity_shift_per_kframe = 1.0;
+
+  const auto cfg = blm::MachineConfig::fermilab_like();
+  blm::FrameGenerator plain(cfg, 31);
+  blm::FrameGenerator drifted(cfg, 31, drift);
+  for (std::size_t i = 0; i < drift.onset_frame; ++i) {
+    EXPECT_EQ(plain.next().raw, drifted.next().raw) << "pre-onset frame " << i;
+  }
+  // Past onset the effective machine shifts, so the streams must part ways.
+  bool diverged = false;
+  for (int i = 0; i < 64 && !diverged; ++i) {
+    diverged = !(plain.next().raw == drifted.next().raw);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(DriftSchedule, SameSeedReplaysDriftedStreamExactly) {
+  blm::DriftSchedule drift;
+  drift.enabled = true;
+  drift.onset_frame = 4;
+  drift.rotation_monitors_per_kframe = 25.0;
+  drift.event_rate_shift_per_kframe = 1.5;
+
+  const auto cfg = blm::MachineConfig::fermilab_like();
+  blm::FrameGenerator a(cfg, 555, drift);
+  blm::FrameGenerator b(cfg, 555, drift);
+  for (int i = 0; i < 48; ++i) {
+    const auto fa = a.next();
+    const auto fb = b.next();
+    EXPECT_EQ(fa.raw, fb.raw);
+    EXPECT_EQ(fa.target, fb.target);
+  }
+  EXPECT_EQ(a.frames_generated(), 48u);
+}
+
+TEST(DriftSchedule, EffectiveConfigTracksOnsetAndClamps) {
+  blm::DriftSchedule drift;
+  drift.enabled = true;
+  drift.onset_frame = 2;
+  drift.event_rate_shift_per_kframe = 1000.0;  // absurd rate: must clamp
+
+  const auto cfg = blm::MachineConfig::fermilab_like();
+  blm::FrameGenerator gen(cfg, 1, drift);
+  EXPECT_EQ(gen.effective_config().fingerprint(), cfg.fingerprint());
+  for (int i = 0; i < 40; ++i) gen.next();
+  const auto eff = gen.effective_config();
+  EXPECT_NE(eff.fingerprint(), cfg.fingerprint());
+  EXPECT_LE(eff.mi.event_probability, 1.0);
+  EXPECT_LE(eff.rr.event_probability, 1.0);
+}
+
 }  // namespace

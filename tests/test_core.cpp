@@ -3,13 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "blm/data.hpp"
 #include "core/codesign.hpp"
 #include "core/deblender.hpp"
 #include "core/pretrained.hpp"
 #include "core/verification.hpp"
+#include "nn/builders.hpp"
 #include "nn/init.hpp"
+#include "nn/serialize.hpp"
 
 namespace {
 
@@ -67,11 +70,18 @@ TEST(Pretrained, CacheKeyDependsOnSeed) {
   auto b = a;
   b.seed = 4321;
   core::pretrained_mlp(b);
-  std::size_t files = 0;
+  std::size_t weights = 0;
+  std::size_t stamps = 0;
   for (const auto& e : std::filesystem::directory_iterator(dir)) {
-    files += e.is_regular_file();
+    if (!e.is_regular_file()) continue;
+    if (e.path().extension() == ".stamp") {
+      ++stamps;
+    } else {
+      ++weights;
+    }
   }
-  EXPECT_EQ(files, 2u);
+  EXPECT_EQ(weights, 2u);
+  EXPECT_EQ(stamps, 2u);
 }
 
 TEST(Pretrained, StandardizerAlwaysFitted) {
@@ -156,6 +166,148 @@ TEST(Codesign, DefaultCandidatesIncludePaperRows) {
   EXPECT_EQ(cs[0].int_bits, 10);
   EXPECT_EQ(cs[1].total_bits, 16);
   EXPECT_EQ(cs[1].int_bits, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Weight-cache stamps: every cached weights file carries a sidecar recording
+// the serializer format version and a content hash, both verified on load.
+
+std::string cached_weights_path(const core::PretrainedOptions& o) {
+  for (const auto& e :
+       std::filesystem::directory_iterator(core::model_cache_dir(o))) {
+    if (e.is_regular_file() && e.path().extension() != ".stamp") {
+      return e.path().string();
+    }
+  }
+  return {};
+}
+
+TEST(Pretrained, CacheStampRoundTrip) {
+  auto o = tiny_options("stamp-rt");
+  const auto first = core::pretrained_mlp(o);
+  EXPECT_FALSE(first.loaded_from_cache);
+
+  const auto path = cached_weights_path(o);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(core::cache_stamp_path(path), path + ".stamp");
+  const auto stamp = core::read_cache_stamp(path);
+  ASSERT_TRUE(stamp.has_value());
+  EXPECT_EQ(stamp->format_version, core::kWeightCacheFormatVersion);
+  EXPECT_EQ(stamp->weights_hash, nn::weights_hash(first.model));
+
+  const auto second = core::pretrained_mlp(o);
+  EXPECT_TRUE(second.loaded_from_cache);
+  EXPECT_EQ(nn::weights_hash(second.model), stamp->weights_hash);
+}
+
+TEST(Pretrained, StaleStampFormatVersionForcesRetrain) {
+  auto o = tiny_options("stamp-stale");
+  core::pretrained_mlp(o);
+  const auto path = cached_weights_path(o);
+  ASSERT_FALSE(path.empty());
+  {
+    std::ofstream out(core::cache_stamp_path(path), std::ios::trunc);
+    out << "version 1\nhash 0\n";
+  }
+  const auto bundle = core::pretrained_mlp(o);
+  EXPECT_FALSE(bundle.loaded_from_cache);
+  // Retraining rewrote both the weights and a current-format stamp.
+  const auto stamp = core::read_cache_stamp(path);
+  ASSERT_TRUE(stamp.has_value());
+  EXPECT_EQ(stamp->format_version, core::kWeightCacheFormatVersion);
+  EXPECT_EQ(stamp->weights_hash, nn::weights_hash(bundle.model));
+}
+
+TEST(Pretrained, ContentHashMismatchForcesRetrain) {
+  auto o = tiny_options("stamp-hash");
+  core::pretrained_mlp(o);
+  const auto path = cached_weights_path(o);
+  ASSERT_FALSE(path.empty());
+  {
+    // Keep the claimed format current but lie about the payload hash, as a
+    // silently corrupted (yet still parseable) weights file would.
+    std::ofstream out(core::cache_stamp_path(path), std::ios::trunc);
+    out << "version " << core::kWeightCacheFormatVersion << "\n"
+        << "hash deadbeef\n";
+  }
+  const auto bundle = core::pretrained_mlp(o);
+  EXPECT_FALSE(bundle.loaded_from_cache);
+  const auto stamp = core::read_cache_stamp(path);
+  ASSERT_TRUE(stamp.has_value());
+  EXPECT_EQ(stamp->weights_hash, nn::weights_hash(bundle.model));
+}
+
+TEST(Pretrained, LegacyCacheWithoutStampIsAdoptedAndStamped) {
+  auto o = tiny_options("stamp-legacy");
+  core::pretrained_mlp(o);
+  const auto path = cached_weights_path(o);
+  ASSERT_FALSE(path.empty());
+  std::filesystem::remove(core::cache_stamp_path(path));
+  ASSERT_FALSE(core::read_cache_stamp(path).has_value());
+
+  // Pre-stamp caches still load (the weights parsed cleanly) and are
+  // stamped on the way out so the next load is hash-verified.
+  const auto bundle = core::pretrained_mlp(o);
+  EXPECT_TRUE(bundle.loaded_from_cache);
+  const auto stamp = core::read_cache_stamp(path);
+  ASSERT_TRUE(stamp.has_value());
+  EXPECT_EQ(stamp->weights_hash, nn::weights_hash(bundle.model));
+}
+
+// ---------------------------------------------------------------------------
+// Zero-downtime hot-swap through the blocking decision loop.
+
+TEST(DeblendingSystem, HotSwapServesFallbackThenLandsBitIdentically) {
+  core::DeblendConfig cfg;
+  cfg.model = tiny_options("swap");
+  cfg.calibration_frames = 8;
+  auto system = core::DeblendingSystem::build(cfg);
+  EXPECT_EQ(system.model_epoch(), 1u);
+  EXPECT_FALSE(system.swap_pending());
+
+  blm::FrameGenerator gen(blm::MachineConfig::fermilab_like(), 4242);
+
+  // Candidate = a weight-identical clone of the deployed generation, so the
+  // landed swap must reproduce the incumbent bit for bit.
+  auto clone = nn::build_unet(nn::UNetConfig{});
+  nn::copy_weights(system.float_model(), clone);
+  EXPECT_THROW(system.swap_model(nn::build_unet(nn::UNetConfig{}),
+                                 system.standardizer(), nullptr, 3),
+               std::invalid_argument);
+  system.swap_model(std::move(clone), system.standardizer(),
+                    system.quantized_ptr(), /*reconfig_window_frames=*/3);
+  EXPECT_TRUE(system.swap_pending());
+  EXPECT_THROW(system.swap_model(nn::build_unet(nn::UNetConfig{}),
+                                 system.standardizer(),
+                                 system.quantized_ptr(), 3),
+               std::logic_error);
+
+  // Every frame inside the reconfiguration window is served by the HPS
+  // float fallback, flagged degraded + reconfiguring, still epoch 1.
+  for (int i = 0; i < 3; ++i) {
+    const auto d = system.process(gen.next().raw);
+    EXPECT_TRUE(d.reconfiguring);
+    EXPECT_TRUE(d.degraded);
+    EXPECT_EQ(d.source, core::DecisionSource::kHpsFloatFallback);
+    EXPECT_EQ(d.model_epoch, 1u);
+    EXPECT_TRUE(d.timing.deadline_met);
+    EXPECT_GT(d.probabilities.numel(), 0u);
+  }
+  EXPECT_TRUE(system.swap_pending());
+
+  // The first frame after the window drains lands the swap: epoch bumps and
+  // the decision comes from the (new) firmware on the NN IP.
+  const auto raw = gen.next().raw;
+  const auto landed = system.process(raw);
+  EXPECT_FALSE(system.swap_pending());
+  EXPECT_EQ(system.model_epoch(), 2u);
+  EXPECT_EQ(landed.model_epoch, 2u);
+  EXPECT_FALSE(landed.reconfiguring);
+  EXPECT_FALSE(landed.degraded);
+  EXPECT_EQ(landed.source, core::DecisionSource::kNnIp);
+  const auto expect =
+      system.quantized().forward(system.standardizer().transform(raw));
+  EXPECT_EQ(landed.probabilities, expect);
 }
 
 }  // namespace

@@ -494,4 +494,77 @@ TEST(Gradients, TinyUNetEndToEnd) {
                   /*training=*/false, /*allowed_kink_fraction=*/0.2);
 }
 
+// ------------------------------------------- serialize: full round trips
+
+TEST(Serialize, UNetRoundTripBitIdenticalAcrossEveryLayerType) {
+  // input_batchnorm=true makes the graph exercise every layer type the
+  // builders emit: BatchNorm, Conv1D, ReLU, MaxPool, UpSample, Concatenate,
+  // and the Sigmoid head.
+  nn::UNetConfig cfg;
+  cfg.monitors = 16;
+  cfg.c1 = 3;
+  cfg.c2 = 4;
+  cfg.c3 = 5;
+  cfg.input_batchnorm = true;
+  auto m = nn::build_unet(cfg);
+  nn::init_he_uniform(m, 2024);
+  const std::string path = ::testing::TempDir() + "/unet_rt.bin";
+  nn::save_weights(m, path);
+
+  auto m2 = nn::build_unet(cfg);
+  nn::init_he_uniform(m2, 999);  // divergent start: the load must overwrite
+  nn::load_weights(m2, path);
+  EXPECT_EQ(nn::weights_hash(m2), nn::weights_hash(m));
+  const auto x = random_tensor({16, 1}, 7);
+  EXPECT_EQ(tensor::max_abs_diff(m.forward(x), m2.forward(x)), 0.0f);
+}
+
+TEST(Serialize, MlpRoundTripBitIdentical) {
+  const nn::MlpConfig cfg{.inputs = 8, .hidden = 6, .outputs = 4};
+  auto m = nn::build_mlp(cfg);
+  nn::init_he_uniform(m, 31);
+  const std::string path = ::testing::TempDir() + "/mlp_rt.bin";
+  nn::save_weights(m, path);
+
+  auto m2 = nn::build_mlp(cfg);
+  nn::load_weights(m2, path);
+  EXPECT_EQ(nn::weights_hash(m2), nn::weights_hash(m));
+  const auto x = random_tensor({1, 8}, 11);
+  EXPECT_EQ(tensor::max_abs_diff(m.forward(x), m2.forward(x)), 0.0f);
+}
+
+TEST(Serialize, CopyWeightsMakesForwardBitIdentical) {
+  nn::UNetConfig cfg;
+  cfg.monitors = 16;
+  cfg.c1 = 3;
+  cfg.c2 = 4;
+  cfg.c3 = 5;
+  auto src = nn::build_unet(cfg);
+  nn::init_he_uniform(src, 5);
+  auto dst = nn::build_unet(cfg);
+  nn::init_he_uniform(dst, 6);
+  ASSERT_NE(nn::weights_hash(src), nn::weights_hash(dst));
+
+  nn::copy_weights(src, dst);
+  EXPECT_EQ(nn::weights_hash(dst), nn::weights_hash(src));
+  const auto x = random_tensor({16, 1}, 9);
+  EXPECT_EQ(tensor::max_abs_diff(src.forward(x), dst.forward(x)), 0.0f);
+}
+
+TEST(Serialize, CopyWeightsRejectsArchitectureMismatch) {
+  auto mlp = nn::build_mlp({.inputs = 8, .hidden = 4, .outputs = 2});
+  auto other = nn::build_mlp({.inputs = 9, .hidden = 4, .outputs = 2});
+  EXPECT_THROW(nn::copy_weights(mlp, other), std::runtime_error);
+}
+
+TEST(Serialize, WeightsHashSensitiveToSingleParamFlip) {
+  auto m = nn::build_mlp({.inputs = 8, .hidden = 4, .outputs = 2});
+  nn::init_he_uniform(m, 17);
+  const auto before = nn::weights_hash(m);
+  auto params = m.parameters();
+  ASSERT_FALSE(params.empty());
+  params.back()->data()[0] += 1.0f;
+  EXPECT_NE(nn::weights_hash(m), before);
+}
+
 }  // namespace

@@ -641,4 +641,199 @@ TEST(DeblendServing, GatewayDecisionsMatchDirectQuantizedPath) {
   EXPECT_EQ(snap.sheds(), 0u);
 }
 
+// -------------------------------------------- hot-swap / shadow rollout
+
+/// Deterministic y = a*x + b backend; distinct (a, b) distinguish model
+/// generations bit-exactly.
+class AffineBackend final : public serve::Backend {
+ public:
+  AffineBackend(float a, float b) : a_(a), b_(b) {}
+
+  std::string_view name() const noexcept override { return "affine"; }
+
+  Tensor infer(const Tensor& frame) override {
+    Tensor out = frame;
+    for (auto& v : out.flat()) v = a_ * v + b_;
+    return out;
+  }
+
+ private:
+  float a_;
+  float b_;
+};
+
+serve::GatewayConfig swap_test_config() {
+  serve::GatewayConfig cfg;
+  cfg.deadline_ms = 0.0;  // functional tests: no shedding
+  cfg.queue_capacity = 256;
+  return cfg;
+}
+
+TEST(GatewayTest, SwapAllServesNewGenerationWithEpochStamps) {
+  std::vector<std::unique_ptr<serve::Backend>> backends;
+  backends.push_back(std::make_unique<AffineBackend>(2.0f, 1.0f));
+  backends.push_back(std::make_unique<AffineBackend>(2.0f, 1.0f));
+  serve::Gateway gw(std::move(backends), swap_test_config());
+  AffineBackend v1_oracle(2.0f, 1.0f);
+  AffineBackend v2_oracle(3.0f, -1.0f);
+
+  EXPECT_EQ(gw.model_epoch(), 1u);
+  for (int i = 0; i < 8; ++i) {
+    const auto f = test_frame(16, 100u + static_cast<unsigned>(i));
+    auto t = gw.submit(f, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(t.admitted);
+    auto r = t.response.get();
+    EXPECT_EQ(r.model_epoch, 1u);
+    EXPECT_EQ(r.output, v1_oracle.infer(f));
+  }
+
+  gw.swap_all([] { return std::make_unique<AffineBackend>(3.0f, -1.0f); },
+              2);
+  EXPECT_EQ(gw.model_epoch(), 2u);
+
+  // Frames submitted after swap_all() returns are served by the new
+  // generation, bit-identical to its oracle and stamped with its epoch.
+  for (int i = 0; i < 8; ++i) {
+    const auto f = test_frame(16, 200u + static_cast<unsigned>(i));
+    auto t = gw.submit(f, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(t.admitted);
+    auto r = t.response.get();
+    EXPECT_EQ(r.model_epoch, 2u);
+    EXPECT_EQ(r.output, v2_oracle.infer(f));
+  }
+  gw.stop();
+}
+
+TEST(Replica, SwapModelRejectsNullBackend) {
+  std::vector<std::unique_ptr<serve::Backend>> backends;
+  backends.push_back(std::make_unique<AffineBackend>(1.0f, 0.0f));
+  serve::Gateway gw(std::move(backends), swap_test_config());
+  EXPECT_THROW(gw.replica(0).swap_model(nullptr, 2), std::invalid_argument);
+  gw.stop();
+}
+
+TEST(GatewayTest, ShadowPromotesCleanCandidateFleetWide) {
+  std::vector<std::unique_ptr<serve::Backend>> backends;
+  backends.push_back(std::make_unique<AffineBackend>(2.0f, 1.0f));
+  backends.push_back(std::make_unique<AffineBackend>(2.0f, 1.0f));
+  serve::Gateway gw(std::move(backends), swap_test_config());
+  // Candidate differs by a constant 0.2 — inside the default judge's 0.25
+  // elementwise tolerance, so every mirror verdict is clean.
+  AffineBackend cand_oracle(2.0f, 1.2f);
+
+  serve::ShadowConfig sc;
+  sc.fraction = 1.0;  // mirror everything: deterministic window progress
+  sc.window = 4;
+  sc.max_rejects = 0;
+  sc.promote_after = 2;
+  ASSERT_TRUE(gw.begin_shadow(
+      [] { return std::make_unique<AffineBackend>(2.0f, 1.2f); }, sc));
+  EXPECT_FALSE(gw.begin_shadow(
+      [] { return std::make_unique<AffineBackend>(2.0f, 1.2f); }, sc))
+      << "second session while one is active must be refused";
+
+  for (int i = 0;
+       i < 200 &&
+       gw.shadow_status().outcome != serve::ShadowOutcome::kPromoted;
+       ++i) {
+    auto t = gw.submit(test_frame(16, 300u + static_cast<unsigned>(i)));
+    ASSERT_TRUE(t.admitted);
+    t.response.get();
+  }
+  const auto status = gw.end_shadow();
+  EXPECT_EQ(status.outcome, serve::ShadowOutcome::kPromoted);
+  EXPECT_GE(status.judged, 8u);
+  EXPECT_EQ(status.rejects, 0u);
+  EXPECT_GE(status.clean_windows, 2u);
+  EXPECT_EQ(gw.model_epoch(), 2u);
+
+  for (int i = 0; i < 4; ++i) {
+    const auto f = test_frame(16, 400u + static_cast<unsigned>(i));
+    auto t = gw.submit(f);
+    ASSERT_TRUE(t.admitted);
+    auto r = t.response.get();
+    EXPECT_EQ(r.model_epoch, 2u);
+    EXPECT_EQ(r.output, cand_oracle.infer(f));
+  }
+  gw.stop();
+}
+
+TEST(GatewayTest, ShadowRollsBackRegressingCandidateBitIdentically) {
+  std::vector<std::unique_ptr<serve::Backend>> backends;
+  backends.push_back(std::make_unique<AffineBackend>(2.0f, 1.0f));
+  serve::Gateway gw(std::move(backends), swap_test_config());
+  AffineBackend v1_oracle(2.0f, 1.0f);
+
+  serve::ShadowConfig sc;
+  sc.fraction = 1.0;
+  sc.window = 4;
+  sc.max_rejects = 0;
+  sc.promote_after = 2;
+  // Candidate is wrong by +9 on every element: every verdict rejects and
+  // the first completed window must roll it back.
+  ASSERT_TRUE(gw.begin_shadow(
+      [] { return std::make_unique<AffineBackend>(2.0f, 10.0f); }, sc));
+
+  for (int i = 0;
+       i < 200 &&
+       gw.shadow_status().outcome != serve::ShadowOutcome::kRolledBack;
+       ++i) {
+    auto t = gw.submit(test_frame(16, 500u + static_cast<unsigned>(i)));
+    ASSERT_TRUE(t.admitted);
+    t.response.get();
+  }
+  const auto status = gw.end_shadow();
+  EXPECT_EQ(status.outcome, serve::ShadowOutcome::kRolledBack);
+  EXPECT_GT(status.rejects, sc.max_rejects);
+
+  // Live traffic never saw the candidate: the fleet still serves the prior
+  // generation bit-identically, same epoch as before.
+  EXPECT_EQ(gw.model_epoch(), 1u);
+  for (int i = 0; i < 4; ++i) {
+    const auto f = test_frame(16, 600u + static_cast<unsigned>(i));
+    auto t = gw.submit(f);
+    ASSERT_TRUE(t.admitted);
+    auto r = t.response.get();
+    EXPECT_EQ(r.model_epoch, 1u);
+    EXPECT_EQ(r.output, v1_oracle.infer(f));
+  }
+
+  // A terminal session does not block the next rollout attempt.
+  EXPECT_TRUE(gw.begin_shadow(
+      [] { return std::make_unique<AffineBackend>(2.0f, 1.1f); }, sc));
+  gw.end_shadow();
+  gw.stop();
+}
+
+TEST(GatewayTest, ShadowJudgeSeesStreamAndGroundTruthHook) {
+  std::vector<std::unique_ptr<serve::Backend>> backends;
+  backends.push_back(std::make_unique<AffineBackend>(1.0f, 0.0f));
+  serve::Gateway gw(std::move(backends), swap_test_config());
+
+  std::atomic<std::uint64_t> judged_streams{0};
+  serve::ShadowConfig sc;
+  sc.fraction = 1.0;
+  sc.window = 2;
+  sc.max_rejects = 0;
+  sc.promote_after = 1;
+  ASSERT_TRUE(gw.begin_shadow(
+      [] { return std::make_unique<AffineBackend>(1.0f, 0.0f); }, sc,
+      [&judged_streams](std::uint64_t stream, const Tensor& frame,
+                        const Tensor& primary, const Tensor& shadow) {
+        judged_streams.fetch_add(stream);
+        return frame.numel() == primary.numel() &&
+               primary.numel() == shadow.numel();
+      }));
+  for (int i = 1; i <= 8; ++i) {
+    auto t = gw.submit(test_frame(16, 700u + static_cast<unsigned>(i)),
+                       static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(t.admitted);
+    t.response.get();
+  }
+  const auto status = gw.end_shadow();
+  EXPECT_GE(status.judged, 2u);
+  EXPECT_GT(judged_streams.load(), 0u) << "judge must receive stream ids";
+  gw.stop();
+}
+
 }  // namespace

@@ -473,4 +473,70 @@ TEST(Watchdog, PollingModeGivesUpAtTheTimeoutInsteadOfSpinningForever) {
   EXPECT_EQ(r.watchdog_timeouts, 1u + params.watchdog.max_retries);
 }
 
+// ------------------------------------- partial reconfiguration / hot-swap
+
+TEST(Reconfiguration, WindowServesFallbackThenResumesBitIdentically) {
+  SmallSystem s;
+  const auto frame = s.frame(50);
+  const auto before = s.soc_sys->process(frame).output;
+
+  s.soc_sys->begin_reconfigure(3);
+  EXPECT_TRUE(s.soc_sys->reconfiguring());
+  for (int i = 0; i < 3; ++i) {
+    const auto r = s.soc_sys->process(frame);
+    EXPECT_TRUE(r.ip_fallback) << i;
+    EXPECT_TRUE(r.reconfiguring) << i;
+    EXPECT_EQ(r.output.numel(), 0u) << "no IP output inside the window";
+    EXPECT_TRUE(r.timing.deadline_met);
+  }
+  EXPECT_FALSE(s.soc_sys->reconfiguring());
+  EXPECT_EQ(s.soc_sys->reconfig_fallback_frames(), 3u);
+
+  // Window drained with no install: the incumbent firmware still serves,
+  // bit-identical to before the window opened.
+  const auto after = s.soc_sys->process(frame);
+  EXPECT_FALSE(after.reconfiguring);
+  EXPECT_EQ(after.output, before);
+}
+
+TEST(Reconfiguration, InstallInsideWindowThrowsAfterWindowSwaps) {
+  SmallSystem s;
+  SmallSystem other(2);  // same geometry, different weights
+  const auto frame = s.frame(51);
+
+  s.soc_sys->begin_reconfigure(2);
+  EXPECT_THROW(s.soc_sys->install_firmware(*other.qm), std::logic_error)
+      << "install while the fabric region is mid-reprogram must refuse";
+
+  s.soc_sys->process(frame);
+  s.soc_sys->process(frame);
+  EXPECT_FALSE(s.soc_sys->reconfiguring());
+  s.soc_sys->install_firmware(*other.qm);
+  EXPECT_EQ(s.soc_sys->firmware_swaps(), 1u);
+
+  // The swapped-in firmware serves, bit-identical to direct inference on
+  // the new model — and differs from the old generation's output.
+  const auto r = s.soc_sys->process(frame);
+  EXPECT_EQ(r.output, other.qm->forward(frame));
+  EXPECT_NE(r.output, s.qm->forward(frame));
+}
+
+TEST(Reconfiguration, InstallRejectsGeometryMismatch) {
+  SmallSystem s;
+  // An 8-monitor firmware cannot land in a 16-monitor system's region.
+  nn::Model small = nn::build_unet({.monitors = 8, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(small, 3);
+  std::vector<Tensor> calib;
+  util::Xoshiro256 rng(4);
+  for (int i = 0; i < 4; ++i) {
+    Tensor t({8, 1});
+    for (auto& v : t.flat()) v = static_cast<float>(rng.normal());
+    calib.push_back(std::move(t));
+  }
+  hls::HlsConfig cfg;
+  cfg.quant = hls::layer_based_config(small, hls::profile_model(small, calib), 16);
+  const hls::QuantizedModel mismatched(hls::compile(small, cfg));
+  EXPECT_THROW(s.soc_sys->install_firmware(mismatched), std::invalid_argument);
+}
+
 }  // namespace

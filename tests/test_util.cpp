@@ -325,4 +325,68 @@ TEST(Cli, RejectsNonFlagArgument) {
   EXPECT_THROW(Cli(2, argv), std::invalid_argument);
 }
 
+// ----------------------------------------------- reset (re-arm) behaviour
+
+TEST(RunningStats, ResetForgetsEverySample) {
+  RunningStats s;
+  for (double v : {3.0, -1.0, 12.0}) s.add(v);
+  ASSERT_EQ(s.count(), 3u);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+  // The re-armed window behaves exactly like a fresh instance.
+  s.add(4.0);
+  s.add(6.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(Percentiles, ResetDropsSamplesAndKeepsCapacity) {
+  Percentiles p;
+  p.reserve(64);
+  for (double v : {9.0, 1.0, 5.0}) p.add(v);
+  EXPECT_DOUBLE_EQ(p.median(), 5.0);
+  const auto cap = p.values().capacity();
+  p.reset();
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_GE(p.values().capacity(), cap);  // buffer retained for re-arming
+  EXPECT_THROW(p.percentile(50.0), std::logic_error);
+  p.add(2.0);
+  p.add(8.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100.0), 8.0);
+}
+
+TEST(Histogram, ResetZeroesBinsAndOutOfRangeCounters) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-3.0);   // underflow
+  h.add(42.0);   // overflow
+  h.add(1.0);
+  h.add(9.5);
+  ASSERT_EQ(h.total(), 4u);
+  ASSERT_EQ(h.underflow(), 1u);
+  ASSERT_EQ(h.overflow(), 1u);
+
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    EXPECT_EQ(h.bin_count(i), 0u);
+  }
+  // The bin layout survives: the same samples land in the same bins.
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+  h.add(1.0);
+  h.add(-3.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
 }  // namespace

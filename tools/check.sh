@@ -21,6 +21,12 @@ echo "== chaos campaign (fault-injection gates) =="
 # skipped tick, a lost/duplicated frame, or unbounded recovery.
 (cd build && ./bench/bench_chaos --quick --out=BENCH_chaos.json)
 
+echo "== lifecycle campaign (drift -> requalify -> hot-swap gates) =="
+# Drives >=3 drift/requalify/swap cycles plus a shadow promote and a shadow
+# rollback; exits non-zero on a lost/duplicated/late frame, an uncovered
+# reconfiguration window, or an unqualified candidate reaching traffic.
+(cd build && ./bench/bench_lifecycle --quick --out=BENCH_lifecycle.json)
+
 echo "== sanitizer build (address,undefined) =="
 cmake -B build-asan -S . -DREADS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)"
@@ -28,11 +34,13 @@ cmake --build build-asan -j"$(nproc)"
 
 echo "== thread sanitizer build (serve / concurrency tests) =="
 cmake -B build-tsan -S . -DREADS_TSAN=ON >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target test_serve test_util test_fault
+cmake --build build-tsan -j"$(nproc)" \
+  --target test_serve test_util test_fault test_lifecycle
 # Model-cache-backed integration tests (DeblendServing, FaultPipeline) are
 # covered by the plain and ASan runs; under TSan we run the
-# pure-concurrency suites, including the scheduled-crash recovery path.
+# pure-concurrency suites, including the scheduled-crash recovery path and
+# the lifecycle registry/requalifier publication races.
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-  -R 'BoundedQueue|Replica|GatewayTest|ServeMetrics|ThreadPool|Stats|Histogram|Percentiles|FaultPlan|FaultInjector|ChaosServe')
+  -R 'BoundedQueue|Replica|GatewayTest|ServeMetrics|ThreadPool|Stats|Histogram|Percentiles|FaultPlan|FaultInjector|ChaosServe|ModelRegistry|Requalifier|DriftMonitor')
 
 echo "== all checks passed =="
