@@ -115,13 +115,14 @@ Decision DeblendingSystem::process(const tensor::Tensor& raw_frame) {
   auto result = soc_->process(frame);
 
   if (result.ip_fallback) {
-    // The fabric wedged through every watchdog retry. Run the float model
-    // on the ARM core — the trained weights are resident in HPS memory for
-    // exactly this contingency — so a decision still goes out this tick.
-    // The timing already carries the watchdog timeouts and resets; the
-    // float forward's CPU time is not separately modelled (it is bounded by
-    // the remaining budget, and the decision is flagged degraded either
-    // way).
+    // The fabric is unavailable — wedged through every watchdog retry, or
+    // mid-reconfiguration. Run the float model on the ARM core — the
+    // trained weights are resident in HPS memory for exactly this
+    // contingency — so a decision still goes out this tick. The timing
+    // already carries any watchdog timeouts and resets plus the SoC model's
+    // configured estimate of this float forward's CPU time
+    // (SocParams::hps_float_forward_us), so deadline_met reflects what the
+    // fallback actually costs.
     Decision decision =
         decide(bundle_.model.forward(frame), config_.trip_threshold);
     decision.timing = result.timing;

@@ -62,8 +62,9 @@ void LifecycleManager::maybe_submit() {
   RequalifyRequest request;
   request.frames.assign(recent_.begin(), recent_.end());
   request.incumbent = registry_.current();
-  request.seed = util::derive_seed(
-      cfg_.seed, /*purpose=*/0x9E00 + triggers_ + rejected_candidates_);
+  request.seed =
+      util::derive_seed(cfg_.seed, /*purpose=*/0x9E00 + submissions_);
+  ++submissions_;
   request.mutate = std::move(next_mutator_);
   next_mutator_ = nullptr;
 

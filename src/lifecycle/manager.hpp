@@ -120,6 +120,15 @@ class LifecycleManager {
   ModelFactory factory_;
   ModelRegistry registry_;
   DriftMonitor monitor_;
+
+  /// Finished requalifications parked by the worker for the tick thread.
+  /// Declared BEFORE requalifier_: members destroy in reverse declaration
+  /// order, so ~Requalifier() joins the worker — whose done callback locks
+  /// result_mutex_ — while the mutex and slot are still alive. Destroying
+  /// the manager mid-requalification is safe only because of this ordering.
+  std::mutex result_mutex_;
+  std::optional<RequalifyResult> pending_result_;
+
   Requalifier requalifier_;
   std::size_t window_frames_ = 0;
 
@@ -127,15 +136,15 @@ class LifecycleManager {
   LifecyclePhase phase_ = LifecyclePhase::kStable;
   std::function<void(nn::Model&)> next_mutator_;
 
-  /// Finished requalifications parked by the worker for the tick thread.
-  std::mutex result_mutex_;
-  std::optional<RequalifyResult> pending_result_;
-
   std::uint64_t ticks_ = 0;
   std::uint64_t degraded_ticks_ = 0;
   std::uint64_t reconfig_ticks_ = 0;
   std::uint64_t triggers_ = 0;
   std::uint64_t rejected_candidates_ = 0;
+  /// Requalification submissions so far; sole seed-derivation counter, so
+  /// every attempt — first try or post-rejection retry — trains under a
+  /// distinct RNG stream.
+  std::uint64_t submissions_ = 0;
   std::uint64_t cycle_rejected_ = 0;
   std::uint64_t trigger_tick_ = 0;
   std::uint64_t swap_from_version_ = 0;

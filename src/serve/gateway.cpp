@@ -152,7 +152,15 @@ void Gateway::swap_all(const BackendFactory& factory, std::uint64_t epoch) {
   if (!factory) {
     throw std::invalid_argument("Gateway::swap_all: null backend factory");
   }
-  for (auto& replica : replicas_) replica->swap_model(factory(), epoch);
+  // Build every fresh backend before staging any: a factory that throws on
+  // the k-th call must not leave a mixed-generation fleet behind, so the
+  // exception propagates with the incumbent generation fully intact.
+  std::vector<std::unique_ptr<Backend>> fresh;
+  fresh.reserve(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) fresh.push_back(factory());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    replicas_[i]->swap_model(std::move(fresh[i]), epoch);
+  }
   model_epoch_.store(epoch, std::memory_order_relaxed);
 }
 
@@ -276,8 +284,19 @@ void Gateway::shadow_run(std::shared_ptr<ShadowSession> session) {
       const auto clean =
           s.clean_windows.fetch_add(1, std::memory_order_relaxed) + 1;
       if (clean >= s.cfg.promote_after) {
-        swap_all(s.factory, s.candidate_epoch);
-        s.outcome.store(ShadowOutcome::kPromoted, std::memory_order_relaxed);
+        // This runs on the shadow worker thread: an escaping exception would
+        // reach the thread entry point and std::terminate the process. A
+        // user-supplied factory that throws at promotion therefore demotes
+        // the candidate instead — swap_all builds every backend before
+        // staging any, so the fleet still serves the incumbent generation.
+        try {
+          swap_all(s.factory, s.candidate_epoch);
+          s.outcome.store(ShadowOutcome::kPromoted, std::memory_order_relaxed);
+        } catch (...) {
+          s.clean_windows.store(0, std::memory_order_relaxed);
+          s.outcome.store(ShadowOutcome::kRolledBack,
+                          std::memory_order_relaxed);
+        }
         s.active.store(false, std::memory_order_relaxed);
       }
     }

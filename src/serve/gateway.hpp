@@ -99,7 +99,9 @@ enum class ShadowOutcome : std::uint8_t {
   kNone,        ///< no shadow session has run
   kActive,      ///< candidate still under evaluation
   kPromoted,    ///< clean windows reached; fleet swapped to the candidate
-  kRolledBack,  ///< regression detected; candidate discarded
+  /// Candidate discarded: a window regressed, or its factory threw at
+  /// promotion time. Either way the fleet only ever served the incumbent.
+  kRolledBack,
   kEnded,       ///< end_shadow() before any verdict
 };
 

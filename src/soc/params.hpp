@@ -85,6 +85,13 @@ struct SocParams {
   WatchdogParams watchdog;
   /// Hard real-time requirement: the BLM digitizer poll rate (ms).
   double deadline_ms = 3.0;
+  /// Estimated CPU time of one float-model forward on the ARM core (us),
+  /// charged to every frame the HPS float fallback serves — reconfiguration
+  /// windows and watchdog-exhausted wedges — so their deadline verdicts are
+  /// measured against a modelled cost instead of asserted by construction.
+  /// The default sits inside the budget the watchdog policy reserves for a
+  /// software fallback (timeout + reset + forward < deadline).
+  double hps_float_forward_us = 1200.0;
   /// When false, the NN IP skips the functional (bit-accurate) execution
   /// and emits zeros — timing is data-independent, so long latency-
   /// distribution runs (Fig. 5c) use this to avoid redundant compute.

@@ -6,10 +6,12 @@
 #include <fstream>
 
 #include "blm/data.hpp"
+#include "blm/generator.hpp"
 #include "core/codesign.hpp"
 #include "core/deblender.hpp"
 #include "core/pretrained.hpp"
 #include "core/verification.hpp"
+#include "lifecycle/manager.hpp"
 #include "nn/builders.hpp"
 #include "nn/init.hpp"
 #include "nn/serialize.hpp"
@@ -308,6 +310,43 @@ TEST(DeblendingSystem, HotSwapServesFallbackThenLandsBitIdentically) {
   const auto expect =
       system.quantized().forward(system.standardizer().transform(raw));
   EXPECT_EQ(landed.probabilities, expect);
+}
+
+TEST(LifecycleManager, DestroyMidRequalificationJoinsWorkerSafely) {
+  core::DeblendConfig cfg;
+  cfg.model = tiny_options("lifecycle-dtor");
+  cfg.calibration_frames = 8;
+  auto system = core::DeblendingSystem::build(cfg);
+
+  // Hair-trigger drift config: ordinary window-to-window traffic noise
+  // alarms, so the manager submits a requalification within a few windows.
+  lifecycle::LifecycleConfig lc;
+  lc.drift.window = 8;
+  lc.drift.baseline_windows = 1;
+  lc.drift.trigger_threshold = 0.01;
+  lc.drift.clear_threshold = 0.005;
+  lc.drift.consecutive = 1;
+  lc.recent_capacity = 32;
+  lc.min_frames = 16;
+  lc.requalify.epochs = 1;
+  lc.requalify.batch_size = 8;
+  lc.seed = 7;
+
+  blm::FrameGenerator gen(blm::MachineConfig::fermilab_like(), 77);
+  {
+    lifecycle::LifecycleManager manager(
+        system, lc, [] { return nn::build_unet(nn::UNetConfig{}); });
+    while (manager.phase() != lifecycle::LifecyclePhase::kRequalifying &&
+           manager.ticks() < 512) {
+      const auto f = gen.next();
+      manager.tick(f.raw, f.target);
+    }
+    ASSERT_EQ(manager.phase(), lifecycle::LifecyclePhase::kRequalifying);
+    // Scope exit destroys the manager while the requalification job is in
+    // flight (the bench's max_ticks exit does exactly this): the Requalifier
+    // must join its worker — whose done callback locks result_mutex_ —
+    // before that mutex and the pending-result slot are destroyed.
+  }
 }
 
 }  // namespace

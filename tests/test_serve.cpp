@@ -805,6 +805,86 @@ TEST(GatewayTest, ShadowRollsBackRegressingCandidateBitIdentically) {
   gw.stop();
 }
 
+TEST(GatewayTest, SwapAllThrowingFactoryLeavesFleetUntouched) {
+  std::vector<std::unique_ptr<serve::Backend>> backends;
+  backends.push_back(std::make_unique<AffineBackend>(2.0f, 1.0f));
+  backends.push_back(std::make_unique<AffineBackend>(2.0f, 1.0f));
+  auto cfg = swap_test_config();
+  cfg.sharding = serve::ShardPolicy::kByStream;  // hit both shards below
+  serve::Gateway gw(std::move(backends), cfg);
+  AffineBackend v1_oracle(2.0f, 1.0f);
+
+  // Succeeds for replica 0's backend, throws for replica 1's: swap_all must
+  // build every backend before staging any, so neither replica swaps.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  EXPECT_THROW(gw.swap_all(
+                   [calls]() -> std::unique_ptr<serve::Backend> {
+                     if (calls->fetch_add(1) > 0) {
+                       throw std::runtime_error("factory failure");
+                     }
+                     return std::make_unique<AffineBackend>(3.0f, -1.0f);
+                   },
+                   2),
+               std::runtime_error);
+  EXPECT_EQ(gw.model_epoch(), 1u);
+
+  // Both shards still serve the incumbent generation, epoch 1.
+  for (std::uint64_t stream = 0; stream < 2; ++stream) {
+    const auto f = test_frame(16, 900u + stream);
+    auto t = gw.submit(f, stream);
+    ASSERT_TRUE(t.admitted);
+    auto r = t.response.get();
+    EXPECT_EQ(r.model_epoch, 1u);
+    EXPECT_EQ(r.output, v1_oracle.infer(f));
+  }
+  gw.stop();
+}
+
+TEST(GatewayTest, ShadowPromotionFactoryThrowRollsBackInsteadOfTerminating) {
+  std::vector<std::unique_ptr<serve::Backend>> backends;
+  backends.push_back(std::make_unique<AffineBackend>(2.0f, 1.0f));
+  serve::Gateway gw(std::move(backends), swap_test_config());
+  AffineBackend v1_oracle(2.0f, 1.0f);
+
+  serve::ShadowConfig sc;
+  sc.fraction = 1.0;
+  sc.window = 2;
+  sc.max_rejects = 0;
+  sc.promote_after = 1;
+  // First call builds the (clean, incumbent-identical) shadow candidate;
+  // every later call — i.e. swap_all at promotion, on the shadow worker
+  // thread — throws. The exception must be absorbed as a rollback, not
+  // escape the thread and std::terminate the process.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  ASSERT_TRUE(gw.begin_shadow(
+      [calls]() -> std::unique_ptr<serve::Backend> {
+        if (calls->fetch_add(1) > 0) {
+          throw std::runtime_error("promotion factory failure");
+        }
+        return std::make_unique<AffineBackend>(2.0f, 1.0f);
+      },
+      sc));
+
+  for (int i = 0; i < 200 && gw.shadow_status().active; ++i) {
+    auto t = gw.submit(test_frame(16, 950u + static_cast<unsigned>(i)));
+    ASSERT_TRUE(t.admitted);
+    t.response.get();
+  }
+  const auto status = gw.end_shadow();
+  EXPECT_EQ(status.outcome, serve::ShadowOutcome::kRolledBack);
+  EXPECT_EQ(status.rejects, 0u) << "candidate itself was clean";
+
+  // The fleet never changed generation.
+  EXPECT_EQ(gw.model_epoch(), 1u);
+  const auto f = test_frame(16, 999);
+  auto t = gw.submit(f);
+  ASSERT_TRUE(t.admitted);
+  auto r = t.response.get();
+  EXPECT_EQ(r.model_epoch, 1u);
+  EXPECT_EQ(r.output, v1_oracle.infer(f));
+  gw.stop();
+}
+
 TEST(GatewayTest, ShadowJudgeSeesStreamAndGroundTruthHook) {
   std::vector<std::unique_ptr<serve::Backend>> backends;
   backends.push_back(std::make_unique<AffineBackend>(1.0f, 0.0f));
