@@ -43,29 +43,190 @@ void conv1d_acc_scalar(const std::int64_t* x, const std::int64_t* wtr,
   }
 }
 
+// Scalar narrow lane. Products are computed in int32 (the prover certified
+// |w|, |x| <= 2^15 so w*x fits) and the accumulator is int32 on purpose:
+// the prover's envelope says no partial sum can leave int32, and keeping
+// the scalar path at the same width as the SIMD lanes means a prover bug
+// shows up as a sanitizer report in the property tests instead of silently
+// diverging between variants.
+void conv1d_acc_i16_scalar(const std::int16_t* x, const std::int16_t* wtr,
+                           const std::int32_t* bias_acc, std::int32_t* acc,
+                           std::size_t positions, std::size_t in_ch,
+                           std::size_t in_stride, std::size_t out_ch,
+                           std::size_t out_pad, std::size_t k, int shift) {
+  const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+  const auto pos = static_cast<std::ptrdiff_t>(positions);
+  const auto kk = static_cast<std::ptrdiff_t>(k);
+  for (std::ptrdiff_t p = 0; p < pos; ++p) {
+    std::int32_t* accp = acc + static_cast<std::size_t>(p) * out_pad;
+    std::copy(bias_acc, bias_acc + out_ch, accp);
+    const std::ptrdiff_t dk_lo = std::max<std::ptrdiff_t>(0, pad - p);
+    const std::ptrdiff_t dk_hi = std::min<std::ptrdiff_t>(kk, pos + pad - p);
+    for (std::ptrdiff_t dk = dk_lo; dk < dk_hi; ++dk) {
+      const std::int16_t* xq =
+          x + static_cast<std::size_t>(p + dk - pad) * in_stride;
+      const std::int16_t* wdk =
+          wtr + static_cast<std::size_t>(dk) * in_ch * out_pad;
+      for (std::size_t i = 0; i < in_ch; ++i) {
+        const std::int32_t xv = xq[i];
+        if (xv == 0) continue;
+        const std::int16_t* wrow = wdk + i * out_pad;
+        std::size_t o = 0;
+        for (; o + 4 <= out_ch; o += 4) {
+          accp[o + 0] += (wrow[o + 0] * xv) >> shift;
+          accp[o + 1] += (wrow[o + 1] * xv) >> shift;
+          accp[o + 2] += (wrow[o + 2] * xv) >> shift;
+          accp[o + 3] += (wrow[o + 3] * xv) >> shift;
+        }
+        for (; o < out_ch; ++o) accp[o] += (wrow[o] * xv) >> shift;
+      }
+    }
+  }
+}
+
+// Scalar dot-product lane: fused int16-pair accumulation with shift == 0,
+// the same pair-sum order vpdpwssd uses.
+void conv1d_acc_i16_dp_scalar(const std::int16_t* x, const std::int16_t* wtr,
+                              const std::int32_t* bias_acc, std::int32_t* acc,
+                              std::size_t positions, std::size_t in_pairs,
+                              std::size_t in_stride, std::size_t out_ch,
+                              std::size_t out_pad, std::size_t k) {
+  const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+  const auto pos = static_cast<std::ptrdiff_t>(positions);
+  const auto kk = static_cast<std::ptrdiff_t>(k);
+  for (std::ptrdiff_t p = 0; p < pos; ++p) {
+    std::int32_t* accp = acc + static_cast<std::size_t>(p) * out_pad;
+    std::copy(bias_acc, bias_acc + out_ch, accp);
+    const std::ptrdiff_t dk_lo = std::max<std::ptrdiff_t>(0, pad - p);
+    const std::ptrdiff_t dk_hi = std::min<std::ptrdiff_t>(kk, pos + pad - p);
+    for (std::ptrdiff_t dk = dk_lo; dk < dk_hi; ++dk) {
+      const std::int16_t* xq =
+          x + static_cast<std::size_t>(p + dk - pad) * in_stride;
+      const std::int16_t* wdk =
+          wtr + static_cast<std::size_t>(dk) * in_pairs * out_pad * 2;
+      for (std::size_t ip = 0; ip < in_pairs; ++ip) {
+        const std::int32_t x0 = xq[2 * ip];
+        const std::int32_t x1 = xq[2 * ip + 1];
+        if (x0 == 0 && x1 == 0) continue;
+        const std::int16_t* wrow = wdk + ip * out_pad * 2;
+        for (std::size_t o = 0; o < out_ch; ++o) {
+          accp[o] += wrow[2 * o] * x0 + wrow[2 * o + 1] * x1;
+        }
+      }
+    }
+  }
+}
+
+namespace hd = ::reads::hls::detail;
+
+void requant_i64_scalar(const std::int64_t* in, std::int64_t* out,
+                        std::size_t n, const hd::Requant& rq, bool relu,
+                        std::size_t& saturations) {
+  if (relu) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rq.apply(std::max<std::int64_t>(0, in[i]), saturations);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = rq.apply(in[i], saturations);
+  }
+}
+
+void finalize_i32_scalar(const std::int32_t* acc, std::int64_t* out,
+                         std::size_t positions, std::size_t out_ch,
+                         std::size_t acc_stride, const hd::Accum& ac,
+                         std::size_t& overflows, std::size_t& saturations) {
+  for (std::size_t p = 0; p < positions; ++p) {
+    const std::int32_t* accp = acc + p * acc_stride;
+    std::int64_t* yp = out + p * out_ch;
+    for (std::size_t o = 0; o < out_ch; ++o) {
+      yp[o] = ac.finalize(accp[o], overflows, saturations);
+    }
+  }
+}
+
 #if defined(READS_QKERNELS_AVX512)
 void conv1d_acc_avx512(const std::int64_t* x, const std::int64_t* wtr,
                        const std::int64_t* bias_acc, std::int64_t* acc,
                        std::size_t positions, std::size_t in_ch,
                        std::size_t out_ch, std::size_t k, int shift);
+void requant_i64_avx512(const std::int64_t* in, std::int64_t* out,
+                        std::size_t n, const hd::Requant& rq, bool relu,
+                        std::size_t& saturations);
+void finalize_i32_avx512(const std::int32_t* acc, std::int64_t* out,
+                         std::size_t positions, std::size_t out_ch,
+                         std::size_t acc_stride, const hd::Accum& ac,
+                         std::size_t& overflows, std::size_t& saturations);
+void conv1d_acc_i16_avx512(const std::int16_t* x, const std::int16_t* wtr,
+                           const std::int32_t* bias_acc, std::int32_t* acc,
+                           std::size_t positions, std::size_t in_ch,
+                           std::size_t in_stride, std::size_t out_ch,
+                           std::size_t out_pad, std::size_t k, int shift);
+#endif
+#if defined(READS_QKERNELS_VNNI)
+void conv1d_acc_i16_dp_vnni(const std::int16_t* x, const std::int16_t* wtr,
+                            const std::int32_t* bias_acc, std::int32_t* acc,
+                            std::size_t positions, std::size_t in_pairs,
+                            std::size_t in_stride, std::size_t out_ch,
+                            std::size_t out_pad, std::size_t k);
 #endif
 
 using KernelFn = void (*)(const std::int64_t*, const std::int64_t*,
                           const std::int64_t*, std::int64_t*, std::size_t,
                           std::size_t, std::size_t, std::size_t, int);
+using NarrowFn = void (*)(const std::int16_t*, const std::int16_t*,
+                          const std::int32_t*, std::int32_t*, std::size_t,
+                          std::size_t, std::size_t, std::size_t, std::size_t,
+                          std::size_t, int);
+using NarrowDpFn = void (*)(const std::int16_t*, const std::int16_t*,
+                            const std::int32_t*, std::int32_t*, std::size_t,
+                            std::size_t, std::size_t, std::size_t,
+                            std::size_t, std::size_t);
+using RequantFn = void (*)(const std::int64_t*, std::int64_t*, std::size_t,
+                           const hd::Requant&, bool, std::size_t&);
+using FinalizeFn = void (*)(const std::int32_t*, std::int64_t*, std::size_t,
+                            std::size_t, std::size_t, const hd::Accum&,
+                            std::size_t&, std::size_t&);
 
 struct Dispatch {
   KernelFn fn = conv1d_acc_scalar;
   const char* name = "scalar";
+  NarrowFn narrow = conv1d_acc_i16_scalar;
+  const char* narrow_name = "scalar";
+  NarrowDpFn narrow_dp = conv1d_acc_i16_dp_scalar;
+  const char* narrow_dp_name = "scalar";
+  RequantFn requant = requant_i64_scalar;
+  FinalizeFn finalize = finalize_i32_scalar;
 };
 
 Dispatch resolve() {
-#if defined(READS_QKERNELS_AVX512) && defined(__GNUC__) && defined(__x86_64__)
-  if (__builtin_cpu_supports("avx512dq") && __builtin_cpu_supports("avx512vl")) {
-    return {conv1d_acc_avx512, "avx512"};
+  Dispatch d;
+#if defined(__GNUC__) && defined(__x86_64__)
+  // avx512f is the foundation bit: dq/vl extend it, they do not imply it,
+  // and a CPU reporting extensions without the foundation must not take
+  // the 512-bit paths.
+  const bool f = __builtin_cpu_supports("avx512f");
+#if defined(READS_QKERNELS_AVX512)
+  if (f && __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    d.fn = conv1d_acc_avx512;
+    d.name = "avx512";
+    d.narrow = conv1d_acc_i16_avx512;
+    d.narrow_name = "avx512";
+    d.requant = requant_i64_avx512;
+    d.finalize = finalize_i32_avx512;
   }
 #endif
-  return {};
+#if defined(READS_QKERNELS_VNNI)
+  if (f && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512vnni")) {
+    d.narrow_dp = conv1d_acc_i16_dp_vnni;
+    d.narrow_dp_name = "avx512-vnni";
+  }
+#endif
+  (void)f;
+#endif
+  return d;
 }
 
 const Dispatch& dispatch() {
@@ -83,6 +244,59 @@ void conv1d_acc(const std::int64_t* x, const std::int64_t* wtr,
                         shift);
 }
 
+void conv1d_acc_i16(const std::int16_t* x, const std::int16_t* wtr,
+                    const std::int32_t* bias_acc, std::int32_t* acc,
+                    std::size_t positions, std::size_t in_ch,
+                    std::size_t in_stride, std::size_t out_ch,
+                    std::size_t out_pad, std::size_t k, int shift) {
+  detail::dispatch().narrow(x, wtr, bias_acc, acc, positions, in_ch,
+                            in_stride, out_ch, out_pad, k, shift);
+}
+
+void conv1d_acc_i16_dp(const std::int16_t* x, const std::int16_t* wtr,
+                       const std::int32_t* bias_acc, std::int32_t* acc,
+                       std::size_t positions, std::size_t in_pairs,
+                       std::size_t in_stride, std::size_t out_ch,
+                       std::size_t out_pad, std::size_t k) {
+  detail::dispatch().narrow_dp(x, wtr, bias_acc, acc, positions, in_pairs,
+                               in_stride, out_ch, out_pad, k);
+}
+
+void requant_i64(const std::int64_t* in, std::int64_t* out, std::size_t n,
+                 const reads::hls::detail::Requant& rq, bool relu,
+                 std::size_t& saturations) {
+  // shift <= -63 means every nonzero input saturates (Requant::apply's
+  // k >= 63 special case), and shift >= 64 rounds (almost) everything to
+  // zero; the SIMD path precomputes its constants with shifts that must
+  // stay < 64 either way, so route both degenerate bands to the scalar
+  // loop. Ordinary widening (0 > shift > -63) runs vectorized — PTQ specs
+  // widen on most encoder-side layers, so this path is hot, not rare.
+  if (rq.shift <= -63 || rq.shift >= 64) {
+    detail::requant_i64_scalar(in, out, n, rq, relu, saturations);
+    return;
+  }
+  detail::dispatch().requant(in, out, n, rq, relu, saturations);
+}
+
+void finalize_i32(const std::int32_t* acc, std::int64_t* out,
+                  std::size_t positions, std::size_t out_ch,
+                  std::size_t acc_stride, const reads::hls::detail::Accum& ac,
+                  std::size_t& overflows, std::size_t& saturations) {
+  if (ac.out.shift <= -63 || ac.out.shift >= 64) {
+    detail::finalize_i32_scalar(acc, out, positions, out_ch, acc_stride, ac,
+                                overflows, saturations);
+    return;
+  }
+  detail::dispatch().finalize(acc, out, positions, out_ch, acc_stride, ac,
+                              overflows, saturations);
+}
+
 const char* variant() noexcept { return detail::dispatch().name; }
+const char* narrow_variant() noexcept {
+  return detail::dispatch().narrow_name;
+}
+const char* narrow_dp_variant() noexcept {
+  return detail::dispatch().narrow_dp_name;
+}
 
 }  // namespace reads::hls::kernels

@@ -3,19 +3,34 @@
 // Dense and Conv1D dominate the bit-accurate forward pass. The kernels here
 // work on weights transposed to (k, in, out) layout so the innermost loop
 // runs over *outputs* with a contiguous weight row and a single broadcast
-// activation — block-friendly for both the scalar 4-wide unroll and the
-// AVX-512 path (8 accumulators per vector, vpmullq/vpsraq).
+// activation — block-friendly for both the scalar unrolls and the AVX-512
+// paths.
+//
+// Two lane widths exist:
+//  - conv1d_acc: the exact int64 path (8 lanes/vector, vpmullq/vpsraq).
+//    Always correct; the fallback for layers the range prover cannot clear.
+//  - conv1d_acc_i16 / conv1d_acc_i16_dp: the narrow path (16 lanes/vector)
+//    for layers the prover (lanes.hpp) certified: weights and activations
+//    fit int16, every product fits int32 after the per-term shift, and all
+//    partial sums stay inside int32 — so int32 accumulation is *exact*, not
+//    approximate. The _dp variant additionally requires shift == 0 and uses
+//    VNNI-style fused int16-pair dot products (vpdpwssd) where available;
+//    a per-term shift cannot ride through the fused pair-sum, which is why
+//    it is a separate lane.
 //
 // Bit-exactness contract: each kernel produces, for every output, the exact
-// int64 sum  bias_acc[o] + sum_taps((w * x) >> shift)  — the same value the
-// reference per-output loop computes, because int64 arithmetic is exact at
-// these magnitudes and addition order is therefore immaterial. The caller
-// applies Accum::finalize (wrap + requant + stats counting) afterwards, so
-// ForwardStats saturation/overflow counts are unchanged by construction.
+// sum  bias_acc[o] + sum_taps((w * x) >> shift)  — the same value the
+// reference per-output loop computes, because the arithmetic is exact at
+// the (proven) magnitudes and addition order is therefore immaterial. The
+// caller applies Accum::finalize (wrap + requant + stats counting)
+// afterwards, so ForwardStats saturation/overflow counts are unchanged by
+// construction.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+
+#include "hls/accum.hpp"
 
 namespace reads::hls::kernels {
 
@@ -30,7 +45,60 @@ void conv1d_acc(const std::int64_t* x, const std::int64_t* wtr,
                 std::size_t positions, std::size_t in_ch, std::size_t out_ch,
                 std::size_t k, int shift);
 
-/// Name of the kernel variant selected at runtime ("avx512" or "scalar").
+/// Narrow-lane pass for range-prover-certified layers. `x` is (positions,
+/// in_stride) int16 activations (in_stride >= in_ch; extra columns are
+/// zero), `wtr` is (k, in_ch, out_pad) int16 with out_pad a multiple of 16
+/// (pad columns carry zero weights), `bias_acc`/`acc` are out_pad-stride
+/// int32. The AVX-512 variant computes all out_pad lanes; only the first
+/// out_ch of each row are meaningful. `shift` in [0, 31] is applied per
+/// product (vpmulld/vpsrad — products fit int32 by the prover's int16
+/// bounds).
+void conv1d_acc_i16(const std::int16_t* x, const std::int16_t* wtr,
+                    const std::int32_t* bias_acc, std::int32_t* acc,
+                    std::size_t positions, std::size_t in_ch,
+                    std::size_t in_stride, std::size_t out_ch,
+                    std::size_t out_pad, std::size_t k, int shift);
+
+/// Dot-product narrow pass (shift == 0 only). Input channels are processed
+/// as in_pairs adjacent pairs (in_stride = 2 * in_pairs; an odd channel
+/// count is zero-padded), and `wtr` is pair-interleaved:
+/// (k, in_pairs, out_pad, 2). Accumulation fuses each int16 pair into one
+/// int32 add — exactly vpdpwssd — which the prover's absolute-sum bound
+/// keeps exact.
+void conv1d_acc_i16_dp(const std::int16_t* x, const std::int16_t* wtr,
+                       const std::int32_t* bias_acc, std::int32_t* acc,
+                       std::size_t positions, std::size_t in_pairs,
+                       std::size_t in_stride, std::size_t out_ch,
+                       std::size_t out_pad, std::size_t k);
+
+/// Elementwise requant write-out: out[i] = rq.apply(relu ? max(0, in[i]) :
+/// in[i]). These loops (ReLU/Flatten/Concat/UpSample) are half the frame
+/// time once the MACs run narrow, so the AVX-512 variant processes 8 int64
+/// lanes per step and counts saturations by mask popcount — the total is
+/// identical to the scalar per-element count. Widening (rq.shift < 0) runs
+/// vectorized too, saturating against pre-shift thresholds; only the
+/// degenerate bands fall back to the scalar loop — shift <= -63 (every
+/// nonzero input saturates) and shift >= 64 (everything rounds to zero;
+/// the SIMD half-constant 2^(shift-1) would not fit an int64 lane).
+void requant_i64(const std::int64_t* in, std::int64_t* out, std::size_t n,
+                 const reads::hls::detail::Requant& rq, bool relu,
+                 std::size_t& saturations);
+
+/// Finalize a narrow int32 accumulator block into int64 activations:
+/// out[p*out_ch + o] = ac.finalize(acc[p*acc_stride + o]) for o < out_ch,
+/// with wrap (overflow) and saturation events counted exactly as the scalar
+/// Accum::finalize does. Falls back to scalar only in the degenerate
+/// ac.out.shift bands (<= -63 or >= 64).
+void finalize_i32(const std::int32_t* acc, std::int64_t* out,
+                  std::size_t positions, std::size_t out_ch,
+                  std::size_t acc_stride, const reads::hls::detail::Accum& ac,
+                  std::size_t& overflows, std::size_t& saturations);
+
+/// Name of the int64 kernel variant selected at runtime ("avx512"/"scalar").
 const char* variant() noexcept;
+/// Same for the narrow int16 kernel ("avx512"/"scalar").
+const char* narrow_variant() noexcept;
+/// Same for the dot-product kernel ("avx512-vnni"/"scalar").
+const char* narrow_dp_variant() noexcept;
 
 }  // namespace reads::hls::kernels

@@ -15,7 +15,11 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "hls/accum.hpp"
+
 namespace reads::hls::kernels::detail {
+
+namespace hd = ::reads::hls::detail;
 
 void conv1d_acc_avx512(const std::int64_t* x, const std::int64_t* wtr,
                        const std::int64_t* bias_acc, std::int64_t* acc,
@@ -61,6 +65,225 @@ void conv1d_acc_avx512(const std::int64_t* x, const std::int64_t* wtr,
         }
       }
     }
+  }
+}
+
+namespace {
+
+// Precomputed 8-lane constants for one Requant. The widening thresholds
+// mirror Requant::apply exactly: v << k saturates iff v lies outside
+// [ceil(lo / 2^k), hi >> k], evaluated BEFORE the shift so no lane ever
+// overflows int64. Built once per call, reused for every vector.
+struct RQ8 {
+  int shift;
+  __m128i cnt;                // |shift| as a shift count
+  __m512i vhalf;              // rounding bias, shift > 0 only
+  __m512i vlo, vhi;           // destination clamp range
+  __m512i vlo_thr, vhi_thr;   // pre-shift thresholds, shift < 0 only
+
+  explicit RQ8(const hd::Requant& rq)
+      : shift(rq.shift),
+        cnt(_mm_cvtsi32_si128(rq.shift >= 0 ? rq.shift : -rq.shift)),
+        vhalf(_mm512_set1_epi64(
+            rq.shift > 0 ? std::int64_t{1} << (rq.shift - 1) : 0)),
+        vlo(_mm512_set1_epi64(rq.lo)),
+        vhi(_mm512_set1_epi64(rq.hi)),
+        vlo_thr(_mm512_setzero_si512()),
+        vhi_thr(_mm512_setzero_si512()) {
+    if (shift < 0) {
+      const int k = -shift;  // < 63: the wrapper routes k >= 63 to scalar
+      const std::int64_t hi_thr = rq.hi >> k;
+      const std::int64_t lo_floor = rq.lo >> k;
+      const std::int64_t lo_thr =
+          lo_floor * (std::int64_t{1} << k) == rq.lo ? lo_floor
+                                                     : lo_floor + 1;
+      vlo_thr = _mm512_set1_epi64(lo_thr);
+      vhi_thr = _mm512_set1_epi64(hi_thr);
+    }
+  }
+};
+
+// 8-lane Requant::apply. shift > 0: round-to-nearest half-away-from-zero
+// via |v| (exactly the scalar's two-branch rounding), then clamp. shift < 0
+// (widening): saturate against the pre-shift thresholds and left-shift the
+// in-range lanes — in-range results land inside [lo, hi] by construction,
+// so the final clamp is skipped just like the scalar early returns. Either
+// way `sat` reports the would-saturate lanes; popcounting it gives the same
+// saturation total as the scalar per-element counter.
+inline __m512i requant8(__m512i v, const RQ8& rq, __mmask8& sat) {
+  if (rq.shift < 0) {
+    const auto hi_m = _mm512_cmplt_epi64_mask(rq.vhi_thr, v);
+    const auto lo_m = _mm512_cmplt_epi64_mask(v, rq.vlo_thr);
+    sat = static_cast<__mmask8>(hi_m | lo_m);
+    v = _mm512_sll_epi64(v, rq.cnt);
+    v = _mm512_mask_mov_epi64(v, hi_m, rq.vhi);
+    v = _mm512_mask_mov_epi64(v, lo_m, rq.vlo);
+    return v;
+  }
+  if (rq.shift > 0) {
+    const __m512i a = _mm512_abs_epi64(v);
+    // a + half >= 0, so the logical shift is the arithmetic one.
+    const __m512i t = _mm512_srl_epi64(_mm512_add_epi64(a, rq.vhalf), rq.cnt);
+    const __mmask8 neg =
+        _mm512_cmplt_epi64_mask(v, _mm512_setzero_si512());
+    v = _mm512_mask_sub_epi64(t, neg, _mm512_setzero_si512(), t);
+  }
+  sat = static_cast<__mmask8>(_mm512_cmplt_epi64_mask(v, rq.vlo) |
+                              _mm512_cmplt_epi64_mask(rq.vhi, v));
+  v = _mm512_max_epi64(_mm512_min_epi64(v, rq.vhi), rq.vlo);
+  return v;
+}
+
+}  // namespace
+
+void requant_i64_avx512(const std::int64_t* in, std::int64_t* out,
+                        std::size_t n, const hd::Requant& rq, bool relu,
+                        std::size_t& saturations) {
+  const RQ8 r8(rq);  // |shift| < 63 (the wrapper routes shift <= -63 away)
+  const __m512i zero = _mm512_setzero_si512();
+  std::size_t sat = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i v = _mm512_loadu_si512(in + i);
+    if (relu) v = _mm512_max_epi64(v, zero);
+    __mmask8 m;
+    v = requant8(v, r8, m);
+    sat += static_cast<std::size_t>(__builtin_popcount(m));
+    _mm512_storeu_si512(out + i, v);
+  }
+  for (; i < n; ++i) {
+    const std::int64_t v = relu ? std::max<std::int64_t>(0, in[i]) : in[i];
+    out[i] = rq.apply(v, sat);
+  }
+  saturations += sat;
+}
+
+void finalize_i32_avx512(const std::int32_t* acc, std::int64_t* out,
+                         std::size_t positions, std::size_t out_ch,
+                         std::size_t acc_stride, const hd::Accum& ac,
+                         std::size_t& overflows, std::size_t& saturations) {
+  const int rb = ac.ring_bits;
+  const bool can_wrap = rb < 64;
+  const __m128i wrap_cnt = _mm_cvtsi32_si128(can_wrap ? 64 - rb : 0);
+  const __m512i ring_lo = _mm512_set1_epi64(ac.ring_lo);
+  const __m512i ring_hi = _mm512_set1_epi64(ac.ring_hi);
+  const RQ8 r8(ac.out);  // |shift| < 63 (wrapper routes shift <= -63 away)
+  std::size_t ovf = 0;
+  std::size_t sat = 0;
+  const std::size_t o_main = out_ch & ~std::size_t{7};
+  for (std::size_t p = 0; p < positions; ++p) {
+    const std::int32_t* ap = acc + p * acc_stride;
+    std::int64_t* yp = out + p * out_ch;
+    std::size_t o = 0;
+    for (; o < o_main; o += 8) {
+      __m512i v = _mm512_cvtepi32_epi64(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ap + o)));
+      if (can_wrap) {
+        const auto w = static_cast<__mmask8>(
+            _mm512_cmplt_epi64_mask(v, ring_lo) |
+            _mm512_cmplt_epi64_mask(ring_hi, v));
+        if (w) {
+          // Sign-extend the low ring_bits: identical to the scalar
+          // mask-and-or wrap.
+          const __m512i wr =
+              _mm512_sra_epi64(_mm512_sll_epi64(v, wrap_cnt), wrap_cnt);
+          v = _mm512_mask_mov_epi64(v, w, wr);
+          ovf += static_cast<std::size_t>(__builtin_popcount(w));
+        }
+      }
+      __mmask8 m;
+      v = requant8(v, r8, m);
+      sat += static_cast<std::size_t>(__builtin_popcount(m));
+      _mm512_storeu_si512(yp + o, v);
+    }
+    for (; o < out_ch; ++o) {
+      yp[o] = ac.finalize(ap[o], ovf, sat);
+    }
+  }
+  overflows += ovf;
+  saturations += sat;
+}
+
+namespace {
+
+// One pass over all positions holding NB 16-lane int32 accumulator vectors
+// (up to 64 outputs) in registers across the whole tap/input-channel loop —
+// the accumulators never round-trip through memory, unlike the int64 kernel
+// above which loads/stores per input channel. out_pad is a multiple of 16
+// (pad columns carry zero weights), so no masked tail is needed.
+template <int NB>
+void narrow_block_pass(const std::int16_t* x, const std::int16_t* wtr,
+                       const std::int32_t* bias_acc, std::int32_t* acc,
+                       std::ptrdiff_t pos, std::size_t in_ch,
+                       std::size_t in_stride, std::size_t out_pad,
+                       std::size_t ob, std::ptrdiff_t kk, int shift) {
+  const auto pad = kk / 2;
+  const __m128i shift_cnt = _mm_cvtsi32_si128(shift);
+  for (std::ptrdiff_t p = 0; p < pos; ++p) {
+    __m512i accv[NB];
+    for (int b = 0; b < NB; ++b) {
+      accv[b] = _mm512_loadu_si512(bias_acc + ob + 16 * static_cast<std::size_t>(b));
+    }
+    const std::ptrdiff_t dk_lo = std::max<std::ptrdiff_t>(0, pad - p);
+    const std::ptrdiff_t dk_hi = std::min<std::ptrdiff_t>(kk, pos + pad - p);
+    for (std::ptrdiff_t dk = dk_lo; dk < dk_hi; ++dk) {
+      const std::int16_t* xq =
+          x + static_cast<std::size_t>(p + dk - pad) * in_stride;
+      const std::int16_t* wdk =
+          wtr + static_cast<std::size_t>(dk) * in_ch * out_pad;
+      for (std::size_t i = 0; i < in_ch; ++i) {
+        const std::int32_t xv = xq[i];
+        if (xv == 0) continue;
+        const __m512i xvec = _mm512_set1_epi32(xv);
+        const std::int16_t* wrow = wdk + i * out_pad + ob;
+        for (int b = 0; b < NB; ++b) {
+          const __m512i w = _mm512_cvtepi16_epi32(_mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(wrow + 16 * b)));
+          // Products fit int32 by the prover's int16 bounds, so the low
+          // 32 bits of vpmulld are the exact product; vpsrad is the same
+          // floor shift as the scalar `>>`.
+          const __m512i term =
+              _mm512_sra_epi32(_mm512_mullo_epi32(w, xvec), shift_cnt);
+          accv[b] = _mm512_add_epi32(accv[b], term);
+        }
+      }
+    }
+    std::int32_t* accp = acc + static_cast<std::size_t>(p) * out_pad + ob;
+    for (int b = 0; b < NB; ++b) {
+      _mm512_storeu_si512(accp + 16 * static_cast<std::size_t>(b), accv[b]);
+    }
+  }
+}
+
+}  // namespace
+
+void conv1d_acc_i16_avx512(const std::int16_t* x, const std::int16_t* wtr,
+                           const std::int32_t* bias_acc, std::int32_t* acc,
+                           std::size_t positions, std::size_t in_ch,
+                           std::size_t in_stride, std::size_t /*out_ch*/,
+                           std::size_t out_pad, std::size_t k, int shift) {
+  const auto pos = static_cast<std::ptrdiff_t>(positions);
+  const auto kk = static_cast<std::ptrdiff_t>(k);
+  std::size_t ob = 0;
+  for (; ob + 64 <= out_pad; ob += 64) {
+    narrow_block_pass<4>(x, wtr, bias_acc, acc, pos, in_ch, in_stride,
+                         out_pad, ob, kk, shift);
+  }
+  switch ((out_pad - ob) / 16) {
+    case 3:
+      narrow_block_pass<3>(x, wtr, bias_acc, acc, pos, in_ch, in_stride,
+                           out_pad, ob, kk, shift);
+      break;
+    case 2:
+      narrow_block_pass<2>(x, wtr, bias_acc, acc, pos, in_ch, in_stride,
+                           out_pad, ob, kk, shift);
+      break;
+    case 1:
+      narrow_block_pass<1>(x, wtr, bias_acc, acc, pos, in_ch, in_stride,
+                           out_pad, ob, kk, shift);
+      break;
+    default:
+      break;
   }
 }
 

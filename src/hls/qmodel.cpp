@@ -23,8 +23,22 @@ int frac_bits(const FixedSpec& spec) noexcept {
 
 }  // namespace
 
+namespace {
+
+std::size_t words_i16(std::size_t count) {
+  return (count * sizeof(std::int16_t) + sizeof(std::int64_t) - 1) /
+         sizeof(std::int64_t);
+}
+
+std::size_t words_i32(std::size_t count) {
+  return (count * sizeof(std::int32_t) + sizeof(std::int64_t) - 1) /
+         sizeof(std::int64_t);
+}
+
+}  // namespace
+
 QuantizedModel::QuantizedModel(FirmwareModel firmware)
-    : fw_(std::move(firmware)) {
+    : fw_(std::move(firmware)), lanes_(prove_lanes(fw_)) {
   io_.reserve(fw_.layers.size());
   act_offset_.reserve(fw_.layers.size());
   plans_.resize(fw_.layers.size());
@@ -56,8 +70,10 @@ QuantizedModel::QuantizedModel(FirmwareModel firmware)
       // fraction bits than the product); the check keeps the kernel contract
       // explicit and falls back to the reference loop otherwise.
       plan.use_kernel = ac.prod_shift >= 0;
-      if (plan.use_kernel) {
-        const std::size_t k = l.kind == LayerKind::kDense ? 1 : l.kernel;
+      if (!plan.use_kernel) continue;
+      const std::size_t k = l.kind == LayerKind::kDense ? 1 : l.kernel;
+      plan.lane = lanes_.decisions[i].lane;
+      if (plan.lane == Lane::kWide64) {
         plan.wtr.resize(k * l.in_channels * l.out_channels);
         for (std::size_t o = 0; o < l.out_channels; ++o) {
           for (std::size_t dk = 0; dk < k; ++dk) {
@@ -71,7 +87,45 @@ QuantizedModel::QuantizedModel(FirmwareModel firmware)
         for (std::size_t o = 0; o < l.out_channels; ++o) {
           plan.bias_acc[o] = ac.bias(l.bias_raw[o]);
         }
+        continue;
       }
+      // Narrow lane: the prover certified weights/activations fit int16 and
+      // every partial sum fits int32, so the downcasts below are exact.
+      plan.out_pad = (l.out_channels + 15) & ~std::size_t{15};
+      if (plan.lane == Lane::kNarrow32) {
+        plan.in_stride = l.in_channels;
+        plan.wtr16.assign(k * l.in_channels * plan.out_pad, 0);
+        for (std::size_t o = 0; o < l.out_channels; ++o) {
+          for (std::size_t dk = 0; dk < k; ++dk) {
+            for (std::size_t c = 0; c < l.in_channels; ++c) {
+              plan.wtr16[(dk * l.in_channels + c) * plan.out_pad + o] =
+                  static_cast<std::int16_t>(
+                      l.weights_raw[(o * k + dk) * l.in_channels + c]);
+            }
+          }
+        }
+      } else {  // kNarrowDp: pair-interleaved, odd channel zero-padded
+        const std::size_t in_pairs = (l.in_channels + 1) / 2;
+        plan.in_stride = 2 * in_pairs;
+        plan.wtr16.assign(k * in_pairs * plan.out_pad * 2, 0);
+        for (std::size_t o = 0; o < l.out_channels; ++o) {
+          for (std::size_t dk = 0; dk < k; ++dk) {
+            for (std::size_t c = 0; c < l.in_channels; ++c) {
+              plan.wtr16[((dk * in_pairs + c / 2) * plan.out_pad + o) * 2 +
+                         c % 2] =
+                  static_cast<std::int16_t>(
+                      l.weights_raw[(o * k + dk) * l.in_channels + c]);
+            }
+          }
+        }
+      }
+      plan.bias32.assign(plan.out_pad, 0);
+      for (std::size_t o = 0; o < l.out_channels; ++o) {
+        plan.bias32[o] = static_cast<std::int32_t>(ac.bias(l.bias_raw[o]));
+      }
+      narrow_words_ =
+          std::max(narrow_words_, words_i16(l.positions * plan.in_stride) +
+                                      words_i32(l.positions * plan.out_pad));
     }
   }
 }
@@ -115,13 +169,20 @@ void QuantizedModel::prepare_stats(ForwardStats* stats) const {
 }
 
 Tensor QuantizedModel::forward(const Tensor& input, ForwardStats* stats) const {
+  Tensor t;
+  forward_into(input, t, stats);
+  return t;
+}
+
+void QuantizedModel::forward_into(const Tensor& input, Tensor& out,
+                                  ForwardStats* stats) const {
   if (input.numel() != fw_.input_values) {
     throw std::invalid_argument("QuantizedModel: input size mismatch");
   }
   prepare_stats(stats);
   auto& arena = util::ScratchArena::local();
   util::ArenaScope scope(arena);
-  arena.require<std::int64_t>(act_words_);
+  arena.require<std::int64_t>(act_words_ + narrow_words_);
   auto block = arena.alloc<std::int64_t>(act_words_);
   const auto in_fmt = fw_.input_spec.format(fixed::QuantMode::kRound);
   for (std::size_t i = 0; i < input.numel(); ++i) {
@@ -130,11 +191,10 @@ Tensor QuantizedModel::forward(const Tensor& input, ForwardStats* stats) const {
   const std::int64_t* out_raw = execute(block.data(), stats);
   const auto& out_layer = fw_.layers.back();
   const auto out_fmt = fw_.output_spec.format();
-  Tensor t({out_layer.positions, out_layer.out_channels});
+  out.resize({out_layer.positions, out_layer.out_channels});
   for (std::size_t i = 0; i < fw_.output_values; ++i) {
-    t[i] = static_cast<float>(out_fmt.to_double(out_raw[i]));
+    out[i] = static_cast<float>(out_fmt.to_double(out_raw[i]));
   }
-  return t;
 }
 
 std::vector<Tensor> QuantizedModel::forward_batch(std::span<const Tensor> inputs,
@@ -168,7 +228,7 @@ std::vector<std::int64_t> QuantizedModel::forward_raw(
   prepare_stats(stats);
   auto& arena = util::ScratchArena::local();
   util::ArenaScope scope(arena);
-  arena.require<std::int64_t>(act_words_);
+  arena.require<std::int64_t>(act_words_ + narrow_words_);
   auto block = arena.alloc<std::int64_t>(act_words_);
   std::copy(input_raw.begin(), input_raw.end(), block.data());
   const std::int64_t* out = execute(block.data(), stats);
@@ -203,6 +263,43 @@ void QuantizedModel::run_layer_fast(std::size_t idx, std::int64_t* acts,
       const Accum ac(l.quant.activation, frac_bits(l.quant.weight) + in_frac,
                      l.bias_frac_bits, fw_.config.quant.accum_guard_bits);
       const auto& plan = plans_[idx];
+      if (plan.use_kernel && plan.lane != Lane::kWide64) {
+        // Narrow lane (prover-certified): copy the source slab down to
+        // int16 once, accumulate in int32, finalize through the shared
+        // Accum — the int32 sums equal the exact int64 sums by the proof,
+        // so outputs and stats counters are bit-identical to the wide path.
+        const std::size_t k = l.kind == LayerKind::kDense ? 1 : l.kernel;
+        auto& arena = util::ScratchArena::local();
+        util::ArenaScope narrow_scope(arena);
+        auto x16 = arena.alloc<std::int16_t>(l.positions * plan.in_stride);
+        auto acc32 = arena.alloc<std::int32_t>(l.positions * plan.out_pad);
+        for (std::size_t p = 0; p < l.positions; ++p) {
+          const std::int64_t* src = in0 + p * l.in_channels;
+          std::int16_t* dst = x16.data() + p * plan.in_stride;
+          for (std::size_t i = 0; i < l.in_channels; ++i) {
+            dst[i] = static_cast<std::int16_t>(src[i]);
+          }
+          for (std::size_t i = l.in_channels; i < plan.in_stride; ++i) {
+            dst[i] = 0;
+          }
+        }
+        if (plan.lane == Lane::kNarrowDp) {
+          kernels::conv1d_acc_i16_dp(x16.data(), plan.wtr16.data(),
+                                     plan.bias32.data(), acc32.data(),
+                                     l.positions, plan.in_stride / 2,
+                                     plan.in_stride, l.out_channels,
+                                     plan.out_pad, k);
+        } else {
+          kernels::conv1d_acc_i16(x16.data(), plan.wtr16.data(),
+                                  plan.bias32.data(), acc32.data(),
+                                  l.positions, l.in_channels, plan.in_stride,
+                                  l.out_channels, plan.out_pad, k,
+                                  ac.prod_shift);
+        }
+        kernels::finalize_i32(acc32.data(), out, l.positions, l.out_channels,
+                              plan.out_pad, ac, ovf, sat);
+        break;
+      }
       if (plan.use_kernel) {
         const std::size_t k = l.kind == LayerKind::kDense ? 1 : l.kernel;
         kernels::conv1d_acc(in0, plan.wtr.data(), plan.bias_acc.data(), out,
@@ -275,12 +372,18 @@ void QuantizedModel::run_layer_fast(std::size_t idx, std::int64_t* acts,
       if (in_pos * l.factor != l.positions) {
         std::fill(out, out + n, std::int64_t{0});
       }
+      // Requant each source row once and replicate it; the reference
+      // requants every replica separately, so the row's saturation count
+      // scales by the replication factor to keep ForwardStats identical.
       for (std::size_t p = 0; p < in_pos; ++p) {
-        for (std::size_t d = 0; d < l.factor; ++d) {
-          for (std::size_t c = 0; c < ch; ++c) {
-            out[(p * l.factor + d) * ch + c] = rq.apply(in0[p * ch + c], sat);
-          }
+        std::int64_t* row = out + (p * l.factor) * ch;
+        std::size_t row_sat = 0;
+        kernels::requant_i64(in0 + p * ch, row, ch, rq, /*relu=*/false,
+                             row_sat);
+        for (std::size_t d = 1; d < l.factor; ++d) {
+          std::copy(row, row + ch, row + d * ch);
         }
+        sat += row_sat * l.factor;
       }
       break;
     }
@@ -293,21 +396,17 @@ void QuantizedModel::run_layer_fast(std::size_t idx, std::int64_t* acts,
       const std::size_t c0 = src0.out_channels;
       const std::size_t c1 = src1.out_channels;
       for (std::size_t p = 0; p < l.positions; ++p) {
-        for (std::size_t c = 0; c < c0; ++c) {
-          out[p * (c0 + c1) + c] = rq0.apply(in0[p * c0 + c], sat);
-        }
-        for (std::size_t c = 0; c < c1; ++c) {
-          out[p * (c0 + c1) + c0 + c] = rq1.apply(in1[p * c1 + c], sat);
-        }
+        std::int64_t* yp = out + p * (c0 + c1);
+        kernels::requant_i64(in0 + p * c0, yp, c0, rq0, /*relu=*/false, sat);
+        kernels::requant_i64(in1 + p * c1, yp + c0, c1, rq1, /*relu=*/false,
+                             sat);
       }
       break;
     }
 
     case LayerKind::kRelu: {
       const Requant rq(in_frac, l.quant.activation);
-      for (std::size_t i = 0; i < n; ++i) {
-        out[i] = rq.apply(std::max<std::int64_t>(0, in0[i]), sat);
-      }
+      kernels::requant_i64(in0, out, n, rq, /*relu=*/true, sat);
       break;
     }
 
@@ -329,9 +428,7 @@ void QuantizedModel::run_layer_fast(std::size_t idx, std::int64_t* acts,
 
     case LayerKind::kFlatten: {
       const Requant rq(in_frac, l.quant.activation);
-      for (std::size_t i = 0; i < n; ++i) {
-        out[i] = rq.apply(in0[i], sat);
-      }
+      kernels::requant_i64(in0, out, n, rq, /*relu=*/false, sat);
       break;
     }
   }

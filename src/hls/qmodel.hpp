@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "hls/firmware.hpp"
+#include "hls/lanes.hpp"
 #include "tensor/tensor.hpp"
 #include "util/thread_pool.hpp"
 
@@ -57,6 +58,16 @@ class QuantizedModel {
   /// Quantize the float frame to the input spec, run the integer pipeline,
   /// and return the dequantized float output (positions, channels).
   Tensor forward(const Tensor& input, ForwardStats* stats = nullptr) const;
+
+  /// forward() into a caller-owned output tensor: when `out` already holds
+  /// positions*channels elements its storage is reused, so steady-state
+  /// serving does zero per-frame heap allocations on this path.
+  void forward_into(const Tensor& input, Tensor& out,
+                    ForwardStats* stats = nullptr) const;
+
+  /// The range prover's per-layer verdicts (which layers run narrow int32
+  /// lanes vs the wide int64 path, and why).
+  const LaneReport& lanes() const noexcept { return lanes_; }
 
   /// Run many frames through the quantized pipeline, each worker reusing
   /// its own scratch arena. Per-frame stats are summed into `stats`
@@ -96,11 +107,21 @@ class QuantizedModel {
   };
 
   /// Precomputed hot-path plan for a Dense/Conv1D layer: weights transposed
-  /// to (k, in, out) and biases pre-aligned to the accumulator.
+  /// to (k, in, out) and biases pre-aligned to the accumulator. Layers the
+  /// range prover certified carry int16 weights / int32 biases instead
+  /// (padded to out_pad, a multiple of 16, so the AVX-512 narrow kernels
+  /// need no masked tails); unproven layers keep the exact int64 blocks.
   struct KernelPlan {
     bool use_kernel = false;
+    Lane lane = Lane::kWide64;
+    // Wide path:
     std::vector<std::int64_t> wtr;
     std::vector<std::int64_t> bias_acc;
+    // Narrow path:
+    std::vector<std::int16_t> wtr16;   ///< (k, in, out_pad) or pair-interleaved
+    std::vector<std::int32_t> bias32;  ///< out_pad wide, pad lanes zero
+    std::size_t out_pad = 0;
+    std::size_t in_stride = 0;  ///< int16 activation row stride (>= in_ch)
   };
 
   void prepare_stats(ForwardStats* stats) const;
@@ -120,6 +141,10 @@ class QuantizedModel {
   std::vector<LayerIo> io_;
   std::vector<std::size_t> act_offset_;  ///< per-layer slot in the arena
   std::size_t act_words_ = 0;            ///< total arena words per frame
+  /// Extra arena words for the widest narrow layer's int16 activation copy
+  /// and int32 accumulator scratch (allocated per layer, nested scope).
+  std::size_t narrow_words_ = 0;
+  LaneReport lanes_;
   std::vector<KernelPlan> plans_;
   /// Sigmoid table: raw output-spec words, one per bucket over [-8, 8).
   std::vector<std::vector<std::int64_t>> sigmoid_tables_;  // per layer

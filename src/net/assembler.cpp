@@ -9,7 +9,8 @@ FrameAssembler::FrameAssembler(AssemblerParams params)
     : params_(params),
       layout_(hub_layout(params.monitors, params.hubs)),
       last_known_(params.monitors, 0.0),
-      hub_age_(params.hubs, 0) {
+      hub_age_(params.hubs, 0),
+      accepted_(params.hubs, 0) {
   if (params_.monitors == 0) {
     throw std::invalid_argument("FrameAssembler: zero monitors");
   }
@@ -18,8 +19,23 @@ FrameAssembler::FrameAssembler(AssemblerParams params)
 AssembledFrame FrameAssembler::assemble(
     std::uint32_t sequence, const std::vector<Delivery>& deliveries) {
   AssembledFrame out;
+  assemble_into(sequence, deliveries, out);
+  return out;
+}
+
+void FrameAssembler::assemble_into(std::uint32_t sequence,
+                                   const std::vector<Delivery>& deliveries,
+                                   AssembledFrame& out) {
   out.sequence = sequence;
-  out.raw = tensor::Tensor({params_.monitors, 1});
+  out.assembly_us = 0.0;
+  out.packets_used = 0;
+  out.packets_missing = 0;
+  out.packets_rejected = 0;
+  out.stale_hubs = 0;
+  out.max_staleness_ticks = 0;
+  out.degraded = false;
+  const std::size_t shape[2] = {params_.monitors, 1};
+  out.raw.resize(shape);  // no-op (no allocation) when already this shape
   // Start from last-known values; accepted packets overwrite their span.
   for (std::size_t m = 0; m < params_.monitors; ++m) {
     out.raw[m] = static_cast<float>(last_known_[m]);
@@ -31,7 +47,8 @@ AssembledFrame FrameAssembler::assemble(
   // cannot buy CPU time with checksummed garbage, and the duplicate check
   // runs last so a corrupt copy of an already-accepted packet is attributed
   // to its real cause (CRC) rather than masked as a duplicate.
-  std::vector<bool> accepted(params_.hubs, false);
+  std::fill(accepted_.begin(), accepted_.end(), char{0});
+  std::vector<char>& accepted = accepted_;
   for (const auto& d : deliveries) {
     if (d.dropped) {
       ++counters_.dropped_packets;
@@ -97,7 +114,6 @@ AssembledFrame FrameAssembler::assemble(
     out.assembly_us = params_.deadline_us;
   }
   ++frames_;
-  return out;
 }
 
 }  // namespace reads::net

@@ -86,6 +86,16 @@ class FrameAssembler {
   AssembledFrame assemble(std::uint32_t sequence,
                           const std::vector<Delivery>& deliveries);
 
+  /// Allocation-free variant: assembles the tick into `out`, reusing
+  /// out.raw's storage when it already has the (monitors, 1) shape (the
+  /// Tensor resize is a no-op on an equal shape). All other fields of `out`
+  /// are reset. After the first call with a given output the steady state
+  /// performs zero heap allocations — the per-hub accept flags live in a
+  /// member scratch buffer sized at construction.
+  void assemble_into(std::uint32_t sequence,
+                     const std::vector<Delivery>& deliveries,
+                     AssembledFrame& out);
+
   std::uint64_t frames_assembled() const noexcept { return frames_; }
   std::uint64_t packets_lost() const noexcept { return lost_; }
   const AssemblerCounters& counters() const noexcept { return counters_; }
@@ -99,6 +109,10 @@ class FrameAssembler {
   std::vector<std::pair<std::uint16_t, std::uint16_t>> layout_;
   std::vector<double> last_known_;
   std::vector<std::size_t> hub_age_;
+  /// Per-hub "accepted this tick" scratch (char, not vector<bool>, so the
+  /// clear is a cheap memset and no proxy-reference machinery runs per
+  /// packet). Sized once at construction, reused every tick.
+  std::vector<char> accepted_;
   std::uint64_t frames_ = 0;
   std::uint64_t lost_ = 0;
   AssemblerCounters counters_;

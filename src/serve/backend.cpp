@@ -13,6 +13,19 @@ std::vector<Tensor> Backend::infer_batch(std::span<const Tensor> frames) {
   return out;
 }
 
+void Backend::infer_into(const Tensor& frame, Tensor& out) {
+  // Virtual dispatch through infer() keeps decorators (chaos wrapper) on
+  // this path; backends that can reuse `out`'s storage override.
+  out = infer(frame);
+}
+
+void Backend::infer_batch_into(std::span<const Tensor> frames,
+                               std::span<Tensor> outputs) {
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    infer_into(frames[i], outputs[i]);
+  }
+}
+
 QuantizedBackend::QuantizedBackend(hls::FirmwareModel firmware)
     : model_(std::move(firmware)) {}
 
@@ -26,6 +39,20 @@ std::vector<Tensor> QuantizedBackend::infer_batch(
   // are already one-per-core, so fanning each batch back out to the global
   // pool would just make replicas contend with each other.
   return model_.forward_batch(frames, nullptr, util::Exec::kCaller);
+}
+
+void QuantizedBackend::infer_into(const Tensor& frame, Tensor& out) {
+  model_.forward_into(frame, out);
+}
+
+void QuantizedBackend::infer_batch_into(std::span<const Tensor> frames,
+                                        std::span<Tensor> outputs) {
+  // Sequential on the replica's thread, same as infer_batch's Exec::kCaller
+  // (replicas are one-per-core), but writing into the caller's reused
+  // output buffers instead of allocating a fresh tensor per frame.
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    model_.forward_into(frames[i], outputs[i]);
+  }
 }
 
 FloatBackend::FloatBackend(nn::Model model) : model_(std::move(model)) {}

@@ -39,6 +39,19 @@ class Backend {
   /// infer() on the same frame. Default: a plain loop on the calling
   /// (replica) thread.
   virtual std::vector<Tensor> infer_batch(std::span<const Tensor> frames);
+
+  /// Buffer-reusing single-frame entry point: write the output into `out`,
+  /// reusing its storage when the shape already matches. The default
+  /// delegates to infer() (so decorators that only override infer(), like
+  /// the fault-injection wrapper, keep working); backends on the
+  /// zero-allocation serving path override this to perform no heap
+  /// allocation once `out` is warm.
+  virtual void infer_into(const Tensor& frame, Tensor& out);
+
+  /// Buffer-reusing micro-batch: `outputs.size() == frames.size()`, each
+  /// written as by infer_into. Default: a loop over infer_into.
+  virtual void infer_batch_into(std::span<const Tensor> frames,
+                                std::span<Tensor> outputs);
 };
 
 /// The PR 1 blocked-kernel integer pipeline; the production serving path.
@@ -50,6 +63,12 @@ class QuantizedBackend final : public Backend {
   std::string_view name() const noexcept override { return "quantized"; }
   Tensor infer(const Tensor& frame) override;
   std::vector<Tensor> infer_batch(std::span<const Tensor> frames) override;
+  /// Zero heap allocations once `out` is warm: QuantizedModel::forward_into
+  /// quantizes into the thread's scratch arena and writes the dequantized
+  /// result into `out`'s reused storage.
+  void infer_into(const Tensor& frame, Tensor& out) override;
+  void infer_batch_into(std::span<const Tensor> frames,
+                        std::span<Tensor> outputs) override;
 
   const hls::QuantizedModel& model() const noexcept { return model_; }
 

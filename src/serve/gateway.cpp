@@ -410,7 +410,8 @@ Ticket Gateway::submit(Tensor frame, std::uint64_t stream, double deadline_ms) {
                                  std::chrono::duration<double, std::milli>(
                                      deadline_ms))
                      : Clock::time_point::max();
-  ticket.response = req.promise.get_future();
+  req.promise.emplace();
+  ticket.response = req.promise->get_future();
   if (!shards_[shard]->try_push(req)) {
     // Full or closed under us; either way the frame was never enqueued.
     ticket.response = {};
@@ -426,6 +427,55 @@ Ticket Gateway::submit(Tensor frame, std::uint64_t stream, double deadline_ms) {
   ticket.admitted = true;
   metrics_.record_admitted();
   return ticket;
+}
+
+RejectReason Gateway::submit_into(Tensor& frame, ResponseSlot& slot,
+                                  std::uint64_t stream, double deadline_ms) {
+  metrics_.record_arrival();
+  if (stopped_.load(std::memory_order_relaxed)) {
+    metrics_.record_shed_shutdown();
+    return RejectReason::kShutdown;
+  }
+
+  const auto now = Clock::now();
+  const std::size_t shard = pick_shard(stream);
+  const bool has_deadline = deadline_ms > 0.0;
+  const bool idle =
+      shards_[shard]->size() == 0 && !replicas_[shard]->busy();
+  if (cfg_.admission_control && has_deadline && !idle &&
+      predicted_completion_ms(shard) > cfg_.admission_margin * deadline_ms) {
+    metrics_.record_shed_predicted_late();
+    return RejectReason::kPredictedLate;
+  }
+
+  slot.reset();
+  Request req;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (auto session = shadow_session();
+      session && session->active.load(std::memory_order_relaxed)) {
+    req.mirror = mirror_selected(req.id, session->cfg.fraction);
+  }
+  req.stream = stream;
+  req.frame = std::move(frame);
+  req.arrival = now;
+  req.deadline = has_deadline
+                     ? now + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(
+                                     deadline_ms))
+                     : Clock::time_point::max();
+  req.slot = &slot;
+  if (!shards_[shard]->try_push(req)) {
+    // Full or closed under us; the frame stays with the caller.
+    frame = std::move(req.frame);
+    if (shards_[shard]->closed()) {
+      metrics_.record_shed_shutdown();
+      return RejectReason::kShutdown;
+    }
+    metrics_.record_shed_queue_full();
+    return RejectReason::kQueueFull;
+  }
+  metrics_.record_admitted();
+  return RejectReason::kNone;
 }
 
 }  // namespace reads::serve

@@ -134,6 +134,17 @@ class Gateway {
   /// Same with an explicit per-frame budget (<= 0: no deadline).
   Ticket submit(Tensor frame, std::uint64_t stream, double deadline_ms);
 
+  /// Zero-allocation admission: on kNone the frame is admitted, `frame` is
+  /// moved out, and exactly one response will be published into `slot`
+  /// (which must stay alive and un-reset until then); the replica also
+  /// returns the frame buffer via slot.frame_return() for reuse. On any
+  /// other reason the frame was not enqueued and stays with the caller.
+  /// Unlike submit(), no std::promise shared state is created — the steady
+  /// state performs zero heap allocations end to end (see bench_serve's
+  /// allocations-per-frame gate). Never blocks.
+  RejectReason submit_into(Tensor& frame, ResponseSlot& slot,
+                           std::uint64_t stream, double deadline_ms);
+
   /// Close all shards, serve everything already admitted, join replicas.
   /// Idempotent; called by the destructor.
   void stop();

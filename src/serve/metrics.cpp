@@ -18,9 +18,14 @@ Metrics::Metrics(std::size_t replicas, double deadline_ms)
       queue_ms_(0.0, kDeadlineSpan * deadline_ms, kLatencyBins),
       e2e_ms_(0.0, kDeadlineSpan * deadline_ms, kLatencyBins) {}
 
+void Metrics::reserve_e2e_samples(std::size_t n) {
+  std::lock_guard lock(dist_mutex_);
+  e2e_samples_.reserve(n);
+}
+
 void Metrics::record_batch(std::size_t replica, double busy_ms,
-                           const std::vector<double>& frame_queue_ms,
-                           const std::vector<double>& frame_e2e_ms,
+                           std::span<const double> frame_queue_ms,
+                           std::span<const double> frame_e2e_ms,
                            std::size_t deadline_misses) {
   auto& r = replicas_.at(replica);
   const std::size_t n = frame_e2e_ms.size();

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -101,11 +102,19 @@ class Metrics {
   void record_redispatched() noexcept { redispatched_.fetch_add(1, kRelaxed); }
 
   /// One completed micro-batch on `replica`: per-frame queue/e2e latencies
-  /// plus the batch's busy time. Takes the distribution lock once.
+  /// plus the batch's busy time. Takes the distribution lock once. Spans so
+  /// the replica hands over its reused scratch arrays without copying.
   void record_batch(std::size_t replica, double busy_ms,
-                    const std::vector<double>& frame_queue_ms,
-                    const std::vector<double>& frame_e2e_ms,
+                    std::span<const double> frame_queue_ms,
+                    std::span<const double> frame_e2e_ms,
                     std::size_t deadline_misses);
+
+  /// Pre-grow the retained e2e percentile samples. The histograms are
+  /// fixed-bin (never allocate), but Percentiles retains every sample in a
+  /// growing vector; a zero-allocation measurement window must reserve its
+  /// expected frame count up front or the gate would charge the serving
+  /// path for the sample vector's doubling.
+  void reserve_e2e_samples(std::size_t n);
 
   MetricsSnapshot snapshot() const;
 

@@ -6,6 +6,13 @@
 // blocking push/pop variants exist for tests and for consumers (replica
 // threads park in pop() when their shard is idle).
 //
+// Storage is a fixed ring of `capacity` slots preallocated at construction:
+// push move-assigns into a slot and pop moves out, so the steady-state
+// frame path performs zero heap allocations in the queue itself (the
+// previous std::deque backing allocated and freed block nodes as the
+// window slid). T must therefore be default-constructible in addition to
+// movable.
+//
 // Close semantics: close() refuses new items but lets consumers drain what
 // is already queued; pop() returns nullopt only once the queue is closed
 // AND empty, so every admitted item is consumed exactly once on shutdown.
@@ -13,18 +20,19 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace reads::serve {
 
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
     if (capacity == 0) {
       throw std::invalid_argument("BoundedQueue: capacity must be positive");
     }
@@ -37,7 +45,7 @@ class BoundedQueue {
 
   std::size_t size() const {
     std::lock_guard lock(mutex_);
-    return items_.size();
+    return count_;
   }
 
   bool closed() const {
@@ -49,21 +57,22 @@ class BoundedQueue {
   /// the queue is closed before a slot frees up.
   bool push(T item) {
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    not_full_.wait(lock, [&] { return closed_ || count_ < capacity_; });
     if (closed_) return false;
-    items_.push_back(std::move(item));
+    emplace(std::move(item));
     lock.unlock();
     not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking push; false when full or closed. This is the gateway's
-  /// admission path: a full shard is a capacity shed, never a stall.
+  /// admission path: a full shard is a capacity shed, never a stall. On
+  /// false the item is untouched (not moved-from).
   bool try_push(T& item) {
     {
       std::lock_guard lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      if (closed_ || count_ >= capacity_) return false;
+      emplace(std::move(item));
     }
     not_empty_.notify_one();
     return true;
@@ -72,10 +81,10 @@ class BoundedQueue {
   /// Blocking pop; nullopt once closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    not_empty_.wait(lock, [&] { return closed_ || count_ > 0; });
+    if (count_ == 0) return std::nullopt;
+    std::optional<T> item(std::move(slots_[head_]));
+    advance_head();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -84,9 +93,9 @@ class BoundedQueue {
   /// Non-blocking pop; nullopt when currently empty (even if open).
   std::optional<T> try_pop() {
     std::unique_lock lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    if (count_ == 0) return std::nullopt;
+    std::optional<T> item(std::move(slots_[head_]));
+    advance_head();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -103,11 +112,26 @@ class BoundedQueue {
   }
 
  private:
+  void emplace(T&& item) {
+    slots_[(head_ + count_) % capacity_] = std::move(item);
+    ++count_;
+  }
+
+  void advance_head() {
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
+  /// Ring storage: live items occupy [head_, head_ + count_) mod capacity.
+  /// Popped slots keep their moved-from husk until overwritten — a husk
+  /// holds no resources, so nothing is freed on the frame path.
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   bool closed_ = false;
 };
 

@@ -35,7 +35,17 @@ Replica::Replica(Options options, std::unique_ptr<Backend> backend,
       metrics_(metrics),
       service_est_ms_(std::max(1e-6, options.initial_service_est_ms)),
       service_var_ms_(kInitialVarFrac *
-                      std::max(1e-6, options.initial_service_est_ms)) {}
+                      std::max(1e-6, options.initial_service_est_ms)) {
+  // Batch scratch is sized once here so serve_batch never allocates.
+  // outputs_ holds max_batch persistent output tensors: infer_batch_into
+  // reuses their storage, and slot deliveries swap client buffers back in,
+  // so the pool stays warm forever.
+  const std::size_t mb = std::max<std::size_t>(1, opts_.max_batch);
+  outputs_.resize(mb);
+  frames_.reserve(mb);
+  queue_ms_.reserve(mb);
+  e2e_ms_.reserve(mb);
+}
 
 Replica::~Replica() { join(); }
 
@@ -189,24 +199,28 @@ bool Replica::serve_batch(std::vector<Request>& batch) {
           static_cast<std::int64_t>(est * static_cast<double>(n) * 1e6),
       std::memory_order_relaxed);
 
-  std::vector<Tensor> outputs;
-  std::vector<Tensor> frames;
+  // All batch scratch lives in members sized once (constructor): the
+  // steady-state serve loop must not touch the heap. frames_ holds the
+  // requests' input tensors during inference (returned on fault or via the
+  // response slot); outputs_ is a persistent pool of output buffers that
+  // infer_batch_into reuses in place.
+  // Fault recovery can carry more requests than max_batch (the quarantine
+  // drain funnels a whole queue into carry_); grow the pool to match. Only
+  // that recovery path allocates — steady state never exceeds max_batch.
+  if (outputs_.size() < n) outputs_.resize(n);
+  frames_.clear();
+  for (auto& r : batch) frames_.push_back(std::move(r.frame));
   try {
-    if (n == 1) {
-      outputs.push_back(backend_->infer(batch.front().frame));
-    } else {
-      frames.reserve(n);
-      for (auto& r : batch) frames.push_back(std::move(r.frame));
-      outputs = backend_->infer_batch(frames);
-    }
+    backend_->infer_batch_into(frames_,
+                               std::span<Tensor>(outputs_.data(), n));
   } catch (...) {
     // Backend fault (worker crash). Put the frames back where they came
     // from — the requests must survive intact for redispatch — and report
     // the batch unserved. The what() is deliberately not propagated: the
     // caller's recovery does not branch on it, and an admitted frame's
     // promise must never carry an exception.
-    for (std::size_t i = 0; i < frames.size(); ++i) {
-      batch[i].frame = std::move(frames[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch[i].frame = std::move(frames_[i]);
     }
     busy_until_ns_.store(0, std::memory_order_relaxed);
     busy_.store(false, std::memory_order_relaxed);
@@ -218,32 +232,56 @@ bool Replica::serve_batch(std::vector<Request>& batch) {
 
   const double service_ms = ms_between(start, done);
   const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
-  std::vector<double> queue_ms(n);
-  std::vector<double> e2e_ms(n);
+  queue_ms_.clear();
+  e2e_ms_.clear();
   std::size_t misses = 0;
   for (std::size_t i = 0; i < n; ++i) {
     auto& r = batch[i];
     if (r.mirror && shadow_tap_) {
-      // Mirror before the output is moved into the promise; the tap copies
+      // Mirror before the output leaves the pool; the tap copies
       // (frame, output) into the shadow queue and never blocks.
-      shadow_tap_(r.id, r.stream, n == 1 ? r.frame : frames[i], outputs[i]);
+      shadow_tap_(r.id, r.stream, frames_[i], outputs_[i]);
     }
-    Response resp;
-    resp.id = r.id;
-    resp.stream = r.stream;
-    resp.output = std::move(outputs[i]);
-    resp.replica = opts_.id;
-    resp.batch_size = n;
-    resp.queue_ms = ms_between(r.arrival, start);
-    resp.service_ms = service_ms;
-    resp.e2e_ms = ms_between(r.arrival, done);
-    resp.deadline_met = done <= r.deadline;
-    resp.redispatches = r.redispatches;
-    resp.model_epoch = epoch;
-    queue_ms[i] = resp.queue_ms;
-    e2e_ms[i] = resp.e2e_ms;
-    if (!resp.deadline_met) ++misses;
-    r.promise.set_value(std::move(resp));
+    const double q_ms = ms_between(r.arrival, start);
+    const double end_ms = ms_between(r.arrival, done);
+    const bool met = done <= r.deadline;
+    queue_ms_.push_back(q_ms);
+    e2e_ms_.push_back(end_ms);
+    if (!met) ++misses;
+    if (r.slot != nullptr) {
+      // Zero-allocation delivery: fill the preallocated slot in place. The
+      // swap recycles the client's previous output buffer into our pool
+      // (same shape, so the next inference reuses it), and frame_return
+      // hands the input buffer back for the producer's next assembly.
+      Response& resp = r.slot->response();
+      resp.id = r.id;
+      resp.stream = r.stream;
+      std::swap(resp.output, outputs_[i]);
+      resp.replica = opts_.id;
+      resp.batch_size = n;
+      resp.queue_ms = q_ms;
+      resp.service_ms = service_ms;
+      resp.e2e_ms = end_ms;
+      resp.deadline_met = met;
+      resp.redispatches = r.redispatches;
+      resp.model_epoch = epoch;
+      r.slot->frame_return() = std::move(frames_[i]);
+      r.slot->publish();
+    } else if (r.promise) {
+      Response resp;
+      resp.id = r.id;
+      resp.stream = r.stream;
+      resp.output = std::move(outputs_[i]);
+      resp.replica = opts_.id;
+      resp.batch_size = n;
+      resp.queue_ms = q_ms;
+      resp.service_ms = service_ms;
+      resp.e2e_ms = end_ms;
+      resp.deadline_met = met;
+      resp.redispatches = r.redispatches;
+      resp.model_epoch = epoch;
+      r.promise->set_value(std::move(resp));
+    }
   }
 
   const double per_frame = service_ms / static_cast<double>(n);
@@ -254,7 +292,7 @@ bool Replica::serve_batch(std::vector<Request>& batch) {
   service_var_ms_.store(
       (1.0 - kVarBeta) * var + kVarBeta * std::abs(per_frame - est),
       std::memory_order_relaxed);
-  metrics_.record_batch(opts_.id, service_ms, queue_ms, e2e_ms, misses);
+  metrics_.record_batch(opts_.id, service_ms, queue_ms_, e2e_ms_, misses);
   return true;
 }
 

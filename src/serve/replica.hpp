@@ -177,6 +177,14 @@ class Replica {
   /// work, so an admitted frame can never be stranded behind the queue.
   std::size_t consecutive_faults_ = 0;
   std::vector<Request> carry_;
+  /// Worker-thread batch scratch, sized once in the constructor so the
+  /// steady-state serve loop performs zero heap allocations: the requests'
+  /// input tensors during inference, a persistent pool of reused output
+  /// buffers, and the per-frame latency samples handed to Metrics as spans.
+  std::vector<Tensor> frames_;
+  std::vector<Tensor> outputs_;
+  std::vector<double> queue_ms_;
+  std::vector<double> e2e_ms_;
 };
 
 }  // namespace reads::serve

@@ -1,9 +1,11 @@
 // Request/response vocabulary of the serving gateway.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <optional>
 #include <string_view>
 
 #include "tensor/tensor.hpp"
@@ -44,14 +46,70 @@ enum class RejectReason : std::uint8_t {
 
 std::string_view to_string(RejectReason reason) noexcept;
 
-/// A frame in flight inside the gateway (move-only: carries the promise).
+/// Preallocated completion for the zero-allocation submit path
+/// (Gateway::submit_into). One slot serves one frame at a time: the client
+/// arms it (reset), submits, blocks in wait(), reads the response in place,
+/// and re-arms it for the next frame — no std::promise shared state, no
+/// future, no heap traffic.
+///
+/// The slot is also the buffer-recycling rendezvous that makes the replica
+/// path allocation-free in steady state: the replica *swaps* its pooled
+/// output tensor with the response's previous output buffer (same shape, so
+/// the pool never shrinks) and hands the request's input frame back via
+/// frame_return(), where the producer reclaims it for the next assembly.
+/// Buffers therefore cycle client -> queue -> replica -> client forever
+/// after the first lap allocates them.
+///
+/// Thread contract: between publish() and the next reset(), `response` is
+/// owned by the waiter; between reset() and publish(), it is owned by the
+/// serving replica. The slot must outlive any frame submitted with it.
+class ResponseSlot {
+ public:
+  /// Client: re-arm for the next frame. Must not race a pending delivery.
+  void reset() noexcept { ready_.store(0, std::memory_order_relaxed); }
+
+  /// Client: block until the replica publishes, then read the response in
+  /// place (move fields out or leave them for recycling).
+  Response& wait() noexcept {
+    ready_.wait(0, std::memory_order_acquire);
+    return response_;
+  }
+
+  bool ready() const noexcept {
+    return ready_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Replica: fill response() fields in place, then publish.
+  Response& response() noexcept { return response_; }
+  void publish() noexcept {
+    ready_.store(1, std::memory_order_release);
+    ready_.notify_one();
+  }
+
+  /// The served request's input frame, handed back by the replica so the
+  /// producer can reuse its storage for a future frame.
+  tensor::Tensor& frame_return() noexcept { return frame_return_; }
+
+ private:
+  Response response_;
+  tensor::Tensor frame_return_;
+  std::atomic<std::uint32_t> ready_{0};
+};
+
+/// A frame in flight inside the gateway (move-only: carries the delivery
+/// channel). Exactly one of the two channels is set: `promise` for the
+/// future-based submit(), `slot` for the preallocated submit_into() path
+/// (the promise stays disengaged there — a default-constructed
+/// std::promise heap-allocates its shared state, which is exactly what the
+/// zero-allocation path exists to avoid).
 struct Request {
   std::uint64_t id = 0;
   std::uint64_t stream = 0;
   tensor::Tensor frame;
   Clock::time_point arrival{};
   Clock::time_point deadline{Clock::time_point::max()};
-  std::promise<Response> promise;
+  std::optional<std::promise<Response>> promise;
+  ResponseSlot* slot = nullptr;
   /// Fault-recovery hops so far; bounds redispatch ping-pong.
   std::size_t redispatches = 0;
   /// Selected for shadow mirroring: after the primary serves it, a copy of

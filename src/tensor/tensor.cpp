@@ -60,6 +60,14 @@ void Tensor::resize(std::vector<std::size_t> shape) {
   data_.resize(n);
 }
 
+void Tensor::resize(std::span<const std::size_t> shape) {
+  if (shape_.size() == shape.size() &&
+      std::equal(shape.begin(), shape.end(), shape_.begin())) {
+    return;
+  }
+  resize(std::vector<std::size_t>(shape.begin(), shape.end()));
+}
+
 void Tensor::fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
 
 Tensor& Tensor::add_scaled(const Tensor& other, float scale) {

@@ -47,6 +47,14 @@ class Tensor {
   /// that changes the element count; callers overwrite every element.
   void resize(std::vector<std::size_t> shape);
 
+  /// Same, from a borrowed shape. When the shape already matches this is a
+  /// no-op (not even the shape vector is touched), so per-frame serving
+  /// paths calling it with a fixed shape perform zero allocations.
+  void resize(std::span<const std::size_t> shape);
+  void resize(std::initializer_list<std::size_t> shape) {
+    resize(std::span<const std::size_t>(shape.begin(), shape.size()));
+  }
+
   void fill(float v) noexcept;
   void zero() noexcept { fill(0.0f); }
 

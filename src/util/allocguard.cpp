@@ -1,0 +1,122 @@
+#include "util/allocguard.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// Sanitizer runtimes interpose operator new themselves; do not fight them
+// for the symbol. GCC defines __SANITIZE_*; clang exposes __has_feature.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define READS_ALLOC_COUNTING 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define READS_ALLOC_COUNTING 0
+#else
+#define READS_ALLOC_COUNTING 1
+#endif
+#else
+#define READS_ALLOC_COUNTING 1
+#endif
+
+namespace reads::util {
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+bool alloc_counting_active() noexcept { return READS_ALLOC_COUNTING != 0; }
+
+std::uint64_t alloc_count() noexcept {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+inline void count_one() noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+}  // namespace reads::util
+
+#if READS_ALLOC_COUNTING
+
+namespace {
+
+void* counted_alloc(std::size_t size) noexcept {
+  reads::util::detail::count_one();
+  // malloc(0) may return nullptr; operator new must return a unique pointer.
+  return std::malloc(size ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  reads::util::detail::count_one();
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size ? size : align) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+// posix_memalign storage is free()-able, so every delete maps to free.
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // READS_ALLOC_COUNTING

@@ -1,0 +1,34 @@
+// Process-wide heap-allocation counter for the zero-allocation serving
+// gates.
+//
+// allocguard.cpp replaces the global operator new/delete family with
+// malloc-backed versions that bump one relaxed atomic per allocation. The
+// serving benchmark snapshots the counter around a steady-state window to
+// prove the assembler -> queue -> replica frame path performs zero heap
+// allocations per frame; the counter is process-wide (one relaxed fetch_add
+// per allocation, noise even on the MAC hot path) so a measurement window
+// only means something while the threads running are the ones under test.
+//
+// Under AddressSanitizer/ThreadSanitizer the replacement is compiled out —
+// the sanitizer runtimes own malloc and interpose their own operator new,
+// and fighting them for the symbol breaks their bookkeeping. In those
+// builds alloc_counting_active() returns false and callers must skip (and
+// report skipping) any gate built on the counter.
+#pragma once
+
+#include <cstdint>
+
+namespace reads::util {
+
+/// True when the counting operator new/delete are linked in (i.e. not a
+/// sanitizer build). When false, alloc_count() stays 0 forever and
+/// allocation gates must report "skipped" rather than a vacuous pass.
+bool alloc_counting_active() noexcept;
+
+/// Number of operator-new-family calls (scalar, array, nothrow, aligned)
+/// process-wide since start. Monotonic; frees are not counted — the gates
+/// care about allocation *events* on the hot path, and a path that frees
+/// also allocated.
+std::uint64_t alloc_count() noexcept;
+
+}  // namespace reads::util

@@ -1,0 +1,395 @@
+// Property and regression tests for the quantized kernel engine's
+// fixed-point arithmetic (hls/accum.hpp), the SIMD requant/finalize
+// write-out kernels (hls/qkernels.hpp), and the narrow-lane range prover
+// (hls/lanes.hpp).
+//
+// The arithmetic tests are phrased against *independent* wide references:
+// Requant is checked against a 128-bit shift-then-clamp (the semantics the
+// pre-bugfix code wanted but could not express without signed-overflow UB),
+// and Accum against a wrap-after-every-add ring accumulator (the HLS
+// AC_WRAP register the wrap-once-at-finalize optimization must be
+// congruent to). The SIMD kernels are checked lane-for-lane against the
+// scalar apply/finalize, including the event counts that feed ForwardStats.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "hls/accum.hpp"
+#include "hls/firmware.hpp"
+#include "hls/lanes.hpp"
+#include "hls/precision.hpp"
+#include "hls/profiler.hpp"
+#include "hls/qkernels.hpp"
+#include "hls/qmodel.hpp"
+#include "nn/builders.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace reads;
+using hls::detail::Accum;
+using hls::detail::Requant;
+using tensor::Tensor;
+
+// 128-bit reference requant: shift (or widen) exactly, then clamp. This is
+// the mathematical spec Requant::apply implements with int64-only
+// arithmetic; __int128 makes the widening overflow-free for |shift| <= 63.
+std::int64_t requant_ref(std::int64_t v, const Requant& rq,
+                         std::size_t& saturations) {
+  __int128 x = v;
+  if (rq.shift > 0) {
+    const __int128 half = __int128{1} << (rq.shift - 1);
+    x = x >= 0 ? (x + half) >> rq.shift : -((-x + half) >> rq.shift);
+  } else if (rq.shift < 0) {
+    x <<= -rq.shift;  // exact in 128 bits for k <= 63
+  }
+  if (x < rq.lo) {
+    ++saturations;
+    return rq.lo;
+  }
+  if (x > rq.hi) {
+    ++saturations;
+    return rq.hi;
+  }
+  return static_cast<std::int64_t>(x);
+}
+
+// Build a Requant straddling interesting shift values: shift is
+// from_frac - (width - int_bits), so sweeping from_frac sweeps the shift
+// through wide negative (widening) and positive (narrowing) bands.
+Requant make_requant(int from_frac, int width, int int_bits) {
+  return Requant(from_frac, hls::FixedSpec{width, int_bits});
+}
+
+std::vector<std::int64_t> interesting_values(const Requant& rq,
+                                             util::Xoshiro256& rng) {
+  std::vector<std::int64_t> vals = {
+      0,  1,  -1, 2,  -2, rq.lo, rq.hi, rq.lo + 1, rq.hi - 1,
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max() - 1,
+      std::numeric_limits<std::int64_t>::min() + 1,
+  };
+  if (rq.shift < 0 && rq.shift > -63) {
+    // Straddle the pre-shift saturation thresholds the widening fix
+    // introduced — an off-by-one there either misses a saturation or
+    // saturates an in-range value.
+    const int k = -rq.shift;
+    const std::int64_t hi_thr = rq.hi >> k;
+    const std::int64_t lo_thr = (rq.lo >> k) + ((rq.lo >> k) * (std::int64_t{1} << k) == rq.lo ? 0 : 1);
+    for (std::int64_t d : {-2, -1, 0, 1, 2}) {
+      vals.push_back(hi_thr + d);
+      vals.push_back(lo_thr + d);
+    }
+  }
+  for (int i = 0; i < 40; ++i) {
+    const auto u = rng();
+    vals.push_back(static_cast<std::int64_t>(u));
+    vals.push_back(static_cast<std::int64_t>(u >> (1 + i % 48)));
+  }
+  return vals;
+}
+
+TEST(RequantProperty, GridMatches128BitReference) {
+  util::Xoshiro256 rng(1234);
+  for (int width : {4, 8, 12, 16, 24, 32, 48, 63, 64, 70}) {
+    for (int int_bits : {0, 1, width / 2, width - 1}) {
+      for (int from_frac : {-10, 0, 3, 8, 16, 31, 40, 60, width + 20}) {
+        const Requant rq = make_requant(from_frac, width, int_bits);
+        if (rq.shift <= -63) continue;  // degenerate band, pinned below
+        for (std::int64_t v : interesting_values(rq, rng)) {
+          if (rq.shift < 0) {
+            // Keep the 128-bit reference shift exact.
+            ASSERT_LT(-rq.shift, 64);
+          }
+          std::size_t sat_fast = 0;
+          std::size_t sat_ref = 0;
+          const auto fast = rq.apply(v, sat_fast);
+          const auto ref = requant_ref(v, rq, sat_ref);
+          ASSERT_EQ(fast, ref) << "v=" << v << " shift=" << rq.shift
+                               << " <" << width << "," << int_bits << ">";
+          ASSERT_EQ(sat_fast, sat_ref) << "v=" << v << " shift=" << rq.shift;
+        }
+      }
+    }
+  }
+}
+
+TEST(RequantProperty, DegenerateWideningBandSaturatesEveryNonzero) {
+  // shift <= -63: any nonzero input overshoots int64 after the widening
+  // shift. The old code's `v << k` was UB here; the fix routes by sign.
+  for (int from_frac : {-63, -80, -200}) {
+    const Requant rq = make_requant(from_frac, 16, 7);
+    ASSERT_LE(rq.shift, -63);
+    std::size_t sat = 0;
+    EXPECT_EQ(rq.apply(0, sat), 0);
+    EXPECT_EQ(sat, 0u);
+    EXPECT_EQ(rq.apply(1, sat), rq.hi);
+    EXPECT_EQ(rq.apply(std::numeric_limits<std::int64_t>::max(), sat), rq.hi);
+    EXPECT_EQ(rq.apply(-1, sat), rq.lo);
+    EXPECT_EQ(rq.apply(std::numeric_limits<std::int64_t>::min(), sat), rq.lo);
+    EXPECT_EQ(sat, 4u);
+  }
+}
+
+TEST(RequantProperty, WideningExtremesDoNotOverflow) {
+  // Satellite regression: the widening path used to compute `v << k` on
+  // int64 directly — UB for any |v| > 2^(63-k). These inputs must saturate
+  // cleanly with exactly one counted event each.
+  const Requant rq = make_requant(2, 16, 10);  // shift = 2 - 6 = -4
+  ASSERT_EQ(rq.shift, -4);
+  std::size_t sat = 0;
+  EXPECT_EQ(rq.apply(std::numeric_limits<std::int64_t>::max(), sat), rq.hi);
+  EXPECT_EQ(rq.apply(std::numeric_limits<std::int64_t>::min(), sat), rq.lo);
+  EXPECT_EQ(sat, 2u);
+  // In-range values still widen exactly.
+  std::size_t sat2 = 0;
+  EXPECT_EQ(rq.apply(5, sat2), 5 * 16);
+  EXPECT_EQ(rq.apply(-3, sat2), -3 * 16);
+  EXPECT_EQ(sat2, 0u);
+}
+
+// Ring wrap of one value into the accumulator register, exactly as
+// Accum::finalize does it — reused to build the wrap-per-add reference.
+std::int64_t ring_wrap(std::int64_t v, const Accum& ac) {
+  if (v >= ac.ring_lo && v <= ac.ring_hi) return v;
+  auto u = static_cast<std::uint64_t>(v) & ac.mask;
+  if (ac.ring_bits < 64 && (u & (std::uint64_t{1} << (ac.ring_bits - 1)))) {
+    u |= ~ac.mask;
+  }
+  return static_cast<std::int64_t>(u);
+}
+
+TEST(AccumProperty, WrapOnceMatchesWrapAfterEveryAdd) {
+  // The fast kernels accumulate exactly in int64 and wrap once at
+  // finalize; the HLS register wraps after every add. Modular arithmetic
+  // makes the two congruent, and the requant of the wrapped value (and its
+  // saturation count) must therefore be identical.
+  util::Xoshiro256 rng(99);
+  for (int width : {6, 10, 16, 18}) {
+    for (int int_bits : {1, 3, width / 2, width - 1}) {
+      for (int guard : {0, 2, 8}) {
+        const hls::FixedSpec act{width, int_bits};
+        const int act_frac = width - int_bits;
+        const int product_frac = 2 * act_frac;
+        const Accum ac(act, product_frac, act_frac, guard);
+        for (int trial = 0; trial < 25; ++trial) {
+          const std::size_t terms = 1 + rng.uniform_int(40);
+          // Aligned term magnitudes around the ring size so wraps happen.
+          const std::int64_t span =
+              ac.ring_bits >= 62 ? (std::int64_t{1} << 40)
+                                 : (std::int64_t{1} << ac.ring_bits);
+          std::int64_t exact = 0;
+          std::int64_t per_add = 0;
+          for (std::size_t t = 0; t < terms; ++t) {
+            const std::int64_t term =
+                static_cast<std::int64_t>(rng() % (2 * static_cast<std::uint64_t>(span))) -
+                span;
+            exact += term;
+            per_add = ring_wrap(per_add + term, ac);
+          }
+          std::size_t ovf = 0;
+          std::size_t sat_once = 0;
+          std::size_t sat_per_add = 0;
+          const auto once = ac.finalize(exact, ovf, sat_once);
+          const auto ref = ac.out.apply(per_add, sat_per_add);
+          ASSERT_EQ(once, ref)
+              << "<" << width << "," << int_bits << "> guard=" << guard;
+          ASSERT_EQ(sat_once, sat_per_add);
+          // finalize counts one overflow iff the exact sum left the ring.
+          ASSERT_EQ(ovf, (exact < ac.ring_lo || exact > ac.ring_hi) ? 1u : 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(AccumProperty, RingBits64PlusNeverWrapsAndHasNoUB) {
+  // Satellite regression: ring_bits >= 64 used to shift int64_t{1} by 63+
+  // (UB). Such a ring covers the whole accumulator, so finalize must never
+  // count an overflow, for any input.
+  for (const hls::FixedSpec act : {hls::FixedSpec{70, 40}, hls::FixedSpec{64, 32},
+                                   hls::FixedSpec{80, 16}}) {
+    const Accum ac(act, /*product_frac=*/60, /*stored_bias_frac=*/30,
+                   /*guard_bits=*/8);
+    ASSERT_GE(ac.ring_bits, 64);
+    EXPECT_EQ(ac.ring_hi, std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(ac.ring_lo, std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(ac.mask, ~std::uint64_t{0});
+    for (std::int64_t v : {std::int64_t{0}, std::int64_t{-1},
+                           std::numeric_limits<std::int64_t>::max(),
+                           std::numeric_limits<std::int64_t>::min()}) {
+      std::size_t ovf = 0;
+      std::size_t sat = 0;
+      (void)ac.finalize(v, ovf, sat);
+      EXPECT_EQ(ovf, 0u) << v;
+    }
+  }
+}
+
+// ------------------------------------------------- SIMD vs scalar kernels
+
+TEST(KernelEquivalence, RequantI64MatchesScalarApply) {
+  // The vectorized write-out (8 int64 lanes, mask-popcount saturation
+  // counting) must match a plain rq.apply loop — values AND counts — for
+  // narrowing, identity, and widening shifts, with and without ReLU.
+  util::Xoshiro256 rng(7);
+  for (int from_frac : {20, 9, 6, 2, -5}) {  // shift = from_frac - 9
+    const Requant rq = make_requant(from_frac, 16, 7);
+    for (bool relu : {false, true}) {
+      const std::size_t n = 1021;  // odd: exercises the vector tail
+      std::vector<std::int64_t> in(n);
+      for (auto& v : in) {
+        // Mix magnitudes so some saturate, some don't, signs vary.
+        const auto u = rng();
+        v = static_cast<std::int64_t>(u) >> (u % 48);
+      }
+      std::vector<std::int64_t> out(n, -77);
+      std::size_t sat_kernel = 0;
+      hls::kernels::requant_i64(in.data(), out.data(), n, rq, relu,
+                                sat_kernel);
+      std::size_t sat_scalar = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::int64_t v = in[i];
+        if (relu && v < 0) v = 0;
+        const auto want = rq.apply(v, sat_scalar);
+        ASSERT_EQ(out[i], want)
+            << "i=" << i << " shift=" << rq.shift << " relu=" << relu;
+      }
+      EXPECT_EQ(sat_kernel, sat_scalar)
+          << "shift=" << rq.shift << " relu=" << relu;
+    }
+  }
+}
+
+TEST(KernelEquivalence, FinalizeI32MatchesScalarFinalize) {
+  // finalize_i32 turns a narrow int32 accumulator block into activations
+  // with wrap + requant; overflow and saturation totals must equal the
+  // scalar Accum::finalize element loop, including widening out-shifts.
+  util::Xoshiro256 rng(11);
+  struct Case {
+    hls::FixedSpec act;
+    int product_frac;
+    int guard;
+  };
+  for (const auto& c : {Case{{16, 7}, 18, 2}, Case{{16, 3}, 26, 8},
+                        Case{{12, 10}, 4, 0}, Case{{16, 14}, 2, 6}}) {
+    const Accum ac(c.act, c.product_frac, c.product_frac, c.guard);
+    const std::size_t positions = 33;
+    const std::size_t out_ch = 21;
+    const std::size_t stride = 32;  // padded narrow-kernel stride
+    std::vector<std::int32_t> acc(positions * stride);
+    for (auto& v : acc) {
+      v = static_cast<std::int32_t>(rng());
+      v >>= rng() % 24;
+    }
+    std::vector<std::int64_t> fast(positions * out_ch, -9);
+    std::size_t ovf_fast = 0;
+    std::size_t sat_fast = 0;
+    hls::kernels::finalize_i32(acc.data(), fast.data(), positions, out_ch,
+                               stride, ac, ovf_fast, sat_fast);
+    std::size_t ovf_ref = 0;
+    std::size_t sat_ref = 0;
+    for (std::size_t p = 0; p < positions; ++p) {
+      for (std::size_t o = 0; o < out_ch; ++o) {
+        const auto want =
+            ac.finalize(acc[p * stride + o], ovf_ref, sat_ref);
+        ASSERT_EQ(fast[p * out_ch + o], want) << "p=" << p << " o=" << o;
+      }
+    }
+    EXPECT_EQ(ovf_fast, ovf_ref);
+    EXPECT_EQ(sat_fast, sat_ref);
+  }
+}
+
+// ------------------------------------------------------------ lane prover
+
+Tensor random_frame(const std::vector<std::size_t>& shape, std::uint64_t seed,
+                    double scale = 1.0) {
+  util::Xoshiro256 rng(seed);
+  Tensor t(shape);
+  for (auto& v : t.flat()) v = static_cast<float>(scale * rng.normal());
+  return t;
+}
+
+hls::FirmwareModel compiled_unet(std::uint64_t seed, hls::QuantConfig quant) {
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, seed);
+  hls::HlsConfig cfg;
+  cfg.quant = std::move(quant);
+  return hls::compile(model, cfg);
+}
+
+TEST(LaneProver, DeployedStyleUnetProvesNarrowAndStaysBitIdentical) {
+  // A 16-bit layer-based U-Net is the deployment the tentpole targets:
+  // every Dense/Conv1D layer's proven envelope must fit int32 (narrow
+  // lane), the proof bounds must be self-consistent, and the narrow
+  // execution must stay bit-identical to the reference executor on frames
+  // hot enough to saturate.
+  auto model = nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5});
+  nn::init_he_uniform(model, 61);
+  std::vector<Tensor> calib;
+  for (int i = 0; i < 4; ++i) {
+    calib.push_back(random_frame({16, 1}, 50u + static_cast<unsigned>(i)));
+  }
+  const auto prof = hls::profile_model(model, calib);
+  hls::HlsConfig cfg;
+  cfg.quant = hls::layer_based_config(model, prof, 16);
+  const hls::QuantizedModel qm(hls::compile(model, cfg));
+
+  const auto& report = qm.lanes();
+  ASSERT_GT(report.mac_layers, 0u);
+  EXPECT_EQ(report.narrow_layers, report.mac_layers)
+      << "16-bit layer-based specs must prove narrow on every MAC layer";
+  ASSERT_EQ(report.decisions.size(), report.ranges.size());
+  for (std::size_t i = 0; i < report.decisions.size(); ++i) {
+    const auto& d = report.decisions[i];
+    const auto& r = report.ranges[i];
+    ASSERT_LE(r.lo, r.hi) << i;
+    if (!d.mac_layer) continue;
+    ASSERT_LE(d.env_lo, d.env_hi) << i;
+    if (d.lane != hls::Lane::kWide64) {
+      // The narrow claim itself: every partial sum fits int32.
+      EXPECT_GE(d.env_lo, std::numeric_limits<std::int32_t>::min()) << i;
+      EXPECT_LE(d.env_hi, std::numeric_limits<std::int32_t>::max()) << i;
+    }
+    EXPECT_FALSE(d.reason.empty()) << i;
+  }
+
+  for (int f = 0; f < 4; ++f) {
+    const double scale = f < 2 ? 1.0 : 25.0;
+    const auto raw = qm.quantize_input(
+        random_frame({16, 1}, 300u + static_cast<unsigned>(f), scale));
+    hls::ForwardStats fast_stats;
+    hls::ForwardStats ref_stats;
+    EXPECT_EQ(qm.forward_raw(raw, &fast_stats),
+              qm.forward_raw_reference(raw, &ref_stats))
+        << "frame " << f;
+    EXPECT_EQ(fast_stats.saturations, ref_stats.saturations) << "frame " << f;
+    EXPECT_EQ(fast_stats.overflows, ref_stats.overflows) << "frame " << f;
+  }
+}
+
+TEST(LaneProver, WideWeightsForceInt64FallbackAndStayExact) {
+  // Adversarial config: 18-bit weights don't fit int16, so no layer may be
+  // certified narrow — and the wide fallback must still be bit-identical.
+  const hls::QuantizedModel qm(
+      compiled_unet(67, hls::QuantConfig::uniform({18, 8})));
+  EXPECT_EQ(qm.lanes().narrow_layers, 0u);
+  for (const auto& d : qm.lanes().decisions) {
+    if (d.mac_layer) EXPECT_EQ(d.lane, hls::Lane::kWide64) << d.reason;
+  }
+  const auto raw =
+      qm.quantize_input(random_frame({16, 1}, 71, 10.0));
+  hls::ForwardStats fast_stats;
+  hls::ForwardStats ref_stats;
+  EXPECT_EQ(qm.forward_raw(raw, &fast_stats),
+            qm.forward_raw_reference(raw, &ref_stats));
+  EXPECT_EQ(fast_stats.saturations, ref_stats.saturations);
+  EXPECT_EQ(fast_stats.overflows, ref_stats.overflows);
+}
+
+}  // namespace

@@ -27,6 +27,19 @@ echo "== lifecycle campaign (drift -> requalify -> hot-swap gates) =="
 # reconfiguration window, or an unqualified candidate reaching traffic.
 (cd build && ./bench/bench_lifecycle --quick --out=BENCH_lifecycle.json)
 
+echo "== kernel engine gates (bit-identity / speedup / narrow lanes) =="
+# Fast path must stay bit-identical to the reference executor, beat it by
+# >= 8x (committed artifact shows ~11.9x; the lower bar absorbs CI host
+# noise), and prove >= half the MAC layers onto narrow int16 lanes.
+(cd build && ./bench/bench_kernels --min_speedup=8 --min_narrow_fraction=0.5 \
+  --out=BENCH_kernels.json)
+
+echo "== serving gates (exactness / overload / zero-allocation frames) =="
+# Poisson sweep gates plus the allocation audit: 1024 steady-state frames
+# through assemble -> submit_into -> replica -> slot with exactly 0 heap
+# allocations (counted by util::allocguard's global operator new).
+(cd build && ./bench/bench_serve --replicas=1 --out=BENCH_serve.json)
+
 echo "== sanitizer build (address,undefined) =="
 cmake -B build-asan -S . -DREADS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)"
