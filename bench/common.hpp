@@ -32,7 +32,9 @@ namespace reads::bench {
 /// `--fault_scenario`/`--fault_seed` let any bench replay a specific chaos
 /// schedule (fault/plan.hpp) deterministically; the default is no faults,
 /// and `--fault_seed=0` reuses `--seed` so one number reproduces the whole
-/// run, faults included.
+/// run, faults included. The cluster trio (`--listen`, `--replica_procs`,
+/// `--transport`) configures the multi-process benches; single-process
+/// benches parse and ignore them so flag spellings stay uniform.
 struct StandardFlags {
   std::size_t threads = 0;
   double duration_s = 2.0;
@@ -44,6 +46,13 @@ struct StandardFlags {
   std::uint64_t drift_seed = 0;
   /// Fraction of admitted frames mirrored during shadow rollout.
   double shadow_fraction = 0.25;
+  /// Multi-process cluster benches: router listen endpoint ("tcp:host:port"
+  /// or "uds:/path.sock"; empty = auto per --transport), replica process
+  /// count (0 = bench-specific default) and transport selection
+  /// ("tcp" | "uds" | "both").
+  std::string listen;
+  std::size_t replica_procs = 0;
+  std::string transport = "both";
 
   static StandardFlags parse(util::Cli& cli, double default_duration_s = 2.0) {
     StandardFlags f;
@@ -56,13 +65,39 @@ struct StandardFlags {
     f.drift_seed = static_cast<std::uint64_t>(cli.get_int("drift_seed", 0));
     if (f.drift_seed == 0) f.drift_seed = f.seed;
     f.shadow_fraction = cli.get_double("shadow_fraction", 0.25);
+    f.listen = cli.get_string("listen", "");
+    f.replica_procs =
+        static_cast<std::size_t>(cli.get_int("replica_procs", 0));
+    f.transport = cli.get_string("transport", "both");
     if (f.duration_s <= 0.0) {
       throw std::invalid_argument("--duration_s must be > 0");
     }
     if (f.shadow_fraction <= 0.0 || f.shadow_fraction > 1.0) {
       throw std::invalid_argument("--shadow_fraction must be in (0, 1]");
     }
+    if (f.transport != "tcp" && f.transport != "uds" &&
+        f.transport != "both") {
+      throw std::invalid_argument("--transport must be tcp, uds or both");
+    }
     return f;
+  }
+
+  /// Shared flag documentation for benches that honor `--help`.
+  static const char* help() {
+    return
+        "shared flags:\n"
+        "  --threads=N          global pool size (0 = hardware)\n"
+        "  --duration_s=S       wall-clock budget of measured sections\n"
+        "  --seed=N             master seed (load, frames, schedules)\n"
+        "  --fault_scenario=S   chaos schedule name (empty = fault-free)\n"
+        "  --fault_seed=N       chaos seed (0 = reuse --seed)\n"
+        "  --drift_seed=N       drift schedule seed (0 = reuse --seed)\n"
+        "  --shadow_fraction=F  shadow-rollout mirror fraction (0, 1]\n"
+        "cluster flags (multi-process benches):\n"
+        "  --listen=EP          router endpoint, tcp:host:port or\n"
+        "                       uds:/path.sock (empty = auto per transport)\n"
+        "  --replica_procs=N    replica server processes (0 = default)\n"
+        "  --transport=T        tcp | uds | both (default both)\n";
   }
 
   /// Pin the global pool size before anything constructs it, so

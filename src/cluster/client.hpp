@@ -1,0 +1,67 @@
+// Synchronous cluster client: the counterpart of the router's wire API for
+// benches, tests, and command-line demos.
+//
+// One connection, blocking convenience calls on top of the nonblocking io
+// layer: submit() writes a kSubmit envelope, poll() reassembles whatever
+// the router answers, and the admin helpers (add/remove replica, stats,
+// shutdown) each send a request and wait for the matching reply type.
+// Admin helpers assume a dedicated connection — they discard interleaved
+// non-matching messages, which would lose results on a traffic connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/io.hpp"
+#include "cluster/protocol.hpp"
+
+namespace reads::cluster {
+
+class ClusterClient {
+ public:
+  /// Connect and introduce ourselves. Throws std::system_error when the
+  /// router is unreachable.
+  explicit ClusterClient(const std::string& endpoint,
+                         Role role = Role::kClient,
+                         double connect_timeout_ms = 5000.0);
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  bool connected() const noexcept { return fd_.valid(); }
+
+  /// Send one tick. False when the connection died mid-write.
+  bool submit(const Submit& s);
+
+  /// Next reassembled message from the router, waiting up to `timeout_ms`;
+  /// nullopt on timeout or a dead connection.
+  std::optional<Message> poll(double timeout_ms);
+
+  // ---- admin conveniences (dedicated admin connection only) --------------
+
+  /// Returns the new node id, 0 when the router could not connect to it
+  /// (or the wait timed out).
+  std::uint64_t add_replica(const std::string& endpoint, double timeout_ms);
+
+  /// True once the router acknowledged the drained removal. The reply is
+  /// deferred until every in-flight job on the node settled, so the
+  /// timeout must cover a full drain.
+  bool remove_replica(std::uint64_t node, double timeout_ms);
+
+  /// Router stats JSON; empty string on timeout.
+  std::string stats(double timeout_ms);
+
+  /// Fire-and-forget graceful shutdown request.
+  void shutdown_router();
+
+ private:
+  bool send(const std::vector<std::uint8_t>& bytes);
+  std::optional<Message> wait_for(MsgType type, double timeout_ms);
+
+  Fd fd_;
+  MessageReader reader_;
+};
+
+}  // namespace reads::cluster

@@ -1,0 +1,133 @@
+#include "cluster/proc.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <system_error>
+#include <thread>
+
+namespace reads::cluster {
+
+namespace {
+
+pid_t waitpid_eintr(pid_t pid, int* status, int options) {
+  for (;;) {
+    const pid_t r = ::waitpid(pid, status, options);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+}  // namespace
+
+bool ChildProcess::running() {
+  if (pid_ <= 0) return false;
+  int status = 0;
+  const pid_t r = waitpid_eintr(pid_, &status, WNOHANG);
+  if (r == pid_) {
+    pid_ = -1;
+    return false;
+  }
+  return r == 0;
+}
+
+std::string ChildProcess::read_line(double timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  for (;;) {
+    const auto nl = line_buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = line_buf_.substr(0, nl);
+      line_buf_.erase(0, nl + 1);
+      return line;
+    }
+    if (!stdout_fd_.valid()) return {};
+    const auto remaining = std::chrono::duration<double, std::milli>(
+                               deadline - std::chrono::steady_clock::now())
+                               .count();
+    if (remaining <= 0.0) return {};
+    pollfd pfd{stdout_fd_.get(), POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(remaining) + 1);
+    if (pr < 0 && errno != EINTR) return {};
+    if (pr <= 0) continue;
+    char buf[4096];
+    const ssize_t n = ::read(stdout_fd_.get(), buf, sizeof(buf));
+    if (n > 0) {
+      line_buf_.append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0 || (errno != EINTR && errno != EAGAIN)) {
+      stdout_fd_.reset();  // EOF: child closed stdout (likely exited)
+    }
+  }
+}
+
+bool ChildProcess::terminate(double timeout_ms) {
+  if (pid_ <= 0) return true;
+  ::kill(pid_, SIGTERM);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  int status = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const pid_t r = waitpid_eintr(pid_, &status, WNOHANG);
+    if (r == pid_) {
+      pid_ = -1;
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  kill_hard();
+  return false;
+}
+
+void ChildProcess::kill_hard() {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGKILL);
+  int status = 0;
+  waitpid_eintr(pid_, &status, 0);
+  pid_ = -1;
+}
+
+int ChildProcess::wait() {
+  if (pid_ <= 0) return -1;
+  int status = 0;
+  const pid_t r = waitpid_eintr(pid_, &status, 0);
+  pid_ = -1;
+  return r > 0 ? status : -1;
+}
+
+ChildProcess spawn(const std::vector<std::string>& argv) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    throw std::system_error(errno, std::generic_category(), "pipe");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    throw std::system_error(err, std::generic_category(), "fork");
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe, exec. Only async-signal-safe calls here.
+    ::close(pipefd[0]);
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[1]);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    _exit(127);
+  }
+  ::close(pipefd[1]);
+  ChildProcess child;
+  child.pid_ = pid;
+  child.stdout_fd_ = Fd(pipefd[0]);
+  return child;
+}
+
+}  // namespace reads::cluster

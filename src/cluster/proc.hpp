@@ -1,0 +1,78 @@
+// Child-process management for the multi-process bench and tests.
+//
+// spawn() forks and execs a command (typically /proc/self/exe with a role
+// flag, so the bench binary is its own replica/router image) with the
+// child's stdout on a pipe; the parent reads the "LISTENING <endpoint>"
+// handshake line to learn kernel-assigned ports before wiring the cluster
+// together. Termination is two-stage: SIGTERM for the graceful
+// close-then-drain path under test, SIGKILL as the crash injection (and
+// the cleanup backstop).
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/io.hpp"
+
+namespace reads::cluster {
+
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+  ~ChildProcess() { kill_hard(); }
+
+  ChildProcess(ChildProcess&& o) noexcept
+      : pid_(o.pid_),
+        stdout_fd_(std::move(o.stdout_fd_)),
+        line_buf_(std::move(o.line_buf_)) {
+    o.pid_ = -1;
+  }
+  ChildProcess& operator=(ChildProcess&& o) noexcept {
+    if (this != &o) {
+      kill_hard();
+      pid_ = o.pid_;
+      o.pid_ = -1;
+      stdout_fd_ = std::move(o.stdout_fd_);
+      line_buf_ = std::move(o.line_buf_);
+    }
+    return *this;
+  }
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  pid_t pid() const noexcept { return pid_; }
+  bool valid() const noexcept { return pid_ > 0; }
+
+  /// Still running (non-blocking reap check).
+  bool running();
+
+  /// Read one '\n'-terminated line from the child's stdout (the startup
+  /// handshake). Empty string on timeout/EOF.
+  std::string read_line(double timeout_ms);
+
+  /// SIGTERM, wait up to `timeout_ms` for a clean exit, then escalate to
+  /// SIGKILL. True when the child exited without the escalation.
+  bool terminate(double timeout_ms);
+
+  /// Immediate SIGKILL + reap (crash injection; also the destructor path).
+  void kill_hard();
+
+  /// Blocking reap; returns the raw waitpid status (-1 when not running).
+  int wait();
+
+ private:
+  friend ChildProcess spawn(const std::vector<std::string>& argv);
+
+  pid_t pid_ = -1;
+  Fd stdout_fd_;
+  std::string line_buf_;
+};
+
+/// Fork + exec `argv` (argv[0] is the executable path) with stdout piped
+/// back to the parent. Throws std::system_error when the fork/pipe fails;
+/// exec failure surfaces as the child exiting 127.
+ChildProcess spawn(const std::vector<std::string>& argv);
+
+}  // namespace reads::cluster

@@ -1,7 +1,11 @@
 #include "serve/metrics.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 namespace reads::serve {
 
@@ -11,6 +15,104 @@ namespace {
 // while the overflow counter still catches pathological stragglers.
 constexpr double kDeadlineSpan = 4.0;
 constexpr std::size_t kLatencyBins = 80;
+
+bool same_layout(const util::Histogram& a, const util::Histogram& b) {
+  return a.bins() == b.bins() && a.bin_lo(0) == b.bin_lo(0) &&
+         a.bin_hi(a.bins() - 1) == b.bin_hi(b.bins() - 1);
+}
+
+/// Snapshot-level histogram fold. A default-constructed MetricsSnapshot
+/// carries a 1-bin placeholder histogram; adopting the first real layout it
+/// meets lets callers start a cluster aggregation from an empty snapshot.
+/// Two *populated* histograms with different layouts cannot be combined.
+void fold_hist(util::Histogram& into, const util::Histogram& from) {
+  if (!same_layout(into, from)) {
+    if (into.total() == 0) {
+      into = from;
+      return;
+    }
+    if (from.total() == 0) return;
+  }
+  into.merge(from);  // layout mismatch of populated histograms throws here
+}
+
+[[noreturn]] void bad_json(const std::string& what) {
+  throw std::invalid_argument("metrics JSON: " + what);
+}
+
+/// Position just past `"key":` (and any whitespace), searching from `from`.
+std::size_t key_pos(const std::string& text, const std::string& key,
+                    std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\"";
+  const auto k = text.find(needle, from);
+  if (k == std::string::npos) bad_json("missing key '" + key + "'");
+  auto p = text.find(':', k + needle.size());
+  if (p == std::string::npos) bad_json("key '" + key + "' has no value");
+  ++p;
+  while (p < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[p]))) {
+    ++p;
+  }
+  return p;
+}
+
+double scan_double(const std::string& text, const std::string& key) {
+  const auto p = key_pos(text, key);
+  const char* start = text.c_str() + p;
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) bad_json("key '" + key + "' is not a number");
+  return v;
+}
+
+std::size_t scan_count(const std::string& text, const std::string& key) {
+  const double v = scan_double(text, key);
+  if (v < 0.0 || v != std::floor(v)) {
+    bad_json("key '" + key + "' is not a count");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Balanced `open`..`close` substring starting at `p`. None of the emitted
+/// values contain brackets inside strings, so bracket counting suffices.
+std::string balanced(const std::string& text, std::size_t p, char open,
+                     char close) {
+  if (p >= text.size() || text[p] != open) {
+    bad_json(std::string("expected '") + open + "'");
+  }
+  std::size_t depth = 0;
+  for (std::size_t q = p; q < text.size(); ++q) {
+    if (text[q] == open) ++depth;
+    if (text[q] == close && --depth == 0) {
+      return text.substr(p, q - p + 1);
+    }
+  }
+  bad_json(std::string("unbalanced '") + open + "'");
+}
+
+std::vector<double> scan_double_array(const std::string& text,
+                                      const std::string& key) {
+  auto p = key_pos(text, key);
+  if (text[p] != '[') bad_json("key '" + key + "' is not an array");
+  ++p;
+  std::vector<double> out;
+  for (;;) {
+    while (p < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[p])) ||
+            text[p] == ',')) {
+      ++p;
+    }
+    if (p >= text.size()) bad_json("unterminated array");
+    if (text[p] == ']') break;
+    const char* start = text.c_str() + p;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) bad_json("bad array element");
+    out.push_back(v);
+    p += static_cast<std::size_t>(end - start);
+  }
+  return out;
+}
 }  // namespace
 
 Metrics::Metrics(std::size_t replicas, double deadline_ms)
@@ -46,6 +148,46 @@ void Metrics::record_batch(std::size_t replica, double busy_ms,
   }
 }
 
+void Metrics::merge(const Metrics& other) {
+  if (&other == this) {
+    throw std::invalid_argument("Metrics::merge: cannot merge with self");
+  }
+  if (other.replicas_.size() != replicas_.size()) {
+    throw std::invalid_argument("Metrics::merge: replica count mismatch");
+  }
+  arrived_.fetch_add(other.arrived_.load(kRelaxed), kRelaxed);
+  admitted_.fetch_add(other.admitted_.load(kRelaxed), kRelaxed);
+  shed_predicted_late_.fetch_add(other.shed_predicted_late_.load(kRelaxed),
+                                 kRelaxed);
+  shed_queue_full_.fetch_add(other.shed_queue_full_.load(kRelaxed), kRelaxed);
+  shed_shutdown_.fetch_add(other.shed_shutdown_.load(kRelaxed), kRelaxed);
+  completed_.fetch_add(other.completed_.load(kRelaxed), kRelaxed);
+  deadline_misses_.fetch_add(other.deadline_misses_.load(kRelaxed), kRelaxed);
+  backend_faults_.fetch_add(other.backend_faults_.load(kRelaxed), kRelaxed);
+  quarantines_.fetch_add(other.quarantines_.load(kRelaxed), kRelaxed);
+  restarts_.fetch_add(other.restarts_.load(kRelaxed), kRelaxed);
+  redispatched_.fetch_add(other.redispatched_.load(kRelaxed), kRelaxed);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    auto& mine = replicas_[i];
+    const auto& theirs = other.replicas_[i];
+    mine.frames.fetch_add(theirs.frames.load(kRelaxed), kRelaxed);
+    mine.batches.fetch_add(theirs.batches.load(kRelaxed), kRelaxed);
+    mine.busy_ns.fetch_add(theirs.busy_ns.load(kRelaxed), kRelaxed);
+    mine.faults.fetch_add(theirs.faults.load(kRelaxed), kRelaxed);
+    const std::size_t n = theirs.max_batch.load(kRelaxed);
+    std::size_t seen = mine.max_batch.load(kRelaxed);
+    while (seen < n &&
+           !mine.max_batch.compare_exchange_weak(seen, n, kRelaxed)) {
+    }
+  }
+  // scoped_lock orders the two mutexes internally, so two threads merging
+  // the same pair in opposite directions cannot deadlock.
+  std::scoped_lock lock(dist_mutex_, other.dist_mutex_);
+  queue_ms_.merge(other.queue_ms_);
+  e2e_ms_.merge(other.e2e_ms_);
+  e2e_samples_.merge(other.e2e_samples_);
+}
+
 MetricsSnapshot Metrics::snapshot() const {
   MetricsSnapshot s;
   s.arrived = arrived_.load(kRelaxed);
@@ -76,7 +218,29 @@ MetricsSnapshot Metrics::snapshot() const {
   return s;
 }
 
-std::string MetricsSnapshot::to_json(double wall_s) {
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  arrived += other.arrived;
+  admitted += other.admitted;
+  shed_predicted_late += other.shed_predicted_late;
+  shed_queue_full += other.shed_queue_full;
+  shed_shutdown += other.shed_shutdown;
+  completed += other.completed;
+  deadline_misses += other.deadline_misses;
+  backend_faults += other.backend_faults;
+  quarantines += other.quarantines;
+  restarts += other.restarts;
+  redispatched += other.redispatched;
+  replicas.insert(replicas.end(), other.replicas.begin(),
+                  other.replicas.end());
+  fold_hist(queue_ms, other.queue_ms);
+  fold_hist(e2e_ms, other.e2e_ms);
+  e2e_samples.merge(other.e2e_samples);
+}
+
+std::string MetricsSnapshot::to_json(double wall_s, bool include_samples) {
+  // All doubles go through json_double (shortest round-trip form): the
+  // cluster report re-parses these snapshots with from_json, and derived
+  // rates recomputed from the parsed counters must re-emit byte-identically.
   std::ostringstream out;
   out << "{\"arrived\": " << arrived << ", \"admitted\": " << admitted
       << ", \"completed\": " << completed
@@ -84,26 +248,80 @@ std::string MetricsSnapshot::to_json(double wall_s) {
       << "\"predicted_late\": " << shed_predicted_late
       << ", \"queue_full\": " << shed_queue_full
       << ", \"shutdown\": " << shed_shutdown
-      << ", \"rate\": " << shed_rate() << "}"
-      << ", \"goodput_fps\": " << goodput_fps(wall_s) << ", \"faults\": {"
+      << ", \"rate\": " << util::json_double(shed_rate()) << "}"
+      << ", \"goodput_fps\": " << util::json_double(goodput_fps(wall_s))
+      << ", \"faults\": {"
       << "\"backend_faults\": " << backend_faults
       << ", \"quarantines\": " << quarantines
       << ", \"restarts\": " << restarts
       << ", \"redispatched\": " << redispatched << "}"
-      << ", \"e2e_ms\": " << e2e_samples.summary_json()
-      << ", \"queue_hist\": " << queue_ms.to_json()
+      << ", \"e2e_ms\": " << e2e_samples.summary_json();
+  if (include_samples) {
+    // summary_json above already sorted the retained samples, so this array
+    // is emitted sorted and round-trips in a canonical order.
+    out << ", \"e2e_values\": [";
+    const auto& vs = e2e_samples.values();
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      if (i) out << ", ";
+      out << util::json_double(vs[i]);
+    }
+    out << "]";
+  }
+  out << ", \"queue_hist\": " << queue_ms.to_json()
       << ", \"e2e_hist\": " << e2e_ms.to_json() << ", \"replicas\": [";
   for (std::size_t i = 0; i < replicas.size(); ++i) {
     const auto& r = replicas[i];
     if (i) out << ", ";
     out << "{\"frames\": " << r.frames << ", \"batches\": " << r.batches
-        << ", \"busy_ms\": " << r.busy_ms << ", \"utilization\": "
-        << (wall_s > 0.0 ? r.busy_ms / (wall_s * 1e3) : 0.0)
+        << ", \"busy_ms\": " << util::json_double(r.busy_ms)
+        << ", \"utilization\": "
+        << util::json_double(wall_s > 0.0 ? r.busy_ms / (wall_s * 1e3) : 0.0)
         << ", \"max_batch\": " << r.max_batch
         << ", \"faults\": " << r.faults << "}";
   }
   out << "]}";
   return out.str();
+}
+
+MetricsSnapshot MetricsSnapshot::from_json(const std::string& json) {
+  MetricsSnapshot s;
+  s.arrived = scan_count(json, "arrived");
+  s.admitted = scan_count(json, "admitted");
+  s.completed = scan_count(json, "completed");
+  s.deadline_misses = scan_count(json, "deadline_misses");
+  s.shed_predicted_late = scan_count(json, "predicted_late");
+  s.shed_queue_full = scan_count(json, "queue_full");
+  s.shed_shutdown = scan_count(json, "shutdown");
+  s.backend_faults = scan_count(json, "backend_faults");
+  s.quarantines = scan_count(json, "quarantines");
+  s.restarts = scan_count(json, "restarts");
+  s.redispatched = scan_count(json, "redispatched");
+  s.queue_ms = util::Histogram::from_json(
+      balanced(json, key_pos(json, "queue_hist"), '{', '}'));
+  s.e2e_ms = util::Histogram::from_json(
+      balanced(json, key_pos(json, "e2e_hist"), '{', '}'));
+  const std::string arr =
+      balanced(json, key_pos(json, "replicas"), '[', ']');
+  std::size_t pos = 1;
+  while (true) {
+    const auto b = arr.find('{', pos);
+    if (b == std::string::npos) break;
+    const std::string obj = balanced(arr, b, '{', '}');
+    ReplicaSnapshot r;
+    r.frames = scan_count(obj, "frames");
+    r.batches = scan_count(obj, "batches");
+    r.busy_ms = scan_double(obj, "busy_ms");
+    r.max_batch = scan_count(obj, "max_batch");
+    r.faults = scan_count(obj, "faults");
+    s.replicas.push_back(r);
+    pos = b + obj.size();
+  }
+  if (json.find("\"e2e_values\"") != std::string::npos) {
+    const auto vs = scan_double_array(json, "e2e_values");
+    s.e2e_samples.reserve(vs.size());
+    for (double v : vs) s.e2e_samples.add(v);
+  }
+  return s;
 }
 
 }  // namespace reads::serve

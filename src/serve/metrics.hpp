@@ -62,10 +62,29 @@ struct MetricsSnapshot {
                         : 0.0;
   }
 
+  /// Fold another snapshot into this one for a cluster-wide report: scalar
+  /// counters sum, per-replica rows CONCATENATE (each serving process owns
+  /// distinct replicas, so a router snapshot with zero replicas plus N
+  /// single-replica process snapshots yields N rows), latency histograms
+  /// merge bin-for-bin (layouts must match unless one side is empty —
+  /// std::invalid_argument otherwise), and retained e2e samples append so
+  /// merged percentiles are exact.
+  void merge(const MetricsSnapshot& other);
+
   /// JSON object (schema: DESIGN.md §7) with counters, shed/goodput rates,
   /// p50/p99/p99.97, per-replica utilization over `wall_s`, and the e2e
-  /// histogram.
-  std::string to_json(double wall_s);
+  /// histogram. With `include_samples` the retained e2e latency samples are
+  /// emitted as an "e2e_values" array (sorted, round-trip precision) so
+  /// from_json + merge can recompute exact cluster-wide percentiles; wire
+  /// snapshots set it, bench artifacts do not.
+  std::string to_json(double wall_s, bool include_samples = false);
+
+  /// Parse a to_json() export back into a snapshot (derived rates are
+  /// recomputed, "e2e_values" restores the percentile samples when
+  /// present). Throws std::invalid_argument on malformed input.
+  /// from_json(to_json(w, true)) round-trips exactly, histogram
+  /// under/overflow tallies included.
+  static MetricsSnapshot from_json(const std::string& json);
 };
 
 class Metrics {
@@ -117,6 +136,14 @@ class Metrics {
   void reserve_e2e_samples(std::size_t n);
 
   MetricsSnapshot snapshot() const;
+
+  /// Fold another live Metrics into this one (atomic counters and
+  /// distributions both). Slot-wise: both objects must track the same
+  /// replica count (std::invalid_argument otherwise) — heterogeneous
+  /// aggregation across processes goes through MetricsSnapshot::merge,
+  /// which concatenates replica rows instead. Thread-safe against
+  /// concurrent recording on either side.
+  void merge(const Metrics& other);
 
  private:
   static constexpr auto kRelaxed = std::memory_order_relaxed;

@@ -9,13 +9,6 @@ namespace reads::serve {
 
 namespace {
 
-constexpr double kEwmaAlpha = 0.2;
-/// Gain for the mean-deviation EWMA (RFC 6298 uses 1/4).
-constexpr double kVarBeta = 0.25;
-/// Initial deviation as a fraction of the initial estimate; shrinks as
-/// real observations arrive.
-constexpr double kInitialVarFrac = 0.25;
-
 std::int64_t to_ns(Clock::time_point t) noexcept {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              t.time_since_epoch())
@@ -33,9 +26,7 @@ Replica::Replica(Options options, std::unique_ptr<Backend> backend,
     : opts_(options),
       backend_(std::move(backend)),
       metrics_(metrics),
-      service_est_ms_(std::max(1e-6, options.initial_service_est_ms)),
-      service_var_ms_(kInitialVarFrac *
-                      std::max(1e-6, options.initial_service_est_ms)) {
+      estimator_(options.initial_service_est_ms) {
   // Batch scratch is sized once here so serve_batch never allocates.
   // outputs_ holds max_batch persistent output tensors: infer_batch_into
   // reuses their storage, and slot deliveries swap client buffers back in,
@@ -284,14 +275,7 @@ bool Replica::serve_batch(std::vector<Request>& batch) {
     }
   }
 
-  const double per_frame = service_ms / static_cast<double>(n);
-  service_est_ms_.store(
-      std::max(1e-6, (1.0 - kEwmaAlpha) * est + kEwmaAlpha * per_frame),
-      std::memory_order_relaxed);
-  const double var = service_var_ms_.load(std::memory_order_relaxed);
-  service_var_ms_.store(
-      (1.0 - kVarBeta) * var + kVarBeta * std::abs(per_frame - est),
-      std::memory_order_relaxed);
+  estimator_.observe(service_ms / static_cast<double>(n));
   metrics_.record_batch(opts_.id, service_ms, queue_ms_, e2e_ms_, misses);
   return true;
 }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "serve/backend.hpp"
+#include "serve/estimator.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
@@ -119,16 +120,16 @@ class Replica {
   }
 
   /// EWMA per-frame service time (ms), updated after every batch.
-  double service_est_ms() const noexcept {
-    return service_est_ms_.load(std::memory_order_relaxed);
-  }
+  double service_est_ms() const noexcept { return estimator_.est_ms(); }
 
   /// EWMA of |observed - estimate| (ms), RFC 6298-style: the admission
   /// predictor adds a multiple of this so jittery hosts admit against a
   /// high service quantile, not the mean.
-  double service_var_ms() const noexcept {
-    return service_var_ms_.load(std::memory_order_relaxed);
-  }
+  double service_var_ms() const noexcept { return estimator_.var_ms(); }
+
+  /// The underlying estimator (shared shape with the cluster router's
+  /// per-endpoint round-trip estimators; see serve/estimator.hpp).
+  const ServiceEstimator& estimator() const noexcept { return estimator_; }
 
   /// True from first frame of a batch until its responses are delivered.
   bool busy() const noexcept {
@@ -163,8 +164,7 @@ class Replica {
   std::atomic<bool> swap_staged_{false};
   std::atomic<std::uint64_t> epoch_{1};
   std::thread thread_;
-  std::atomic<double> service_est_ms_;
-  std::atomic<double> service_var_ms_;
+  ServiceEstimator estimator_;
   std::atomic<bool> busy_{false};
   /// steady_clock nanoseconds when the current batch should complete;
   /// 0 = idle.

@@ -48,14 +48,23 @@ double Percentiles::percentile(double p) {
   return values_[std::min(values_.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
+std::string json_double(double v) {
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << v;
+  return s.str();
+}
+
+void Percentiles::merge(const Percentiles& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  if (!other.values_.empty()) sorted_ = false;
+}
+
 namespace {
 
 /// Shortest decimal that round-trips the double (snapshots get re-parsed).
 void append_double(std::ostringstream& out, double v) {
-  std::ostringstream s;
-  s.precision(std::numeric_limits<double>::max_digits10);
-  s << v;
-  out << s.str();
+  out << json_double(v);
 }
 
 /// Trim a percent label: 99.0 -> "p99", 99.97 -> "p99.97".
@@ -112,6 +121,17 @@ void Histogram::add(double x) noexcept {
   auto idx = static_cast<std::size_t>(frac * static_cast<double>(bins_.size()));
   if (idx >= bins_.size()) idx = bins_.size() - 1;  // guard fp edge
   ++bins_[idx];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      bins_.size() != other.bins_.size()) {
+    throw std::invalid_argument("Histogram::merge: layout mismatch");
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
 }
 
 double Histogram::bin_lo(std::size_t i) const noexcept {

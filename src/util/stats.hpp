@@ -64,6 +64,11 @@ class Percentiles {
   std::string summary_json(
       std::initializer_list<double> percents = {50.0, 90.0, 99.0, 99.97});
 
+  /// Append every retained sample from `other`; percentiles over the merged
+  /// set are then exact (the cluster report folds per-process samples this
+  /// way rather than averaging per-process percentiles).
+  void merge(const Percentiles& other);
+
   const std::vector<double>& values() const noexcept { return values_; }
 
  private:
@@ -108,6 +113,12 @@ class Histogram {
   std::string to_json() const;
   static Histogram from_json(const std::string& json);
 
+  /// Add `other`'s bins and underflow/overflow/total tallies into this
+  /// histogram. Both must share the exact layout (lo, hi, bin count) —
+  /// cross-process aggregation only makes sense bin-for-bin — otherwise
+  /// std::invalid_argument.
+  void merge(const Histogram& other);
+
  private:
   double lo_;
   double hi_;
@@ -116,5 +127,11 @@ class Histogram {
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
 };
+
+/// Shortest decimal string that round-trips the double. Every JSON export
+/// in this codebase that may be re-parsed (histogram snapshots, cluster
+/// metrics aggregation) formats doubles through this so parse(emit(x)) == x
+/// and re-emitting a parsed snapshot reproduces the original text.
+std::string json_double(double v);
 
 }  // namespace reads::util

@@ -1,0 +1,780 @@
+// Cluster tier tests: endpoint parsing, the consistent-hash ring, envelope
+// framing under adversarial read() chunking, the replica server's wire
+// contract, and the router's core guarantees — exactly-once terminal
+// replies, live resharding, crash redispatch, and close-then-drain
+// shutdown — exercised over real sockets with cheap synthetic backends.
+//
+// The router/replica suites here run the full multi-component stack in one
+// process (real TCP connections, real poll loops, no forking) so they stay
+// fast and debuggable; the multi-process path is bench_cluster's job. The
+// RouterAdmin suite drives the thread-safe admin API concurrently with
+// traffic and is a ThreadSanitizer target (tools/check.sh).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/client.hpp"
+#include "cluster/io.hpp"
+#include "cluster/protocol.hpp"
+#include "cluster/replica_server.hpp"
+#include "cluster/ring.hpp"
+#include "cluster/router.hpp"
+#include "net/hub.hpp"
+#include "net/packet.hpp"
+#include "serve/backend.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace reads;
+using namespace std::chrono_literals;
+using tensor::Tensor;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kMonitors = 21;
+constexpr std::size_t kHubs = 7;
+
+double elapsed_ms(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// ---- Endpoint ------------------------------------------------------------
+
+TEST(Endpoint, ParsesTcpAndUdsSpecs) {
+  const auto tcp = cluster::Endpoint::parse("tcp:127.0.0.1:8700");
+  EXPECT_EQ(tcp.transport, cluster::Transport::kTcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 8700);
+  EXPECT_EQ(tcp.str(), "tcp:127.0.0.1:8700");
+
+  const auto uds = cluster::Endpoint::parse("uds:/tmp/reads-test.sock");
+  EXPECT_EQ(uds.transport, cluster::Transport::kUds);
+  EXPECT_EQ(uds.path, "/tmp/reads-test.sock");
+  EXPECT_EQ(uds.str(), "uds:/tmp/reads-test.sock");
+}
+
+TEST(Endpoint, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"127.0.0.1:80", "tcp:", "tcp:host", "tcp:host:", "tcp:host:x",
+        "tcp:host:70000", "uds:", "http:host:80"}) {
+    EXPECT_THROW(cluster::Endpoint::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+// ---- HashRing ------------------------------------------------------------
+
+TEST(HashRing, OwnershipIsDeterministicAndCoversAllNodes) {
+  cluster::HashRing a(64);
+  cluster::HashRing b(64);
+  for (std::uint64_t n : {1u, 2u, 3u}) {
+    a.add(n);
+    b.add(n);
+  }
+  std::map<std::uint64_t, std::size_t> owned;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    EXPECT_EQ(a.owner(s), b.owner(s));  // identical across instances
+    ++owned[a.owner(s)];
+  }
+  // Every node owns a share (64 vnodes spread 3 nodes well over 200 keys).
+  EXPECT_EQ(owned.size(), 3u);
+}
+
+TEST(HashRing, RemovingANodeMovesOnlyItsStreams) {
+  cluster::HashRing ring(64);
+  ring.add(1);
+  ring.add(2);
+  ring.add(3);
+  std::map<std::uint64_t, std::uint64_t> before;
+  for (std::uint64_t s = 0; s < 200; ++s) before[s] = ring.owner(s);
+  ring.remove(2);
+  EXPECT_FALSE(ring.contains(2));
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    if (before[s] == 2) {
+      EXPECT_NE(ring.owner(s), 2u);  // moved somewhere live
+    } else {
+      EXPECT_EQ(ring.owner(s), before[s]);  // everything else stays put
+    }
+  }
+}
+
+TEST(HashRing, EmptyRingThrowsOnOwnership) {
+  cluster::HashRing ring(8);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(ring.owner(7), std::logic_error);
+  ring.add(5);
+  EXPECT_EQ(ring.owner(7), 5u);
+  ring.remove(5);
+  EXPECT_THROW(ring.owner(7), std::logic_error);
+}
+
+// ---- protocol codecs + MessageReader ------------------------------------
+
+net::BlmPacket sealed_packet(std::uint8_t hub, std::uint32_t seq,
+                             std::uint16_t first, std::size_t count,
+                             std::uint32_t base) {
+  net::BlmPacket p;
+  p.hub_id = hub;
+  p.sequence = seq;
+  p.first_monitor = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    p.readings.push_back(base + static_cast<std::uint32_t>(i));
+  }
+  net::seal_packet(p);
+  return p;
+}
+
+TEST(ClusterProtocol, SubmitRoundTripsThroughOneByteChunks) {
+  cluster::Submit s;
+  s.stream = 0x1234'5678'9abcULL;
+  s.req_id = 42;
+  s.slo = 0;
+  s.packets.push_back(sealed_packet(0, 7, 0, 3, 1600));
+  s.packets.push_back(sealed_packet(1, 7, 3, 4, 1700));
+  std::vector<std::uint8_t> bytes;
+  cluster::append_submit(bytes, s);
+
+  cluster::MessageReader reader;
+  std::size_t got = 0;
+  for (const auto b : bytes) {
+    ASSERT_TRUE(reader.feed(&b, 1));
+    while (auto m = reader.next()) {
+      ASSERT_EQ(m->type, cluster::MsgType::kSubmit);
+      const auto back = cluster::decode_submit(m->payload);
+      EXPECT_EQ(back.stream, s.stream);
+      EXPECT_EQ(back.req_id, s.req_id);
+      EXPECT_EQ(back.slo, s.slo);
+      ASSERT_EQ(back.packets.size(), 2u);
+      EXPECT_EQ(back.packets[0].readings, s.packets[0].readings);
+      EXPECT_EQ(back.packets[1].crc, s.packets[1].crc);
+      EXPECT_TRUE(net::packet_crc_ok(back.packets[1]));
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, 1u);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(ClusterProtocol, CoalescedMessagesSplitMidEnvelopeReassemble) {
+  std::vector<std::uint8_t> bytes;
+  cluster::append_hello(bytes, cluster::Hello{cluster::Role::kReplica,
+                                              cluster::kProtocolVersion});
+  cluster::Result r;
+  r.id = 99;
+  r.deadline_met = 0;
+  r.model_epoch = 3;
+  r.dims = {static_cast<std::uint32_t>(kMonitors), 1u};
+  r.data = {-0.0f, 1.5f, 3.25e-40f};  // signed zero + denormal stay bit-exact
+  cluster::append_result(bytes, r);
+  cluster::Shed sh;
+  sh.id = 100;
+  sh.reason = cluster::ShedReason::kHeldTooLong;
+  cluster::append_shed(bytes, sh);
+
+  // One read() delivering everything up to mid-way through the last
+  // envelope's length field, then the rest.
+  const std::size_t cut = bytes.size() - 8;
+  cluster::MessageReader reader;
+  ASSERT_TRUE(reader.feed(bytes.data(), cut));
+  ASSERT_TRUE(reader.feed(bytes.data() + cut, bytes.size() - cut));
+
+  auto m1 = reader.next();
+  ASSERT_TRUE(m1 && m1->type == cluster::MsgType::kHello);
+  EXPECT_EQ(cluster::decode_hello(m1->payload).role, cluster::Role::kReplica);
+  auto m2 = reader.next();
+  ASSERT_TRUE(m2 && m2->type == cluster::MsgType::kResult);
+  const auto rb = cluster::decode_result(m2->payload);
+  EXPECT_EQ(rb.id, 99u);
+  EXPECT_EQ(rb.deadline_met, 0);
+  EXPECT_EQ(rb.model_epoch, 3u);
+  EXPECT_EQ(rb.dims, r.dims);
+  ASSERT_EQ(rb.data.size(), 3u);
+  EXPECT_EQ(std::signbit(rb.data[0]), true);
+  EXPECT_EQ(rb.data[1], 1.5f);
+  EXPECT_EQ(rb.data[2], 3.25e-40f);
+  auto m3 = reader.next();
+  ASSERT_TRUE(m3 && m3->type == cluster::MsgType::kShed);
+  EXPECT_EQ(cluster::decode_shed(m3->payload).reason,
+            cluster::ShedReason::kHeldTooLong);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ClusterProtocol, ImplausibleEnvelopeLengthBreaksTheStream) {
+  std::vector<std::uint8_t> bytes(cluster::kEnvelopeHeader, 0);
+  bytes[0] = 0xff;  // payload_len LE = 0xffffffff
+  bytes[1] = 0xff;
+  bytes[2] = 0xff;
+  bytes[3] = 0xff;
+  bytes[4] = static_cast<std::uint8_t>(cluster::MsgType::kSubmit);
+  cluster::MessageReader reader;
+  EXPECT_FALSE(reader.feed(bytes.data(), bytes.size()));
+  EXPECT_TRUE(reader.broken());
+  std::vector<std::uint8_t> fine;
+  cluster::append_stats_request(fine);
+  EXPECT_FALSE(reader.feed(fine.data(), fine.size()));
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ClusterProtocol, AdminCodecsRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  cluster::append_add_replica(bytes, {"tcp:127.0.0.1:9000"});
+  cluster::append_remove_replica(bytes, {17});
+  cluster::append_admin_ok(bytes, {17, "drained"});
+  cluster::append_stats_reply(bytes, {"{\"ok\": true}"});
+  cluster::MessageReader reader;
+  ASSERT_TRUE(reader.feed(bytes.data(), bytes.size()));
+  EXPECT_EQ(cluster::decode_add_replica(reader.next()->payload).endpoint,
+            "tcp:127.0.0.1:9000");
+  EXPECT_EQ(cluster::decode_remove_replica(reader.next()->payload).node, 17u);
+  const auto ok = cluster::decode_admin_ok(reader.next()->payload);
+  EXPECT_EQ(ok.token, 17u);
+  EXPECT_EQ(ok.info, "drained");
+  EXPECT_EQ(cluster::decode_stats_reply(reader.next()->payload).json,
+            "{\"ok\": true}");
+}
+
+// ---- shared cluster harness ---------------------------------------------
+
+/// Deterministic stand-in for the quantized model: out = 2 * in + 1,
+/// element-wise. Bit-exact across "replicas" like QuantizedBackend is.
+class SyntheticBackend final : public serve::Backend {
+ public:
+  explicit SyntheticBackend(std::chrono::microseconds service = 0us)
+      : service_(service) {}
+  std::string_view name() const noexcept override { return "synthetic"; }
+  Tensor infer(const Tensor& frame) override {
+    if (service_ > 0us) std::this_thread::sleep_for(service_);
+    Tensor out = frame;
+    for (auto& v : out.flat()) v = 2.0f * v + 1.0f;
+    return out;
+  }
+
+ private:
+  std::chrono::microseconds service_;
+};
+
+cluster::FrameDecoder raw_decoder() {
+  return [](std::span<const std::uint32_t> readings, Tensor& out) {
+    out.resize({readings.size(), 1});
+    auto dst = out.flat();
+    for (std::size_t i = 0; i < readings.size(); ++i) {
+      dst[i] = static_cast<float>(net::decode_reading(readings[i]));
+    }
+  };
+}
+
+/// One in-process "replica process": a real socket server on its own thread.
+struct ReplicaProc {
+  std::unique_ptr<cluster::ReplicaServer> server;
+  std::thread thread;
+  std::string endpoint;
+
+  ReplicaProc(std::size_t monitors, std::chrono::microseconds service) {
+    cluster::ReplicaServerConfig cfg;
+    cfg.listen = cluster::Endpoint::parse("tcp:127.0.0.1:0");
+    cfg.monitors = monitors;
+    cfg.gateway.sharding = serve::ShardPolicy::kByStream;
+    cfg.gateway.deadline_ms = 1000.0;
+    std::vector<std::unique_ptr<serve::Backend>> backends;
+    backends.push_back(std::make_unique<SyntheticBackend>(service));
+    server = std::make_unique<cluster::ReplicaServer>(
+        std::move(cfg), std::move(backends), raw_decoder());
+    endpoint = server->bound().str();
+    thread = std::thread([s = server.get()] { s->run(); });
+  }
+  ~ReplicaProc() { stop(); }
+  void stop() {
+    if (server) server->request_stop();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+/// Router on its own thread, stopped (and drained) on destruction.
+struct RouterRun {
+  cluster::Router router;
+  std::thread thread;
+  explicit RouterRun(cluster::RouterConfig cfg)
+      : router(std::move(cfg)),
+        thread([this] { router.run(); }) {}
+  ~RouterRun() {
+    router.request_stop();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+cluster::RouterConfig router_config(const std::vector<std::string>& replicas) {
+  cluster::RouterConfig cfg;
+  cfg.listen = cluster::Endpoint::parse("tcp:127.0.0.1:0");
+  cfg.replicas = replicas;
+  cfg.assembler.monitors = kMonitors;
+  cfg.assembler.hubs = kHubs;
+  // Logical-property tests must not time out on a loaded 1-core CI host.
+  cfg.best_effort_deadline_ms = 5000.0;
+  return cfg;
+}
+
+/// Per-tick readings: a deterministic function of (stream, seq, monitor).
+std::vector<std::uint32_t> tick_counts(std::uint64_t stream,
+                                       std::uint32_t seq) {
+  std::vector<std::uint32_t> counts(kMonitors);
+  for (std::size_t m = 0; m < kMonitors; ++m) {
+    counts[m] = net::encode_reading(
+        100'000.0 + static_cast<double>(stream * 131 + seq * 7 + m));
+  }
+  return counts;
+}
+
+std::vector<float> expected_output(const std::vector<std::uint32_t>& counts) {
+  std::vector<float> out(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] =
+        2.0f * static_cast<float>(net::decode_reading(counts[i])) + 1.0f;
+  }
+  return out;
+}
+
+cluster::Submit make_tick(std::uint64_t stream, std::uint32_t seq,
+                          std::uint8_t slo = 1) {
+  const auto counts = tick_counts(stream, seq);
+  const auto layout = net::hub_layout(kMonitors, kHubs);
+  cluster::Submit s;
+  s.stream = stream;
+  s.req_id = (stream << 32) | seq;
+  s.slo = slo;
+  for (std::size_t h = 0; h < kHubs; ++h) {
+    net::BlmPacket p;
+    p.hub_id = static_cast<std::uint8_t>(h);
+    p.sequence = seq;
+    p.first_monitor = layout[h].first;
+    p.readings.assign(counts.begin() + layout[h].first,
+                      counts.begin() + layout[h].first + layout[h].second);
+    net::seal_packet(p);
+    s.packets.push_back(std::move(p));
+  }
+  return s;
+}
+
+/// Client-side exactly-once audit.
+struct Ledger {
+  std::map<std::uint64_t, int> replies;  ///< req_id -> terminal replies seen
+  std::size_t submitted = 0;
+  std::size_t results = 0;
+  std::size_t sheds = 0;
+  std::size_t mismatched = 0;
+  std::map<std::uint64_t, std::int64_t> last_seq;  ///< per-stream FIFO check
+  bool fifo_ok = true;
+
+  std::size_t terminal() const { return results + sheds; }
+  std::size_t duplicated() const {
+    std::size_t dup = 0;
+    for (const auto& [id, n] : replies) {
+      dup += n > 1 ? static_cast<std::size_t>(n - 1) : 0u;
+    }
+    return dup;
+  }
+};
+
+void submit_tick(cluster::ClusterClient& client, Ledger& led,
+                 std::uint64_t stream, std::uint32_t seq,
+                 std::uint8_t slo = 1) {
+  ASSERT_TRUE(client.submit(make_tick(stream, seq, slo)));
+  ++led.submitted;
+}
+
+void note_reply(Ledger& led, const cluster::Message& msg) {
+  if (msg.type == cluster::MsgType::kResult) {
+    const auto r = cluster::decode_result(msg.payload);
+    ++led.replies[r.id];
+    ++led.results;
+    const std::uint64_t stream = r.id >> 32;
+    const auto seq = static_cast<std::int64_t>(r.id & 0xffffffffu);
+    auto [it, fresh] = led.last_seq.try_emplace(stream, -1);
+    if (!fresh && seq <= it->second) led.fifo_ok = false;
+    it->second = seq;
+    const auto want =
+        expected_output(tick_counts(stream, static_cast<std::uint32_t>(seq)));
+    const std::vector<std::uint32_t> want_dims{
+        static_cast<std::uint32_t>(kMonitors), 1u};
+    if (r.data != want || r.dims != want_dims) ++led.mismatched;
+  } else if (msg.type == cluster::MsgType::kShed) {
+    ++led.replies[cluster::decode_shed(msg.payload).id];
+    ++led.sheds;
+  }
+}
+
+/// Poll until every submitted tick has a terminal reply (or `timeout_ms`).
+void drain_all(cluster::ClusterClient& client, Ledger& led,
+               double timeout_ms = 30000.0) {
+  const auto t0 = Clock::now();
+  while (led.terminal() < led.submitted && elapsed_ms(t0) < timeout_ms) {
+    if (auto msg = client.poll(100.0)) {
+      note_reply(led, *msg);
+    } else if (!client.connected()) {
+      break;
+    }
+  }
+}
+
+std::uint64_t scan_counter(const std::string& json, const std::string& key) {
+  const auto pos = json.find("\"" + key + "\":");
+  if (pos == std::string::npos) return 0;
+  std::size_t p = pos + key.size() + 3;
+  while (p < json.size() && json[p] == ' ') ++p;
+  std::uint64_t v = 0;
+  while (p < json.size() && json[p] >= '0' && json[p] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(json[p] - '0');
+    ++p;
+  }
+  return v;
+}
+
+// ---- ReplicaServer wire contract ----------------------------------------
+
+std::optional<cluster::Message> read_message(int fd,
+                                             cluster::MessageReader& reader,
+                                             double timeout_ms) {
+  const auto t0 = Clock::now();
+  for (;;) {
+    if (auto m = reader.next()) return m;
+    if (elapsed_ms(t0) > timeout_ms) return std::nullopt;
+    cluster::Poller poller;
+    poller.want(fd, true, false);
+    poller.wait(50);
+    std::uint8_t buf[4096];
+    const auto n = cluster::read_some(fd, buf, sizeof(buf));
+    if (n < 0) return std::nullopt;
+    if (n > 0) reader.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+TEST(ReplicaServerWire, AnswersJobsAndShedsBadFrames) {
+  ReplicaProc replica(kMonitors, 0us);
+  auto fd = cluster::connect_to(cluster::Endpoint::parse(replica.endpoint),
+                                2000.0);
+  std::vector<std::uint8_t> out;
+  cluster::append_hello(out, {cluster::Role::kClient,
+                              cluster::kProtocolVersion});
+
+  // A valid jumbo job: one whole-ring packet.
+  const auto counts = tick_counts(3, 9);
+  cluster::Job job;
+  job.gid = 501;
+  job.stream = 3;
+  job.slo = 1;
+  job.deadline_ms = 1000.0;
+  job.packet.hub_id = 0;
+  job.packet.sequence = 9;
+  job.packet.first_monitor = 0;
+  job.packet.readings = counts;
+  net::seal_packet(job.packet);
+  cluster::append_job(out, job);
+
+  // Wrong monitor count: framing-level refusal.
+  cluster::Job runt = job;
+  runt.gid = 502;
+  runt.packet.readings.resize(5);
+  net::seal_packet(runt.packet);
+  cluster::append_job(out, runt);
+
+  // Corrupt content: CRC refusal.
+  cluster::Job corrupt = job;
+  corrupt.gid = 503;
+  corrupt.packet.readings[2] ^= 1u;  // break the seal
+  cluster::append_job(out, corrupt);
+
+  ASSERT_TRUE(cluster::write_all(fd.get(), out.data(), out.size(), 2000.0));
+
+  // Sheds are written by the event loop, results by the completion thread —
+  // arrival order across the two is not guaranteed, so match by id.
+  std::map<std::uint64_t, cluster::Message> by_id;
+  cluster::MessageReader reader;
+  while (by_id.size() < 3) {
+    auto msg = read_message(fd.get(), reader, 10000.0);
+    ASSERT_TRUE(msg.has_value());
+    const std::uint64_t id = msg->type == cluster::MsgType::kResult
+                                 ? cluster::decode_result(msg->payload).id
+                                 : cluster::decode_shed(msg->payload).id;
+    by_id.emplace(id, std::move(*msg));
+  }
+  ASSERT_EQ(by_id.at(501).type, cluster::MsgType::kResult);
+  const auto r = cluster::decode_result(by_id.at(501).payload);
+  EXPECT_EQ(r.data, expected_output(counts));
+  ASSERT_EQ(by_id.at(502).type, cluster::MsgType::kShed);
+  EXPECT_EQ(cluster::decode_shed(by_id.at(502).payload).reason,
+            cluster::ShedReason::kBadFrame);
+  ASSERT_EQ(by_id.at(503).type, cluster::MsgType::kShed);
+  EXPECT_EQ(cluster::decode_shed(by_id.at(503).payload).reason,
+            cluster::ShedReason::kBadFrame);
+}
+
+// ---- Router end-to-end ---------------------------------------------------
+
+TEST(RouterCluster, ServesExactlyOnceBitIdenticalInStreamOrder) {
+  ReplicaProc a(kMonitors, 0us);
+  ReplicaProc b(kMonitors, 0us);
+  RouterRun run(router_config({a.endpoint, b.endpoint}));
+
+  cluster::ClusterClient client(run.router.bound().str());
+  Ledger led;
+  for (std::uint32_t seq = 0; seq < 8; ++seq) {
+    for (std::uint64_t stream = 0; stream < 6; ++stream) {
+      submit_tick(client, led, stream, seq);
+    }
+  }
+  drain_all(client, led);
+
+  EXPECT_EQ(led.terminal(), led.submitted);
+  EXPECT_EQ(led.results, 48u);  // nothing shed at these budgets
+  EXPECT_EQ(led.sheds, 0u);
+  EXPECT_EQ(led.duplicated(), 0u);
+  EXPECT_EQ(led.mismatched, 0u);
+  EXPECT_TRUE(led.fifo_ok);  // per-stream response order = submit order
+}
+
+TEST(RouterCluster, MalformedTickIsShedNotServed) {
+  ReplicaProc a(kMonitors, 0us);
+  RouterRun run(router_config({a.endpoint}));
+  cluster::ClusterClient client(run.router.bound().str());
+
+  auto tick = make_tick(1, 0);
+  tick.packets[2].readings[0] ^= 1u;  // breaks that packet's CRC
+  ASSERT_TRUE(client.submit(tick));
+  auto msg = client.poll(10000.0);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_EQ(msg->type, cluster::MsgType::kShed);
+  const auto shed = cluster::decode_shed(msg->payload);
+  EXPECT_EQ(shed.id, tick.req_id);
+  EXPECT_EQ(shed.reason, cluster::ShedReason::kBadFrame);
+}
+
+TEST(RouterCluster, LiveReshardingDrainsExactlyOnce) {
+  ReplicaProc a(kMonitors, 200us);
+  ReplicaProc b(kMonitors, 200us);
+  RouterRun run(router_config({a.endpoint, b.endpoint}));
+
+  // The ring is deterministic: confirm node 1 owns at least one of our
+  // streams once node 3 joined, so the removal below must move pins.
+  cluster::HashRing sim(64);
+  sim.add(1);
+  sim.add(2);
+  sim.add(3);
+  bool node1_owns = false;
+  for (std::uint64_t s = 0; s < 12; ++s) node1_owns |= sim.owner(s) == 1;
+  ASSERT_TRUE(node1_owns);
+
+  cluster::ClusterClient client(run.router.bound().str());
+  Ledger led;
+  for (std::uint32_t seq = 0; seq < 4; ++seq) {
+    for (std::uint64_t stream = 0; stream < 12; ++stream) {
+      submit_tick(client, led, stream, seq);
+    }
+  }
+
+  // Grow the fleet, then drain node 1 out while traffic keeps flowing.
+  ReplicaProc c(kMonitors, 200us);
+  EXPECT_NE(run.router.add_replica(c.endpoint), 0u);
+  std::atomic<bool> removed{false};
+  std::thread remover([&] {
+    removed.store(run.router.remove_replica(1));
+  });
+  for (std::uint32_t seq = 4; seq < 8; ++seq) {
+    for (std::uint64_t stream = 0; stream < 12; ++stream) {
+      submit_tick(client, led, stream, seq);
+    }
+    while (auto msg = client.poll(0.0)) note_reply(led, *msg);
+  }
+  remover.join();
+  EXPECT_TRUE(removed.load());
+  EXPECT_FALSE(run.router.remove_replica(99));  // unknown node
+
+  drain_all(client, led);
+  EXPECT_EQ(led.terminal(), led.submitted);
+  EXPECT_EQ(led.results, led.submitted);
+  EXPECT_EQ(led.duplicated(), 0u);
+  EXPECT_EQ(led.mismatched, 0u);
+
+  const auto stats = run.router.stats_json();
+  EXPECT_GE(scan_counter(stats, "resharded_streams"), 1u);
+}
+
+/// A replica-shaped black hole: accepts the router's connection, swallows
+/// jobs without ever answering, then slams the connection shut — the crash
+/// the router must detect and redispatch around.
+class SilentReplica {
+ public:
+  SilentReplica()
+      : listener_(cluster::listen_on(
+            cluster::Endpoint::parse("tcp:127.0.0.1:0"))),
+        wake_(cluster::make_wake_pipe()),
+        thread_([this] { swallow(); }) {}
+
+  ~SilentReplica() { crash(); }
+
+  std::string endpoint() const { return listener_.bound.str(); }
+
+  void crash() {
+    if (!thread_.joinable()) return;
+    stop_.store(true);
+    wake_.wake();
+    thread_.join();
+  }
+
+ private:
+  void swallow() {
+    cluster::Fd conn;
+    std::uint8_t buf[4096];
+    while (!stop_.load()) {
+      cluster::Poller poller;
+      poller.want(listener_.fd.get(), true, false);
+      poller.want(wake_.r.get(), true, false);
+      if (conn.valid()) poller.want(conn.get(), true, false);
+      poller.wait(100);
+      wake_.drain();
+      if (poller.readable(listener_.fd.get())) {
+        auto c = cluster::accept_conn(listener_.fd.get());
+        if (c.valid()) conn = std::move(c);
+      }
+      if (conn.valid() && poller.readable(conn.get())) {
+        while (cluster::read_some(conn.get(), buf, sizeof(buf)) > 0) {
+        }
+      }
+    }
+    conn.reset();  // abrupt EOF at the router
+    listener_.fd.reset();
+  }
+
+  cluster::Listener listener_;
+  cluster::WakePipe wake_;
+  std::atomic<bool> stop_{false};
+  // Last: the thread reads stop_, so everything it touches must be
+  // initialized before it starts.
+  std::thread thread_;
+};
+
+TEST(RouterCluster, ReplicaCrashRedispatchesOutstandingJobs) {
+  ReplicaProc real(kMonitors, 0us);
+  SilentReplica sink;
+
+  // Node ids follow config order: real = 1, sink = 2. Pick streams the
+  // deterministic ring pins to the sink, so its crash is load-bearing.
+  cluster::HashRing sim(64);
+  sim.add(1);
+  sim.add(2);
+  std::vector<std::uint64_t> streams;
+  for (std::uint64_t s = 0; s < 32 && streams.size() < 6; ++s) {
+    if (sim.owner(s) == 2) streams.push_back(s);
+  }
+  ASSERT_FALSE(streams.empty());
+
+  auto cfg = router_config({real.endpoint, sink.endpoint()});
+  cfg.reconnect_attempts = 1;  // quarantine gives up fast
+  cfg.reconnect_backoff_initial_ms = 10.0;
+  cfg.reconnect_backoff_max_ms = 20.0;
+  RouterRun run(std::move(cfg));
+
+  cluster::ClusterClient client(run.router.bound().str());
+  Ledger led;
+  for (std::uint32_t seq = 0; seq < 3; ++seq) {
+    for (const auto stream : streams) submit_tick(client, led, stream, seq);
+  }
+  // Give the router time to dispatch into the sink, then crash it with the
+  // jobs still unanswered.
+  std::this_thread::sleep_for(100ms);
+  sink.crash();
+
+  for (std::uint32_t seq = 3; seq < 5; ++seq) {
+    for (const auto stream : streams) submit_tick(client, led, stream, seq);
+  }
+  drain_all(client, led);
+
+  EXPECT_EQ(led.terminal(), led.submitted);
+  EXPECT_EQ(led.results, led.submitted);  // re-executed, not lost
+  EXPECT_EQ(led.duplicated(), 0u);
+  EXPECT_EQ(led.mismatched, 0u);  // re-execution is bit-identical
+  EXPECT_TRUE(led.fifo_ok);
+
+  const auto stats = run.router.stats_json();
+  EXPECT_GE(scan_counter(stats, "replica_crashes"), 1u);
+  EXPECT_GE(scan_counter(stats, "redispatched_jobs"), 1u);
+}
+
+TEST(RouterCluster, GracefulShutdownLosesNoAcceptedFrame) {
+  ReplicaProc a(kMonitors, 300us);
+  RouterRun run(router_config({a.endpoint}));
+  cluster::ClusterClient client(run.router.bound().str());
+
+  Ledger led;
+  for (std::uint32_t seq = 0; seq < 24; ++seq) {
+    submit_tick(client, led, /*stream=*/5, seq);
+  }
+  // Wait for the first answer (the router has certainly accepted work),
+  // then pull the plug with the rest still in flight.
+  auto first = client.poll(10000.0);
+  ASSERT_TRUE(first.has_value());
+  note_reply(led, *first);
+  run.router.request_stop();
+
+  drain_all(client, led);
+  // Close-then-drain: every accepted frame is answered (kResult) and every
+  // frame read after the stop decision is terminally shed (kShutdown) —
+  // nothing just vanishes.
+  EXPECT_EQ(led.terminal(), led.submitted);
+  EXPECT_GE(led.results, 1u);
+  EXPECT_EQ(led.duplicated(), 0u);
+  EXPECT_EQ(led.mismatched, 0u);
+  EXPECT_TRUE(led.fifo_ok);
+}
+
+// ---- RouterAdmin: thread-safe API under concurrent traffic (TSan) -------
+
+TEST(RouterAdmin, StatsAndMembershipConcurrentWithTraffic) {
+  ReplicaProc a(kMonitors, 0us);
+  ReplicaProc b(kMonitors, 0us);
+  ReplicaProc extra(kMonitors, 0us);
+  RouterRun run(router_config({a.endpoint, b.endpoint}));
+
+  std::atomic<bool> done{false};
+  Ledger led;
+  std::thread traffic([&] {
+    cluster::ClusterClient client(run.router.bound().str());
+    for (std::uint32_t seq = 0; seq < 40; ++seq) {
+      for (std::uint64_t stream = 0; stream < 4; ++stream) {
+        submit_tick(client, led, stream, seq);
+      }
+      while (auto msg = client.poll(0.0)) note_reply(led, *msg);
+    }
+    drain_all(client, led);
+    done.store(true);
+  });
+  std::thread stats([&] {
+    while (!done.load()) {
+      EXPECT_NE(run.router.stats_json().find("cluster_counters"),
+                std::string::npos);
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  std::thread membership([&] {
+    for (int i = 0; i < 3 && !done.load(); ++i) {
+      const auto node = run.router.add_replica(extra.endpoint);
+      EXPECT_NE(node, 0u);
+      EXPECT_TRUE(run.router.remove_replica(node));
+    }
+  });
+  traffic.join();
+  membership.join();
+  stats.join();
+
+  EXPECT_EQ(led.terminal(), led.submitted);
+  EXPECT_EQ(led.duplicated(), 0u);
+  EXPECT_EQ(led.mismatched, 0u);
+}
+
+}  // namespace

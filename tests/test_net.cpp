@@ -11,6 +11,7 @@
 #include "net/facility.hpp"
 #include "net/hub.hpp"
 #include "net/packet.hpp"
+#include "net/wire.hpp"
 
 namespace {
 
@@ -338,6 +339,157 @@ TEST(FacilityLink, LossyLinkStillDeliversFrames) {
   }
   EXPECT_GT(incomplete, 0u);  // losses happened...
   EXPECT_EQ(link.assembler().frames_assembled(), 20u);  // ...frames kept coming
+}
+
+// ---- PacketDecoder: adversarial read() chunking --------------------------
+// A TCP/UDS read() returns whatever the kernel has: a packet may arrive one
+// byte at a time, split inside any header field, or coalesced with its
+// neighbors. Framing must reassemble the identical packet in every case.
+
+std::vector<std::uint8_t> wire_stream(
+    const std::vector<net::BlmPacket>& packets) {
+  std::vector<std::uint8_t> bytes;
+  for (const auto& p : packets) net::append_packet(bytes, p);
+  return bytes;
+}
+
+std::vector<net::BlmPacket> sealed_ring(std::uint32_t seq, std::size_t monitors,
+                                        std::size_t hubs) {
+  std::vector<net::BlmPacket> packets;
+  const auto layout = net::hub_layout(monitors, hubs);
+  for (std::size_t h = 0; h < hubs; ++h) {
+    net::BlmPacket p;
+    p.hub_id = static_cast<std::uint8_t>(h);
+    p.sequence = seq;
+    p.first_monitor = layout[h].first;
+    for (std::uint16_t i = 0; i < layout[h].second; ++i) {
+      p.readings.push_back(net::encode_reading(
+          100'000.0 + static_cast<double>(layout[h].first + i)));
+    }
+    net::seal_packet(p);
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+void expect_same_packet(const net::BlmPacket& got, const net::BlmPacket& want) {
+  EXPECT_EQ(got.hub_id, want.hub_id);
+  EXPECT_EQ(got.sequence, want.sequence);
+  EXPECT_EQ(got.first_monitor, want.first_monitor);
+  EXPECT_EQ(got.crc, want.crc);
+  EXPECT_EQ(got.readings, want.readings);
+  EXPECT_TRUE(net::packet_crc_ok(got));
+}
+
+TEST(PacketDecoder, OneByteReadsDecodeIdentically) {
+  const auto packets = sealed_ring(3, 21, 7);
+  const auto bytes = wire_stream(packets);
+  net::PacketDecoder dec;
+  std::size_t got = 0;
+  for (const auto b : bytes) {
+    ASSERT_TRUE(dec.feed(&b, 1));
+    while (auto p = dec.next()) {
+      expect_same_packet(*p, packets[got]);
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, packets.size());
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+  EXPECT_FALSE(dec.broken());
+}
+
+TEST(PacketDecoder, SplitInsideCrcFieldReassembles) {
+  const auto packets = sealed_ring(4, 21, 3);
+  const auto bytes = wire_stream(packets);
+  // The CRC occupies wire bytes [7, 11) of each packet; cut the stream in
+  // the middle of the first packet's CRC and again inside its length field.
+  for (const std::size_t cut : {9u, 12u}) {
+    net::PacketDecoder dec;
+    ASSERT_TRUE(dec.feed(bytes.data(), cut));
+    EXPECT_EQ(dec.ready(), 0u);  // nothing complete yet
+    EXPECT_GT(dec.pending_bytes(), 0u);
+    ASSERT_TRUE(dec.feed(bytes.data() + cut, bytes.size() - cut));
+    for (const auto& want : packets) {
+      auto p = dec.next();
+      ASSERT_TRUE(p.has_value());
+      expect_same_packet(*p, want);
+    }
+    EXPECT_FALSE(dec.next().has_value());
+  }
+}
+
+TEST(PacketDecoder, CoalescedPacketsPlusPartialTailDecodeInOrder) {
+  const auto packets = sealed_ring(5, 40, 4);
+  auto bytes = wire_stream(packets);
+  // One read() delivering three whole packets plus half of the fourth.
+  const std::size_t tail = net::packet_wire_size(packets[3]) / 2;
+  const std::size_t head = bytes.size() - tail;
+  net::PacketDecoder dec;
+  ASSERT_TRUE(dec.feed(bytes.data(), head));
+  EXPECT_EQ(dec.ready(), 3u);
+  ASSERT_TRUE(dec.feed(bytes.data() + head, tail));
+  for (const auto& want : packets) {
+    auto p = dec.next();
+    ASSERT_TRUE(p.has_value());
+    expect_same_packet(*p, want);
+  }
+  EXPECT_EQ(dec.packets_decoded(), 4u);
+}
+
+TEST(PacketDecoder, ImplausibleLengthFieldBreaksTheStreamPermanently) {
+  net::BlmPacket p = sealed_ring(6, 21, 3)[0];
+  std::vector<std::uint8_t> bytes;
+  net::append_packet(bytes, p);
+  // Corrupt the reading-count field (wire bytes [11, 15)) to an absurd
+  // value: framing has no boundaries left to trust after that.
+  bytes[11] = 0xff;
+  bytes[12] = 0xff;
+  bytes[13] = 0xff;
+  bytes[14] = 0x7f;
+  net::PacketDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes.data(), bytes.size()));
+  EXPECT_TRUE(dec.broken());
+  EXPECT_FALSE(dec.next().has_value());
+  // Even pristine further input is refused — the caller must drop the
+  // connection, not resynchronize.
+  net::BlmPacket fresh = sealed_ring(7, 21, 3)[0];
+  std::vector<std::uint8_t> more;
+  net::append_packet(more, fresh);
+  EXPECT_FALSE(dec.feed(more.data(), more.size()));
+  EXPECT_EQ(dec.ready(), 0u);
+}
+
+TEST(PacketDecoder, ChunkedStreamFeedsAssemblerToIdenticalFrame) {
+  // End-to-end: the same tick's packets, once assembled from pristine
+  // deliveries and once rebuilt from a 1-byte-at-a-time wire stream, must
+  // produce bit-identical frames.
+  const std::size_t monitors = 21;
+  const std::size_t hubs = 7;
+  const auto packets = sealed_ring(1, monitors, hubs);
+
+  const net::AssemblerParams params{.monitors = monitors, .hubs = hubs};
+  net::FrameAssembler direct(params);
+  std::vector<net::Delivery> ds;
+  for (const auto& p : packets) {
+    ds.push_back(net::Delivery{p, 25.0, false});
+  }
+  const auto want = direct.assemble(1, ds);
+  ASSERT_TRUE(want.complete());
+
+  const auto bytes = wire_stream(packets);
+  net::PacketDecoder dec;
+  std::vector<net::Delivery> rebuilt;
+  for (const auto b : bytes) {
+    ASSERT_TRUE(dec.feed(&b, 1));
+    while (auto p = dec.next()) {
+      rebuilt.push_back(net::Delivery{std::move(*p), 25.0, false});
+    }
+  }
+  ASSERT_EQ(rebuilt.size(), hubs);
+  net::FrameAssembler chunked(params);
+  const auto got = chunked.assemble(1, rebuilt);
+  ASSERT_TRUE(got.complete());
+  EXPECT_EQ(got.raw, want.raw);
 }
 
 }  // namespace

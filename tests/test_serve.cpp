@@ -629,6 +629,95 @@ TEST(ServeMetrics, SnapshotAndJsonCarryAllStages) {
   EXPECT_EQ(hist.total(), 2u);
 }
 
+TEST(ServeMetrics, JsonRoundTripsExactlyIncludingHistogramTails) {
+  serve::Metrics metrics(2, 3.0);
+  for (int i = 0; i < 5; ++i) metrics.record_arrival();
+  for (int i = 0; i < 4; ++i) metrics.record_admitted();
+  metrics.record_shed_predicted_late();
+  metrics.record_backend_fault(0);
+  metrics.record_quarantine(0);
+  metrics.record_restart(0);
+  metrics.record_redispatched();
+  // One latency beyond the histogram range (overflow tally) and one below
+  // zero (underflow tally): the wire snapshot must carry both, or a merged
+  // cluster report would silently shrink its totals.
+  const double queue_ms[] = {0.25, -1.0};
+  const double e2e_ms[] = {1e9, 2.25};
+  metrics.record_batch(1, 3.5, queue_ms, e2e_ms, 1);
+
+  auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.e2e_ms.overflow(), 1u);
+  EXPECT_EQ(snap.queue_ms.underflow(), 1u);
+
+  const auto json = snap.to_json(2.0, /*include_samples=*/true);
+  auto back = serve::MetricsSnapshot::from_json(json);
+  EXPECT_EQ(back.arrived, snap.arrived);
+  EXPECT_EQ(back.admitted, snap.admitted);
+  EXPECT_EQ(back.shed_predicted_late, snap.shed_predicted_late);
+  EXPECT_EQ(back.completed, snap.completed);
+  EXPECT_EQ(back.deadline_misses, snap.deadline_misses);
+  EXPECT_EQ(back.backend_faults, snap.backend_faults);
+  EXPECT_EQ(back.quarantines, snap.quarantines);
+  EXPECT_EQ(back.restarts, snap.restarts);
+  EXPECT_EQ(back.redispatched, snap.redispatched);
+  ASSERT_EQ(back.replicas.size(), snap.replicas.size());
+  EXPECT_EQ(back.replicas[1].frames, snap.replicas[1].frames);
+  EXPECT_NEAR(back.replicas[1].busy_ms, snap.replicas[1].busy_ms, 1e-12);
+  EXPECT_EQ(back.e2e_ms.total(), snap.e2e_ms.total());
+  EXPECT_EQ(back.e2e_ms.overflow(), 1u);
+  EXPECT_EQ(back.queue_ms.underflow(), 1u);
+  // Strongest form: the re-parsed snapshot re-exports byte-identically.
+  EXPECT_EQ(back.to_json(2.0, true), json);
+}
+
+TEST(ServeMetrics, MergeAggregatesPerProcessSnapshotsExactly) {
+  // Two "processes", one replica each, same deadline (same histogram
+  // layout) — exactly the shape the cluster stats path merges.
+  serve::Metrics a(1, 3.0);
+  serve::Metrics b(1, 3.0);
+  a.record_arrival();
+  a.record_arrival();
+  a.record_admitted();
+  const double qa[] = {0.5};
+  const double ea[] = {1.0};
+  a.record_batch(0, 1.0, qa, ea, 0);
+  b.record_arrival();
+  b.record_admitted();
+  b.record_shed_queue_full();
+  const double qb[] = {0.75, 0.25};
+  const double eb[] = {3.0, 5.0};
+  b.record_batch(0, 2.0, qb, eb, 2);
+
+  // Through the wire: to_json with samples, from_json, then merge — the
+  // exact route router stats take for N replica processes.
+  auto merged = serve::MetricsSnapshot::from_json(
+      a.snapshot().to_json(1.0, true));
+  merged.merge(serve::MetricsSnapshot::from_json(
+      b.snapshot().to_json(1.0, true)));
+
+  EXPECT_EQ(merged.arrived, 3u);
+  EXPECT_EQ(merged.admitted, 2u);
+  EXPECT_EQ(merged.sheds(), 1u);
+  EXPECT_EQ(merged.completed, 3u);
+  EXPECT_EQ(merged.deadline_misses, 2u);
+  // Replica rows concatenate: each process owns distinct hardware.
+  ASSERT_EQ(merged.replicas.size(), 2u);
+  EXPECT_EQ(merged.replicas[0].frames, 1u);
+  EXPECT_EQ(merged.replicas[1].frames, 2u);
+  EXPECT_EQ(merged.e2e_ms.total(), 3u);
+  // Percentiles over the union of retained samples are exact: the median
+  // of {1, 3, 5} is 3, which neither process saw as its own median.
+  EXPECT_NEAR(merged.e2e_samples.median(), 3.0, 1e-12);
+
+  // Merging into a default-constructed snapshot adopts the layout (the
+  // cluster report starts from an empty accumulator).
+  serve::MetricsSnapshot acc;
+  acc.merge(merged);
+  EXPECT_EQ(acc.arrived, 3u);
+  EXPECT_EQ(acc.e2e_ms.total(), 3u);
+  EXPECT_EQ(acc.replicas.size(), 2u);
+}
+
 // ------------------------------------------------- DeblendServing (heavy)
 
 TEST(DeblendServing, GatewayDecisionsMatchDirectQuantizedPath) {
@@ -951,7 +1040,7 @@ TEST(GatewayTest, SubmitIntoDeliversIntoSlotAndRecyclesBuffers) {
   serve::ResponseSlot slot;
   Tensor frame;
   std::uint64_t last_id = 0;
-  for (int lap = 0; lap < 12; ++lap) {
+  for (unsigned lap = 0; lap < 12; ++lap) {
     if (lap == 0) {
       frame = test_frame(8, 1000);
     } else {
@@ -992,7 +1081,7 @@ TEST(GatewayTest, SubmitIntoAndSubmitCoexist) {
   cfg.deadline_ms = 0.0;
   serve::Gateway gw(synthetic_backends(1), cfg);
 
-  for (int lap = 0; lap < 6; ++lap) {
+  for (unsigned lap = 0; lap < 6; ++lap) {
     auto ticket = gw.submit(test_frame(8, 30u + lap), 1);
     ASSERT_TRUE(ticket.admitted);
     serve::ResponseSlot slot;

@@ -40,6 +40,15 @@ echo "== serving gates (exactness / overload / zero-allocation frames) =="
 # allocations (counted by util::allocguard's global operator new).
 (cd build && ./bench/bench_serve --replicas=1 --out=BENCH_serve.json)
 
+echo "== cluster gates (multi-process exactness / live resharding) =="
+# Router + replica child processes over both TCP and Unix-domain sockets;
+# exits non-zero on a lost/duplicated/bit-divergent accepted frame or a
+# reshard that fails to drain exactly-once. The >= 3x goodput scaling gate
+# self-skips (recorded in the artifact) on hosts with < 4 hardware threads
+# or < 4 replica processes, so the phase degrades gracefully on small CI
+# runners instead of failing.
+(cd build && ./bench/bench_cluster --quick --out=BENCH_cluster.json)
+
 echo "== sanitizer build (address,undefined) =="
 cmake -B build-asan -S . -DREADS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)"
@@ -48,12 +57,13 @@ cmake --build build-asan -j"$(nproc)"
 echo "== thread sanitizer build (serve / concurrency tests) =="
 cmake -B build-tsan -S . -DREADS_TSAN=ON >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
-  --target test_serve test_util test_fault test_lifecycle
+  --target test_serve test_util test_fault test_lifecycle test_cluster
 # Model-cache-backed integration tests (DeblendServing, FaultPipeline) are
 # covered by the plain and ASan runs; under TSan we run the
-# pure-concurrency suites, including the scheduled-crash recovery path and
-# the lifecycle registry/requalifier publication races.
+# pure-concurrency suites, including the scheduled-crash recovery path,
+# the lifecycle registry/requalifier publication races, and the router's
+# connection table (admin add/remove + stats concurrent with traffic).
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-  -R 'BoundedQueue|Replica|GatewayTest|ServeMetrics|ThreadPool|Stats|Histogram|Percentiles|FaultPlan|FaultInjector|ChaosServe|ModelRegistry|Requalifier|DriftMonitor')
+  -R 'BoundedQueue|Replica|GatewayTest|ServeMetrics|ThreadPool|Stats|Histogram|Percentiles|FaultPlan|FaultInjector|ChaosServe|ModelRegistry|Requalifier|DriftMonitor|RouterCluster|RouterAdmin|ClusterProtocol|HashRing')
 
 echo "== all checks passed =="
