@@ -32,15 +32,20 @@ namespace reads::bench {
 /// `--fault_scenario`/`--fault_seed` let any bench replay a specific chaos
 /// schedule (fault/plan.hpp) deterministically; the default is no faults,
 /// and `--fault_seed=0` reuses `--seed` so one number reproduces the whole
-/// run, faults included. The cluster trio (`--listen`, `--replica_procs`,
-/// `--transport`) configures the multi-process benches; single-process
-/// benches parse and ignore them so flag spellings stay uniform.
+/// run, faults included. `--net_fault_scenario`/`--net_fault_seed` are the
+/// socket-level counterpart (fault/net_plan.hpp): any process in a
+/// multi-process bench can be told to torment its own wire. The cluster
+/// trio (`--listen`, `--replica_procs`, `--transport`) configures the
+/// multi-process benches; single-process benches parse and ignore them so
+/// flag spellings stay uniform.
 struct StandardFlags {
   std::size_t threads = 0;
   double duration_s = 2.0;
   std::uint64_t seed = 7;
   std::string fault_scenario;  ///< empty = fault-free
   std::uint64_t fault_seed = 0;
+  std::string net_fault_scenario;  ///< empty = clean sockets
+  std::uint64_t net_fault_seed = 0;
   /// Seeds a blm::DriftSchedule where a bench drives a drifting machine;
   /// 0 reuses --seed so one number reproduces the run, drift included.
   std::uint64_t drift_seed = 0;
@@ -62,6 +67,10 @@ struct StandardFlags {
     f.fault_scenario = cli.get_string("fault_scenario", "");
     f.fault_seed = static_cast<std::uint64_t>(cli.get_int("fault_seed", 0));
     if (f.fault_seed == 0) f.fault_seed = f.seed;
+    f.net_fault_scenario = cli.get_string("net_fault_scenario", "");
+    f.net_fault_seed =
+        static_cast<std::uint64_t>(cli.get_int("net_fault_seed", 0));
+    if (f.net_fault_seed == 0) f.net_fault_seed = f.seed;
     f.drift_seed = static_cast<std::uint64_t>(cli.get_int("drift_seed", 0));
     if (f.drift_seed == 0) f.drift_seed = f.seed;
     f.shadow_fraction = cli.get_double("shadow_fraction", 0.25);
@@ -91,6 +100,8 @@ struct StandardFlags {
         "  --seed=N             master seed (load, frames, schedules)\n"
         "  --fault_scenario=S   chaos schedule name (empty = fault-free)\n"
         "  --fault_seed=N       chaos seed (0 = reuse --seed)\n"
+        "  --net_fault_scenario=S  socket chaos schedule (empty = clean)\n"
+        "  --net_fault_seed=N   socket chaos seed (0 = reuse --seed)\n"
         "  --drift_seed=N       drift schedule seed (0 = reuse --seed)\n"
         "  --shadow_fraction=F  shadow-rollout mirror fraction (0, 1]\n"
         "cluster flags (multi-process benches):\n"

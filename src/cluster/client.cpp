@@ -38,6 +38,15 @@ bool ClusterClient::submit(const Submit& s) {
 }
 
 std::optional<Message> ClusterClient::poll(double timeout_ms) {
+  if (!pending_.empty()) {
+    Message msg = std::move(pending_.front());
+    pending_.pop_front();
+    return msg;
+  }
+  return next_from_wire(timeout_ms);
+}
+
+std::optional<Message> ClusterClient::next_from_wire(double timeout_ms) {
   const double deadline = steady_ms() + timeout_ms;
   Poller poller;
   std::uint8_t buf[64 * 1024];
@@ -63,14 +72,23 @@ std::optional<Message> ClusterClient::poll(double timeout_ms) {
 
 std::optional<Message> ClusterClient::wait_for(MsgType type,
                                                double timeout_ms) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->type == type) {
+      Message msg = std::move(*it);
+      pending_.erase(it);
+      return msg;
+    }
+  }
   const double deadline = steady_ms() + timeout_ms;
   for (;;) {
     const double remaining = deadline - steady_ms();
     if (remaining <= 0.0) return std::nullopt;
-    auto msg = poll(remaining);
+    auto msg = next_from_wire(remaining);
     if (!msg) return std::nullopt;
     if (msg->type == type) return msg;
-    // Dedicated admin connection: anything else is stale and droppable.
+    // A result racing an admin reply on a shared connection: set it aside
+    // for the next poll() instead of losing it.
+    pending_.push_back(std::move(*msg));
   }
 }
 

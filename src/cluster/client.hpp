@@ -5,11 +5,13 @@
 // layer: submit() writes a kSubmit envelope, poll() reassembles whatever
 // the router answers, and the admin helpers (add/remove replica, stats,
 // shutdown) each send a request and wait for the matching reply type.
-// Admin helpers assume a dedicated connection — they discard interleaved
-// non-matching messages, which would lose results on a traffic connection.
+// Interleaved non-matching messages (results racing an admin reply on a
+// shared connection) are buffered in arrival order and handed back by the
+// next poll() — waiting for one reply type never loses another.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,6 +33,13 @@ class ClusterClient {
   ClusterClient& operator=(const ClusterClient&) = delete;
 
   bool connected() const noexcept { return fd_.valid(); }
+
+  /// True once the connection can never produce another message: the
+  /// socket died or the envelope stream latched broken. (poll() returning
+  /// nullopt alone is ambiguous — it also means a timeout.)
+  bool dead() const noexcept {
+    return (!fd_.valid() || reader_.broken()) && pending_.empty();
+  }
 
   /// Send one tick. False when the connection died mid-write.
   bool submit(const Submit& s);
@@ -58,10 +67,16 @@ class ClusterClient {
 
  private:
   bool send(const std::vector<std::uint8_t>& bytes);
+  /// Read the wire directly, bypassing `pending_` (wait_for's loop would
+  /// otherwise re-examine what it just set aside, forever).
+  std::optional<Message> next_from_wire(double timeout_ms);
   std::optional<Message> wait_for(MsgType type, double timeout_ms);
 
   Fd fd_;
   MessageReader reader_;
+  /// Messages that arrived while wait_for() wanted a different type, in
+  /// arrival order; poll() serves these before touching the socket.
+  std::deque<Message> pending_;
 };
 
 }  // namespace reads::cluster

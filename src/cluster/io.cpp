@@ -8,14 +8,29 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstddef>
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+#include <vector>
 
 namespace reads::cluster {
+
+namespace {
+
+std::atomic<IoTap*> g_io_tap{nullptr};
+
+}  // namespace
+
+void set_io_tap(IoTap* tap) noexcept {
+  g_io_tap.store(tap, std::memory_order_release);
+}
+
+IoTap* io_tap() noexcept { return g_io_tap.load(std::memory_order_acquire); }
 
 namespace {
 
@@ -90,6 +105,7 @@ bool poll_one(int fd, short events, double deadline_ms) {
 
 void Fd::reset() noexcept {
   if (fd_ >= 0) {
+    if (IoTap* tap = io_tap()) tap->on_close(fd_);
     // POSIX leaves the fd state unspecified on EINTR from close(); Linux
     // always releases it, so retrying would race a concurrent open. Close
     // once and move on.
@@ -171,6 +187,10 @@ Listener listen_on(const Endpoint& ep) {
 }
 
 Fd connect_to(const Endpoint& ep, double timeout_ms) {
+  if (IoTap* tap = io_tap(); tap != nullptr && tap->refuse_connect(ep)) {
+    errno = ECONNREFUSED;
+    throw_errno("connect " + ep.str());
+  }
   Fd fd = make_socket(ep.transport);
   sockaddr_storage ss;
   const socklen_t len = fill_sockaddr(ep, ss);
@@ -195,6 +215,7 @@ Fd connect_to(const Endpoint& ep, double timeout_ms) {
       throw_errno("connect " + ep.str());
     }
   }
+  if (IoTap* tap = io_tap()) tap->on_open(fd.get(), true);
   return fd;
 }
 
@@ -204,6 +225,7 @@ Fd accept_conn(int listen_fd) {
         ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd >= 0) {
       set_nodelay(fd);  // no-op (ENOTSUP) on UDS
+      if (IoTap* tap = io_tap()) tap->on_open(fd, false);
       return Fd(fd);
     }
     if (errno == EINTR) continue;
@@ -219,9 +241,16 @@ void set_nonblocking(int fd) {
 }
 
 std::ptrdiff_t read_some(int fd, std::uint8_t* buf, std::size_t len) {
+  IoTap* const tap = io_tap();
+  if (tap != nullptr && !tap->gate_read(fd)) return 0;
   for (;;) {
     const ssize_t n = ::read(fd, buf, len);
-    if (n > 0) return n;
+    if (n > 0) {
+      if (tap != nullptr) {
+        tap->mangle_read(fd, buf, static_cast<std::size_t>(n));
+      }
+      return n;
+    }
     if (n == 0) return -1;  // orderly EOF
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
@@ -229,7 +258,9 @@ std::ptrdiff_t read_some(int fd, std::uint8_t* buf, std::size_t len) {
   }
 }
 
-std::ptrdiff_t write_some(int fd, const std::uint8_t* buf, std::size_t len) {
+namespace {
+
+std::ptrdiff_t send_some(int fd, const std::uint8_t* buf, std::size_t len) {
   for (;;) {
     // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process.
     const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
@@ -238,6 +269,29 @@ std::ptrdiff_t write_some(int fd, const std::uint8_t* buf, std::size_t len) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
     return -1;
   }
+}
+
+}  // namespace
+
+std::ptrdiff_t write_some(int fd, const std::uint8_t* buf, std::size_t len) {
+  IoTap* const tap = io_tap();
+  if (tap == nullptr || len == 0) return send_some(fd, buf, len);
+  const std::ptrdiff_t allow = tap->gate_write(fd, len);
+  if (allow == IoTap::kTear) {
+    // Tear both directions so the peer observes the reset too — a chaos
+    // "connection reset" must look like the real thing from both ends.
+    ::shutdown(fd, SHUT_RDWR);
+    return -1;
+  }
+  if (allow == 0) return 0;  // simulated EAGAIN
+  const std::size_t clamped =
+      std::min(len, static_cast<std::size_t>(allow));
+  // Mangle a private copy: the caller's buffer is immutable, and on a
+  // partial send the unsent suffix is re-offered (and re-mangled) later.
+  thread_local std::vector<std::uint8_t> scratch;
+  scratch.assign(buf, buf + clamped);
+  tap->mangle_write(fd, scratch.data(), clamped);
+  return send_some(fd, scratch.data(), clamped);
 }
 
 bool write_all(int fd, const std::uint8_t* data, std::size_t len,

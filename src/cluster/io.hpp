@@ -12,6 +12,14 @@
 // Endpoints are spelled "tcp:host:port" or "uds:/path.sock"; binding
 // tcp port 0 reports the kernel-assigned port back so test harnesses can
 // spawn listeners without port coordination.
+//
+// The layer also exposes one deliberate seam for the chaos harness: an
+// installable IoTap (set_io_tap) consulted by connect_to / accept_conn /
+// read_some / write_some. A tap can refuse connects, clamp or stall
+// writes, simulate EAGAIN storms, tear a connection mid-envelope, and
+// corrupt bytes in transit — all without the protocol or router layers
+// knowing chaos exists. Production runs leave the tap null; the check is
+// a single relaxed atomic load per call.
 #pragma once
 
 #include <poll.h>
@@ -54,6 +62,47 @@ class Fd {
 };
 
 enum class Transport : std::uint8_t { kTcp, kUds };
+
+struct Endpoint;
+
+/// Chaos seam: an installed tap sees every socket the io layer creates
+/// (connect_to / accept_conn register, Fd::reset unregisters) and may
+/// perturb each read/write. Implementations must be thread-safe — client
+/// threads and event loops call concurrently. Wake pipes and listeners
+/// never register, so only real peer connections are ever perturbed.
+class IoTap {
+ public:
+  /// gate_write verdict: tear the connection now (shutdown(2) + "gone").
+  static constexpr std::ptrdiff_t kTear = -1;
+
+  virtual ~IoTap() = default;
+
+  /// A peer socket came into being (outbound = we connected, else accepted).
+  virtual void on_open(int fd, bool outbound) = 0;
+  /// The fd is being closed (also fires for untracked fds; ignore those).
+  virtual void on_close(int fd) = 0;
+
+  /// True to refuse this connect attempt (caller throws ECONNREFUSED).
+  virtual bool refuse_connect(const Endpoint& ep) = 0;
+
+  /// Called before a write of `len` bytes: return the number of bytes the
+  /// wire will accept this attempt (0 simulates EAGAIN; may exceed actual
+  /// socket capacity — the real send still governs), or kTear.
+  virtual std::ptrdiff_t gate_write(int fd, std::size_t len) = 0;
+  /// May corrupt the outgoing bytes; `data` is a private copy of what is
+  /// about to hit the wire, never the caller's buffer.
+  virtual void mangle_write(int fd, std::uint8_t* data, std::size_t len) = 0;
+
+  /// False to make this read attempt spuriously would-block.
+  virtual bool gate_read(int fd) = 0;
+  /// May corrupt the bytes a successful read returned.
+  virtual void mangle_read(int fd, std::uint8_t* data, std::size_t len) = 0;
+};
+
+/// Install (or clear, with nullptr) the process-wide tap. The caller keeps
+/// ownership and must clear the tap before destroying it.
+void set_io_tap(IoTap* tap) noexcept;
+IoTap* io_tap() noexcept;
 
 /// Parsed address: "tcp:host:port" (IPv4 dotted quad or "localhost") or
 /// "uds:/absolute/path.sock".

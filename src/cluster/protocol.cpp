@@ -88,20 +88,41 @@ struct Cursor {
 
 }  // namespace
 
+namespace {
+
+/// Envelope seal: CRC-32 over the type byte followed by the payload.
+std::uint32_t envelope_crc(std::uint8_t type, const std::uint8_t* payload,
+                           std::size_t len) noexcept {
+  net::Crc32 crc;
+  crc.add_byte(type);
+  for (std::size_t i = 0; i < len; ++i) crc.add_byte(payload[i]);
+  return crc.value();
+}
+
+void patch_u32(std::vector<std::uint8_t>& out, std::size_t at,
+               std::uint32_t v) noexcept {
+  out[at] = static_cast<std::uint8_t>(v & 0xFFu);
+  out[at + 1] = static_cast<std::uint8_t>((v >> 8) & 0xFFu);
+  out[at + 2] = static_cast<std::uint8_t>((v >> 16) & 0xFFu);
+  out[at + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
 std::size_t begin_msg(std::vector<std::uint8_t>& out, MsgType type) {
   const std::size_t at = out.size();
   put_u32(out, 0);  // payload length, patched by end_msg
   put_u8(out, static_cast<std::uint8_t>(type));
+  put_u32(out, 0);  // envelope CRC, patched by end_msg
   return at;
 }
 
 void end_msg(std::vector<std::uint8_t>& out, std::size_t at) {
   const std::size_t payload = out.size() - at - kEnvelopeHeader;
-  const auto len = static_cast<std::uint32_t>(payload);
-  out[at] = static_cast<std::uint8_t>(len & 0xFFu);
-  out[at + 1] = static_cast<std::uint8_t>((len >> 8) & 0xFFu);
-  out[at + 2] = static_cast<std::uint8_t>((len >> 16) & 0xFFu);
-  out[at + 3] = static_cast<std::uint8_t>(len >> 24);
+  patch_u32(out, at, static_cast<std::uint32_t>(payload));
+  patch_u32(out, at + 5,
+            envelope_crc(out[at + 4], out.data() + at + kEnvelopeHeader,
+                         payload));
 }
 
 void append_hello(std::vector<std::uint8_t>& out, const Hello& m) {
@@ -285,7 +306,10 @@ bool MessageReader::feed(std::span<const std::uint8_t> bytes) {
   if (broken_) return false;
   buf_.insert(buf_.end(), bytes.begin(), bytes.end());
   std::size_t off = 0;
-  while (buf_.size() - off >= kEnvelopeHeader) {
+  // The length field alone decides plausibility, so it is checked as soon
+  // as its 4 bytes arrive — a corrupted length must not make the reader
+  // wait forever for a phantom payload.
+  while (buf_.size() - off >= 4) {
     const std::uint32_t len = net::get_u32(buf_.data() + off);
     if (len > limits_.max_payload) {
       broken_ = true;
@@ -294,10 +318,22 @@ bool MessageReader::feed(std::span<const std::uint8_t> bytes) {
     }
     const std::size_t need = kEnvelopeHeader + len;
     if (buf_.size() - off < need) break;
+    const std::uint8_t type = buf_[off + 4];
+    const std::uint32_t wire_crc = net::get_u32(buf_.data() + off + 5);
+    if (wire_crc !=
+        envelope_crc(type, buf_.data() + off + kEnvelopeHeader, len)) {
+      // One flipped bit anywhere in the envelope (header or payload) lands
+      // here: latch broken instead of handing a mis-framed or silently
+      // altered message upward.
+      broken_ = true;
+      buf_.clear();
+      return false;
+    }
     Message m;
-    m.type = static_cast<MsgType>(buf_[off + 4]);
-    m.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(off + 5),
-                     buf_.begin() + static_cast<std::ptrdiff_t>(off + need));
+    m.type = static_cast<MsgType>(type);
+    m.payload.assign(
+        buf_.begin() + static_cast<std::ptrdiff_t>(off + kEnvelopeHeader),
+        buf_.begin() + static_cast<std::ptrdiff_t>(off + need));
     ready_.push_back(std::move(m));
     off += need;
   }

@@ -2,15 +2,24 @@
 //
 // Every message is one envelope on a reliable byte stream:
 //
-//   [payload_len : u32 LE] [type : u8] [payload : payload_len bytes]
+//   [payload_len : u32 LE] [type : u8] [crc : u32 LE] [payload : len bytes]
+//
+// The CRC-32 (net::Crc32, the hub-packet polynomial) covers the type byte
+// and the payload. TCP/UDS already guarantee ordered delivery, so the CRC
+// is not about random line noise — it is the torn-stream detector: a
+// chaos-injected (or radiation-flipped) byte anywhere in an envelope makes
+// the reader latch broken() instead of mis-framing, and the connection
+// owner tears the connection down. Retries then ride the (stream, seq)
+// idempotency contract (router dedup window), so corruption degrades to a
+// reconnect, never to a wrong answer.
 //
 // Payloads reuse the little-endian primitives of net/wire.hpp; BlmPackets
 // inside kSubmit/kJob payloads use net::append_packet's canonical
 // serialization, so the hub wire format and the cluster wire format are the
 // same bytes. MessageReader reassembles envelopes across arbitrary read()
 // fragment boundaries exactly as net::PacketDecoder does for raw packet
-// streams; an implausible length field permanently breaks the stream
-// (length-delimited framing has nothing to resync on).
+// streams; an implausible length field or a CRC mismatch permanently
+// breaks the stream (length-delimited framing has nothing to resync on).
 //
 // Message flow:
 //   client -> router   kHello, kSubmit (one tick: the stream's hub packets)
@@ -36,9 +45,9 @@
 
 namespace reads::cluster {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
-/// Envelope header: payload length (4) + type (1).
-inline constexpr std::size_t kEnvelopeHeader = 5;
+inline constexpr std::uint32_t kProtocolVersion = 2;
+/// Envelope header: payload length (4) + type (1) + CRC-32 (4).
+inline constexpr std::size_t kEnvelopeHeader = 9;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,
@@ -167,7 +176,9 @@ struct Message {
 
 /// Reassembles envelopes from arbitrary read() fragments (same contract as
 /// net::PacketDecoder: feed buffers bytes, next() drains complete
-/// messages, an implausible length permanently breaks the stream).
+/// messages). An implausible length or an envelope CRC mismatch
+/// permanently breaks the stream — next() keeps draining messages that
+/// were already verified, but no later byte is ever trusted.
 class MessageReader {
  public:
   struct Limits {

@@ -1,0 +1,115 @@
+#include "cluster/resilient_client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace reads::cluster {
+
+namespace {
+
+double steady_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(std::string endpoint,
+                                 ResilientClientConfig cfg)
+    : endpoint_(std::move(endpoint)),
+      cfg_(cfg),
+      jitter_state_(util::derive_seed(cfg.jitter_seed, 0xBAC0FFull)) {}
+
+bool ResilientClient::ensure_connected(double deadline_ms) {
+  if (connected()) return true;
+  for (;;) {
+    conn_.reset();
+    if (attempt_ > 0) {
+      // Exponential backoff with deterministic jitter in [0.5, 1.0)x:
+      // jitter decorrelates a fleet of clients hammering a restarting
+      // router, determinism keeps the whole chaos run replayable.
+      util::SplitMix64 sm(jitter_state_);
+      jitter_state_ = sm.next();
+      const double factor = static_cast<double>(
+          1ull << std::min<std::size_t>(attempt_ - 1, 20));
+      const double base = std::min(cfg_.backoff_max_ms,
+                                   cfg_.backoff_initial_ms * factor);
+      const double unit =
+          static_cast<double>(jitter_state_ >> 11) * 0x1.0p-53;
+      const double delay = base * (0.5 + 0.5 * unit);
+      if (steady_ms() + delay > deadline_ms) return false;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          delay));
+    }
+    if (steady_ms() >= deadline_ms) return false;
+    try {
+      conn_.emplace(endpoint_, Role::kClient,
+                    std::min(cfg_.connect_timeout_ms,
+                             std::max(1.0, deadline_ms - steady_ms())));
+    } catch (const std::exception&) {
+      ++attempt_;
+      continue;
+    }
+    if (!conn_->connected()) {
+      ++attempt_;
+      continue;
+    }
+    ++reconnects_;
+    attempt_ = 0;
+    // Resubmit everything unacknowledged, oldest first. The router's
+    // dedup/rebind front door makes this safe whether the original was
+    // answered, in flight, or never arrived.
+    for (const auto& [req_id, s] : unacked_) {
+      ++resubmissions_;
+      if (!conn_->submit(s)) break;  // died again; next pass retries
+    }
+    if (connected()) return true;
+    ++attempt_;
+  }
+}
+
+bool ResilientClient::submit(const Submit& s) {
+  if (unacked_.size() >= cfg_.max_unacked) return false;
+  unacked_[s.req_id] = s;
+  const double deadline = steady_ms() + cfg_.connect_timeout_ms;
+  if (!connected()) {
+    // ensure_connected resubmits the whole window — including the tick
+    // just queued — so a successful campaign has already delivered it.
+    ensure_connected(deadline);
+    return true;
+  }
+  // A mid-wire failure is not an error at this layer: the tick is in the
+  // window and rides the next reconnect's resubmission pass.
+  conn_->submit(s);
+  return true;
+}
+
+void ResilientClient::note_ack(const Message& msg) {
+  if (msg.type == MsgType::kResult) {
+    unacked_.erase(decode_result(msg.payload).id);
+  } else if (msg.type == MsgType::kShed) {
+    unacked_.erase(decode_shed(msg.payload).id);
+  }
+}
+
+std::optional<Message> ResilientClient::poll(double timeout_ms) {
+  const double deadline = steady_ms() + timeout_ms;
+  for (;;) {
+    if (!ensure_connected(deadline)) return std::nullopt;
+    const double remaining = deadline - steady_ms();
+    if (remaining <= 0.0) return std::nullopt;
+    auto msg = conn_->poll(remaining);
+    if (msg) {
+      note_ack(*msg);
+      return msg;
+    }
+    if (!conn_->dead()) return std::nullopt;  // a plain timeout
+    ++attempt_;  // torn mid-poll: reconnect and resubmit, same deadline
+  }
+}
+
+}  // namespace reads::cluster

@@ -15,20 +15,62 @@ double tp_ms(std::chrono::steady_clock::time_point t) noexcept {
       .count();
 }
 
+/// The journaled SLO config must win before `metrics_` is built from the
+/// deadline fields, so it is applied to the config on the way into the
+/// member-initializer list (the membership/reply replay happens in the
+/// constructor body, where members exist).
+RouterConfig apply_journal_slo(RouterConfig cfg) {
+  if (!cfg.journal_path.empty()) {
+    const JournalState st = RouterJournal::replay(cfg.journal_path);
+    if (st.slo) {
+      cfg.hard_deadline_ms = st.slo->hard_deadline_ms;
+      cfg.best_effort_deadline_ms = st.slo->best_effort_deadline_ms;
+      cfg.admission_margin = st.slo->admission_margin;
+    }
+  }
+  return cfg;
+}
+
 }  // namespace
 
 double Router::now_ms() noexcept { return tp_ms(Clock::now()); }
 
 Router::Router(RouterConfig cfg)
-    : cfg_(std::move(cfg)),
+    : cfg_(apply_journal_slo(std::move(cfg))),
       listener_(listen_on(cfg_.listen)),
       wake_(make_wake_pipe()),
       ring_(cfg_.ring_vnodes),
       metrics_(1, cfg_.hard_deadline_ms) {
-  for (const auto& ep : cfg_.replicas) {
-    if (do_add_replica(ep) == 0) {
-      throw std::runtime_error("Router: cannot reach initial replica " + ep);
+  JournalState recovered;
+  if (!cfg_.journal_path.empty()) {
+    recovered = RouterJournal::replay(cfg_.journal_path);
+    journal_ = RouterJournal(cfg_.journal_path);
+    // Re-journal the effective SLO so a journal truncated to just this
+    // incarnation's records still replays the full config.
+    journal_.record_slo(JournalSlo{cfg_.hard_deadline_ms,
+                                   cfg_.best_effort_deadline_ms,
+                                   cfg_.admission_margin});
+  }
+  if (!recovered.nodes.empty()) {
+    // Recovery mode: the journaled membership IS the fleet — cfg_.replicas
+    // described the cluster that first formed, the journal describes the
+    // cluster as the previous incarnation last knew it. Forced node ids
+    // keep every stream's ring placement exactly where it was.
+    next_node_id_ = recovered.max_node_id + 1;
+    for (const auto& n : recovered.nodes) {
+      recover_replica(n.node, n.endpoint);
+      ++counters_.journal_recovered_nodes;
     }
+  } else {
+    for (const auto& ep : cfg_.replicas) {
+      if (do_add_replica(ep) == 0) {
+        throw std::runtime_error("Router: cannot reach initial replica " + ep);
+      }
+    }
+  }
+  for (const auto& r : recovered.replies) {
+    dedup_store(r.stream, r.req_id, r.reply, /*journal=*/false);
+    ++counters_.journal_recovered_replies;
   }
 }
 
@@ -125,12 +167,38 @@ std::uint64_t Router::do_add_replica(const std::string& endpoint) {
   rc->endpoint = ep;
   rc->fd = std::move(fd);
   rc->rtt = serve::ServiceEstimator(cfg_.initial_rtt_est_ms);
+  rc->last_progress_ms = now_ms();
   append_hello(rc->outbuf, Hello{Role::kAdmin, kProtocolVersion});
   const std::uint64_t node = rc->node;
   replicas_.emplace(node, std::move(rc));
   ring_.add(node);
+  if (journal_.open()) journal_.record_node(JournalNode{node, ep.str(), true});
   for (auto& [id, st] : streams_) reevaluate_stream(id, st);
   return node;
+}
+
+void Router::recover_replica(std::uint64_t node, const std::string& endpoint) {
+  auto rc = std::make_unique<ReplicaConn>();
+  rc->node = node;
+  rc->rtt = serve::ServiceEstimator(cfg_.initial_rtt_est_ms);
+  try {
+    rc->endpoint = Endpoint::parse(endpoint);
+    rc->fd = connect_to(rc->endpoint, cfg_.connect_timeout_ms);
+    append_hello(rc->outbuf, Hello{Role::kAdmin, kProtocolVersion});
+    rc->last_progress_ms = now_ms();
+    replicas_.emplace(node, std::move(rc));
+    ring_.add(node);
+  } catch (const std::exception&) {
+    // Journaled but unreachable right now. A fresh cluster that never
+    // formed is a config error worth throwing for; a *restarting* router
+    // refusing to come back up because one replica is still rebooting
+    // would turn a partial outage into a total one — quarantine it and
+    // let the backoff campaign decide.
+    rc->state = NodeState::kReconnecting;
+    rc->attempts = 0;
+    rc->next_reconnect_ms = now_ms() + cfg_.reconnect_backoff_initial_ms;
+    replicas_.emplace(node, std::move(rc));
+  }
 }
 
 void Router::do_remove_replica(ReplicaConn& rc) {
@@ -153,6 +221,9 @@ void Router::finish_remove(std::uint64_t node, bool ok) {
     append_admin_ok(out, AdminOk{node, ok ? "drained" : "dropped"});
     send_to_client(rc.remove_waiter_client, out);
   }
+  if (journal_.open()) {
+    journal_.record_node(JournalNode{node, std::string(), false});
+  }
   replicas_.erase(it);
 }
 
@@ -160,6 +231,9 @@ void Router::replica_gone(std::uint64_t node) {
   auto it = replicas_.find(node);
   if (it == replicas_.end()) return;
   ReplicaConn& rc = *it->second;
+  // Already quarantined: a second verdict in the same loop pass (stall kick
+  // + read error, or an overflow during its own redispatch) is stale.
+  if (rc.state == NodeState::kReconnecting) return;
   ++counters_.replica_crashes;
   rc.fd.reset();
   rc.reader = MessageReader();
@@ -192,13 +266,14 @@ void Router::redispatch_outstanding(ReplicaConn& rc) {
     ++counters_.redispatched_jobs;
     metrics_.record_redispatched();
     ShedReason reason = ShedReason::kNoReplica;
+    const std::uint64_t stream = inf.job.stream;
     const std::uint64_t client = inf.client;
     const std::uint64_t req_id = inf.req_id;
     // Accepted jobs are never re-judged: route with admission bypassed.
     // The surviving replica re-executes bit-identically, so the client
     // still observes exactly one answer with exactly the same bits.
     if (route_job(std::move(inf), false, &reason) == RouteOutcome::kShed) {
-      reply_shed(client, req_id, reason);
+      reply_shed(stream, client, req_id, reason);
     }
   }
 }
@@ -219,6 +294,7 @@ void Router::try_reconnects() {
       append_hello(rc.outbuf, Hello{Role::kAdmin, kProtocolVersion});
       rc.state = NodeState::kConnected;
       rc.rtt = serve::ServiceEstimator(cfg_.initial_rtt_est_ms);
+      rc.last_progress_ms = now;
       ++counters_.reconnects;
       ring_.add(node);
       for (auto& [id, st] : streams_) reevaluate_stream(id, st);
@@ -251,6 +327,14 @@ void Router::send_job(ReplicaConn& rc, InFlight&& inf) {
   if (sit != streams_.end()) ++sit->second.inflight;
   const std::uint64_t gid = inf.job.gid;
   rc.outstanding.emplace(gid, std::move(inf));
+  rc.outbuf_high_water = std::max(rc.outbuf_high_water, rc.outbuf.size());
+  if (cfg_.max_outbuf_bytes != 0 && rc.outbuf.size() > cfg_.max_outbuf_bytes) {
+    // Slow-consumer defense: a replica that stopped draining its socket is
+    // indistinguishable from a dead one. Kick it onto the crash path — the
+    // job just queued (and everything else outstanding) redispatches.
+    ++counters_.outbuf_overflows;
+    gone_replicas_.push_back(rc.node);
+  }
 }
 
 Router::RouteOutcome Router::route_job(InFlight&& inf, bool run_admission,
@@ -315,7 +399,8 @@ void Router::reevaluate_stream(std::uint64_t stream_id, StreamState& st) {
       InFlight inf = std::move(st.held.front());
       st.held.pop_front();
       ++counters_.no_replica;
-      reply_shed(inf.client, inf.req_id, ShedReason::kNoReplica);
+      reply_shed(inf.job.stream, inf.client, inf.req_id,
+                 ShedReason::kNoReplica);
     }
     return;
   }
@@ -345,19 +430,74 @@ void Router::flush_held(std::uint64_t stream_id, StreamState& st) {
     const std::uint64_t client = inf.client;
     const std::uint64_t req_id = inf.req_id;
     if (route_job(std::move(inf), false, &reason) == RouteOutcome::kShed) {
-      reply_shed(client, req_id, reason);
+      reply_shed(stream_id, client, req_id, reason);
     }
   }
-  (void)stream_id;
 }
 
 // ---- client handling ----------------------------------------------------
 
-void Router::reply_shed(std::uint64_t client_id, std::uint64_t req_id,
-                        ShedReason reason) {
+void Router::reply_shed(std::uint64_t stream, std::uint64_t client_id,
+                        std::uint64_t req_id, ShedReason reason) {
   std::vector<std::uint8_t> out;
   append_shed(out, Shed{req_id, reason});
-  send_to_client(client_id, out);
+  finish_reply(stream, req_id, client_id, std::move(out));
+}
+
+void Router::finish_reply(std::uint64_t stream, std::uint64_t req_id,
+                          std::uint64_t client_id,
+                          std::vector<std::uint8_t>&& bytes) {
+  // Terminal means terminal: the (stream, req_id) key leaves the in-flight
+  // table and enters the dedup window in the same step, so a resubmission
+  // racing this reply finds exactly one of the two — never neither.
+  inflight_keys_.erase({stream, req_id});
+  dedup_store(stream, req_id, bytes, /*journal=*/true);
+  send_to_client(client_id, bytes);
+}
+
+const std::vector<std::uint8_t>* Router::dedup_find(
+    std::uint64_t stream, std::uint64_t req_id) const {
+  const auto it = dedup_.find(stream);
+  if (it == dedup_.end()) return nullptr;
+  const auto rit = it->second.replies.find(req_id);
+  return rit == it->second.replies.end() ? nullptr : &rit->second;
+}
+
+void Router::dedup_store(std::uint64_t stream, std::uint64_t req_id,
+                         const std::vector<std::uint8_t>& bytes,
+                         bool journal) {
+  if (cfg_.dedup_window == 0) return;
+  DedupWindow& w = dedup_[stream];
+  const auto [it, inserted] = w.replies.emplace(req_id, bytes);
+  if (inserted) {
+    w.order.push_back(req_id);
+    ++dedup_entries_;
+    while (w.order.size() > cfg_.dedup_window) {
+      w.replies.erase(w.order.front());
+      w.order.pop_front();
+      --dedup_entries_;
+    }
+  }
+  if (journal && journal_.open()) journal_.record_reply(stream, req_id, bytes);
+}
+
+void Router::rebind_inflight(std::uint64_t stream, std::uint64_t gid,
+                             std::uint64_t client_id) {
+  for (auto& [node, rcp] : replicas_) {
+    const auto it = rcp->outstanding.find(gid);
+    if (it != rcp->outstanding.end()) {
+      it->second.client = client_id;
+      return;
+    }
+  }
+  auto sit = streams_.find(stream);
+  if (sit == streams_.end()) return;
+  for (InFlight& inf : sit->second.held) {
+    if (inf.job.gid == gid) {
+      inf.client = client_id;
+      return;
+    }
+  }
 }
 
 void Router::send_to_client(std::uint64_t client_id,
@@ -369,11 +509,23 @@ void Router::send_to_client(std::uint64_t client_id,
   }
   ClientConn& c = it->second;
   c.outbuf.insert(c.outbuf.end(), bytes.begin(), bytes.end());
-  flush_outbuf(c.fd.get(), c.outbuf, c.alive);
+  c.outbuf_high_water = std::max(c.outbuf_high_water, c.outbuf.size());
+  client_outbuf_high_water_ =
+      std::max(client_outbuf_high_water_, c.outbuf.size());
+  if (cfg_.max_outbuf_bytes != 0 && c.outbuf.size() > cfg_.max_outbuf_bytes) {
+    // Slow-consumer defense: drop the connection rather than buffer without
+    // bound. Nothing is lost — every reply just queued is in the dedup
+    // window, and a resilient client resubmits what it never saw.
+    ++counters_.outbuf_overflows;
+    c.alive = false;
+    c.outbuf.clear();
+    return;
+  }
+  flush_outbuf(c.fd.get(), c.outbuf, c.alive, &c.last_progress_ms);
 }
 
 void Router::flush_outbuf(int fd, std::vector<std::uint8_t>& outbuf,
-                          bool& alive) {
+                          bool& alive, double* last_progress_ms) {
   if (!alive || outbuf.empty()) return;
   const std::ptrdiff_t n = write_some(fd, outbuf.data(), outbuf.size());
   if (n < 0) {
@@ -383,21 +535,41 @@ void Router::flush_outbuf(int fd, std::vector<std::uint8_t>& outbuf,
   }
   if (n > 0) {
     outbuf.erase(outbuf.begin(), outbuf.begin() + n);
+    if (last_progress_ms != nullptr) *last_progress_ms = now_ms();
   }
 }
 
 void Router::handle_submit(ClientConn& c, Submit&& submit) {
+  // Idempotent resubmission, checked before anything else touches state.
+  // Ordering is load-bearing: the assembler keeps per-stream sequence and
+  // duplicate history, so letting a resubmitted tick reach the gauntlet
+  // would shed it kBadFrame instead of answering it.
+  if (const std::vector<std::uint8_t>* stored =
+          dedup_find(submit.stream, submit.req_id)) {
+    ++counters_.dedup_hits;
+    send_to_client(c.id, *stored);
+    return;
+  }
+  if (const auto kit = inflight_keys_.find({submit.stream, submit.req_id});
+      kit != inflight_keys_.end()) {
+    // Still being answered: re-aim the eventual reply at this connection
+    // (the original one is usually the torn socket the client gave up on).
+    ++counters_.inflight_rebinds;
+    rebind_inflight(submit.stream, kit->second, c.id);
+    return;
+  }
+
   metrics_.record_arrival();
   if (shutting_down_) {
     metrics_.record_shed_shutdown();
-    reply_shed(c.id, submit.req_id, ShedReason::kShutdown);
+    reply_shed(submit.stream, c.id, submit.req_id, ShedReason::kShutdown);
     return;
   }
   StreamState& st =
       streams_.try_emplace(submit.stream, cfg_.assembler).first->second;
   if (submit.packets.empty()) {
     ++counters_.bad_frames;
-    reply_shed(c.id, submit.req_id, ShedReason::kBadFrame);
+    reply_shed(submit.stream, c.id, submit.req_id, ShedReason::kBadFrame);
     return;
   }
   const std::uint32_t seq = submit.packets.front().sequence;
@@ -412,7 +584,7 @@ void Router::handle_submit(ClientConn& c, Submit&& submit) {
     // fine for a resilient control loop, but a cluster client asked us to
     // serve *this* tick, so the honest terminal answer is a shed.
     ++counters_.bad_frames;
-    reply_shed(c.id, submit.req_id, ShedReason::kBadFrame);
+    reply_shed(submit.stream, c.id, submit.req_id, ShedReason::kBadFrame);
     return;
   }
 
@@ -438,6 +610,7 @@ void Router::handle_submit(ClientConn& c, Submit&& submit) {
   inf.client = c.id;
   inf.req_id = submit.req_id;
   inf.arrival = Clock::now();
+  const std::uint64_t gid = inf.job.gid;
 
   ShedReason reason = ShedReason::kNoReplica;
   const auto outcome = route_job(std::move(inf), cfg_.admission_control,
@@ -458,9 +631,12 @@ void Router::handle_submit(ClientConn& c, Submit&& submit) {
         // counters_, already incremented at the routing decision.
         break;
     }
-    reply_shed(c.id, submit.req_id, reason);
+    reply_shed(submit.stream, c.id, submit.req_id, reason);
     return;
   }
+  // Accepted (sent or held): register the idempotency key so a duplicate
+  // rebinds to this job instead of re-executing it.
+  inflight_keys_[{submit.stream, submit.req_id}] = gid;
   metrics_.record_admitted();
 }
 
@@ -541,7 +717,7 @@ void Router::handle_replica_message(ReplicaConn& rc, const Message& msg) {
     r.deadline_met = miss ? 0 : 1;
     std::vector<std::uint8_t> out;
     append_result(out, r);
-    send_to_client(inf.client, out);
+    finish_reply(inf.job.stream, inf.req_id, inf.client, std::move(out));
     on_job_settled(inf.job.stream);
   } else if (msg.type == MsgType::kShed) {
     const Shed s = decode_shed(msg.payload);
@@ -553,7 +729,7 @@ void Router::handle_replica_message(ReplicaConn& rc, const Message& msg) {
     InFlight inf = std::move(it->second);
     rc.outstanding.erase(it);
     ++counters_.replica_sheds;
-    reply_shed(inf.client, inf.req_id, s.reason);
+    reply_shed(inf.job.stream, inf.client, inf.req_id, s.reason);
     on_job_settled(inf.job.stream);
   }
   if (rc.state == NodeState::kRemoving && rc.outstanding.empty()) {
@@ -583,9 +759,14 @@ void Router::read_client(ClientConn& c) {
       c.alive = false;
       return;
     }
+    c.last_progress_ms = now_ms();
     c.reader.feed(buf, static_cast<std::size_t>(n));
   }
   if (c.reader.broken()) {
+    // The envelope CRC latched: everything past the damage is noise, and
+    // already-verified messages were drained on earlier passes. Cut the
+    // connection — a resilient client reconnects and resubmits.
+    ++counters_.malformed_disconnects;
     c.alive = false;
     return;
   }
@@ -593,6 +774,7 @@ void Router::read_client(ClientConn& c) {
     try {
       handle_client_message(c, *msg);
     } catch (const std::exception&) {
+      ++counters_.malformed_disconnects;
       c.alive = false;
       return;
     }
@@ -609,9 +791,13 @@ void Router::read_replica(ReplicaConn& rc) {
       gone = true;
       break;
     }
+    rc.last_progress_ms = now_ms();
     rc.reader.feed(buf, static_cast<std::size_t>(n));
   }
-  if (rc.reader.broken()) gone = true;
+  if (rc.reader.broken()) {
+    ++counters_.malformed_disconnects;
+    gone = true;
+  }
   while (auto msg = rc.reader.next()) {
     try {
       handle_replica_message(rc, *msg);
@@ -621,6 +807,38 @@ void Router::read_replica(ReplicaConn& rc) {
     }
   }
   if (gone) gone_replicas_.push_back(rc.node);
+}
+
+void Router::check_stalls() {
+  if (cfg_.stall_timeout_ms <= 0.0) return;
+  const double now = now_ms();
+  for (auto& [node, rcp] : replicas_) {
+    ReplicaConn& rc = *rcp;
+    if (rc.state == NodeState::kReconnecting) continue;
+    const bool pending = !rc.outstanding.empty() || !rc.outbuf.empty();
+    if (!pending) {
+      // An idle connection owes us nothing; the stall clock only runs
+      // while bytes are due.
+      rc.last_progress_ms = now;
+      continue;
+    }
+    if (now - rc.last_progress_ms > cfg_.stall_timeout_ms) {
+      ++counters_.stalled_peers;
+      rc.last_progress_ms = now;
+      gone_replicas_.push_back(node);  // quarantine path, jobs redispatch
+    }
+  }
+  for (auto& [id, c] : clients_) {
+    if (!c.alive || c.outbuf.empty()) {
+      c.last_progress_ms = now;
+      continue;
+    }
+    if (now - c.last_progress_ms > cfg_.stall_timeout_ms) {
+      ++counters_.stalled_peers;
+      c.alive = false;
+      c.outbuf.clear();
+    }
+  }
 }
 
 void Router::begin_shutdown() {
@@ -681,7 +899,7 @@ void Router::run() {
     for (auto& [id, c] : clients_) {
       if (c.alive && poller.readable(c.fd.get())) read_client(c);
       if (c.alive && poller.writable(c.fd.get())) {
-        flush_outbuf(c.fd.get(), c.outbuf, c.alive);
+        flush_outbuf(c.fd.get(), c.outbuf, c.alive, &c.last_progress_ms);
       }
     }
     dead_clients.clear();
@@ -695,11 +913,18 @@ void Router::run() {
       if (poller.readable(rc->fd.get())) read_replica(*rc);
       if (rc->fd.valid() && poller.writable(rc->fd.get())) {
         bool alive = true;
-        flush_outbuf(rc->fd.get(), rc->outbuf, alive);
+        flush_outbuf(rc->fd.get(), rc->outbuf, alive,
+                     &rc->last_progress_ms);
         if (!alive) gone_replicas_.push_back(node);
       }
     }
-    for (std::uint64_t node : gone_replicas_) replica_gone(node);
+    check_stalls();
+    // Index loop on purpose: replica_gone redispatches, and a redispatch
+    // that overflows the new owner's outbuf appends to gone_replicas_
+    // mid-walk (a range-for iterator would be invalidated).
+    for (std::size_t i = 0; i < gone_replicas_.size(); ++i) {
+      replica_gone(gone_replicas_[i]);
+    }
     gone_replicas_.clear();
 
     for (std::uint64_t node : finished_removes_) finish_remove(node, true);
@@ -748,8 +973,20 @@ std::string Router::stats_json_now() {
       << ", \"redispatched_jobs\": " << counters_.redispatched_jobs
       << ", \"duplicate_results\": " << counters_.duplicate_results
       << ", \"undeliverable_results\": " << counters_.undeliverable_results
-      << ", \"replica_sheds\": " << counters_.replica_sheds << "}"
+      << ", \"replica_sheds\": " << counters_.replica_sheds
+      << ", \"dedup_hits\": " << counters_.dedup_hits
+      << ", \"inflight_rebinds\": " << counters_.inflight_rebinds
+      << ", \"malformed_disconnects\": " << counters_.malformed_disconnects
+      << ", \"stalled_peers\": " << counters_.stalled_peers
+      << ", \"outbuf_overflows\": " << counters_.outbuf_overflows
+      << ", \"journal_recovered_nodes\": "
+      << counters_.journal_recovered_nodes
+      << ", \"journal_recovered_replies\": "
+      << counters_.journal_recovered_replies << "}"
+      << ", \"dedup_entries\": " << dedup_entries_
+      << ", \"client_outbuf_high_water\": " << client_outbuf_high_water_
       << ", \"nodes\": [";
+  const double now = now_ms();
   bool first = true;
   for (const auto& [node, rc] : replicas_) {
     if (!first) out << ", ";
@@ -757,11 +994,17 @@ std::string Router::stats_json_now() {
     const char* state = rc->state == NodeState::kConnected ? "connected"
                         : rc->state == NodeState::kRemoving ? "removing"
                                                              : "reconnecting";
+    const double next_in =
+        rc->state == NodeState::kReconnecting
+            ? std::max(0.0, rc->next_reconnect_ms - now)
+            : 0.0;
     out << "{\"node\": " << node << ", \"endpoint\": \""
         << rc->endpoint.str() << "\", \"outstanding\": "
         << rc->outstanding.size() << ", \"rtt_est_ms\": "
         << util::json_double(rc->rtt.est_ms()) << ", \"state\": \"" << state
-        << "\"}";
+        << "\", \"attempts\": " << rc->attempts
+        << ", \"next_reconnect_in_ms\": " << util::json_double(next_in)
+        << ", \"outbuf_high_water\": " << rc->outbuf_high_water << "}";
   }
   out << "]}";
   return out.str();

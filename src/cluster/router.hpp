@@ -45,6 +45,29 @@
 //    submits kShutdown, flushes held jobs, and drains every outstanding
 //    job before run() returns — no accepted frame is lost.
 //
+//  * Idempotent resubmission. (stream, req_id) is the tick's idempotency
+//    key. Every terminal reply is remembered in a bounded per-stream dedup
+//    window; a resubmitted tick (a reconnected client retrying what it
+//    never saw acknowledged) is answered verbatim from the window, and a
+//    duplicate of a still-in-flight tick re-aims the eventual answer at
+//    the new connection instead of re-executing. At-least-once on the
+//    wire, exactly-once in effect.
+//
+//  * Survivable restart. With a journal_path configured, ring membership,
+//    the dedup windows, and the SLO config ride a write-ahead journal
+//    (journal.hpp); a SIGKILLed router restarts on the same endpoint,
+//    re-registers the journaled replicas (unreachable ones enter the
+//    quarantine/backoff path instead of failing construction), and serves
+//    resubmissions from the recovered dedup state — clients just
+//    reconnect and resume.
+//
+//  * Slow-consumer defense. Per-connection write buffers are bounded
+//    (overflow drops the peer — resubmission makes the replies
+//    recoverable), a connection with pending work but no byte progress
+//    past the stall timeout is kicked (replicas into the quarantine path,
+//    clients dropped), and a peer that sends a malformed envelope is
+//    disconnected on the spot.
+//
 // The loop itself is single-threaded; the public admin/stats API is
 // thread-safe through a command queue + wake pipe (the TSan suite drives
 // it concurrently with traffic).
@@ -64,6 +87,7 @@
 #include <vector>
 
 #include "cluster/io.hpp"
+#include "cluster/journal.hpp"
 #include "cluster/protocol.hpp"
 #include "cluster/ring.hpp"
 #include "net/assembler.hpp"
@@ -100,6 +124,23 @@ struct RouterConfig {
   net::AssemblerParams assembler;
   /// Seed for each replica's round-trip estimator.
   double initial_rtt_est_ms = 2.0;
+  /// Write-ahead journal path (empty = no persistence). When the file
+  /// already holds a previous incarnation's records, the constructor
+  /// recovers: journaled membership replaces `replicas` (unreachable nodes
+  /// quarantine instead of throwing), the dedup windows refill, and the
+  /// journaled SLO config overrides the deadline/margin fields.
+  std::string journal_path;
+  /// Per-stream dedup window (entries). Must exceed any client's maximum
+  /// unacknowledged in-flight window for resubmission to stay exactly-once.
+  /// 0 disables dedup (and with it safe resubmission).
+  std::size_t dedup_window = 256;
+  /// Slow-consumer defense: a peer whose outbound buffer exceeds this is
+  /// dropped (0 = unbounded).
+  std::size_t max_outbuf_bytes = 8u << 20;
+  /// A connection with pending work but no byte-level progress for this
+  /// long is stalled: replicas are kicked into the quarantine path,
+  /// clients are dropped. 0 disables.
+  double stall_timeout_ms = 2000.0;
 };
 
 /// Cluster-specific counters beside the serve::Metrics admission/latency
@@ -116,6 +157,13 @@ struct RouterCounters {
   std::uint64_t duplicate_results = 0;  ///< dropped by the dedup table
   std::uint64_t undeliverable_results = 0;  ///< client gone before reply
   std::uint64_t replica_sheds = 0;  ///< refusals forwarded from a replica
+  std::uint64_t dedup_hits = 0;  ///< resubmissions answered from the window
+  std::uint64_t inflight_rebinds = 0;  ///< duplicates re-aimed, not re-run
+  std::uint64_t malformed_disconnects = 0;  ///< broken envelope streams
+  std::uint64_t stalled_peers = 0;       ///< stall-timeout kicks
+  std::uint64_t outbuf_overflows = 0;    ///< slow-consumer buffer drops
+  std::uint64_t journal_recovered_nodes = 0;
+  std::uint64_t journal_recovered_replies = 0;
 };
 
 class Router {
@@ -164,6 +212,8 @@ class Router {
     MessageReader reader;
     std::vector<std::uint8_t> outbuf;
     bool alive = true;
+    std::size_t outbuf_high_water = 0;
+    double last_progress_ms = 0.0;  ///< steady ms of last byte in/out
   };
 
   /// A routed-but-unanswered job; kept serialized-enough (the Job struct)
@@ -193,6 +243,8 @@ class Router {
     /// promise), fulfilled when the drain completes.
     std::uint64_t remove_waiter_client = 0;
     std::optional<std::promise<bool>> remove_promise;
+    std::size_t outbuf_high_water = 0;
+    double last_progress_ms = 0.0;  ///< steady ms of last byte in/out
   };
 
   struct StreamState {
@@ -245,11 +297,32 @@ class Router {
   void replica_gone(std::uint64_t node);
   void try_reconnects();
 
-  void reply_shed(std::uint64_t client_id, std::uint64_t req_id,
-                  ShedReason reason);
+  void reply_shed(std::uint64_t stream, std::uint64_t client_id,
+                  std::uint64_t req_id, ShedReason reason);
+  /// Terminal-answer funnel: every result or shed that reaches a client
+  /// passes through here, so the dedup window (and the journal) see every
+  /// promise the router ever made.
+  void finish_reply(std::uint64_t stream, std::uint64_t req_id,
+                    std::uint64_t client_id, std::vector<std::uint8_t>&& bytes);
   void send_to_client(std::uint64_t client_id,
                       const std::vector<std::uint8_t>& bytes);
-  void flush_outbuf(int fd, std::vector<std::uint8_t>& outbuf, bool& alive);
+  void flush_outbuf(int fd, std::vector<std::uint8_t>& outbuf, bool& alive,
+                    double* last_progress_ms);
+
+  // ---- idempotent resubmission ------------------------------------------
+  const std::vector<std::uint8_t>* dedup_find(std::uint64_t stream,
+                                              std::uint64_t req_id) const;
+  void dedup_store(std::uint64_t stream, std::uint64_t req_id,
+                   const std::vector<std::uint8_t>& bytes, bool journal);
+  /// Re-aim a still-in-flight duplicate's eventual answer at `client_id`.
+  void rebind_inflight(std::uint64_t stream, std::uint64_t gid,
+                       std::uint64_t client_id);
+
+  // ---- survivable restart / slow-consumer defense -----------------------
+  /// Re-register a journaled replica under its old node id; connect
+  /// failures quarantine (backoff path) instead of throwing.
+  void recover_replica(std::uint64_t node, const std::string& endpoint);
+  void check_stalls();
 
   void begin_shutdown();
   bool shutdown_drained() const;
@@ -269,6 +342,21 @@ class Router {
   std::map<std::uint64_t, ClientConn> clients_;          ///< by client id
   std::map<std::uint64_t, std::unique_ptr<ReplicaConn>> replicas_;  ///< by node
   std::unordered_map<std::uint64_t, StreamState> streams_;
+
+  /// Bounded FIFO of remembered terminal replies, per stream.
+  struct DedupWindow {
+    std::deque<std::uint64_t> order;  ///< req_ids, oldest first
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> replies;
+  };
+  std::unordered_map<std::uint64_t, DedupWindow> dedup_;
+  std::size_t dedup_entries_ = 0;
+  /// (stream, req_id) -> gid for accepted-but-unanswered jobs, so a
+  /// duplicate submission rebinds instead of re-executing.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>
+      inflight_keys_;
+  RouterJournal journal_;
+  /// High-water mark across every client connection ever (survives drops).
+  std::size_t client_outbuf_high_water_ = 0;
 
   std::uint64_t next_client_id_ = 1;
   std::uint64_t next_node_id_ = 1;

@@ -10,6 +10,8 @@
 // RouterAdmin suite drives the thread-safe admin API concurrently with
 // traffic and is a ThreadSanitizer target (tools/check.sh).
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -24,14 +26,17 @@
 
 #include "cluster/client.hpp"
 #include "cluster/io.hpp"
+#include "cluster/journal.hpp"
 #include "cluster/protocol.hpp"
 #include "cluster/replica_server.hpp"
+#include "cluster/resilient_client.hpp"
 #include "cluster/ring.hpp"
 #include "cluster/router.hpp"
 #include "net/hub.hpp"
 #include "net/packet.hpp"
 #include "serve/backend.hpp"
 #include "tensor/tensor.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -221,6 +226,80 @@ TEST(ClusterProtocol, ImplausibleEnvelopeLengthBreaksTheStream) {
   cluster::append_stats_request(fine);
   EXPECT_FALSE(reader.feed(fine.data(), fine.size()));
   EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ClusterProtocol, FuzzedCorruptionNeverMisframesOrHangs) {
+  // A clean multi-message stream, then 300 seeded mutations of it: random
+  // bit flips, truncation, or both, fed through the reader in random read()
+  // chunk sizes. The contract under arbitrary damage: whatever parses must
+  // be an exact prefix of the original message sequence (the envelope CRC
+  // rejects everything downstream of the first damaged record by latching
+  // broken()), and the reader never crashes, hangs, or invents a message.
+  std::vector<std::uint8_t> clean;
+  cluster::append_hello(clean, {cluster::Role::kClient,
+                                cluster::kProtocolVersion});
+  cluster::Result r;
+  r.id = 7;
+  r.model_epoch = 2;
+  r.dims = {3u, 1u};
+  r.data = {0.5f, -2.0f, 1e-20f};
+  cluster::append_result(clean, r);
+  cluster::Submit s;
+  s.stream = 11;
+  s.req_id = (11ull << 32) | 4u;
+  s.slo = 1;
+  s.packets.push_back(sealed_packet(0, 4, 0, 9, 1500));
+  cluster::append_submit(clean, s);
+  cluster::append_shed(clean, {9, cluster::ShedReason::kQueueFull});
+  cluster::append_stats_request(clean);
+
+  std::vector<cluster::Message> originals;
+  {
+    cluster::MessageReader ref;
+    ASSERT_TRUE(ref.feed(clean.data(), clean.size()));
+    while (auto m = ref.next()) originals.push_back(std::move(*m));
+    ASSERT_EQ(originals.size(), 5u);
+  }
+
+  util::Xoshiro256 rng(0xF022u);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<std::uint8_t> bytes = clean;
+    const auto mode = rng.uniform_int(3);  // 0: flips, 1: truncate, 2: both
+    if (mode != 0) {
+      bytes.resize(1 + rng.uniform_int(bytes.size() - 1));
+    }
+    if (mode != 1) {
+      const auto flips = 1 + rng.uniform_int(4);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        const auto at = rng.uniform_int(bytes.size());
+        bytes[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+      }
+    }
+
+    cluster::MessageReader reader;
+    std::size_t parsed = 0;
+    bool refused = false;
+    std::size_t off = 0;
+    while (off < bytes.size() && !refused) {
+      const std::size_t chunk =
+          std::min(bytes.size() - off,
+                   static_cast<std::size_t>(1 + rng.uniform_int(16)));
+      refused = !reader.feed(bytes.data() + off, chunk);
+      off += chunk;
+      while (auto m = reader.next()) {
+        ASSERT_LT(parsed, originals.size()) << "iter " << iter;
+        EXPECT_EQ(m->type, originals[parsed].type) << "iter " << iter;
+        EXPECT_EQ(m->payload, originals[parsed].payload) << "iter " << iter;
+        ++parsed;
+      }
+    }
+    if (refused) {
+      EXPECT_TRUE(reader.broken());
+      // Latched: clean bytes afterwards must not revive the stream.
+      EXPECT_FALSE(reader.feed(clean.data(), clean.size()));
+      EXPECT_FALSE(reader.next().has_value());
+    }
+  }
 }
 
 TEST(ClusterProtocol, AdminCodecsRoundTrip) {
@@ -733,7 +812,304 @@ TEST(RouterCluster, GracefulShutdownLosesNoAcceptedFrame) {
   EXPECT_TRUE(led.fifo_ok);
 }
 
+// ---- RouterJournal -------------------------------------------------------
+
+std::string journal_path(const char* tag) {
+  return "/tmp/reads-test-journal-" + std::to_string(::getpid()) + "-" + tag;
+}
+
+TEST(RouterJournal, RecordReplayRoundTrips) {
+  const auto path = journal_path("roundtrip");
+  ::unlink(path.c_str());
+  {
+    cluster::RouterJournal j(path);
+    ASSERT_TRUE(j.open());
+    j.record_node({1, "tcp:127.0.0.1:9001", true});
+    j.record_node({2, "tcp:127.0.0.1:9002", true});
+    j.record_slo({2.5, 80.0, 0.8});
+    j.record_node({2, "", false});  // removed: last writer wins
+    j.record_node({3, "uds:/tmp/r3.sock", true});
+    j.record_reply(5, 42, {1, 2, 3, 4});
+    j.record_reply(6, 43, {9, 8});
+  }
+  const auto state = cluster::RouterJournal::replay(path);
+  ASSERT_EQ(state.nodes.size(), 2u);  // node 2's removal erased it
+  EXPECT_EQ(state.nodes[0].node, 1u);
+  EXPECT_EQ(state.nodes[0].endpoint, "tcp:127.0.0.1:9001");
+  EXPECT_EQ(state.nodes[1].node, 3u);
+  EXPECT_EQ(state.nodes[1].endpoint, "uds:/tmp/r3.sock");
+  EXPECT_EQ(state.max_node_id, 3u);
+  ASSERT_TRUE(state.slo.has_value());
+  EXPECT_DOUBLE_EQ(state.slo->hard_deadline_ms, 2.5);
+  EXPECT_DOUBLE_EQ(state.slo->best_effort_deadline_ms, 80.0);
+  EXPECT_DOUBLE_EQ(state.slo->admission_margin, 0.8);
+  ASSERT_EQ(state.replies.size(), 2u);
+  EXPECT_EQ(state.replies[0].stream, 5u);
+  EXPECT_EQ(state.replies[0].req_id, 42u);
+  EXPECT_EQ(state.replies[0].reply, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(state.replies[1].req_id, 43u);
+  ::unlink(path.c_str());
+}
+
+TEST(RouterJournal, TornTailIsDiscardedNotTrusted) {
+  const auto path = journal_path("torn");
+  ::unlink(path.c_str());
+  {
+    cluster::RouterJournal j(path);
+    j.record_reply(1, 10, {0xAA, 0xBB});
+    j.record_reply(1, 11, {0xCC});
+    j.record_reply(1, 12, {0xDD, 0xEE, 0xFF});
+  }
+  // A SIGKILL mid-append leaves a short final record: chop off its tail.
+  struct ::stat st = {};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(path.c_str(), st.st_size - 3), 0);
+
+  const auto state = cluster::RouterJournal::replay(path);
+  ASSERT_EQ(state.replies.size(), 2u);  // the torn third is dropped
+  EXPECT_EQ(state.replies[0].req_id, 10u);
+  EXPECT_EQ(state.replies[1].req_id, 11u);
+  ::unlink(path.c_str());
+}
+
+TEST(RouterJournal, MissingFileReplaysEmpty) {
+  const auto state =
+      cluster::RouterJournal::replay(journal_path("never-written"));
+  EXPECT_TRUE(state.nodes.empty());
+  EXPECT_TRUE(state.replies.empty());
+  EXPECT_FALSE(state.slo.has_value());
+}
+
+// ---- RouterFailover: dedup, rebind, stall defense, journal recovery ------
+
+TEST(RouterFailover, DuplicateSubmitIsServedIdenticalBytesFromDedup) {
+  ReplicaProc a(kMonitors, 0us);
+  RouterRun run(router_config({a.endpoint}));
+  cluster::ClusterClient client(run.router.bound().str());
+
+  const auto tick = make_tick(4, 0);
+  ASSERT_TRUE(client.submit(tick));
+  auto first = client.poll(10000.0);
+  ASSERT_TRUE(first && first->type == cluster::MsgType::kResult);
+
+  // Same (stream, req_id) again: the answer must come from the dedup
+  // window, byte-for-byte identical — the tick is NOT re-executed.
+  ASSERT_TRUE(client.submit(tick));
+  auto second = client.poll(10000.0);
+  ASSERT_TRUE(second && second->type == cluster::MsgType::kResult);
+  EXPECT_EQ(second->payload, first->payload);
+
+  EXPECT_GE(scan_counter(run.router.stats_json(), "dedup_hits"), 1u);
+}
+
+TEST(RouterFailover, ResubmissionAfterClientDeathRebindsOrDedups) {
+  ReplicaProc a(kMonitors, 20ms);  // slow enough that the job is in flight
+  RouterRun run(router_config({a.endpoint}));
+
+  const auto tick = make_tick(2, 0);
+  {
+    cluster::ClusterClient doomed(run.router.bound().str());
+    ASSERT_TRUE(doomed.submit(tick));
+    // Give the router time to read + dispatch, then vanish unannounced.
+    std::this_thread::sleep_for(5ms);
+  }
+  cluster::ClusterClient heir(run.router.bound().str());
+  ASSERT_TRUE(heir.submit(tick));
+  auto msg = heir.poll(10000.0);
+  ASSERT_TRUE(msg && msg->type == cluster::MsgType::kResult);
+  const auto r = cluster::decode_result(msg->payload);
+  EXPECT_EQ(r.id, tick.req_id);
+  EXPECT_EQ(r.data, expected_output(tick_counts(2, 0)));
+
+  // Depending on timing the duplicate lands while the job is in flight
+  // (rebind) or after it finished (dedup); either path is exactly-once.
+  const auto stats = run.router.stats_json();
+  EXPECT_GE(scan_counter(stats, "inflight_rebinds") +
+                scan_counter(stats, "dedup_hits"),
+            1u);
+}
+
+TEST(RouterFailover, StalledReplicaIsQuarantinedAndJobsRedispatched) {
+  ReplicaProc real(kMonitors, 0us);
+  SilentReplica sink;  // reads jobs forever, never answers, never closes
+
+  // Pick streams the ring pins to the sink (node 2) so the stall defense is
+  // the only thing that can save them.
+  cluster::HashRing sim(64);
+  sim.add(1);
+  sim.add(2);
+  std::vector<std::uint64_t> streams;
+  for (std::uint64_t s = 0; s < 32 && streams.size() < 4; ++s) {
+    if (sim.owner(s) == 2) streams.push_back(s);
+  }
+  ASSERT_FALSE(streams.empty());
+
+  auto cfg = router_config({real.endpoint, sink.endpoint()});
+  cfg.stall_timeout_ms = 200.0;  // a slow-loris peer is cut off quickly
+  cfg.reconnect_attempts = 1;
+  cfg.reconnect_backoff_initial_ms = 10.0;
+  cfg.reconnect_backoff_max_ms = 20.0;
+  RouterRun run(std::move(cfg));
+
+  cluster::ClusterClient client(run.router.bound().str());
+  Ledger led;
+  for (std::uint32_t seq = 0; seq < 2; ++seq) {
+    for (const auto stream : streams) submit_tick(client, led, stream, seq);
+  }
+  drain_all(client, led);
+
+  EXPECT_EQ(led.terminal(), led.submitted);
+  EXPECT_EQ(led.results, led.submitted);  // re-executed on the live node
+  EXPECT_EQ(led.duplicated(), 0u);
+  EXPECT_EQ(led.mismatched, 0u);
+
+  const auto stats = run.router.stats_json();
+  EXPECT_GE(scan_counter(stats, "stalled_peers"), 1u);
+  EXPECT_GE(scan_counter(stats, "redispatched_jobs"), 1u);
+}
+
+TEST(RouterFailover, MalformedEnvelopeGetsDisconnected) {
+  ReplicaProc a(kMonitors, 0us);
+  RouterRun run(router_config({a.endpoint}));
+
+  auto fd = cluster::connect_to(run.router.bound(), 2000.0);
+  std::vector<std::uint8_t> out;
+  cluster::append_hello(out, {cluster::Role::kClient,
+                              cluster::kProtocolVersion});
+  // An envelope claiming a 4 GiB payload: implausible, instant disconnect.
+  const std::size_t at = out.size();
+  out.resize(out.size() + cluster::kEnvelopeHeader, 0);
+  out[at] = 0xff;
+  out[at + 1] = 0xff;
+  out[at + 2] = 0xff;
+  out[at + 3] = 0xff;
+  ASSERT_TRUE(cluster::write_all(fd.get(), out.data(), out.size(), 2000.0));
+
+  // The router must hang up on us (EOF), not keep buffering garbage.
+  const auto t0 = Clock::now();
+  bool hung_up = false;
+  std::uint8_t buf[256];
+  while (elapsed_ms(t0) < 10000.0 && !hung_up) {
+    cluster::Poller poller;
+    poller.want(fd.get(), true, false);
+    poller.wait(50);
+    hung_up = cluster::read_some(fd.get(), buf, sizeof(buf)) < 0;
+  }
+  EXPECT_TRUE(hung_up);
+  EXPECT_GE(scan_counter(run.router.stats_json(), "malformed_disconnects"),
+            1u);
+}
+
+TEST(RouterFailover, JournalRecoveryServesDedupAcrossRestart) {
+  const auto path = journal_path("recovery");
+  ::unlink(path.c_str());
+  ReplicaProc a(kMonitors, 0us);
+  const auto tick = make_tick(8, 1);
+
+  std::string endpoint;
+  std::vector<std::uint8_t> first_payload;
+  {
+    auto cfg = router_config({a.endpoint});
+    cfg.journal_path = path;
+    RouterRun run(std::move(cfg));
+    endpoint = run.router.bound().str();
+    cluster::ClusterClient client(endpoint);
+    ASSERT_TRUE(client.submit(tick));
+    auto msg = client.poll(10000.0);
+    ASSERT_TRUE(msg && msg->type == cluster::MsgType::kResult);
+    first_payload = msg->payload;
+  }  // router gone; journal remembers the replica and the answer
+
+  auto cfg = router_config({});  // membership comes from the journal alone
+  cfg.listen = cluster::Endpoint::parse(endpoint);
+  cfg.journal_path = path;
+  RouterRun run(std::move(cfg));
+
+  cluster::ClusterClient client(endpoint);
+  ASSERT_TRUE(client.submit(tick));  // the resubmission a real client sends
+  auto msg = client.poll(10000.0);
+  ASSERT_TRUE(msg && msg->type == cluster::MsgType::kResult);
+  EXPECT_EQ(msg->payload, first_payload);  // bit-identical across death
+
+  const auto stats = run.router.stats_json();
+  EXPECT_GE(scan_counter(stats, "journal_recovered_nodes"), 1u);
+  EXPECT_GE(scan_counter(stats, "journal_recovered_replies"), 1u);
+  EXPECT_GE(scan_counter(stats, "dedup_hits"), 1u);
+  ::unlink(path.c_str());
+}
+
+TEST(RouterFailover, ResilientClientRidesThroughRouterRestart) {
+  const auto path = journal_path("resilient");
+  ::unlink(path.c_str());
+  ReplicaProc a(kMonitors, 0us);
+
+  cluster::ResilientClientConfig ccfg;
+  ccfg.connect_timeout_ms = 300.0;
+  ccfg.backoff_initial_ms = 5.0;
+  ccfg.backoff_max_ms = 50.0;
+  std::string endpoint;
+  {
+    auto cfg = router_config({a.endpoint});
+    cfg.journal_path = path;
+    RouterRun run(std::move(cfg));
+    endpoint = run.router.bound().str();
+    cluster::ResilientClient rc(endpoint, ccfg);
+    for (std::uint32_t seq = 0; seq < 3; ++seq) {
+      ASSERT_TRUE(rc.submit(make_tick(7, seq)));
+      auto msg = rc.poll(10000.0);
+      ASSERT_TRUE(msg && msg->type == cluster::MsgType::kResult);
+    }
+    EXPECT_EQ(rc.unacked(), 0u);
+
+    // Router dies between scopes; the client keeps the next tick queued.
+    run.router.request_stop();
+    run.thread.join();
+    rc.submit(make_tick(7, 3));  // router is down: queued, not lost
+    EXPECT_EQ(rc.unacked(), 1u);
+
+    auto cfg2 = router_config({});
+    cfg2.listen = cluster::Endpoint::parse(endpoint);
+    cfg2.journal_path = path;
+    RouterRun revived(std::move(cfg2));
+
+    std::optional<cluster::Message> msg;
+    const auto t0 = Clock::now();
+    while (!msg && elapsed_ms(t0) < 15000.0) msg = rc.poll(250.0);
+    ASSERT_TRUE(msg && msg->type == cluster::MsgType::kResult);
+    const auto r = cluster::decode_result(msg->payload);
+    EXPECT_EQ(r.id, make_tick(7, 3).req_id);
+    EXPECT_EQ(r.data, expected_output(tick_counts(7, 3)));
+    EXPECT_GE(rc.reconnects(), 2u);   // initial connect + post-restart
+    EXPECT_GE(rc.resubmissions(), 1u);
+    EXPECT_EQ(rc.unacked(), 0u);
+  }
+  ::unlink(path.c_str());
+}
+
 // ---- RouterAdmin: thread-safe API under concurrent traffic (TSan) -------
+
+TEST(RouterAdmin, StatsReplyDoesNotDropInterleavedResults) {
+  // Regression: waiting for an admin reply on a connection that also
+  // carries traffic used to discard any result that arrived first. The
+  // client now buffers non-matching messages and serves them from the
+  // next poll().
+  ReplicaProc a(kMonitors, 0us);
+  RouterRun run(router_config({a.endpoint}));
+  cluster::ClusterClient client(run.router.bound().str());
+
+  const auto tick = make_tick(1, 0);
+  ASSERT_TRUE(client.submit(tick));
+  // Let the result land in our socket before the stats request goes out,
+  // so wait_for(kStatsReply) must read past it.
+  std::this_thread::sleep_for(100ms);
+  const auto stats = client.stats(10000.0);
+  EXPECT_NE(stats.find("cluster_counters"), std::string::npos);
+
+  auto msg = client.poll(5000.0);
+  ASSERT_TRUE(msg.has_value());  // the result survived the admin exchange
+  ASSERT_EQ(msg->type, cluster::MsgType::kResult);
+  EXPECT_EQ(cluster::decode_result(msg->payload).id, tick.req_id);
+}
 
 TEST(RouterAdmin, StatsAndMembershipConcurrentWithTraffic) {
   ReplicaProc a(kMonitors, 0us);

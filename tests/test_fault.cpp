@@ -15,9 +15,12 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/io.hpp"
 #include "core/facility_node.hpp"
 #include "fault/chaos_backend.hpp"
 #include "fault/injector.hpp"
+#include "fault/net_chaos.hpp"
+#include "fault/net_plan.hpp"
 #include "fault/plan.hpp"
 #include "net/assembler.hpp"
 #include "net/hub.hpp"
@@ -491,6 +494,189 @@ TEST(FaultPipeline, WatchdogRetryIsBitIdenticalAndWedgeFallsBackDegraded) {
     }
     EXPECT_EQ(node.deblender().soc().fallback_frames(), 1u);
   }
+}
+
+// --------------------------------------------------------------- NetPlan
+
+bool same_net_events(const fault::NetPlan& a, const fault::NetPlan& b) {
+  if (a.events().size() != b.events().size()) return false;
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    const auto& x = a.events()[i];
+    const auto& y = b.events()[i];
+    if (x.kind != y.kind || x.site != y.site || x.start_op != y.start_op ||
+        x.duration_ops != y.duration_ops) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(NetPlan, ScenarioIsDeterministicInSeedAndName) {
+  fault::NetScenarioParams p;
+  p.seed = 99;
+  p.ops = 200;
+  p.sites = 3;
+  for (const auto& name : fault::NetPlan::scenario_names()) {
+    EXPECT_TRUE(same_net_events(fault::NetPlan::scenario(name, p),
+                                fault::NetPlan::scenario(name, p)))
+        << name;
+  }
+  auto p2 = p;
+  p2.seed = 100;
+  EXPECT_FALSE(same_net_events(fault::NetPlan::scenario("torn", p),
+                               fault::NetPlan::scenario("torn", p2)));
+}
+
+TEST(NetPlan, WindowsStayInsideTheMiddleBand) {
+  // Every scheduled window leaves a clean ramp before op ops/10 and a
+  // clean tail after 8*ops/10 — a reconnected site must get fault-free
+  // ops to resubmit through.
+  fault::NetScenarioParams p;
+  p.seed = 7;
+  p.ops = 400;
+  p.sites = 4;
+  for (const char* name :
+       {"torn", "short_write", "eagain", "corrupt", "stall", "net_storm"}) {
+    const auto plan = fault::NetPlan::scenario(name, p);
+    EXPECT_FALSE(plan.empty()) << name;
+    for (const auto& e : plan.events()) {
+      EXPECT_GE(e.start_op, p.ops / 10) << name;
+      EXPECT_LE(e.start_op + e.duration_ops, (8 * p.ops) / 10 + 1) << name;
+      EXPECT_LT(e.site, p.sites) << name;
+    }
+  }
+}
+
+TEST(NetPlan, EverySiteParticipatesAndStormHasAllKinds) {
+  fault::NetScenarioParams p;
+  p.seed = 3;
+  p.ops = 300;
+  p.sites = 5;
+  const auto torn = fault::NetPlan::scenario("torn", p);
+  std::set<std::size_t> sites;
+  for (const auto& e : torn.events()) sites.insert(e.site);
+  EXPECT_EQ(sites.size(), p.sites);
+
+  const auto storm = fault::NetPlan::scenario("net_storm", p);
+  for (const auto kind :
+       {fault::NetFaultKind::kConnReset, fault::NetFaultKind::kShortWrite,
+        fault::NetFaultKind::kEagainStorm, fault::NetFaultKind::kByteCorrupt,
+        fault::NetFaultKind::kStall}) {
+    EXPECT_TRUE(storm.any(kind)) << to_string(kind);
+  }
+  EXPECT_TRUE(fault::NetPlan::scenario("net_none", p).empty());
+  EXPECT_THROW(fault::NetPlan::scenario("bogus", p), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- NetInjector
+
+TEST(NetInjector, DecisionsAreAPureFunctionOfSeedSiteAndOp) {
+  // Two injectors with the same plan and seed, driven through the same
+  // fd open order and op sequence, make bit-identical verdicts — no
+  // sockets needed, the IoTap surface is plain calls.
+  fault::NetScenarioParams p;
+  p.seed = 21;
+  p.ops = 100;
+  p.sites = 2;
+  const auto plan = fault::NetPlan::scenario("short_write", p);
+  fault::NetInjector x(plan, p.seed);
+  fault::NetInjector y(plan, p.seed);
+  x.on_open(10, true);
+  y.on_open(44, true);  // different fd, same open order = same site
+  for (std::uint64_t op = 0; op < p.ops; ++op) {
+    EXPECT_EQ(x.gate_write(10, 64), y.gate_write(44, 64)) << op;
+  }
+  EXPECT_EQ(x.injected_total(), y.injected_total());
+  EXPECT_GT(x.injected(fault::NetFaultKind::kShortWrite), 0u);
+}
+
+TEST(NetInjector, UntrackedFdsAndDisabledTapPassThrough) {
+  fault::NetScenarioParams p;
+  p.seed = 5;
+  p.ops = 50;
+  p.sites = 1;
+  fault::NetInjector inj(fault::NetPlan::scenario("eagain", p), p.seed);
+
+  // Never on_open()ed: transparent regardless of the plan.
+  for (std::uint64_t op = 0; op < p.ops; ++op) {
+    EXPECT_EQ(inj.gate_write(99, 128), 128);
+    EXPECT_TRUE(inj.gate_read(99));
+  }
+  EXPECT_EQ(inj.injected_total(), 0u);
+
+  // Tracked but disabled: ops still advance (site clocks keep ticking so a
+  // re-enable lands where the schedule says), yet nothing is injected.
+  inj.on_open(7, true);
+  inj.enable(false);
+  for (std::uint64_t op = 0; op < p.ops; ++op) {
+    EXPECT_EQ(inj.gate_write(7, 128), 128);
+    EXPECT_TRUE(inj.gate_read(7));
+  }
+  EXPECT_EQ(inj.injected_total(), 0u);
+}
+
+TEST(NetInjector, TornConnectionFragmentsThenTears) {
+  // kConnReset windows are two ops wide: the first hit lets a short
+  // fragment through (the tear must land mid-envelope on the peer), the
+  // second returns kTear.
+  fault::NetPlan plan;
+  plan.add({fault::NetFaultKind::kConnReset, 0, 4, 2});
+  fault::NetInjector inj(plan, 77);
+  inj.on_open(3, true);
+  for (std::uint64_t op = 0; op < 4; ++op) {
+    EXPECT_EQ(inj.gate_write(3, 100), 100) << op;
+  }
+  const auto fragment = inj.gate_write(3, 100);  // op 4: armed, short
+  EXPECT_GT(fragment, 0);
+  EXPECT_LT(fragment, 100);
+  EXPECT_EQ(inj.gate_write(3, 100), fault::NetInjector::kTear);  // op 5
+  EXPECT_EQ(inj.gate_write(3, 100), 100);  // past the window: clean again
+  EXPECT_EQ(inj.injected(fault::NetFaultKind::kConnReset), 1u);
+}
+
+TEST(NetInjector, RefusalScheduleTracksConnectAttempts) {
+  fault::NetPlan plan;
+  // Refuse the first two connect attempts against the first endpoint seen.
+  plan.add({fault::NetFaultKind::kConnectRefuse, 0, 0, 2});
+  fault::NetInjector inj(plan, 13);
+  const auto ep = cluster::Endpoint::parse("tcp:127.0.0.1:9999");
+  EXPECT_TRUE(inj.refuse_connect(ep));
+  EXPECT_TRUE(inj.refuse_connect(ep));
+  EXPECT_FALSE(inj.refuse_connect(ep));  // third attempt goes through
+  // A different endpoint is a different connect-site: untouched by site 0.
+  const auto other = cluster::Endpoint::parse("tcp:127.0.0.1:9998");
+  EXPECT_FALSE(inj.refuse_connect(other));
+  EXPECT_EQ(inj.injected(fault::NetFaultKind::kConnectRefuse), 2u);
+}
+
+TEST(NetInjector, CorruptionFlipsBitsOnlyInsideTheWindow) {
+  fault::NetPlan plan;
+  plan.add({fault::NetFaultKind::kByteCorrupt, 0, 0, 64});
+  fault::NetInjector inj(plan, 31);
+  inj.on_open(8, true);
+  std::size_t flipped = 0;
+  for (std::uint64_t op = 0; op < 64; ++op) {
+    std::vector<std::uint8_t> buf(32, 0xA5);
+    ASSERT_EQ(inj.gate_write(8, buf.size()),
+              static_cast<std::ptrdiff_t>(buf.size()));
+    inj.mangle_write(8, buf.data(), buf.size());
+    std::size_t diff = 0;
+    for (const auto b : buf) {
+      if (b != 0xA5) ++diff;
+    }
+    EXPECT_LE(diff, 1u) << op;  // at most one bit in one byte per write
+    flipped += diff;
+  }
+  EXPECT_GT(flipped, 0u);
+  EXPECT_EQ(inj.injected(fault::NetFaultKind::kByteCorrupt), flipped);
+
+  // Outside any window nothing is ever touched.
+  std::vector<std::uint8_t> clean(32, 0x5A);
+  ASSERT_EQ(inj.gate_write(8, clean.size()),
+            static_cast<std::ptrdiff_t>(clean.size()));
+  inj.mangle_write(8, clean.data(), clean.size());
+  EXPECT_TRUE(std::all_of(clean.begin(), clean.end(),
+                          [](std::uint8_t b) { return b == 0x5A; }));
 }
 
 }  // namespace

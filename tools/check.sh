@@ -49,6 +49,16 @@ echo "== cluster gates (multi-process exactness / live resharding) =="
 # runners instead of failing.
 (cd build && ./bench/bench_cluster --quick --out=BENCH_cluster.json)
 
+echo "== chaos-cluster gates (network faults / failover / exactly-once) =="
+# The same multi-process tier with a hostile wire and dying processes: every
+# socket-fault scenario (torn, short_write, eagain, corrupt, refuse, stall)
+# injected client-side, a replica SIGKILL, a router SIGKILL + journal
+# recovery on the same endpoint, and a router-side net_storm — over both
+# transports. Exits non-zero on a lost/duplicated/bit-divergent accepted
+# frame, a scenario that failed to inject, a client that never had to
+# reconnect, or a restart that failed to recover journaled membership.
+(cd build && ./bench/bench_chaos_cluster --quick --out=BENCH_chaos_cluster.json)
+
 echo "== sanitizer build (address,undefined) =="
 cmake -B build-asan -S . -DREADS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)"
@@ -61,9 +71,11 @@ cmake --build build-tsan -j"$(nproc)" \
 # Model-cache-backed integration tests (DeblendServing, FaultPipeline) are
 # covered by the plain and ASan runs; under TSan we run the
 # pure-concurrency suites, including the scheduled-crash recovery path,
-# the lifecycle registry/requalifier publication races, and the router's
-# connection table (admin add/remove + stats concurrent with traffic).
+# the lifecycle registry/requalifier publication races, the router's
+# connection table (admin add/remove + stats concurrent with traffic), and
+# the failover machinery (stall quarantine + redispatch, journal recovery
+# across an in-process restart, resilient-client reconnect/resubmit).
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-  -R 'BoundedQueue|Replica|GatewayTest|ServeMetrics|ThreadPool|Stats|Histogram|Percentiles|FaultPlan|FaultInjector|ChaosServe|ModelRegistry|Requalifier|DriftMonitor|RouterCluster|RouterAdmin|ClusterProtocol|HashRing')
+  -R 'BoundedQueue|Replica|GatewayTest|ServeMetrics|ThreadPool|Stats|Histogram|Percentiles|FaultPlan|FaultInjector|NetPlan|NetInjector|ChaosServe|ModelRegistry|Requalifier|DriftMonitor|RouterCluster|RouterAdmin|RouterFailover|RouterJournal|ClusterProtocol|HashRing')
 
 echo "== all checks passed =="
