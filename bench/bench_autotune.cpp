@@ -1,0 +1,211 @@
+// Precision/reuse autotuner campaign (ROADMAP item 2, src/autotune/).
+//
+// Searches the joint per-layer <W, I, reuse> space of the deployed U-Net
+// from the layer_based_config seed point, under the Arria-10 device budget
+// and the paper's 3 ms control deadline, and emits the validated
+// accuracy/latency/ALUT/DSP/BRAM Pareto front as BENCH_autotune.json.
+//
+// Gates (exit non-zero on any failure):
+//   * front:     >= --min_front validated, mutually non-dominated points;
+//   * dominance: the selected point dominates the layer_based_config
+//                baseline (>= accuracy on both channels AND lower predicted
+//                latency or no-worse/strictly-better resources), both under
+//                the device budget and the deadline;
+//   * surrogate: Spearman rank correlation of predicted-vs-measured cost
+//                >= --min_spearman over >= --min_scored validated pairs.
+//
+// Deterministic: one (--seed, --tune_seed) pair reproduces the whole
+// campaign bit-for-bit, regardless of --threads.
+//
+//   ./bench_autotune [--tune_quick] [--tune_budget=N] [--tune_seed=N]
+//                    [--out=BENCH_autotune.json]
+#include <fstream>
+#include <sstream>
+
+#include "autotune/evaluator.hpp"
+#include "autotune/tuner.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reads;
+  util::Cli cli(argc, argv);
+  if (cli.get_bool("help", false)) {
+    std::cout << "bench_autotune: surrogate-guided precision/reuse search\n"
+              << bench::StandardFlags::help();
+    return 0;
+  }
+  auto flags = bench::StandardFlags::parse(cli);
+  const std::string out_path = cli.get_string("out", "BENCH_autotune.json");
+  const auto min_front =
+      static_cast<std::size_t>(cli.get_int("min_front", 8));
+  const double min_spearman = cli.get_double("min_spearman", 0.7);
+  const auto min_scored =
+      static_cast<std::size_t>(cli.get_int("min_scored", 8));
+  const bool cli_dump_pairs = cli.get_bool("dump_pairs", false);
+  cli.check_unknown();
+  flags.apply_threads();
+
+  const bool quick = flags.tune_quick;
+  const std::size_t frame_count = quick ? 24 : 48;
+
+  bench::print_header(
+      "bench_autotune",
+      "joint <W, I, reuse> search seeded at layer-based PTQ (Table II row 3) "
+      "under the Arria 10 budget (Table III) and the 3 ms control deadline");
+
+  // The deployed U-Net; held-out evaluation frames are drawn from a stream
+  // disjoint from the PTQ calibration frames (opts.seed + 1).
+  bench::DeployedUnet unet;
+  const auto eval_frames = unet.eval_inputs(frame_count, flags.seed + 2);
+
+  autotune::SearchSpace space(unet.deployed_firmware(16));
+  autotune::Evaluator evaluator(space, unet.bundle.model, eval_frames);
+
+  autotune::TuneConfig tune;
+  tune.budget = flags.tune_budget != 0 ? flags.tune_budget : (quick ? 36 : 64);
+  tune.proposals_per_round = quick ? 32 : 48;
+  tune.shortlist = quick ? 4 : 6;
+  // Quick mode validates fewer points per round, so a second off-policy
+  // explorer keeps the scored pairs spread over a wide enough cost range
+  // for the rank-correlation gate to measure signal, not frame noise.
+  tune.explorers = quick ? 2 : 1;
+  tune.seed = flags.tune_seed;
+
+  std::cout << "search: " << space.tunable_layers().size()
+            << " tunable layers, budget " << tune.budget << " validations, "
+            << frame_count << " held-out frames, tuner seed " << tune.seed
+            << (quick ? " (quick)" : "") << "\n\n";
+
+  const auto outcome = autotune::Autotuner(space, evaluator, tune).run();
+  const auto& base = outcome.baseline();
+  const auto* selected = outcome.selected();
+
+  const auto row = [](const autotune::Validation& v) {
+    return std::vector<std::string>{
+        util::Table::fmt(v.quant_err() * 1e3, 3),
+        util::Table::fmt(v.accuracy_mi, 4),
+        util::Table::fmt(v.accuracy_rr, 4),
+        util::Table::fmt(v.cheap.latency_ms, 3) + " ms",
+        util::Table::pct(v.cheap.alut_utilization, 0),
+        std::to_string(v.cheap.dsps),
+        std::to_string(v.cheap.ram_blocks),
+        v.cheap.feasible() ? "yes" : "NO"};
+  };
+  util::Table t({"point", "err x1e3", "acc MI", "acc RR", "latency",
+                 "ALUT %", "DSPs", "RAM", "feasible?"});
+  {
+    auto r = row(base.result);
+    r.insert(r.begin(), "baseline");
+    t.add_row(r);
+  }
+  for (std::size_t i = 0; i < outcome.front.size(); ++i) {
+    const auto& ev = outcome.evaluated[outcome.front[i].eval_index];
+    auto r = row(ev.result);
+    std::string label = "front[" + std::to_string(i) + "]";
+    if (selected && ev.index == selected->index) label += " *";
+    if (ev.index == base.index) label += " (baseline)";
+    r.insert(r.begin(), std::move(label));
+    t.add_row(r);
+  }
+  t.print(std::cout);
+  std::cout << "(* = selected point)\n\n";
+
+  std::cout << "evaluated " << outcome.evaluated.size() << "/" << tune.budget
+            << " candidates in " << outcome.rounds << " rounds ("
+            << outcome.proposals << " proposals, "
+            << outcome.infeasible_skipped << " infeasible, "
+            << outcome.duplicates_skipped << " duplicates screened out)\n";
+  if (cli_dump_pairs) {
+    for (const auto& [p, m] : outcome.scored) {
+      std::cout << "PAIR " << p << " " << m << "\n";
+    }
+  }
+  std::cout << "surrogate: " << outcome.scored_pairs
+            << " predicted-then-measured pairs, Spearman "
+            << util::Table::fmt(outcome.spearman_rank, 3) << "\n";
+  if (selected) {
+    std::cout << "selected: latency "
+              << util::Table::fmt(selected->result.cheap.latency_ms, 3)
+              << " ms vs baseline "
+              << util::Table::fmt(base.result.cheap.latency_ms, 3)
+              << " ms, ALUT "
+              << util::Table::pct(selected->result.cheap.alut_utilization, 1)
+              << " vs " << util::Table::pct(base.result.cheap.alut_utilization, 1)
+              << "\n";
+  } else {
+    std::cout << "selected: none (no candidate dominates the baseline)\n";
+  }
+
+  const bool g_front = outcome.front.size() >= min_front;
+  const bool g_dominance = outcome.selected_dominates && selected &&
+                           selected->result.cheap.feasible() &&
+                           base.result.cheap.feasible();
+  const bool g_surrogate = outcome.scored_pairs >= min_scored &&
+                           outcome.spearman_rank >= min_spearman;
+  const bool ok = g_front && g_dominance && g_surrogate;
+  const auto flag = [](bool b) { return b ? "pass" : "FAIL"; };
+  std::cout << "gates: front>=" << min_front << " " << flag(g_front)
+            << ", dominates-baseline " << flag(g_dominance) << ", spearman>="
+            << min_spearman << " " << flag(g_surrogate) << "\n";
+
+  const auto point_json = [&](const autotune::EvaluatedCandidate& ev) {
+    std::ostringstream p;
+    const auto& v = ev.result;
+    p << "{\"index\": " << ev.index << ", \"quant_err\": " << v.quant_err()
+      << ", \"accuracy_mi\": " << v.accuracy_mi
+      << ", \"accuracy_rr\": " << v.accuracy_rr
+      << ", \"latency_ms\": " << v.cheap.latency_ms
+      << ", \"aluts\": " << v.cheap.aluts << ", \"dsps\": " << v.cheap.dsps
+      << ", \"ram_blocks\": " << v.cheap.ram_blocks
+      << ", \"alut_utilization\": " << v.cheap.alut_utilization
+      << ", \"feasible\": " << (v.cheap.feasible() ? "true" : "false") << "}";
+    return p.str();
+  };
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"autotune\",\n  \"quick\": "
+       << (quick ? "true" : "false") << ",\n  \"seed\": " << flags.seed
+       << ",\n  \"tune_seed\": " << tune.seed << ",\n  \"frames\": "
+       << frame_count << ",\n  \"budget\": " << tune.budget
+       << ",\n  \"evaluated\": " << outcome.evaluated.size()
+       << ",\n  \"rounds\": " << outcome.rounds << ",\n  \"proposals\": "
+       << outcome.proposals << ",\n  \"infeasible_skipped\": "
+       << outcome.infeasible_skipped << ",\n  \"duplicates_skipped\": "
+       << outcome.duplicates_skipped << ",\n  \"baseline\": "
+       << point_json(base) << ",\n  \"selected\": ";
+  if (selected) {
+    const auto cfg = space.materialize(selected->candidate);
+    json << "{\n    \"point\": " << point_json(*selected)
+         << ",\n    \"dominates_baseline\": true,\n    \"layers\": [";
+    bool first = true;
+    for (const auto& [name, gene] : selected->candidate.genes) {
+      const auto lq = cfg.quant.layer(name);
+      json << (first ? "" : ",") << "\n      {\"layer\": \"" << name
+           << "\", \"width\": " << gene.width
+           << ", \"act_int_bits\": " << lq.activation.int_bits
+           << ", \"weight_int_bits\": " << lq.weight.int_bits
+           << ", \"reuse\": " << gene.reuse << "}";
+      first = false;
+    }
+    json << "\n    ]\n  }";
+  } else {
+    json << "null";
+  }
+  json << ",\n  \"front\": [";
+  for (std::size_t i = 0; i < outcome.front.size(); ++i) {
+    json << (i ? "," : "") << "\n    "
+         << point_json(outcome.evaluated[outcome.front[i].eval_index]);
+  }
+  json << "\n  ],\n  \"surrogate\": {\"scored_pairs\": " << outcome.scored_pairs
+       << ", \"spearman\": " << outcome.spearman_rank
+       << ", \"min_spearman\": " << min_spearman
+       << "},\n  \"gates\": {\"front\": " << (g_front ? "true" : "false")
+       << ", \"min_front\": " << min_front
+       << ", \"dominates_baseline\": " << (g_dominance ? "true" : "false")
+       << ", \"surrogate_rank\": " << (g_surrogate ? "true" : "false")
+       << "},\n  \"pass\": " << (ok ? "true" : "false") << "\n}";
+  std::ofstream(out_path) << json.str() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  std::cout << (ok ? "AUTOTUNE GATES: all pass\n" : "AUTOTUNE GATES: FAILED\n");
+  return ok ? 0 : 1;
+}

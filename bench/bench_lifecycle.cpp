@@ -144,6 +144,9 @@ struct PhaseAResult {
   std::uint64_t bad_reconfig_ticks = 0;  ///< reconfig tick not degraded+HPS
   bool mutator_rejected = false;
   bool registry_all_passed = false;
+  /// Every requalified generation (version >= 2) went through the autotune
+  /// stage before its quality gates.
+  bool autotuned_published = false;
   bool epochs_monotone = true;
   std::vector<lifecycle::SwapRecord> swaps;
   std::vector<double> pre_mse;   ///< per swap: window before reconfig opened
@@ -164,7 +167,8 @@ struct PhaseAResult {
     return ran && cycles >= want_cycles && deadline_misses == 0 &&
            empty_decisions == 0 && bad_reconfig_ticks == 0 &&
            reconfig_ticks == cycles * window_frames && mutator_rejected &&
-           registry_all_passed && epochs_monotone && recovery_ok();
+           registry_all_passed && autotuned_published && epochs_monotone &&
+           recovery_ok();
   }
 };
 
@@ -234,6 +238,15 @@ int main(int argc, char** argv) {
   lc.requalify.total_bits = system.config().total_bits;
   lc.requalify.min_quant_accuracy = 0.90;
   lc.requalify.max_mse_ratio = 1.10;
+  // Requalification runs the precision/reuse autotuner before publishing:
+  // every post-drift generation ships a tuned <W, I, reuse> plan that
+  // cleared the same Arria-10 budget + 3 ms deadline guard the offline
+  // campaign (bench_autotune) enforces.
+  lc.requalify.autotune = true;
+  lc.requalify.tune.budget = quick ? 10 : 14;
+  lc.requalify.tune.proposals_per_round = 24;
+  lc.requalify.tune.shortlist = 3;
+  lc.requalify.tune.greedy_descent_steps = 2;
   lc.recent_capacity = quick ? 96 : 192;
   lc.min_frames = quick ? 64 : 128;
   lc.reconfig_window_ms = 40.0;
@@ -316,9 +329,15 @@ int main(int argc, char** argv) {
       mutator_armed && manager.rejected_candidates() > mutator_rejected_before;
 
   a.registry_all_passed = manager.registry().size() == a.cycles + 1;
+  a.autotuned_published = manager.registry().size() > 1;
   for (std::uint64_t v = 1; v <= manager.registry().size(); ++v) {
     auto artifact = manager.registry().version(v);
     if (!artifact || !artifact->report.passed) a.registry_all_passed = false;
+    // v1 is the pre-drift seed deployment; every requalified generation
+    // after it must have been published through the autotune stage.
+    if (v > 1 && (!artifact || !artifact->report.autotuned)) {
+      a.autotuned_published = false;
+    }
   }
 
   for (const auto& s : a.swaps) {
@@ -382,6 +401,7 @@ int main(int argc, char** argv) {
                     a.reconfig_ticks == a.cycles * a.window_frames)
             << ", bad-candidate-rejected " << flag(a.mutator_rejected)
             << ", registry-qualified " << flag(a.registry_all_passed)
+            << ", autotuned-published " << flag(a.autotuned_published)
             << ", epoch-step " << flag(a.epochs_monotone) << ", recovery "
             << flag(a.recovery_ok()) << "\n\n";
 
@@ -570,6 +590,8 @@ int main(int argc, char** argv) {
        << ",\n    \"reconfig_window_ticks\": " << a.window_frames
        << ",\n    \"reconfig_fallback_ticks\": " << a.reconfig_ticks
        << ",\n    \"deadline_misses\": " << a.deadline_misses
+       << ",\n    \"autotuned_published\": "
+       << (a.autotuned_published ? "true" : "false")
        << ",\n    \"wall_s\": " << a.wall_s << ",\n    \"swaps\": [";
   for (std::size_t i = 0; i < a.swaps.size(); ++i) {
     const auto& s = a.swaps[i];

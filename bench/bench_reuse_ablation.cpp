@@ -4,7 +4,14 @@
 // the default reuse factor of the deployed U-Net firmware and reports the
 // trade-off curve, including which configurations actually fit the device.
 //
+// The sweep drives the autotuner's SearchSpace/Evaluator cheap path (the
+// per-candidate skeleton screen) instead of a hand-rolled compile loop, and
+// regression-pins every emitted number against a direct compile of the same
+// configuration: any divergence between the tuner's screen and ground truth
+// exits non-zero.
+//
 //   ./bench_reuse_ablation [--seed=42]
+#include "autotune/evaluator.hpp"
 #include "common.hpp"
 
 int main(int argc, char** argv) {
@@ -22,31 +29,67 @@ int main(int argc, char** argv) {
   const auto quant =
       hls::layer_based_config(unet.bundle.model, unet.profile, 16);
 
+  // The deployed plan's serialized layers keep their 260 override across
+  // the sweep, exactly like the original hand-rolled loop (which swept
+  // default_reuse under ReusePolicy::deployed_unet()).
+  const auto deployed = hls::ReusePolicy::deployed_unet();
+  const autotune::SearchSpace space(unet.firmware(quant));
+  const autotune::Evaluator screen(space);  // cheap-only: no reference model
+
+  std::size_t pin_failures = 0;
   util::Table t({"default reuse", "mults", "ALUT %", "DSP %", "RAM blocks",
                  "IP cycles", "IP latency", "fits?", "meets 3 ms?"});
   for (std::size_t reuse : {4u, 8u, 16u, 32u, 64u, 128u, 260u}) {
+    autotune::Candidate c = space.baseline_candidate();
+    for (auto& [name, gene] : c.genes) {
+      const auto it = deployed.overrides.find(name);
+      gene.reuse = it != deployed.overrides.end() ? it->second : reuse;
+    }
+    c = space.clamped(std::move(c));
+    const auto e = screen.cheap(c);
+
+    // Regression pin: the skeleton screen must agree exactly with a full
+    // compile of the same configuration through the original flow.
     hls::HlsConfig cfg;
     cfg.quant = quant;
-    cfg.reuse = hls::ReusePolicy::deployed_unet();
+    cfg.reuse = deployed;
     cfg.reuse.default_reuse = reuse;
     const auto fw = hls::compile(unet.bundle.model, cfg);
     std::size_t mults = 0;
     for (const auto& l : fw.layers) mults += l.instantiated_mults;
     const auto res = hls::ResourceModel().estimate(fw);
     const auto lat = hls::LatencyModel().estimate(fw);
-    t.add_row({std::to_string(reuse), std::to_string(mults),
-               util::Table::pct(res.alut_utilization(), 0),
-               util::Table::pct(res.dsp_utilization(), 0),
-               std::to_string(res.total_ram_blocks),
-               std::to_string(lat.total_cycles),
-               util::Table::fmt(lat.total_ms(), 2) + " ms",
-               res.fits() ? "yes" : "NO",
-               lat.total_ms() <= 3.0 ? "yes" : "NO"});
+    if (e.mults != mults || e.aluts != res.total_aluts ||
+        e.dsps != res.total_dsps || e.ram_blocks != res.total_ram_blocks ||
+        e.total_cycles != lat.total_cycles || e.fits != res.fits()) {
+      ++pin_failures;
+      std::cout << "PIN MISMATCH at reuse " << reuse << ": screen {mults "
+                << e.mults << ", aluts " << e.aluts << ", dsps " << e.dsps
+                << ", ram " << e.ram_blocks << ", cycles " << e.total_cycles
+                << "} vs compile {mults " << mults << ", aluts "
+                << res.total_aluts << ", dsps " << res.total_dsps << ", ram "
+                << res.total_ram_blocks << ", cycles " << lat.total_cycles
+                << "}\n";
+    }
+
+    t.add_row({std::to_string(reuse), std::to_string(e.mults),
+               util::Table::pct(e.alut_utilization, 0),
+               util::Table::pct(e.dsp_utilization, 0),
+               std::to_string(e.ram_blocks),
+               std::to_string(e.total_cycles),
+               util::Table::fmt(e.latency_ms, 2) + " ms",
+               e.fits ? "yes" : "NO",
+               e.meets_deadline ? "yes" : "NO"});
   }
   t.print(std::cout);
   std::cout << "\nThe deployed configuration keeps reuse 32 where it is "
                "cheap and serializes the fat inner layers and the head at "
                "260 — the sweet spot that fits the device and the 3 ms "
                "budget simultaneously.\n";
+  if (pin_failures != 0) {
+    std::cout << "\nREUSE ABLATION: " << pin_failures
+              << " autotune-screen regression pin failure(s)\n";
+    return 1;
+  }
   return 0;
 }

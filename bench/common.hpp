@@ -58,6 +58,12 @@ struct StandardFlags {
   std::string listen;
   std::size_t replica_procs = 0;
   std::string transport = "both";
+  /// Autotune trio (bench_autotune; other benches parse and ignore them):
+  /// validation budget (0 = bench default), tuner seed (0 = reuse --seed)
+  /// and the CI-sized quick mode.
+  std::size_t tune_budget = 0;
+  std::uint64_t tune_seed = 0;
+  bool tune_quick = false;
 
   static StandardFlags parse(util::Cli& cli, double default_duration_s = 2.0) {
     StandardFlags f;
@@ -78,6 +84,10 @@ struct StandardFlags {
     f.replica_procs =
         static_cast<std::size_t>(cli.get_int("replica_procs", 0));
     f.transport = cli.get_string("transport", "both");
+    f.tune_budget = static_cast<std::size_t>(cli.get_int("tune_budget", 0));
+    f.tune_seed = static_cast<std::uint64_t>(cli.get_int("tune_seed", 0));
+    if (f.tune_seed == 0) f.tune_seed = f.seed;
+    f.tune_quick = cli.get_bool("tune_quick", false);
     if (f.duration_s <= 0.0) {
       throw std::invalid_argument("--duration_s must be > 0");
     }
@@ -108,7 +118,11 @@ struct StandardFlags {
         "  --listen=EP          router endpoint, tcp:host:port or\n"
         "                       uds:/path.sock (empty = auto per transport)\n"
         "  --replica_procs=N    replica server processes (0 = default)\n"
-        "  --transport=T        tcp | uds | both (default both)\n";
+        "  --transport=T        tcp | uds | both (default both)\n"
+        "autotune flags (bench_autotune):\n"
+        "  --tune_budget=N      candidate validation budget (0 = default)\n"
+        "  --tune_seed=N        tuner seed (0 = reuse --seed)\n"
+        "  --tune_quick         CI-sized search (smaller budget + frames)\n";
   }
 
   /// Pin the global pool size before anything constructs it, so

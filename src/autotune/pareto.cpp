@@ -1,0 +1,39 @@
+#include "autotune/pareto.hpp"
+
+#include <algorithm>
+
+namespace reads::autotune {
+
+namespace {
+
+bool leq_all(const Objectives& a, const Objectives& b) noexcept {
+  return a.quant_err <= b.quant_err && a.latency_ms <= b.latency_ms &&
+         a.aluts <= b.aluts && a.dsps <= b.dsps &&
+         a.ram_blocks <= b.ram_blocks;
+}
+
+bool equal_all(const Objectives& a, const Objectives& b) noexcept {
+  return leq_all(a, b) && leq_all(b, a);
+}
+
+}  // namespace
+
+bool dominates(const Objectives& a, const Objectives& b) noexcept {
+  return leq_all(a, b) && !equal_all(a, b);
+}
+
+bool ParetoFront::insert(ParetoPoint point) {
+  for (const auto& p : points_) {
+    if (p.key == point.key) return false;
+    if (dominates(p.obj, point.obj) || equal_all(p.obj, point.obj)) {
+      return false;
+    }
+  }
+  std::erase_if(points_, [&](const ParetoPoint& p) {
+    return dominates(point.obj, p.obj);
+  });
+  points_.push_back(std::move(point));
+  return true;
+}
+
+}  // namespace reads::autotune

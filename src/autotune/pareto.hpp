@@ -1,0 +1,48 @@
+// Multi-objective Pareto frontier over validated candidates.
+//
+// Objectives (all minimized): quantization error, predicted latency, and
+// the three resource axes (ALUTs, DSPs, RAM blocks). A point joins the
+// front only if no member dominates it; members it dominates are ejected.
+// Insertion order is deterministic, so the front is reproducible from a
+// fixed tuner seed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace reads::autotune {
+
+/// One candidate's scores on the minimized axes.
+struct Objectives {
+  double quant_err = 0.0;   ///< mean |quantized - float| on holdout frames
+  double latency_ms = 0.0;  ///< LatencyModel prediction
+  double aluts = 0.0;
+  double dsps = 0.0;
+  double ram_blocks = 0.0;
+};
+
+/// a dominates b: no worse on every axis, strictly better on at least one.
+bool dominates(const Objectives& a, const Objectives& b) noexcept;
+
+struct ParetoPoint {
+  std::string key;        ///< Candidate::key()
+  Objectives obj;
+  std::size_t eval_index = 0;  ///< index into the tuner's evaluated list
+};
+
+class ParetoFront {
+ public:
+  /// Returns true when the point joined the front (it was not dominated by
+  /// and did not duplicate an existing member); dominated members are
+  /// removed. A point tied-equal with a member on every axis is rejected.
+  bool insert(ParetoPoint point);
+
+  const std::vector<ParetoPoint>& points() const noexcept { return points_; }
+  std::size_t size() const noexcept { return points_.size(); }
+
+ private:
+  std::vector<ParetoPoint> points_;
+};
+
+}  // namespace reads::autotune

@@ -1,0 +1,293 @@
+#include "autotune/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reads::autotune {
+
+namespace {
+
+int clamp_int_bits(int bits, int width) {
+  return std::clamp(bits, 1, width);
+}
+
+}  // namespace
+
+std::string Candidate::key() const {
+  std::string out;
+  for (const auto& [name, g] : genes) {
+    out += name;
+    out += ':';
+    out += std::to_string(g.width);
+    out += '/';
+    out += std::to_string(g.int_delta);
+    out += '/';
+    out += std::to_string(g.reuse);
+    out += ';';
+  }
+  return out;
+}
+
+SearchSpace::SearchSpace(hls::FirmwareModel baseline, SearchBounds bounds)
+    : base_(std::move(baseline)), bounds_(std::move(bounds)) {
+  if (bounds_.reuse_steps.empty()) {
+    throw std::invalid_argument("SearchSpace: empty reuse ladder");
+  }
+  std::sort(bounds_.reuse_steps.begin(), bounds_.reuse_steps.end());
+  group_.assign(base_.layers.size(), -1);
+  for (std::size_t i = 0; i < base_.layers.size(); ++i) {
+    const auto& l = base_.layers[i];
+    if (l.has_weights() && l.mults_per_output > 0) {
+      group_[i] = static_cast<int>(tunable_.size());
+      ordinal_[l.name] = tunable_.size();
+      tunable_.push_back(l.name);
+      tunable_index_.push_back(i);
+    } else if (!l.inputs.empty()) {
+      // Elementwise/structural layer: ride the first input's group so the
+      // whole activation path downstream of a MAC keeps one format.
+      group_[i] = group_[l.inputs.front()];
+    }
+  }
+  if (tunable_.empty()) {
+    throw std::invalid_argument("SearchSpace: firmware has no tunable layers");
+  }
+}
+
+Candidate SearchSpace::baseline_candidate() const {
+  Candidate c;
+  for (std::size_t t = 0; t < tunable_.size(); ++t) {
+    const auto& name = tunable_[t];
+    const auto seed = base_.config.quant.layer(name);
+    LayerGene g;
+    g.width = seed.activation.width;
+    g.int_delta = 0;
+    // The *compiled* reuse, not the requested one: compile clamps requests
+    // to mults_per_output, and the gene must stay inside that same bound.
+    g.reuse = tunable_layer(t).reuse;
+    c.genes[name] = g;
+  }
+  return c;
+}
+
+LayerGene SearchSpace::clamp_gene(std::size_t ordinal, LayerGene gene) const {
+  gene.width = std::clamp(gene.width, bounds_.min_width, bounds_.max_width);
+  gene.int_delta =
+      std::clamp(gene.int_delta, bounds_.min_int_delta, bounds_.max_int_delta);
+  const std::size_t ceiling = tunable_layer(ordinal).mults_per_output;
+  gene.reuse = std::clamp<std::size_t>(gene.reuse, 1, std::max<std::size_t>(
+                                                          1, ceiling));
+  return gene;
+}
+
+Candidate SearchSpace::clamped(Candidate candidate) const {
+  for (const auto& [name, gene] : candidate.genes) {
+    (void)gene;
+    if (!ordinal_.contains(name)) {
+      throw std::invalid_argument("SearchSpace: unknown tunable layer '" +
+                                  name + "'");
+    }
+  }
+  Candidate out;
+  const Candidate seed = baseline_candidate();
+  for (std::size_t t = 0; t < tunable_.size(); ++t) {
+    const auto& name = tunable_[t];
+    const auto it = candidate.genes.find(name);
+    const LayerGene gene =
+        it != candidate.genes.end() ? it->second : seed.genes.at(name);
+    out.genes[name] = clamp_gene(t, gene);
+  }
+  return out;
+}
+
+hls::HlsConfig SearchSpace::materialize(const Candidate& candidate) const {
+  hls::HlsConfig cfg = base_.config;
+  for (std::size_t i = 0; i < base_.layers.size(); ++i) {
+    const int g = group_[i];
+    if (g < 0) continue;  // input / no MAC ancestor: keep the seed spec
+    const auto& owner = tunable_[static_cast<std::size_t>(g)];
+    const auto gene_it = candidate.genes.find(owner);
+    if (gene_it == candidate.genes.end()) {
+      throw std::invalid_argument("SearchSpace: candidate missing gene '" +
+                                  owner + "'");
+    }
+    const LayerGene& gene = gene_it->second;
+    const auto& name = base_.layers[i].name;
+    const auto seed = base_.config.quant.layer(name);
+    hls::LayerQuant lq;
+    // int_delta shifts the profiled integer allocation only at the MAC
+    // layer that owns the group; downstream elementwise layers keep their
+    // own profiled integer bits at the new width.
+    const bool is_owner =
+        tunable_index_[static_cast<std::size_t>(g)] == i;
+    const int delta = is_owner ? gene.int_delta : 0;
+    lq.activation = hls::FixedSpec{
+        gene.width, clamp_int_bits(seed.activation.int_bits + delta,
+                                   gene.width)};
+    if (is_owner) {
+      lq.weight = hls::FixedSpec{
+          gene.width, clamp_int_bits(seed.weight.int_bits, gene.width)};
+      lq.bias = hls::FixedSpec{
+          gene.width, clamp_int_bits(seed.bias.int_bits, gene.width)};
+    } else {
+      // layer_based_config assigns weight = bias = activation for layers
+      // without parameters; mirror that so the seed point round-trips.
+      lq.weight = lq.activation;
+      lq.bias = lq.activation;
+    }
+    cfg.quant.per_layer[name] = lq;
+  }
+  for (const auto& [name, gene] : candidate.genes) {
+    cfg.reuse.overrides[name] = gene.reuse;
+  }
+  return cfg;
+}
+
+hls::FirmwareModel SearchSpace::skeleton(const Candidate& candidate) const {
+  hls::FirmwareModel fw = base_;
+  fw.config = materialize(candidate);
+  for (auto& layer : fw.layers) {
+    layer.quant = fw.config.quant.layer(layer.name);
+    if (layer.mults_per_output > 0) {
+      const std::size_t requested = fw.config.reuse.requested(layer.name);
+      layer.reuse =
+          std::clamp<std::size_t>(requested, 1, layer.mults_per_output);
+      layer.instantiated_mults =
+          (layer.mults_per_output + layer.reuse - 1) / layer.reuse;
+    }
+  }
+  fw.input_spec = fw.layers.front().quant.activation;
+  fw.output_spec = fw.layers.back().quant.activation;
+  return fw;
+}
+
+FeatureVec SearchSpace::features(const Candidate& candidate) const {
+  FeatureVec f{};
+  f[0] = 1.0;  // bias term
+  double total_macs = 0.0;
+  for (std::size_t t = 0; t < tunable_.size(); ++t) {
+    total_macs += static_cast<double>(tunable_layer(t).total_macs());
+  }
+  if (total_macs <= 0.0) total_macs = 1.0;
+  // The surrogate regresses log(quant_err). Measured error behaves like a
+  // sum of per-layer contributions ~2^-frac_bits, which is a PLATEAU
+  // surface: widening a layer whose contribution is already negligible
+  // changes nothing. Log-sum-exp "smoothed minimum" features plateau the
+  // same way, so candidates the hardware cannot distinguish also tie in
+  // the prediction (anything else scrambles ranks within a plateau).
+  std::vector<double> act_fracs;
+  act_fracs.reserve(tunable_.size());
+  double act_lse = 0.0;        // sum of 2^-act_frac, uniform weights
+  double act_lse_share = 0.0;  // same, MACs-share weighted
+  double w_lse = 0.0;          // sum of 2^-w_frac, uniform weights
+  double min_w_frac = 1e9;
+  const double layers = static_cast<double>(tunable_.size());
+  for (std::size_t t = 0; t < tunable_.size(); ++t) {
+    const auto& name = tunable_[t];
+    const auto gene_it = candidate.genes.find(name);
+    const LayerGene& gene = gene_it != candidate.genes.end()
+                                ? gene_it->second
+                                : baseline_candidate().genes.at(name);
+    const auto seed = base_.config.quant.layer(name);
+    const double share =
+        static_cast<double>(tunable_layer(t).total_macs()) / total_macs;
+    const int act_int =
+        clamp_int_bits(seed.activation.int_bits + gene.int_delta, gene.width);
+    const int w_int = clamp_int_bits(seed.weight.int_bits, gene.width);
+    const double act_frac = static_cast<double>(gene.width - act_int);
+    const double w_frac = static_cast<double>(gene.width - w_int);
+    act_fracs.push_back(act_frac);
+    min_w_frac = std::min(min_w_frac, w_frac);
+    act_lse += std::exp2(-act_frac);
+    act_lse_share += share * std::exp2(-act_frac);
+    w_lse += std::exp2(-w_frac);
+    f[7] += share * act_frac / 16.0;
+    // Headroom terms are unweighted by MACs: one small layer losing an
+    // integer bit can saturate the whole output path.
+    f[8] += static_cast<double>(std::max(0, -gene.int_delta)) / layers;
+    f[9] += static_cast<double>(std::max(0, gene.int_delta)) / (2.0 * layers);
+  }
+  std::sort(act_fracs.begin(), act_fracs.end());
+  f[1] = -std::log2(std::max(act_lse, 1e-12)) / 16.0;
+  f[2] = act_fracs.front() / 16.0;
+  f[3] = -std::log2(std::max(w_lse, 1e-12)) / 16.0;
+  f[4] = min_w_frac / 16.0;
+  f[5] = -std::log2(std::max(act_lse_share, 1e-12)) / 16.0;
+  // Second-smallest activation fraction: the log-sum-exp tail right after
+  // the dominant (minimum-fraction) error source.
+  f[6] = (act_fracs.size() > 1 ? act_fracs[1] : act_fracs.front()) / 16.0;
+  return f;
+}
+
+Candidate SearchSpace::mutate(const Candidate& parent,
+                              util::Xoshiro256& rng) const {
+  const std::string parent_key = parent.key();
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Candidate child = parent;
+    const std::size_t tweaks = 1 + rng.uniform_int(3);
+    for (std::size_t k = 0; k < tweaks; ++k) {
+      const std::size_t t = rng.uniform_int(tunable_.size());
+      LayerGene& gene = child.genes[tunable_[t]];
+      switch (rng.uniform_int(4)) {
+        case 0: {
+          const int step = 1 + static_cast<int>(rng.uniform_int(2));
+          gene.width += rng.bernoulli(0.5) ? step : -step;
+          break;
+        }
+        case 1:
+          gene.int_delta += rng.bernoulli(0.5) ? 1 : -1;
+          break;
+        default: {
+          // One step along the reuse ladder from the nearest rung.
+          const auto& steps = bounds_.reuse_steps;
+          std::size_t idx = 0;
+          while (idx + 1 < steps.size() && steps[idx + 1] <= gene.reuse) {
+            ++idx;
+          }
+          if (rng.bernoulli(0.5)) {
+            if (idx + 1 < steps.size()) ++idx;
+          } else {
+            if (idx > 0) --idx;
+          }
+          gene.reuse = steps[idx];
+          break;
+        }
+      }
+      gene = clamp_gene(t, gene);
+    }
+    if (child.key() != parent_key) return child;
+  }
+  return parent;
+}
+
+Candidate SearchSpace::crossover(const Candidate& a, const Candidate& b,
+                                 util::Xoshiro256& rng) const {
+  Candidate child;
+  for (std::size_t t = 0; t < tunable_.size(); ++t) {
+    const auto& name = tunable_[t];
+    const Candidate& pick = rng.bernoulli(0.5) ? a : b;
+    const auto it = pick.genes.find(name);
+    const auto other = (&pick == &a ? b : a).genes.find(name);
+    LayerGene gene;
+    if (it != pick.genes.end()) {
+      gene = it->second;
+    } else if (other != (&pick == &a ? b : a).genes.end()) {
+      gene = other->second;
+    } else {
+      gene = baseline_candidate().genes.at(name);
+    }
+    child.genes[name] = clamp_gene(t, gene);
+  }
+  return child;
+}
+
+std::size_t SearchSpace::max_reuse(const std::string& layer) const {
+  const auto it = ordinal_.find(layer);
+  if (it == ordinal_.end()) {
+    throw std::invalid_argument("SearchSpace: unknown tunable layer '" +
+                                layer + "'");
+  }
+  return tunable_layer(it->second).mults_per_output;
+}
+
+}  // namespace reads::autotune

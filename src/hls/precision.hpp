@@ -38,6 +38,8 @@ struct LayerQuant {
   FixedSpec weight;      ///< weights and folded BN scale
   FixedSpec bias;        ///< biases and folded BN shift
   FixedSpec activation;  ///< the layer's output (result) type
+
+  friend bool operator==(const LayerQuant&, const LayerQuant&) = default;
 };
 
 enum class PrecisionStrategy {
@@ -70,6 +72,11 @@ struct QuantConfig {
     cfg.default_spec = spec;
     return cfg;
   }
+
+  /// Byte-identical plans compare equal — the determinism property the
+  /// autotuner's seed-point round-trip and the layer_based_config
+  /// determinism test rely on.
+  friend bool operator==(const QuantConfig&, const QuantConfig&) = default;
 };
 
 /// Integer bits (including sign) needed to represent |v| without overflow:

@@ -8,6 +8,17 @@
 
 namespace reads::lifecycle {
 
+std::string_view to_string(RejectCode code) noexcept {
+  switch (code) {
+    case RejectCode::kNone: return "none";
+    case RejectCode::kQuantAccuracy: return "quant_accuracy";
+    case RejectCode::kHoldoutMse: return "holdout_mse";
+    case RejectCode::kResourceBudget: return "resource_budget";
+    case RejectCode::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
 ModelRegistry::ModelRegistry(std::string persist_dir)
     : persist_dir_(std::move(persist_dir)) {
   if (!persist_dir_.empty()) {

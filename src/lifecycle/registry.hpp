@@ -16,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hls/qmodel.hpp"
@@ -23,6 +24,21 @@
 #include "train/standardize.hpp"
 
 namespace reads::lifecycle {
+
+/// Machine-countable reason a candidate was rejected pre-traffic; kNone
+/// when it qualified. kResourceBudget/kDeadline come from the compiled
+/// firmware's measured estimate violating the device budget or the control
+/// deadline at validation time — the guard against an autotuned point whose
+/// predicted fit did not survive compilation.
+enum class RejectCode {
+  kNone,
+  kQuantAccuracy,
+  kHoldoutMse,
+  kResourceBudget,
+  kDeadline,
+};
+
+std::string_view to_string(RejectCode code) noexcept;
 
 /// Outcome of the qualification gate a candidate passed (or failed) before
 /// reaching the registry. Kept with the artifact for audit.
@@ -33,7 +49,14 @@ struct QualificationReport {
   double incumbent_holdout_mse = 0.0;  ///< incumbent float MSE, same holdout
   std::size_t holdout_frames = 0;
   bool passed = false;
+  RejectCode reject_code = RejectCode::kNone;  ///< first failing gate
   std::string reason;  ///< human-readable verdict ("qualified", or why not)
+
+  // Autotune stage (RequalifyConfig::autotune; see src/autotune/).
+  bool autotuned = false;          ///< candidate config came from the tuner
+  bool tuned_dominates = false;    ///< tuner found a baseline-dominating point
+  double predicted_latency_ms = 0.0;  ///< LatencyModel on the compiled fw
+  double alut_utilization = 0.0;      ///< ResourceModel on the compiled fw
 };
 
 /// One immutable model generation. Never mutated after publication; the

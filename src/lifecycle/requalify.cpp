@@ -5,8 +5,12 @@
 #include <stdexcept>
 #include <utility>
 
+#include "autotune/space.hpp"
+#include "autotune/tuner.hpp"
 #include "hls/accuracy.hpp"
+#include "hls/latency.hpp"
 #include "hls/profiler.hpp"
+#include "hls/resource.hpp"
 #include "nn/init.hpp"
 #include "nn/serialize.hpp"
 #include "train/loss.hpp"
@@ -179,18 +183,76 @@ RequalifyResult Requalifier::run(RequalifyRequest request) const {
   hls_cfg.quant = hls::layer_based_config(candidate, profile, cfg_.total_bits);
   hls_cfg.reuse = cfg_.reuse;
   hls_cfg.clock_mhz = cfg_.clock_mhz;
+
+  // Opt-in autotune stage: search per-layer <W, I, reuse> from the
+  // layer_based_config seed; deploy the selected plan only when it
+  // dominates the seed (>= accuracy, lower latency or resources). The
+  // tuner seed derives from the request so repeated requalifications
+  // explore independently yet reproducibly.
+  if (cfg_.autotune) {
+    autotune::SearchSpace space(hls::compile(candidate, hls_cfg));
+    autotune::Evaluator evaluator(space, candidate, holdout_cand,
+                                  cfg_.tune_eval);
+    autotune::TuneConfig tune = cfg_.tune;
+    tune.seed = util::derive_seed(request.seed, /*purpose=*/0x13);
+    const auto outcome = autotune::Autotuner(space, evaluator, tune).run();
+    report.autotuned = true;
+    report.tuned_dominates = outcome.selected_dominates;
+    if (const auto* selected = outcome.selected()) {
+      hls_cfg = space.materialize(selected->candidate);
+    }
+  }
+  if (request.mutate_hls) request.mutate_hls(hls_cfg);
+
   auto quantized = std::make_shared<const hls::QuantizedModel>(
       hls::compile(candidate, hls_cfg));
+
+  std::ostringstream verdict;
+  bool passed = true;
+  const auto fail = [&](RejectCode code) {
+    passed = false;
+    if (report.reject_code == RejectCode::kNone) report.reject_code = code;
+  };
+
+  // Pre-traffic budget guard on the *compiled* firmware: an autotuned (or
+  // hook-mutated) plan whose measured estimate violates the device budget
+  // or the deadline must never reach the registry, whatever the accuracy
+  // gates say.
+  if (cfg_.autotune || cfg_.enforce_budget) {
+    const hls::ResourceModel resource_model(cfg_.tune_eval.device,
+                                            cfg_.tune_eval.resource);
+    const hls::LatencyModel latency_model(cfg_.tune_eval.latency);
+    const auto res = resource_model.estimate(quantized->firmware());
+    const auto lat = latency_model.estimate(quantized->firmware());
+    report.predicted_latency_ms = lat.total_ms();
+    report.alut_utilization = res.alut_utilization();
+    const bool over_budget = !res.fits();
+    const bool over_deadline = lat.total_ms() > cfg_.tune_eval.deadline_ms;
+    if (over_budget) {
+      fail(RejectCode::kResourceBudget);
+      verdict << "resource budget violated (ALUT "
+              << res.alut_utilization() * 100.0 << "%, DSP "
+              << res.dsp_utilization() * 100.0 << "% of "
+              << cfg_.tune_eval.device.name << "); ";
+    }
+    if (over_deadline) {
+      fail(RejectCode::kDeadline);
+      verdict << "predicted latency " << lat.total_ms() << " ms exceeds "
+              << cfg_.tune_eval.deadline_ms << " ms deadline; ";
+    }
+    if (over_budget || over_deadline) {
+      budget_rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   const auto accuracy = hls::evaluate_quantization(
       candidate, *quantized, holdout_cand, cfg_.quant_tolerance);
   report.quant_accuracy_mi = accuracy.accuracy_mi;
   report.quant_accuracy_rr = accuracy.accuracy_rr;
 
-  std::ostringstream verdict;
-  bool passed = true;
   if (accuracy.accuracy_mi < cfg_.min_quant_accuracy ||
       accuracy.accuracy_rr < cfg_.min_quant_accuracy) {
-    passed = false;
+    fail(RejectCode::kQuantAccuracy);
     verdict << "quantization accuracy (" << accuracy.accuracy_mi << ", "
             << accuracy.accuracy_rr << ") below " << cfg_.min_quant_accuracy
             << "; ";
@@ -198,7 +260,7 @@ RequalifyResult Requalifier::run(RequalifyRequest request) const {
   if (request.incumbent &&
       report.holdout_mse >
           cfg_.max_mse_ratio * report.incumbent_holdout_mse) {
-    passed = false;
+    fail(RejectCode::kHoldoutMse);
     verdict << "holdout MSE " << report.holdout_mse << " exceeds "
             << cfg_.max_mse_ratio << "x incumbent ("
             << report.incumbent_holdout_mse << "); ";

@@ -36,6 +36,8 @@
 #include <thread>
 #include <vector>
 
+#include "autotune/evaluator.hpp"
+#include "autotune/tuner.hpp"
 #include "blm/generator.hpp"
 #include "hls/firmware.hpp"
 #include "lifecycle/registry.hpp"
@@ -65,6 +67,20 @@ struct RequalifyConfig {
   /// Gate 2: candidate holdout MSE <= this multiple of the incumbent's.
   double max_mse_ratio = 1.05;
 
+  /// Opt-in autotune stage: after profiling, run the src/autotune/ search
+  /// from the layer_based_config seed and deploy the selected per-layer
+  /// <W, I, reuse> plan when the tuner finds a baseline-dominating point
+  /// (falls back to the seed plan when it does not).
+  bool autotune = false;
+  autotune::TuneConfig tune{};
+  /// Device budget / deadline the tuner screens against AND the compiled
+  /// candidate firmware is measured against before publication.
+  autotune::EvaluatorConfig tune_eval{};
+  /// Enforce the tune_eval resource/deadline budget on the compiled
+  /// firmware even when the autotune stage is off. Always enforced when
+  /// autotune is on.
+  bool enforce_budget = false;
+
   RequalifyConfig() : reuse(hls::ReusePolicy::deployed_unet()) {}
 };
 
@@ -79,6 +95,10 @@ struct RequalifyRequest {
   /// Test/fault-injection hook applied to the trained candidate before
   /// qualification — a corrupted candidate must be caught by the gates.
   std::function<void(nn::Model&)> mutate;
+  /// Test/fault-injection hook applied to the chosen HlsConfig after the
+  /// autotune stage but before the final compile — a plan that violates
+  /// the resource budget must be rejected by the pre-traffic guard.
+  std::function<void(hls::HlsConfig&)> mutate_hls;
 };
 
 struct RequalifyResult {
@@ -114,6 +134,11 @@ class Requalifier {
   std::uint64_t completed() const noexcept {
     return completed_.load(std::memory_order_relaxed);
   }
+  /// Candidates rejected pre-traffic because the compiled firmware's
+  /// measured estimate violated the resource budget or the deadline.
+  std::uint64_t budget_rejects() const noexcept {
+    return budget_rejects_.load(std::memory_order_relaxed);
+  }
 
   const RequalifyConfig& config() const noexcept { return cfg_; }
 
@@ -130,6 +155,8 @@ class Requalifier {
   bool stop_ = false;
   std::atomic<bool> busy_{false};
   std::atomic<std::uint64_t> completed_{0};
+  /// mutable: run() is const (stateless apart from counters).
+  mutable std::atomic<std::uint64_t> budget_rejects_{0};
   std::thread worker_;
 };
 

@@ -1,0 +1,486 @@
+// Autotune subsystem tests: search-space round-trips against the
+// layer_based_config seed, exactness of the skeleton cheap screen,
+// surrogate fitting + thread safety, Pareto front bookkeeping, analytical
+// model monotonicity across every tunable layer shape, and end-to-end
+// determinism of the tuner on a tiny U-Net.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "autotune/evaluator.hpp"
+#include "autotune/pareto.hpp"
+#include "autotune/space.hpp"
+#include "autotune/surrogate.hpp"
+#include "autotune/tuner.hpp"
+#include "blm/generator.hpp"
+#include "hls/firmware.hpp"
+#include "hls/latency.hpp"
+#include "hls/profiler.hpp"
+#include "hls/resource.hpp"
+#include "nn/builders.hpp"
+#include "nn/init.hpp"
+#include "train/standardize.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace reads;
+using tensor::Tensor;
+
+blm::MachineConfig tiny_machine() {
+  auto cfg = blm::MachineConfig::fermilab_like();
+  cfg.monitors = 16;
+  cfg.mi.source_positions = {2, 9};
+  cfg.rr.source_positions = {5, 13};
+  return cfg;
+}
+
+/// A trained-enough model + standardized frames + seed-point firmware.
+struct Rig {
+  nn::Model model;
+  train::Standardizer standardizer;
+  std::vector<Tensor> calib;  ///< standardized, model-shaped
+  hls::FirmwareModel firmware;
+};
+
+Rig unet_rig(std::uint64_t seed = 1, std::size_t frames = 12) {
+  Rig r{nn::build_unet({.monitors = 16, .c1 = 3, .c2 = 4, .c3 = 5}),
+        {},
+        {},
+        {}};
+  nn::init_he_uniform(r.model, seed);
+  blm::FrameGenerator gen(tiny_machine(), seed + 1);
+  std::vector<Tensor> raws;
+  for (std::size_t i = 0; i < frames; ++i) raws.push_back(gen.next().raw);
+  r.standardizer.fit_global(raws);
+  for (const auto& raw : raws) r.calib.push_back(r.standardizer.transform(raw));
+  hls::HlsConfig cfg;
+  cfg.quant = hls::layer_based_config(
+      r.model, hls::profile_model(r.model, r.calib), 16);
+  r.firmware = hls::compile(r.model, cfg);
+  return r;
+}
+
+Rig mlp_rig(std::uint64_t seed = 2, std::size_t frames = 12) {
+  Rig r{nn::build_mlp({.inputs = 16, .hidden = 8, .outputs = 32}), {}, {}, {}};
+  nn::init_he_uniform(r.model, seed);
+  blm::FrameGenerator gen(tiny_machine(), seed + 1);
+  std::vector<Tensor> raws;
+  for (std::size_t i = 0; i < frames; ++i) raws.push_back(gen.next().raw);
+  r.standardizer.fit_global(raws);
+  for (const auto& raw : raws) {
+    auto t = r.standardizer.transform(raw);
+    r.calib.push_back(t.reshaped({1, t.numel()}));
+  }
+  hls::HlsConfig cfg;
+  cfg.quant = hls::layer_based_config(
+      r.model, hls::profile_model(r.model, r.calib), 16);
+  r.firmware = hls::compile(r.model, cfg);
+  return r;
+}
+
+// ------------------------------------------------------------ SearchSpace
+
+TEST(SearchSpace, BaselineCandidateMaterializesByteIdentical) {
+  const auto rig = unet_rig();
+  const autotune::SearchSpace space(rig.firmware);
+  ASSERT_FALSE(space.tunable_layers().empty());
+
+  const auto cfg = space.materialize(space.baseline_candidate());
+  EXPECT_EQ(cfg.quant, rig.firmware.config.quant);
+  // Effective (post-clamp) reuse must round-trip; the baseline candidate
+  // carries the compiled value, which may differ from the raw request.
+  for (const auto& l : rig.firmware.layers) {
+    if (l.mults_per_output == 0) continue;
+    EXPECT_EQ(std::clamp<std::size_t>(cfg.reuse.requested(l.name), 1,
+                                      l.mults_per_output),
+              l.reuse)
+        << l.name;
+  }
+
+  // The skeleton of the seed point is the baseline firmware itself.
+  const auto skel = space.skeleton(space.baseline_candidate());
+  ASSERT_EQ(skel.layers.size(), rig.firmware.layers.size());
+  for (std::size_t i = 0; i < skel.layers.size(); ++i) {
+    const auto& a = skel.layers[i];
+    const auto& b = rig.firmware.layers[i];
+    EXPECT_EQ(a.quant.activation.width, b.quant.activation.width) << a.name;
+    EXPECT_EQ(a.quant.activation.int_bits, b.quant.activation.int_bits)
+        << a.name;
+    EXPECT_EQ(a.reuse, b.reuse) << a.name;
+    EXPECT_EQ(a.instantiated_mults, b.instantiated_mults) << a.name;
+  }
+}
+
+TEST(SearchSpace, SkeletonScreenMatchesFullCompileOffBaseline) {
+  const auto rig = unet_rig();
+  const autotune::SearchSpace space(rig.firmware);
+  const autotune::Evaluator screen(space);
+
+  // A candidate well off the seed point: narrower widths, shifted integer
+  // headroom on one layer, halved reuse on another.
+  autotune::Candidate c = space.baseline_candidate();
+  auto it = c.genes.begin();
+  it->second.width = 12;
+  it->second.int_delta = 1;
+  ++it;
+  it->second.width = 10;
+  it->second.reuse = std::max<std::size_t>(1, it->second.reuse / 2);
+  c = space.clamped(std::move(c));
+
+  const auto e = screen.cheap(c);
+  const auto fw = hls::compile(rig.model, space.materialize(c));
+  const auto res = hls::ResourceModel().estimate(fw);
+  const auto lat = hls::LatencyModel().estimate(fw);
+  std::size_t mults = 0;
+  for (const auto& l : fw.layers) mults += l.instantiated_mults;
+  EXPECT_EQ(e.mults, mults);
+  EXPECT_EQ(e.aluts, res.total_aluts);
+  EXPECT_EQ(e.dsps, res.total_dsps);
+  EXPECT_EQ(e.ram_blocks, res.total_ram_blocks);
+  EXPECT_EQ(e.total_cycles, lat.total_cycles);
+  EXPECT_EQ(e.fits, res.fits());
+}
+
+TEST(SearchSpace, ClampedEnforcesBoundsAndRejectsUnknownLayers) {
+  const auto rig = unet_rig();
+  const autotune::SearchSpace space(rig.firmware);
+  const auto& bounds = space.bounds();
+
+  autotune::Candidate wild = space.baseline_candidate();
+  for (auto& [name, gene] : wild.genes) {
+    gene.width = 99;
+    gene.int_delta = -99;
+    gene.reuse = 1u << 20;
+  }
+  const auto clamped = space.clamped(wild);
+  for (const auto& [name, gene] : clamped.genes) {
+    EXPECT_EQ(gene.width, bounds.max_width);
+    EXPECT_EQ(gene.int_delta, bounds.min_int_delta);
+    EXPECT_LE(gene.reuse, space.max_reuse(name));
+    EXPECT_GE(gene.reuse, 1u);
+  }
+
+  autotune::Candidate unknown;
+  unknown.genes["no_such_layer"] = {};
+  EXPECT_THROW((void)space.clamped(unknown), std::invalid_argument);
+  EXPECT_THROW((void)space.max_reuse("no_such_layer"), std::invalid_argument);
+}
+
+TEST(SearchSpace, MutateIsDeterministicInBoundsAndMoves) {
+  const auto rig = unet_rig();
+  const autotune::SearchSpace space(rig.firmware);
+  const auto parent = space.baseline_candidate();
+
+  util::Xoshiro256 rng_a(7), rng_b(7);
+  autotune::Candidate cursor_a = parent, cursor_b = parent;
+  for (int i = 0; i < 50; ++i) {
+    cursor_a = space.mutate(cursor_a, rng_a);
+    cursor_b = space.mutate(cursor_b, rng_b);
+    ASSERT_EQ(cursor_a.key(), cursor_b.key()) << "diverged at step " << i;
+    EXPECT_NE(cursor_a.key(), parent.key());
+    for (const auto& [name, gene] : cursor_a.genes) {
+      EXPECT_GE(gene.width, space.bounds().min_width);
+      EXPECT_LE(gene.width, space.bounds().max_width);
+      EXPECT_GE(gene.int_delta, space.bounds().min_int_delta);
+      EXPECT_LE(gene.int_delta, space.bounds().max_int_delta);
+      EXPECT_GE(gene.reuse, 1u);
+      EXPECT_LE(gene.reuse, space.max_reuse(name));
+    }
+  }
+}
+
+TEST(SearchSpace, FeaturesIgnoreReuseButSeeWidthAndHeadroom) {
+  const auto rig = unet_rig();
+  const autotune::SearchSpace space(rig.firmware);
+  const auto base = space.baseline_candidate();
+
+  // Reuse does not change quantized numerics, so the accuracy features of
+  // a reuse-only variant must tie with the baseline exactly.
+  autotune::Candidate reuse_only = base;
+  for (auto& [name, gene] : reuse_only.genes) {
+    gene.reuse = std::max<std::size_t>(1, gene.reuse / 2);
+  }
+  EXPECT_EQ(space.features(base), space.features(reuse_only));
+
+  autotune::Candidate narrower = base;
+  for (auto& [name, gene] : narrower.genes) gene.width -= 4;
+  EXPECT_NE(space.features(base), space.features(narrower));
+
+  autotune::Candidate squeezed = base;
+  for (auto& [name, gene] : squeezed.genes) gene.int_delta = -1;
+  EXPECT_NE(space.features(base), space.features(squeezed));
+}
+
+TEST(SearchSpace, LayerBasedConfigIsDeterministic) {
+  const auto rig = unet_rig();
+  const auto profile = hls::profile_model(rig.model, rig.calib);
+  const auto a = hls::layer_based_config(rig.model, profile, 16);
+  const auto b = hls::layer_based_config(rig.model, profile, 16);
+  EXPECT_EQ(a, b);
+  // And a fresh profile over the same frames changes nothing either.
+  const auto c = hls::layer_based_config(
+      rig.model, hls::profile_model(rig.model, rig.calib), 16);
+  EXPECT_EQ(a, c);
+}
+
+// ----------------------------------------------- analytical monotonicity
+
+/// Per-layer IP cycles must not decrease when a tunable layer's reuse goes
+/// up — reuse serializes multiplies, it never speeds a layer up.
+void check_latency_monotone_in_reuse(const Rig& rig) {
+  const autotune::SearchSpace space(rig.firmware);
+  const hls::LatencyModel model;
+  for (const auto& layer : space.tunable_layers()) {
+    std::size_t prev_cycles = 0;
+    for (std::size_t reuse = 1; reuse <= space.max_reuse(layer); reuse *= 2) {
+      autotune::Candidate c = space.baseline_candidate();
+      c.genes[layer].reuse = reuse;
+      const auto report = model.estimate(space.skeleton(c));
+      const auto it = std::find_if(
+          report.layers.begin(), report.layers.end(),
+          [&](const hls::LayerLatency& l) { return l.name == layer; });
+      ASSERT_NE(it, report.layers.end()) << layer;
+      EXPECT_GE(it->cycles, prev_cycles) << layer << " reuse " << reuse;
+      prev_cycles = it->cycles;
+    }
+  }
+}
+
+/// Per-layer ALUTs must not decrease when the uniform width goes up —
+/// wider datapaths never get cheaper.
+void check_aluts_monotone_in_width(const Rig& rig) {
+  const autotune::SearchSpace space(rig.firmware);
+  const hls::ResourceModel model;
+  std::vector<std::size_t> prev;  // per report entry, sized on first sweep
+  for (int width = space.bounds().min_width;
+       width <= space.bounds().max_width; ++width) {
+    autotune::Candidate c = space.baseline_candidate();
+    for (auto& [name, gene] : c.genes) gene.width = width;
+    const auto report = model.estimate(space.skeleton(c));
+    if (prev.empty()) prev.assign(report.layers.size(), 0);
+    ASSERT_EQ(report.layers.size(), prev.size());
+    for (std::size_t i = 0; i < report.layers.size(); ++i) {
+      EXPECT_GE(report.layers[i].aluts, prev[i])
+          << report.layers[i].name << " at width " << width;
+      prev[i] = report.layers[i].aluts;
+    }
+  }
+}
+
+TEST(AnalyticalModels, LatencyMonotoneInReuseAcrossUnetLayers) {
+  check_latency_monotone_in_reuse(unet_rig());
+}
+
+TEST(AnalyticalModels, LatencyMonotoneInReuseAcrossMlpLayers) {
+  check_latency_monotone_in_reuse(mlp_rig());
+}
+
+TEST(AnalyticalModels, AlutsMonotoneInWidthAcrossUnetLayers) {
+  check_aluts_monotone_in_width(unet_rig());
+}
+
+TEST(AnalyticalModels, AlutsMonotoneInWidthAcrossMlpLayers) {
+  check_aluts_monotone_in_width(mlp_rig());
+}
+
+// -------------------------------------------------------------- Surrogate
+
+autotune::FeatureVec synthetic_features(util::Xoshiro256& rng) {
+  autotune::FeatureVec f{};
+  f[0] = 1.0;
+  for (std::size_t i = 1; i < autotune::kFeatureCount; ++i) {
+    f[i] = rng.uniform();
+  }
+  return f;
+}
+
+double synthetic_cost(const autotune::FeatureVec& f) {
+  // log(cost) linear in the features — the surrogate's model class.
+  double y = -6.0;
+  for (std::size_t i = 1; i < autotune::kFeatureCount; ++i) {
+    y += (i % 2 == 0 ? 0.8 : -0.5) * f[i];
+  }
+  return std::exp(y);
+}
+
+TEST(Surrogate, ColdUntilMinObservationsThenFitsLogLinearTarget) {
+  autotune::SurrogateConfig cfg;
+  cfg.min_observations = 8;
+  autotune::Surrogate s(cfg);
+  util::Xoshiro256 rng(3);
+
+  for (std::size_t i = 0; i < cfg.min_observations - 1; ++i) {
+    const auto f = synthetic_features(rng);
+    EXPECT_FALSE(s.predict(f).has_value()) << "obs " << i;
+    s.observe(f, synthetic_cost(f));
+  }
+  for (std::size_t i = 0; i < 256; ++i) {
+    const auto f = synthetic_features(rng);
+    s.observe(f, synthetic_cost(f));
+  }
+  EXPECT_EQ(s.observations(), cfg.min_observations - 1 + 256);
+
+  for (std::size_t i = 0; i < 32; ++i) {
+    const auto f = synthetic_features(rng);
+    const auto p = s.predict(f);
+    ASSERT_TRUE(p.has_value());
+    const double truth = synthetic_cost(f);
+    EXPECT_NEAR(std::log(*p), std::log(truth), 0.05) << "probe " << i;
+  }
+}
+
+TEST(Surrogate, ConcurrentObserveAndPredictAcrossThePool) {
+  // TSan target: many workers hammer one surrogate with interleaved
+  // training and prediction.
+  autotune::Surrogate s;
+  util::Xoshiro256 seed_rng(11);
+  std::vector<autotune::FeatureVec> feats;
+  std::vector<double> costs;
+  for (std::size_t i = 0; i < 512; ++i) {
+    feats.push_back(synthetic_features(seed_rng));
+    costs.push_back(synthetic_cost(feats.back()));
+  }
+  util::ThreadPool::global().parallel_for(0, feats.size(), [&](std::size_t i) {
+    s.observe(feats[i], costs[i]);
+    if (const auto p = s.predict(feats[i])) {
+      EXPECT_TRUE(std::isfinite(*p));
+      EXPECT_GE(*p, 0.0);
+    }
+  });
+  EXPECT_EQ(s.observations(), feats.size());
+  ASSERT_TRUE(s.predict(feats.front()).has_value());
+}
+
+TEST(Spearman, RanksWithTiesAndDegenerateInputs) {
+  using autotune::spearman;
+  EXPECT_DOUBLE_EQ(spearman({}), 0.0);
+  EXPECT_DOUBLE_EQ(spearman({{1.0, 2.0}}), 0.0);
+  // Constant on one side carries no rank information.
+  EXPECT_DOUBLE_EQ(spearman({{1.0, 5.0}, {1.0, 7.0}, {1.0, 9.0}}), 0.0);
+
+  // Perfectly concordant / discordant, regardless of scale.
+  EXPECT_NEAR(spearman({{1, 10}, {2, 20}, {3, 90}, {4, 91}}), 1.0, 1e-12);
+  EXPECT_NEAR(spearman({{1, 91}, {2, 90}, {3, 20}, {4, 10}}), -1.0, 1e-12);
+
+  // Ties on both sides in the same places stay perfectly concordant under
+  // average ranks.
+  EXPECT_NEAR(spearman({{1, 10}, {2, 20}, {2, 20}, {3, 30}}), 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------ ParetoFront
+
+TEST(ParetoFront, InsertDominateAndEvict) {
+  using autotune::Objectives;
+  autotune::ParetoFront front;
+  const auto obj = [](double err, double lat, double aluts) {
+    Objectives o;
+    o.quant_err = err;
+    o.latency_ms = lat;
+    o.aluts = aluts;
+    o.dsps = 10.0;
+    o.ram_blocks = 10.0;
+    return o;
+  };
+
+  EXPECT_TRUE(front.insert({"a", obj(1.0, 1.0, 100.0), 0}));
+  // Trade-off on another axis: joins the front.
+  EXPECT_TRUE(front.insert({"b", obj(2.0, 0.3, 100.0), 1}));
+  EXPECT_EQ(front.size(), 2u);
+
+  // Dominated by "a" on every axis: rejected.
+  EXPECT_FALSE(front.insert({"c", obj(1.5, 1.5, 200.0), 2}));
+  // Same key again: rejected even if the objectives changed.
+  EXPECT_FALSE(front.insert({"a", obj(0.1, 0.1, 1.0), 3}));
+  // Equal objectives to "a": rejected (no strict improvement anywhere).
+  EXPECT_FALSE(front.insert({"d", obj(1.0, 1.0, 100.0), 4}));
+  EXPECT_EQ(front.size(), 2u);
+
+  // Dominates "a": evicts it, front keeps "b" and the newcomer.
+  EXPECT_TRUE(front.insert({"e", obj(0.5, 0.5, 50.0), 5}));
+  EXPECT_EQ(front.size(), 2u);
+  bool has_a = false, has_b = false, has_e = false;
+  for (const auto& p : front.points()) {
+    has_a |= p.key == "a";
+    has_b |= p.key == "b";
+    has_e |= p.key == "e";
+  }
+  EXPECT_FALSE(has_a);
+  EXPECT_TRUE(has_b);
+  EXPECT_TRUE(has_e);
+
+  // dominates() itself: equal is not dominant.
+  EXPECT_FALSE(autotune::dominates(obj(1, 1, 1), obj(1, 1, 1)));
+  EXPECT_TRUE(autotune::dominates(obj(1, 1, 1), obj(1, 1, 2)));
+  EXPECT_FALSE(autotune::dominates(obj(1, 1, 2), obj(2, 1, 1)));
+}
+
+// --------------------------------------------------------------- Autotuner
+
+TEST(Autotuner, DeterministicDominatingSearchWithinBudget) {
+  const auto rig = unet_rig(5, 10);
+  const autotune::SearchSpace space(rig.firmware);
+  autotune::Evaluator evaluator(space, rig.model, rig.calib);
+
+  autotune::TuneConfig tune;
+  tune.budget = 16;
+  tune.proposals_per_round = 16;
+  tune.shortlist = 3;
+  tune.seed = 9;
+  tune.surrogate.min_observations = 6;
+
+  const auto run = [&] {
+    return autotune::Autotuner(space, evaluator, tune).run();
+  };
+  const auto a = run();
+  const auto b = run();
+
+  EXPECT_LE(a.evaluated.size(), tune.budget);
+  EXPECT_GE(a.front.size(), 1u);
+
+  // The greedy reuse-descent chain guarantees a baseline-dominating point:
+  // identical numerics at strictly fewer cycles.
+  ASSERT_TRUE(a.selected_dominates);
+  const auto* sel = a.selected();
+  ASSERT_NE(sel, nullptr);
+  EXPECT_TRUE(autotune::dominates_baseline(sel->result, a.baseline().result));
+  EXPECT_LT(sel->result.cheap.latency_ms,
+            a.baseline().result.cheap.latency_ms);
+  EXPECT_GE(sel->result.accuracy_mi, a.baseline().result.accuracy_mi);
+  EXPECT_GE(sel->result.accuracy_rr, a.baseline().result.accuracy_rr);
+
+  // Bit-for-bit repeatable: same seed, same trajectory, same answers.
+  ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+  for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+    EXPECT_EQ(a.evaluated[i].candidate.key(), b.evaluated[i].candidate.key());
+    EXPECT_DOUBLE_EQ(a.evaluated[i].result.quant_err(),
+                     b.evaluated[i].result.quant_err());
+  }
+  EXPECT_EQ(a.selected_index, b.selected_index);
+  EXPECT_DOUBLE_EQ(a.spearman_rank, b.spearman_rank);
+
+  // The published Spearman is exactly spearman() over the published pairs.
+  EXPECT_EQ(a.scored_pairs, a.scored.size());
+  EXPECT_DOUBLE_EQ(a.spearman_rank, autotune::spearman(a.scored));
+}
+
+TEST(Autotuner, RejectsCheapOnlyEvaluatorAndTinyBudget) {
+  const auto rig = unet_rig();
+  const autotune::SearchSpace space(rig.firmware);
+  const autotune::Evaluator cheap_only(space);
+  EXPECT_THROW((void)autotune::Autotuner(space, cheap_only),
+               std::invalid_argument);
+
+  autotune::Evaluator full(space, rig.model, rig.calib);
+  autotune::TuneConfig tune;
+  tune.budget = 1;
+  EXPECT_THROW((void)autotune::Autotuner(space, full, tune),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -380,6 +380,93 @@ TEST(Requalifier, CorruptingMutatorIsRejectedByTheGates) {
   EXPECT_NE(result.report.reason, "qualified");
 }
 
+TEST(Requalifier, AutotuneStagePublishesTunedPlanThroughTheGates) {
+  auto cfg = tiny_requalify_config();
+  cfg.autotune = true;
+  cfg.tune.budget = 6;
+  cfg.tune.proposals_per_round = 12;
+  cfg.tune.shortlist = 2;
+  cfg.tune.greedy_descent_steps = 2;
+  lifecycle::Requalifier req(cfg, tiny_unet);
+
+  lifecycle::RequalifyRequest request;
+  request.frames = tiny_frames(32, 100);
+  request.seed = 5;
+  auto result = req.run(std::move(request));
+  ASSERT_TRUE(result.qualified) << result.report.reason;
+  EXPECT_TRUE(result.report.autotuned);
+  EXPECT_EQ(result.report.reject_code, lifecycle::RejectCode::kNone);
+  // The compiled plan was measured against the budget before publication.
+  EXPECT_GT(result.report.predicted_latency_ms, 0.0);
+  EXPECT_GT(result.report.alut_utilization, 0.0);
+  EXPECT_EQ(req.budget_rejects(), 0u);
+  // Determinism: the same request reproduces the same tuned plan.
+  lifecycle::RequalifyRequest again;
+  again.frames = tiny_frames(32, 100);
+  again.seed = 5;
+  auto result2 = req.run(std::move(again));
+  ASSERT_TRUE(result2.qualified);
+  EXPECT_EQ(result2.report.tuned_dominates, result.report.tuned_dominates);
+  EXPECT_DOUBLE_EQ(result2.report.predicted_latency_ms,
+                   result.report.predicted_latency_ms);
+}
+
+TEST(Requalifier, BudgetGuardRejectsViolatingFirmwarePreTraffic) {
+  // Forced violation: a device far too small for even the tiny U-Net, so
+  // whatever plan the autotune stage picks (or falls back to) compiles to
+  // firmware that breaks the resource budget. The guard must reject it
+  // before it can ever serve traffic, with a counted reason code.
+  auto cfg = tiny_requalify_config();
+  cfg.autotune = true;
+  cfg.tune.budget = 4;
+  cfg.tune.proposals_per_round = 8;
+  cfg.tune.shortlist = 2;
+  cfg.tune.greedy_descent_steps = 1;
+  cfg.tune_eval.device.alms = 1000;
+  cfg.tune_eval.device.aluts = 2000;
+  cfg.tune_eval.device.dsp_blocks = 4;
+  cfg.tune_eval.device.m20k_blocks = 8;
+  cfg.tune_eval.device.bram_bits = 8 * 20480;
+  lifecycle::Requalifier req(cfg, tiny_unet);
+
+  lifecycle::RequalifyRequest request;
+  request.frames = tiny_frames(32, 100);
+  request.seed = 5;
+  auto result = req.run(std::move(request));
+  EXPECT_FALSE(result.qualified);
+  EXPECT_FALSE(result.artifact.has_value());
+  EXPECT_EQ(result.report.reject_code, lifecycle::RejectCode::kResourceBudget);
+  EXPECT_EQ(lifecycle::to_string(result.report.reject_code),
+            "resource_budget");
+  EXPECT_EQ(req.budget_rejects(), 1u);
+  EXPECT_NE(result.report.reason.find("resource budget"), std::string::npos)
+      << result.report.reason;
+}
+
+TEST(Requalifier, DeadlineGuardRejectsViaMutateHlsHook) {
+  // The mutate_hls fault-injection hook serializes every layer to reuse
+  // mults_per_output after the autotune stage; on the measured estimate
+  // the firmware then misses an aggressive deadline and must be rejected.
+  auto cfg = tiny_requalify_config();
+  cfg.enforce_budget = true;
+  cfg.tune_eval.deadline_ms = 1e-4;
+  lifecycle::Requalifier req(cfg, tiny_unet);
+
+  lifecycle::RequalifyRequest request;
+  request.frames = tiny_frames(32, 100);
+  request.seed = 5;
+  request.mutate_hls = [](hls::HlsConfig& hls_cfg) {
+    hls_cfg.reuse.default_reuse = 1u << 16;  // clamped to full serialization
+    hls_cfg.reuse.overrides.clear();
+  };
+  auto result = req.run(std::move(request));
+  EXPECT_FALSE(result.qualified);
+  EXPECT_EQ(result.report.reject_code, lifecycle::RejectCode::kDeadline);
+  EXPECT_EQ(lifecycle::to_string(result.report.reject_code), "deadline");
+  EXPECT_FALSE(result.report.autotuned);  // enforce_budget alone, no tuner
+  EXPECT_EQ(req.budget_rejects(), 1u);
+}
+
 TEST(Requalifier, RejectsRequestsWithTooFewFrames) {
   lifecycle::Requalifier req(tiny_requalify_config(), tiny_unet);
   lifecycle::RequalifyRequest request;

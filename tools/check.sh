@@ -27,6 +27,14 @@ echo "== lifecycle campaign (drift -> requalify -> hot-swap gates) =="
 # reconfiguration window, or an unqualified candidate reaching traffic.
 (cd build && ./bench/bench_lifecycle --quick --out=BENCH_lifecycle.json)
 
+echo "== autotune campaign (Pareto front / dominance / surrogate gates) =="
+# Surrogate-guided precision/reuse search on the deployed U-Net; exits
+# non-zero when the validated front is too small, the selected point fails
+# to dominate the layer_based_config baseline under the Arria-10 budget and
+# the 3 ms deadline, or the surrogate's predicted-vs-measured Spearman rank
+# correlation drops below 0.7.
+(cd build && ./bench/bench_autotune --tune_quick --out=BENCH_autotune.json)
+
 echo "== kernel engine gates (bit-identity / speedup / narrow lanes) =="
 # Fast path must stay bit-identical to the reference executor, beat it by
 # >= 8x (committed artifact shows ~11.9x; the lower bar absorbs CI host
@@ -67,7 +75,8 @@ cmake --build build-asan -j"$(nproc)"
 echo "== thread sanitizer build (serve / concurrency tests) =="
 cmake -B build-tsan -S . -DREADS_TSAN=ON >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
-  --target test_serve test_util test_fault test_lifecycle test_cluster
+  --target test_serve test_util test_fault test_lifecycle test_cluster \
+  test_autotune
 # Model-cache-backed integration tests (DeblendServing, FaultPipeline) are
 # covered by the plain and ASan runs; under TSan we run the
 # pure-concurrency suites, including the scheduled-crash recovery path,
@@ -76,6 +85,6 @@ cmake --build build-tsan -j"$(nproc)" \
 # the failover machinery (stall quarantine + redispatch, journal recovery
 # across an in-process restart, resilient-client reconnect/resubmit).
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-  -R 'BoundedQueue|Replica|GatewayTest|ServeMetrics|ThreadPool|Stats|Histogram|Percentiles|FaultPlan|FaultInjector|NetPlan|NetInjector|ChaosServe|ModelRegistry|Requalifier|DriftMonitor|RouterCluster|RouterAdmin|RouterFailover|RouterJournal|ClusterProtocol|HashRing')
+  -R 'BoundedQueue|Replica|GatewayTest|ServeMetrics|ThreadPool|Stats|Histogram|Percentiles|FaultPlan|FaultInjector|NetPlan|NetInjector|ChaosServe|ModelRegistry|Requalifier|DriftMonitor|RouterCluster|RouterAdmin|RouterFailover|RouterJournal|ClusterProtocol|HashRing|Surrogate|ParetoFront|Autotuner')
 
 echo "== all checks passed =="
